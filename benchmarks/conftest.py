@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and
+prints its rows (run pytest with ``-s`` to see them inline; they are
+also attached to the benchmark's ``extra_info``).
+
+Matrix scale defaults to 1/8 of Table 1 so the full benchmark suite
+finishes in minutes; process counts are always the paper's.  Override
+with ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=1.0`` for paper-size
+matrices) — see DESIGN.md for why the scaling preserves the
+communication behaviour being measured.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+BENCH_SCALE = float(os.environ.get("REPRO_SCALE", "0.125"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment config all benchmarks share."""
+    return ExperimentConfig(scale=BENCH_SCALE)
+
+
+def emit(benchmark, text: str) -> None:
+    """Print a rendered table and attach it to the benchmark record."""
+    print("\n" + text)
+    benchmark.extra_info["table"] = text

@@ -1,0 +1,73 @@
+"""Ablation: dimension-size balance at fixed VPT dimension (Section 5).
+
+The paper's formation scheme balances the ``k_d`` because the
+message-count bound is ``sum_d (k_d - 1)``; it notes (without
+exploring) that a skewed factorization trades a worse bound for less
+forwarding.  This bench quantifies that trade-off: at fixed ``n``,
+balanced vs most-skewed power-of-two factorizations of ``K``.
+"""
+
+from conftest import emit
+
+from repro.core import (
+    VirtualProcessTopology,
+    build_plan,
+    max_message_count,
+    optimal_dim_sizes,
+    skewed_dim_sizes,
+)
+from repro.experiments import InstanceCache
+from repro.metrics import Table
+from repro.network import BGQ, time_plan
+
+K = 256
+DIMS = (2, 3, 4)
+
+
+def test_bench_ablation_dimsizes(benchmark, bench_config):
+    cache = InstanceCache(bench_config)
+    pattern = cache.pattern("gupta2", K)
+
+    def run():
+        rows = []
+        for n in DIMS:
+            for label, sizes in (
+                ("balanced", optimal_dim_sizes(K, n)),
+                ("skewed", skewed_dim_sizes(K, n)),
+            ):
+                plan = build_plan(pattern, VirtualProcessTopology(sizes))
+                rows.append(
+                    (
+                        n,
+                        label,
+                        "x".join(map(str, sizes)),
+                        plan.max_message_count,
+                        plan.total_volume,
+                        time_plan(plan, BGQ).total_us,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        columns=("n", "layout", "sizes", "mmax", "total words", "comm(us)"),
+        title=f"dimension-size ablation — gupta2, K={K}",
+    )
+    for r in rows:
+        t.add_row(*r)
+    emit(benchmark, t.render())
+
+    by = {(r[0], r[1]): r for r in rows}
+    for n in DIMS:
+        bal, skw = by[(n, "balanced")], by[(n, "skewed")]
+        if optimal_dim_sizes(K, n) == skewed_dim_sizes(K, n):
+            continue
+        # Section 5's claim, both directions of the trade:
+        # balanced -> better (<=) message-count bound
+        assert max_message_count(optimal_dim_sizes(K, n)) <= max_message_count(
+            skewed_dim_sizes(K, n)
+        )
+        assert bal[3] <= skw[3]
+        # skewed -> less forwarding (fewer differing digits on average)
+        assert skw[4] <= bal[4]

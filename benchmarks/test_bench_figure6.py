@@ -1,0 +1,35 @@
+"""Regenerates Figure 6: metrics normalized to BL at K = 256.
+
+Paper shape: message-count bars sink below 1 and fall with dimension;
+the volume bar rises above 1 and grows with dimension; both time bars
+sit below 1.  The paper's worked example: the rate of message-count
+improvement exceeds the rate of volume increase for every dimension.
+"""
+
+from conftest import emit
+
+from repro.experiments import figure6
+
+
+def test_bench_figure6(benchmark, bench_config):
+    norm = benchmark.pedantic(
+        lambda: figure6.run(bench_config), rounds=1, iterations=1
+    )
+    emit(benchmark, figure6.format_result(norm))
+
+    dims = [s for s in norm if s != "BL"]
+    for s in dims:
+        m = norm[s]
+        assert m["mmax"] < 1.0 and m["mavg"] < 1.0
+        assert m["vavg"] > 1.0
+        assert m["comm"] < 1.0 and m["total"] < 1.0
+        # the latency win outweighs the volume cost (the paper's T5
+        # example: 5.3x message improvement vs 2.4x volume increase)
+        assert (1.0 / m["mavg"]) > m["vavg"] / 2.5
+
+    # message-count bars fall monotonically with dimension
+    mmaxes = [norm[s]["mmax"] for s in dims]
+    assert all(a >= b for a, b in zip(mmaxes, mmaxes[1:]))
+    # volume bars rise monotonically with dimension
+    vavgs = [norm[s]["vavg"] for s in dims]
+    assert all(a <= b for a, b in zip(vavgs, vavgs[1:]))

@@ -1,0 +1,43 @@
+"""Regenerates Figure 7: GaAsH6 vs coAuthorsDBLP at K = 256.
+
+Paper shape: the two instances have comparable volume statistics, but
+``coAuthorsDBLP`` is more latency-bound (higher BL message counts per
+unit volume), so STFW's SpMV-time improvement is more prominent there.
+"""
+
+from conftest import emit
+
+from repro.experiments import figure7
+
+
+def test_bench_figure7(benchmark, bench_config):
+    panels = benchmark.pedantic(
+        lambda: figure7.run(bench_config), rounds=1, iterations=1
+    )
+    emit(benchmark, figure7.format_result(panels))
+
+    by_metric = {p.metric: p for p in panels}
+    schemes = panels[0].schemes
+    bl = schemes.index("BL")
+
+    def best_gain(panel, name):
+        series = panel.values[name]
+        best = min(v for i, v in enumerate(series) if i != bl)
+        return series[bl] / best
+
+    total = by_metric["total"]
+    mmax = by_metric["mmax"]
+    vavg = by_metric["vavg"]
+
+    # which instance is more latency-bound? higher BL mmax per BL volume
+    lat = {
+        name: mmax.values[name][bl] / vavg.values[name][bl]
+        for name in figure7.MATRICES
+    }
+    more, less = max(lat, key=lat.get), min(lat, key=lat.get)
+
+    # ... and that instance profits more in SpMV time (the figure's point)
+    assert best_gain(total, more) > best_gain(total, less)
+    benchmark.extra_info["more_latency_bound"] = more
+    benchmark.extra_info["gain_more"] = round(best_gain(total, more), 2)
+    benchmark.extra_info["gain_less"] = round(best_gain(total, less), 2)

@@ -1,0 +1,38 @@
+"""Regenerates Figure 9: comm time on torus vs dragonfly, K in {128, 512}.
+
+Paper shape: STFW improves communication substantially on both
+networks at both process counts (paper: 45-69% on BlueGene/Q, 70-85% on
+Cray XC40), with the XC40 — the more latency-bound network — improving
+more, and the improvements growing from 128 to 512 processes.
+"""
+
+from conftest import emit
+
+from repro.experiments import figure9
+from repro.network import BGQ, CRAY_XC40
+
+
+def test_bench_figure9(benchmark, bench_config):
+    blocks = benchmark.pedantic(
+        lambda: figure9.run(bench_config), rounds=1, iterations=1
+    )
+    emit(benchmark, figure9.format_result(blocks))
+
+    def best_gain(block, machine):
+        return max(
+            block.improvement(machine, s) for s in block.schemes if s != "BL"
+        )
+
+    for b in blocks:
+        for machine in (BGQ.name, CRAY_XC40.name):
+            assert best_gain(b, machine) > 1.5, (b.K, machine)
+        # the more latency-bound network gains more
+        assert best_gain(b, CRAY_XC40.name) > best_gain(b, BGQ.name)
+
+    # gains grow with the process count on both networks
+    b128 = next(b for b in blocks if b.K == 128)
+    b512 = next(b for b in blocks if b.K == 512)
+    for machine in (BGQ.name, CRAY_XC40.name):
+        assert best_gain(b512, machine) > best_gain(b128, machine)
+        benchmark.extra_info[f"gain_{machine}_128"] = round(best_gain(b128, machine), 2)
+        benchmark.extra_info[f"gain_{machine}_512"] = round(best_gain(b512, machine), 2)

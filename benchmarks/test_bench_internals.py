@@ -1,0 +1,82 @@
+"""Performance benchmarks of the library's own hot paths.
+
+Unlike the paper-artifact benches (single-shot table regeneration),
+these measure throughput of the plan-level machinery with repeated
+rounds — the numbers that justify calling the plan path "exact and
+cheap at 16K processes".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CommPattern,
+    build_plan,
+    holder_after_stage_array,
+    make_vpt,
+)
+from repro.network import BGQ, time_plan
+from repro.spmv import spmv_pattern
+from repro.partition import block_partition
+from repro.matrices import generate_matrix
+
+
+@pytest.fixture(scope="module")
+def big_pattern():
+    return CommPattern.random(4096, avg_degree=24, hot_processes=4, seed=0, words=16)
+
+
+@pytest.fixture(scope="module")
+def big_vpt():
+    return make_vpt(4096, 6)
+
+
+def test_bench_plan_build_4k(benchmark, big_pattern, big_vpt):
+    """Whole-system Algorithm 1 planning for ~100K messages, 4K ranks."""
+    plan = benchmark(build_plan, big_pattern, big_vpt)
+    assert plan.max_message_count <= big_vpt.max_message_count_bound()
+    benchmark.extra_info["messages"] = big_pattern.num_messages
+
+
+def test_bench_plan_timing_4k(benchmark, big_pattern, big_vpt):
+    """Machine timing of a built plan (hop lookups + reductions)."""
+    plan = build_plan(big_pattern, big_vpt)
+    t = benchmark(time_plan, plan, BGQ)
+    assert t.total_us > 0
+
+
+def test_bench_vectorized_routing(benchmark, big_vpt):
+    """Holder computation for one million (src, dst) pairs."""
+    rng = np.random.default_rng(0)
+    src = rng.integers(0, big_vpt.K, 1_000_000)
+    dst = rng.integers(0, big_vpt.K, 1_000_000)
+
+    def run():
+        out = src
+        for d in range(big_vpt.n):
+            out = holder_after_stage_array(big_vpt, src, dst, d)
+        return out
+
+    out = benchmark(run)
+    assert np.array_equal(out, dst)
+
+
+def test_bench_pattern_extraction(benchmark):
+    """SpMV pattern extraction from a 1M-nonzero matrix at K=1024."""
+    A = generate_matrix(50_000, 1_000_000, 5_000, 2.0, seed=1)
+    part = block_partition(A.shape[0], 1024)
+    pattern = benchmark(spmv_pattern, A, part)
+    assert pattern.K == 1024
+    benchmark.extra_info["nnz"] = int(A.nnz)
+
+
+def test_bench_all_to_all_16k_plan(benchmark):
+    """The worst-case pattern of Section 4 at 16K ranks, hypercube VPT."""
+    K = 16384
+    # sparse stand-in for all-to-all at this scale: 64 partners each
+    pattern = CommPattern.random(K, avg_degree=64, seed=3, words=1)
+    vpt = make_vpt(K, 14)
+
+    plan = benchmark.pedantic(build_plan, args=(pattern, vpt), rounds=2, iterations=1)
+    plan.check_stage_bounds()
+    benchmark.extra_info["messages"] = pattern.num_messages

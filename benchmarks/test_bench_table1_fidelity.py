@@ -1,0 +1,38 @@
+"""Regenerates (the statistics of) Table 1 itself.
+
+Not an evaluation artifact but the foundation under all of them: the
+synthetic instances must carry the degree statistics the paper
+publishes.  This bench generates all 22 instances at the bench scale
+and pins:
+
+* nonzero counts within 40% of target (stub-matching collision losses
+  are corrected but not eliminated for the extreme instances),
+* maximum degree within 15% (the pinned dense rows are topped up
+  exactly; tolerance covers integer effects at small scales),
+* hot-spot prominence (max degree / avg degree) at least half the
+  target for every instance whose target prominence exceeds 3 — the
+  property that creates Figure 1's latency hot spots.
+"""
+
+from conftest import emit
+
+from repro.matrices.calibration import calibrate_suite, format_calibration
+
+
+def test_bench_table1_fidelity(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        lambda: calibrate_suite(scale=bench_config.scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, format_calibration(rows))
+
+    assert len(rows) == 22
+    for r in rows:
+        assert 0.6 <= r.nnz_ratio <= 1.4, (r.name, r.nnz_ratio)
+        assert 0.85 <= r.max_ratio <= 1.15, (r.name, r.max_ratio)
+        if r.hotspot_target > 3:
+            assert r.hotspot_ratio > 0.5, (r.name, r.hotspot_ratio)
+
+    worst_nnz = min(rows, key=lambda r: r.nnz_ratio)
+    benchmark.extra_info["worst_nnz"] = f"{worst_nnz.name}: {worst_nnz.nnz_ratio:.2f}"

@@ -1,0 +1,55 @@
+"""Regenerates Table 2: six metrics, K = 64..512, BlueGene/Q model.
+
+Paper shape (checked below): mmax falls 3-21x with VPT dimension and is
+monotone in it; mavg falls; vavg rises 1.5-3.3x; STFW improves comm and
+total SpMV time, with the improvement growing with K; STFW buffers stay
+under ~2x BL's.
+"""
+
+from conftest import emit
+
+from repro.experiments import table2
+
+
+def _rows(cells, K):
+    return {c.scheme: c.metrics for c in cells if c.K == K}
+
+
+def test_bench_table2(benchmark, bench_config):
+    cells = benchmark.pedantic(
+        lambda: table2.run(bench_config), rounds=1, iterations=1
+    )
+    emit(benchmark, table2.format_result(cells))
+
+    for K in table2.K_VALUES:
+        rows = _rows(cells, K)
+        schemes = ["BL"] + [f"STFW{n}" for n in range(2, K.bit_length())]
+        assert set(rows) == set(schemes)
+
+        # mmax monotone non-increasing in dimension; overall 3x+ drop
+        mmax_seq = [rows[s]["mmax"] for s in schemes]
+        assert all(a >= b for a, b in zip(mmax_seq, mmax_seq[1:]))
+        assert mmax_seq[0] / mmax_seq[-1] > 3.0
+
+        # volume rises with dimension, paying for the latency win
+        assert rows[schemes[-1]]["vavg"] > rows["BL"]["vavg"]
+
+        # communication and total time improve over BL
+        best_comm = min(rows[s]["comm"] for s in schemes if s != "BL")
+        assert best_comm < rows["BL"]["comm"]
+        best_total = min(rows[s]["total"] for s in schemes if s != "BL")
+        assert best_total < rows["BL"]["total"]
+
+        # buffers bounded (paper: always less than twice BL's)
+        for s in schemes[1:]:
+            assert rows[s]["buffer_kb"] < 2.5 * rows["BL"]["buffer_kb"]
+
+    # improvement grows with the process count
+    gains = []
+    for K in table2.K_VALUES:
+        rows = _rows(cells, K)
+        gains.append(
+            rows["BL"]["comm"] / min(v["comm"] for s, v in rows.items() if s != "BL")
+        )
+    assert gains[-1] > gains[0]
+    benchmark.extra_info["comm_gains_by_K"] = [round(g, 2) for g in gains]

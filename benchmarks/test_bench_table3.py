@@ -1,0 +1,56 @@
+"""Regenerates Table 3: large-scale communication at 4K-16K processes.
+
+Paper shape: drastic comm-time improvements over BL (94-95% on the XK7
+torus at 8K/16K, 86% on the XC40 dragonfly at 4K — i.e. up to ~22x and
+~7x); the best dimension is a low-middle one (STFW4 on XK7, STFW7 on
+XC40), with both the lowest and the highest dimensions worse; BL's comm
+time grows faster from 8K to 16K than STFW4's (1.9x vs 1.5x).
+"""
+
+from conftest import emit
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark, bench_config):
+    blocks = benchmark.pedantic(
+        lambda: table3.run(bench_config), rounds=1, iterations=1
+    )
+    emit(benchmark, table3.format_result(blocks))
+
+    by_cell = {(b.machine, b.K): b for b in blocks}
+    xk7_8k = by_cell[("Cray XK7", 8192)]
+    xk7_16k = by_cell[("Cray XK7", 16384)]
+    xc40_4k = by_cell[("Cray XC40", 4096)]
+
+    # drastic improvement everywhere (paper: 22.6x / 7.2x headline)
+    for b in blocks:
+        assert b.improvement(b.best_scheme()) > 4.0, (b.machine, b.K)
+        benchmark.extra_info[f"{b.machine}@{b.K}"] = {
+            "best": b.best_scheme(),
+            "gain": round(b.improvement(b.best_scheme()), 1),
+        }
+
+    # the best dimension is an interior one: strictly better than both
+    # the lowest (STFW2) and the highest evaluated dimension
+    for b in (xk7_8k, xk7_16k):
+        schemes = [s for s in b.rows if s != "BL"]
+        best = b.best_scheme()
+        assert b.rows[best]["comm"] < b.rows["STFW2"]["comm"]
+        assert b.rows[best]["comm"] < b.rows[schemes[-1]]["comm"]
+
+    # BL degrades faster than STFW4 going 8K -> 16K
+    bl_growth = xk7_16k.rows["BL"]["comm"] / xk7_8k.rows["BL"]["comm"]
+    s4_growth = xk7_16k.rows["STFW4"]["comm"] / xk7_8k.rows["STFW4"]["comm"]
+    assert bl_growth > s4_growth
+    benchmark.extra_info["bl_growth_8k_to_16k"] = round(bl_growth, 2)
+    benchmark.extra_info["stfw4_growth_8k_to_16k"] = round(s4_growth, 2)
+
+    # mmax drops and vavg rises with dimension in every block
+    for b in blocks:
+        schemes = [s for s in b.rows if s != "BL"]
+        mmax = [b.rows[s]["mmax"] for s in schemes]
+        vavg = [b.rows[s]["vavg"] for s in schemes]
+        assert all(a >= x for a, x in zip(mmax, mmax[1:]))
+        assert all(a <= x for a, x in zip(vavg, vavg[1:]))
+    _ = xc40_4k

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Choosing the VPT dimension from closed forms (Section 4 applied).
+
+Section 4 derives, for every dimension, the message-count bound and the
+exact expected forwarding volume; Section 6.4 says the best choice
+depends on the machine's latency/bandwidth character.  This example
+joins the two: print the trade-off curve for a machine+workload and ask
+the closed-form advisor for a dimension — then check it against the
+simulated sweep.
+
+Run:  python examples/dimension_advisor.py
+"""
+
+from math import log2
+
+from repro import CommPattern, Regularizer
+from repro.core import recommend_dimension, tradeoff_curve
+from repro.metrics import Table
+from repro.network import CRAY_XK7
+
+K = 1024
+WORDS = 80  # typical message size of the workload
+
+machine = CRAY_XK7
+ratio = machine.latency_bandwidth_ratio
+sync = log2(machine.num_nodes(K))
+
+table = Table(
+    columns=("n", "sizes", "msg bound", "volume factor", "predicted cost"),
+    title=f"Section 4 trade-off curve, K={K} "
+    f"({machine.name}: alpha/beta={ratio:.0f}, {WORDS}-word messages)",
+)
+for p in tradeoff_curve(K):
+    table.add_row(
+        p.n,
+        "x".join(map(str, p.dim_sizes)),
+        p.message_bound,
+        p.volume_factor,
+        p.predicted_cost(ratio, WORDS, stage_overhead_alphas=sync),
+    )
+print(table.render(float_fmt="{:.2f}"))
+
+rec = recommend_dimension(
+    K, alpha_beta_ratio=ratio, words_per_peer=WORDS, stage_overhead_alphas=sync
+)
+print(f"\nclosed-form recommendation: T{rec.n} {rec.dim_sizes}")
+
+# validate against the simulated sweep on an irregular pattern
+pattern = CommPattern.random(K, avg_degree=5, words=WORDS, hot_processes=4, seed=1)
+sweep = Regularizer.sweep(pattern)
+times = {n: reg.time_on(machine) for n, reg in sweep.items()}
+best = min(times, key=times.get)
+print(f"simulated sweep winner:     T{best} "
+      f"({times[best]:.0f} us vs BL {times[1]:.0f} us)")
+print(f"advisor within one dimension of the sweep: "
+      f"{abs(best - rec.n) <= 2}")

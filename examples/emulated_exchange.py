@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Run Algorithm 1 for real on the MPI emulator — and watch the messages.
+
+Executes the store-and-forward exchange process-by-process on the
+discrete-event MPI emulator (16 virtual processes, payloads actually
+move through intermediate buffers), then prints the per-stage physical
+messages and checks them against the plan-level simulator.
+
+Also demonstrates the end-to-end distributed SpMV whose result is
+verified against the sequential product.
+
+Run:  python examples/emulated_exchange.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    CommPattern,
+    build_plan,
+    make_vpt,
+    run_stfw_exchange,
+)
+from repro.matrices import generate_matrix
+from repro.network import BGQ
+from repro.partition import rcm_partition
+from repro.spmv import distributed_spmv
+
+K = 16
+vpt = make_vpt(K, 2)  # T_2(4, 4)
+pattern = CommPattern.random(K, avg_degree=3, words=4, hot_processes=1, seed=7)
+
+print(f"{pattern.num_messages} original messages on {K} processes, "
+      f"VPT T2{vpt.dim_sizes}\n")
+
+result = run_stfw_exchange(pattern, vpt, machine=BGQ, trace=True)
+plan = result.plan
+
+print("stage  physical msgs  submsgs  words   (bound = k_d - 1 per process)")
+for d, st in enumerate(plan.stages):
+    print(f"  {d}    {st.num_messages:9d}  {int(st.nsub.sum()):7d}  "
+          f"{int(st.total_words.sum()):5d}   sends/process <= {vpt.dim_sizes[d] - 1}")
+
+traced = sorted((r.tag, r.source, r.dest) for r in result.run.trace)
+planned = sorted(
+    (d, int(s), int(r))
+    for d, st in enumerate(plan.stages)
+    for s, r in zip(st.sender, st.receiver)
+)
+assert traced == planned, "emulator and plan disagree!"
+print(f"\nemulator sent exactly the {len(traced)} physical messages the plan "
+      f"predicts; virtual exchange time {result.makespan_us:.1f} us")
+
+# --- end-to-end distributed SpMV -------------------------------------
+A = generate_matrix(320, 3200, 80, 1.2, seed=1, values="random")
+x = np.random.default_rng(0).normal(size=320)
+part = rcm_partition(A, K)
+res = distributed_spmv(A, part, x, vpt=vpt, machine=BGQ)  # verifies internally
+print(f"\ndistributed SpMV on {K} emulated ranks matches the sequential "
+      f"product (makespan {res.makespan_us:.1f} us)")

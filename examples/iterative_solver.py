@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Power iteration on the emulator — the amortized-setup workflow.
+
+The paper times the average of 100 SpMV iterations: the partition, the
+communication pattern and (for STFW) the plan and per-stage receive
+counts are built once and reused every iteration.  `PersistentSpMV`
+packages that workflow; here it drives a power iteration estimating the
+dominant eigenvalue of a symmetric matrix, once with direct
+communication and once regularized, with identical numerics and very
+different virtual communication time.
+
+Run:  python examples/iterative_solver.py
+"""
+
+import numpy as np
+
+from repro.core import make_vpt
+from repro.matrices import generate_matrix
+from repro.network import BGQ
+from repro.partition import rcm_partition
+from repro.spmv import PersistentSpMV
+
+K = 32
+ITERATIONS = 12
+
+A = generate_matrix(640, 9600, 320, 1.8, dense_rows=2, seed=9, values="random")
+part = rcm_partition(A, K)
+x0 = np.random.default_rng(0).normal(size=A.shape[0])
+
+print(f"power iteration on a {A.shape[0]}x{A.shape[0]} matrix, "
+      f"{A.nnz} nnz, {K} emulated ranks\n")
+
+results = {}
+for label, vpt in (("BL", None), ("STFW3", make_vpt(K, 3))):
+    spmv = PersistentSpMV(A, part, vpt=vpt, machine=BGQ)  # setup once
+    x = x0.copy()
+    total_us = 0.0
+    lam = 0.0
+    for _ in range(ITERATIONS):
+        y, t = spmv.multiply(x)  # verified against A @ x internally
+        total_us += t
+        lam = float(x @ y / (x @ x))
+        x = y / np.linalg.norm(y)
+    results[label] = (lam, total_us / ITERATIONS)
+    print(f"{label:6s}: lambda_max ~= {lam:10.4f}   "
+          f"avg iteration {total_us / ITERATIONS:8.1f} virtual us")
+
+lam_bl, t_bl = results["BL"]
+lam_st, t_st = results["STFW3"]
+assert abs(lam_bl - lam_st) < 1e-8, "numerics must be identical"
+print(f"\nidentical eigenvalue estimates; regularized iterations are "
+      f"{t_bl / t_st:.2f}x faster on the BG/Q model")

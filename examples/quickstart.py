@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: regularize an irregular point-to-point pattern.
+
+Builds a 256-process pattern with a few latency hot spots (processes
+that message nearly everyone — the situation of the paper's Figure 1),
+then compares direct delivery (BL) with the store-and-forward scheme
+on virtual process topologies of increasing dimension.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CommPattern, build_plan, make_vpt, valid_dimensions
+from repro.metrics import Table, collect_stats
+from repro.network import BGQ, time_plan
+
+K = 256
+
+# an irregular pattern: everyone has ~4 small messages, but four hot
+# processes send to everyone (dense matrix rows, graph hubs, ...)
+pattern = CommPattern.random(
+    K, avg_degree=4, words=64, hot_processes=4, seed=42
+)
+print(f"pattern: {pattern.num_messages} messages, "
+      f"mmax={pattern.stats().mmax}, mavg={pattern.stats().mavg:.1f}\n")
+
+table = Table(
+    columns=("scheme", "mmax", "mavg", "vavg(words)", "comm(us)"),
+    title=f"BL vs STFW on {K} processes (BlueGene/Q cost model)",
+)
+
+for n in valid_dimensions(K):
+    vpt = make_vpt(K, n)                      # T_1 = BL, T_n = STFWn
+    plan = build_plan(pattern, vpt)           # Algorithm 1, whole system
+    plan.check_stage_bounds()                 # k_d - 1 sends per stage
+    stats = collect_stats(plan)
+    timing = time_plan(plan, BGQ)
+    table.add_row(stats.scheme, stats.mmax, stats.mavg, stats.vavg,
+                  timing.total_us)
+
+print(table.render())
+print(
+    "\nReading the table: the maximum message count falls from K-1"
+    "\ntoward lg2(K) as the VPT dimension grows, while the forwarded"
+    "\nvolume rises — the latency/bandwidth trade-off the paper controls."
+)

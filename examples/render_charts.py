@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Render the paper's figures as SVG files (no plotting stack needed).
+
+Runs the figure experiments at a small scale and writes standalone SVG
+documents into ``charts/`` — open them in any browser.  Equivalent to
+``python -m repro figure8 --svg charts/`` etc., bundled into one pass
+with a shared instance cache.
+
+Run:  python examples/render_charts.py [output-dir]
+"""
+
+import sys
+
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, InstanceCache, figure1, figure8, figure9
+from repro.viz import experiment_svgs
+
+out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "charts")
+out_dir.mkdir(parents=True, exist_ok=True)
+
+cfg = ExperimentConfig(scale=0.1)
+cache = InstanceCache(cfg)
+
+jobs = {
+    "figure1": figure1.run(cfg, cache=cache),
+    "figure8": figure8.run(
+        cfg,
+        matrices=("gupta2", "pattern1", "coAuthorsDBLP", "sparsine"),
+        cache=cache,
+    ),
+    "figure9": figure9.run(cfg, cache=cache),
+}
+
+written = []
+for name, result in jobs.items():
+    for fname, doc in experiment_svgs(name, result).items():
+        path = out_dir / fname
+        path.write_text(doc)
+        written.append(path)
+
+print(f"wrote {len(written)} charts into {out_dir}/:")
+for path in written:
+    print(f"  {path}")
+print("\nopen them in a browser — Figure 8's log-log scaling curves show"
+      "\nBL bending upward while the STFW dimensions keep descending.")

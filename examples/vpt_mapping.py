@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Section 8 future work in action: volume-aware process-to-VPT mapping.
+
+The forwarded volume of a message equals its size times the Hamming
+distance between its endpoints' VPT coordinates.  When rank numbering
+is arbitrary (a batch scheduler's draw), heavy communicators land far
+apart; `Regularizer(..., remap=True)` reorders processes on the VPT by
+RCM over the communication graph, shrinking Hamming distances of heavy
+pairs — volume drops while the k_d - 1 message bound is untouched.
+
+Run:  python examples/vpt_mapping.py
+"""
+
+import numpy as np
+
+from repro import CommPattern, Regularizer
+from repro.core import apply_mapping, average_hops, make_vpt
+from repro.metrics import Table
+from repro.network import BGQ
+
+K = 256
+rng = np.random.default_rng(3)
+
+# chains of heavy communication between consecutive *logical* workers...
+logical_src = np.arange(K - 1, dtype=np.int64)
+logical_dst = logical_src + 1
+size = rng.integers(200, 400, K - 1).astype(np.int64)
+pattern_logical = CommPattern.from_arrays(K, logical_src, logical_dst, size)
+
+# ...whose ranks the scheduler scattered arbitrarily
+scatter = rng.permutation(K).astype(np.int64)
+pattern = apply_mapping(pattern_logical, scatter)
+
+table = Table(
+    columns=("dimension", "avg hops (as-is)", "avg hops (remapped)",
+             "volume saved", "comm saved (BGQ)"),
+    title=f"volume-aware VPT mapping on a scattered chain, K={K}",
+)
+for n in (4, 6, 8):
+    vpt = make_vpt(K, n)
+    plain = Regularizer(pattern, dimension=n)
+    mapped = Regularizer(pattern, dimension=n, remap=True)
+    vol_saved = 1 - mapped.plan.total_volume / plain.plan.total_volume
+    t_plain, t_mapped = plain.time_on(BGQ), mapped.time_on(BGQ)
+    table.add_row(
+        f"T{n}",
+        average_hops(pattern, vpt),
+        average_hops(mapped.pattern, vpt),
+        f"{100 * vol_saved:.0f}%",
+        f"{100 * (1 - t_mapped / t_plain):.0f}%",
+    )
+print(table.render(float_fmt="{:.2f}"))
+print(
+    "\nThe mapping cannot change the per-stage message bound (a topology"
+    "\nproperty), but heavy neighbors now differ in fewer coordinates, so"
+    "\ntheir data is forwarded fewer times."
+)

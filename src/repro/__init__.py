@@ -1,0 +1,49 @@
+"""repro — reproduction of *Regularizing Irregularly Sparse
+Point-to-point Communications* (Selvitopi & Aykanat, SC '19).
+
+The library regularizes irregular point-to-point message patterns by
+organizing processes into a virtual process topology (VPT) and routing
+messages with a coalescing store-and-forward scheme, trading increased
+communication volume for drastically reduced message counts (latency).
+
+Top-level convenience re-exports cover the most common entry points;
+the subpackages hold the full API:
+
+- :mod:`repro.core` — VPT, routing, Algorithm 1 plan simulation, bounds
+- :mod:`repro.simmpi` — deterministic discrete-event MPI emulator
+- :mod:`repro.network` — alpha-beta / torus / dragonfly network models
+- :mod:`repro.matrices` — Table 1 instance registry and generators
+- :mod:`repro.partition` — row partitioners (PaToH stand-ins)
+- :mod:`repro.spmv` — row-parallel SpMV built on the emulator
+- :mod:`repro.metrics` — the paper's communication metrics
+- :mod:`repro.experiments` — one module per paper table/figure
+"""
+
+from .core import (
+    CommPattern,
+    Regularizer,
+    CommPlan,
+    VirtualProcessTopology,
+    build_direct_plan,
+    build_plan,
+    make_vpt,
+    plans_for_dimensions,
+    valid_dimensions,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VirtualProcessTopology",
+    "CommPattern",
+    "Regularizer",
+    "CommPlan",
+    "build_plan",
+    "build_direct_plan",
+    "plans_for_dimensions",
+    "make_vpt",
+    "valid_dimensions",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,196 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    python -m repro table2                 # Table 2 at the default scale
+    python -m repro figure8 --scale 0.5    # bigger matrices
+    python -m repro instances              # list the Table 1 registry
+    python -m repro report -o results.md   # run everything, write markdown
+
+Process counts are always the paper's; ``--scale`` resizes only the
+synthetic matrices (communication-preserving, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Sequence
+
+from . import __version__
+from .experiments import (
+    ExperimentConfig,
+    default_config,
+    figure1,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table2,
+    table3,
+)
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+#: experiment name -> (run, format) callables
+EXPERIMENTS: dict[str, tuple[Callable, Callable]] = {
+    "figure1": (figure1.run, figure1.format_result),
+    "table2": (table2.run, table2.format_result),
+    "figure6": (figure6.run, figure6.format_result),
+    "figure7": (figure7.run, figure7.format_result),
+    "figure8": (figure8.run, figure8.format_result),
+    "figure9": (figure9.run, figure9.format_result),
+    "table3": (table3.run, table3.format_result),
+    "figure10": (figure10.run, figure10.format_result),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Regularizing Irregularly Sparse Point-to-point "
+        "Communications' (SC '19): regenerate any of the paper's tables/figures.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in EXPERIMENTS:
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        _add_config_args(p)
+        p.add_argument(
+            "--svg",
+            metavar="DIR",
+            default=None,
+            help="also write SVG chart(s) into DIR (figure1/8/9/10 only)",
+        )
+
+    p = sub.add_parser("report", help="run every experiment, write a markdown report")
+    _add_config_args(p)
+    p.add_argument("-o", "--output", default="-", help="output file ('-' = stdout)")
+
+    sub.add_parser("instances", help="list the Table 1 instance registry")
+    return parser
+
+
+def _add_config_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="matrix linear scale vs Table 1 (default 0.25 or $REPRO_SCALE)",
+    )
+    p.add_argument(
+        "--partitioner",
+        choices=("rcm", "block", "random", "bisection", "multilevel"),
+        default=None,
+        help="row partitioner (default rcm)",
+    )
+    p.add_argument("--seed", type=int, default=None, help="base RNG seed")
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    cfg = default_config()
+    overrides = {}
+    if getattr(args, "scale", None) is not None:
+        overrides["scale"] = args.scale
+    if getattr(args, "partitioner", None) is not None:
+        overrides["partitioner"] = args.partitioner
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        from dataclasses import replace
+
+        cfg = replace(cfg, **overrides)
+    return cfg
+
+
+def _cmd_instances() -> str:
+    from .matrices import SUITE
+    from .metrics import Table
+
+    t = Table(
+        columns=("name", "kind", "rows", "nnz", "max", "cv", "maxdr"),
+        title="Table 1 — instance registry (paper statistics)",
+    )
+    for s in SUITE.values():
+        t.add_row(s.name, s.kind, s.n, s.nnz, s.max_degree, s.cv, s.maxdr)
+    return t.render(float_fmt="{:.3f}")
+
+
+def run_report(cfg: ExperimentConfig) -> str:
+    """Run every experiment and render one markdown document.
+
+    Opens with a Table 1 fidelity section (how close the synthetics are
+    to the published statistics), then one section per paper artifact.
+    """
+    from .matrices.calibration import calibrate_suite, format_calibration
+
+    lines = [
+        "# Reproduction run",
+        "",
+        f"- matrix scale: {cfg.scale}",
+        f"- nnz budget: {cfg.nnz_budget}",
+        f"- partitioner: {cfg.partitioner}",
+        f"- seed: {cfg.seed}",
+        "",
+        "## instance fidelity",
+        "",
+        "```",
+        format_calibration(calibrate_suite(scale=cfg.scale)),
+        "```",
+        "",
+    ]
+    for name, (run, fmt) in EXPERIMENTS.items():
+        t0 = time.time()
+        result = run(cfg)
+        elapsed = time.time() - t0
+        lines.append(f"## {name}  ({elapsed:.1f}s)")
+        lines.append("")
+        lines.append("```")
+        lines.append(fmt(result))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "instances":
+        print(_cmd_instances())
+        return 0
+
+    cfg = _config_from(args)
+
+    if args.command == "report":
+        text = run_report(cfg)
+        if args.output == "-":
+            print(text)
+        else:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+            print(f"wrote {args.output}", file=sys.stderr)
+        return 0
+
+    run, fmt = EXPERIMENTS[args.command]
+    result = run(cfg)
+    print(fmt(result))
+    if getattr(args, "svg", None):
+        from .viz import experiment_svgs
+
+        os.makedirs(args.svg, exist_ok=True)
+        for fname, doc in experiment_svgs(args.command, result).items():
+            out_path = os.path.join(args.svg, fname)
+            with open(out_path, "w") as fh:
+                fh.write(doc)
+            print(f"wrote {out_path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,298 @@
+"""Point-to-point communication patterns (the paper's ``SendSet`` s).
+
+A :class:`CommPattern` is the *input* to both the baseline and the
+store-and-forward schemes: for every process ``P_i``, the set of
+destination processes and the size (in words) of the message destined
+for each.  Internally the pattern is three parallel NumPy arrays
+``(src, dst, size)`` — one entry per original message ``m_ij`` — which
+keeps million-message patterns cheap to build, slice and route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import PlanError
+
+__all__ = ["CommPattern", "PatternStats"]
+
+
+@dataclass(frozen=True)
+class PatternStats:
+    """Per-process message statistics of a pattern (BL / direct view).
+
+    ``mmax``/``mavg`` are the paper's maximum/average *sent* message
+    counts; ``vavg`` is the average per-process sent volume in words.
+    """
+
+    K: int
+    num_messages: int
+    total_words: int
+    mmax: int
+    mavg: float
+    vmax: int
+    vavg: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PatternStats(K={self.K}, msgs={self.num_messages}, words={self.total_words}, "
+            f"mmax={self.mmax}, mavg={self.mavg:.1f}, vmax={self.vmax}, vavg={self.vavg:.1f})"
+        )
+
+
+class CommPattern:
+    """A set of point-to-point messages ``{m_ij}`` among ``K`` processes.
+
+    Parameters
+    ----------
+    K:
+        Number of processes.
+    src, dst, size:
+        Parallel integer arrays; entry ``t`` says process ``src[t]``
+        must deliver ``size[t]`` words to process ``dst[t]``.  Self
+        messages (``src == dst``) are rejected — a process needs no
+        communication to "send" to itself — as are duplicate
+        ``(src, dst)`` pairs (merge them upstream with
+        :meth:`from_arrays`'s ``merge=True``).
+    """
+
+    __slots__ = ("_K", "_src", "_dst", "_size")
+
+    def __init__(
+        self,
+        K: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        size: np.ndarray,
+    ):
+        if K < 1:
+            raise PlanError(f"K={K} must be positive")
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        size = np.ascontiguousarray(size, dtype=np.int64)
+        if not (src.shape == dst.shape == size.shape) or src.ndim != 1:
+            raise PlanError("src, dst, size must be 1-D arrays of equal length")
+        if src.size:
+            if src.min() < 0 or src.max() >= K or dst.min() < 0 or dst.max() >= K:
+                raise PlanError(f"src/dst contain ranks outside [0, {K})")
+            if (src == dst).any():
+                raise PlanError("pattern contains self messages (src == dst)")
+            if size.min() < 0:
+                raise PlanError("message sizes must be non-negative")
+            key = src * K + dst
+            if np.unique(key).size != key.size:
+                raise PlanError(
+                    "pattern contains duplicate (src, dst) pairs; "
+                    "merge them with CommPattern.from_arrays(..., merge=True)"
+                )
+        self._K = int(K)
+        self._src = src
+        self._dst = dst
+        self._size = size
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        K: int,
+        src: Sequence[int] | np.ndarray,
+        dst: Sequence[int] | np.ndarray,
+        size: Sequence[int] | np.ndarray,
+        *,
+        merge: bool = False,
+        drop_self: bool = False,
+    ) -> "CommPattern":
+        """Build a pattern from parallel arrays.
+
+        With ``merge=True`` duplicate ``(src, dst)`` entries are summed
+        into one message; with ``drop_self=True`` self messages are
+        silently removed instead of raising.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        size = np.asarray(size, dtype=np.int64)
+        if drop_self:
+            keep = src != dst
+            src, dst, size = src[keep], dst[keep], size[keep]
+        if merge and src.size:
+            key = src * np.int64(K) + dst
+            uniq, inv = np.unique(key, return_inverse=True)
+            size = np.bincount(inv, weights=size, minlength=uniq.size).astype(np.int64)
+            src = (uniq // K).astype(np.int64)
+            dst = (uniq % K).astype(np.int64)
+        return cls(K, src, dst, size)
+
+    @classmethod
+    def from_sendsets(
+        cls, sendsets: Sequence[Mapping[int, int]], *, drop_self: bool = False
+    ) -> "CommPattern":
+        """Build from one ``{dst: words}`` mapping per process.
+
+        ``sendsets[i]`` is the paper's ``SendSet(P_i)`` annotated with
+        message sizes; ``K = len(sendsets)``.
+        """
+        K = len(sendsets)
+        srcs: list[int] = []
+        dsts: list[int] = []
+        sizes: list[int] = []
+        for i, ss in enumerate(sendsets):
+            for j, words in ss.items():
+                srcs.append(i)
+                dsts.append(int(j))
+                sizes.append(int(words))
+        return cls.from_arrays(K, srcs, dsts, sizes, drop_self=drop_self)
+
+    @classmethod
+    def all_to_all(cls, K: int, words: int = 1) -> "CommPattern":
+        """Worst-case pattern of Section 4: everyone sends to everyone.
+
+        Every process sends ``words`` words to each of the other
+        ``K - 1`` processes.
+        """
+        src = np.repeat(np.arange(K, dtype=np.int64), K)
+        dst = np.tile(np.arange(K, dtype=np.int64), K)
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        size = np.full(src.shape, int(words), dtype=np.int64)
+        return cls(K, src, dst, size)
+
+    @classmethod
+    def random(
+        cls,
+        K: int,
+        avg_degree: float,
+        words: int = 1,
+        *,
+        hot_processes: int = 0,
+        hot_degree: int | None = None,
+        seed: int | None = None,
+    ) -> "CommPattern":
+        """Random sparse pattern, optionally with latency hot-spots.
+
+        Each process sends to ``~avg_degree`` random peers; the first
+        ``hot_processes`` processes additionally send to ``hot_degree``
+        peers (default ``K - 1``), mimicking the dense-row structure of
+        the paper's latency-bound instances (Figure 1).
+        """
+        rng = np.random.default_rng(seed)
+        srcs: list[np.ndarray] = []
+        dsts: list[np.ndarray] = []
+        deg = rng.poisson(avg_degree, size=K).clip(0, K - 1)
+        if hot_processes:
+            hd = (K - 1) if hot_degree is None else min(int(hot_degree), K - 1)
+            deg[:hot_processes] = hd
+        for i in range(K):
+            if deg[i] == 0:
+                continue
+            peers = rng.choice(K - 1, size=deg[i], replace=False).astype(np.int64)
+            peers[peers >= i] += 1  # skip self
+            srcs.append(np.full(deg[i], i, dtype=np.int64))
+            dsts.append(peers)
+        if not srcs:
+            return cls(K, np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int64))
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+        size = np.full(src.shape, int(words), dtype=np.int64)
+        return cls(K, src, dst, size)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def K(self) -> int:
+        """Number of processes."""
+        return self._K
+
+    @property
+    def src(self) -> np.ndarray:
+        """Source rank of each message (read-only view)."""
+        v = self._src.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def dst(self) -> np.ndarray:
+        """Destination rank of each message (read-only view)."""
+        v = self._dst.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def size(self) -> np.ndarray:
+        """Size in words of each message (read-only view)."""
+        v = self._size.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def num_messages(self) -> int:
+        """Total number of original messages ``m_ij``."""
+        return int(self._src.size)
+
+    @property
+    def total_words(self) -> int:
+        """Total payload volume in words."""
+        return int(self._size.sum())
+
+    def __len__(self) -> int:
+        return self.num_messages
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CommPattern(K={self._K}, messages={self.num_messages})"
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def sendset(self, rank: int) -> dict[int, int]:
+        """``SendSet(P_rank)`` as a ``{dst: words}`` mapping."""
+        if not 0 <= rank < self._K:
+            raise PlanError(f"rank {rank} outside [0, {self._K})")
+        mask = self._src == rank
+        return {
+            int(j): int(w) for j, w in zip(self._dst[mask], self._size[mask])
+        }
+
+    def sent_counts(self) -> np.ndarray:
+        """Messages sent per process under direct (BL) communication."""
+        return np.bincount(self._src, minlength=self._K)
+
+    def recv_counts(self) -> np.ndarray:
+        """Messages received per process under direct communication."""
+        return np.bincount(self._dst, minlength=self._K)
+
+    def sent_words(self) -> np.ndarray:
+        """Words sent per process under direct communication."""
+        return np.bincount(self._src, weights=self._size, minlength=self._K).astype(np.int64)
+
+    def recv_words(self) -> np.ndarray:
+        """Words received per process under direct communication."""
+        return np.bincount(self._dst, weights=self._size, minlength=self._K).astype(np.int64)
+
+    def stats(self) -> PatternStats:
+        """Direct-communication (BL) statistics of this pattern."""
+        sc = self.sent_counts()
+        sw = self.sent_words()
+        return PatternStats(
+            K=self._K,
+            num_messages=self.num_messages,
+            total_words=self.total_words,
+            mmax=int(sc.max(initial=0)),
+            mavg=float(sc.mean()) if self._K else 0.0,
+            vmax=int(sw.max(initial=0)),
+            vavg=float(sw.mean()) if self._K else 0.0,
+        )
+
+    def scaled(self, factor: float) -> "CommPattern":
+        """Copy with every message size multiplied by ``factor`` (>= 0)."""
+        if factor < 0:
+            raise PlanError("scale factor must be non-negative")
+        size = np.maximum((self._size * factor).astype(np.int64), 0)
+        return CommPattern(self._K, self._src.copy(), self._dst.copy(), size)

@@ -1,0 +1,375 @@
+"""Plan-level simulation of the store-and-forward scheme (Algorithm 1).
+
+Building a :class:`CommPlan` answers, for a given pattern and VPT,
+*exactly which physical messages are exchanged in every stage* without
+executing per-process code: dimension-ordered routing makes the holder
+of every submessage after stage ``d`` a pure function of its source,
+destination and the topology (:func:`repro.core.routing.holder_after_stage_array`).
+Submessages that share a (sender, receiver) pair in a stage coalesce
+into one physical message — the coalescing that gives STFW its
+``sum_d (k_d - 1)`` message-count bound.
+
+The plan is the scalable path of the library (exact at 16K+ processes);
+:mod:`repro.simmpi` + :mod:`repro.core.stfw` execute the same algorithm
+process-by-process and are cross-validated against the plan in the test
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import PlanError
+from .pattern import CommPattern
+from .routing import holder_after_stage_array
+from .vpt import VirtualProcessTopology
+
+__all__ = [
+    "StageSchedule",
+    "CommPlan",
+    "build_plan",
+    "build_direct_plan",
+    "plans_for_dimensions",
+]
+
+
+@dataclass(frozen=True)
+class StageSchedule:
+    """All physical messages of one communication stage.
+
+    Parallel arrays, one entry per physical message.  ``nsub`` is the
+    number of submessages coalesced inside the message; ``payload_words``
+    their total payload; ``total_words`` payload plus per-submessage
+    header (destination id etc.) if the plan was built with one.
+    """
+
+    stage: int
+    sender: np.ndarray
+    receiver: np.ndarray
+    nsub: np.ndarray
+    payload_words: np.ndarray
+    total_words: np.ndarray
+
+    @property
+    def num_messages(self) -> int:
+        """Number of physical messages in this stage."""
+        return int(self.sender.size)
+
+    def sent_counts(self, K: int) -> np.ndarray:
+        """Physical messages sent per process in this stage."""
+        return np.bincount(self.sender, minlength=K)
+
+    def recv_counts(self, K: int) -> np.ndarray:
+        """Physical messages received per process in this stage."""
+        return np.bincount(self.receiver, minlength=K)
+
+    def sent_words(self, K: int) -> np.ndarray:
+        """Words sent per process in this stage (incl. headers)."""
+        return np.bincount(self.sender, weights=self.total_words, minlength=K).astype(np.int64)
+
+    def recv_words(self, K: int) -> np.ndarray:
+        """Words received per process in this stage (incl. headers)."""
+        return np.bincount(self.receiver, weights=self.total_words, minlength=K).astype(np.int64)
+
+
+@dataclass
+class CommPlan:
+    """Complete stage-by-stage schedule of an STFW exchange.
+
+    Produced by :func:`build_plan`.  All reported "message counts" are
+    counts of *physical* messages (coalesced), matching the paper's
+    metrics; volumes are in words.
+    """
+
+    vpt: VirtualProcessTopology
+    pattern: CommPattern
+    stages: list[StageSchedule]
+    header_words: int
+    #: words of submessages resident at each process after each stage,
+    #: excluding submessages already at their final destination
+    #: (shape ``(n, K)``); the store-and-forward buffer occupancy.
+    forward_occupancy: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    # -- message-count metrics -----------------------------------------
+
+    @property
+    def K(self) -> int:
+        """Number of processes."""
+        return self.vpt.K
+
+    @property
+    def n_stages(self) -> int:
+        """Number of communication stages (= VPT dimension)."""
+        return len(self.stages)
+
+    def sent_counts(self) -> np.ndarray:
+        """Total physical messages sent per process over all stages."""
+        out = np.zeros(self.K, dtype=np.int64)
+        for st in self.stages:
+            out += st.sent_counts(self.K)
+        return out
+
+    def recv_counts(self) -> np.ndarray:
+        """Total physical messages received per process over all stages."""
+        out = np.zeros(self.K, dtype=np.int64)
+        for st in self.stages:
+            out += st.recv_counts(self.K)
+        return out
+
+    def sent_words(self) -> np.ndarray:
+        """Total words sent per process over all stages (incl. headers)."""
+        out = np.zeros(self.K, dtype=np.int64)
+        for st in self.stages:
+            out += st.sent_words(self.K)
+        return out
+
+    def recv_words(self) -> np.ndarray:
+        """Total words received per process over all stages (incl. headers)."""
+        out = np.zeros(self.K, dtype=np.int64)
+        for st in self.stages:
+            out += st.recv_words(self.K)
+        return out
+
+    @property
+    def max_message_count(self) -> int:
+        """The paper's ``mmax``: max messages sent by any process."""
+        return int(self.sent_counts().max(initial=0))
+
+    @property
+    def avg_message_count(self) -> float:
+        """The paper's ``mavg``: average messages sent per process."""
+        return float(self.sent_counts().mean())
+
+    @property
+    def max_volume(self) -> int:
+        """Max words sent by any process."""
+        return int(self.sent_words().max(initial=0))
+
+    @property
+    def avg_volume(self) -> float:
+        """The paper's ``vavg``: average words sent per process."""
+        return float(self.sent_words().mean())
+
+    @property
+    def total_volume(self) -> int:
+        """Total words moved over all stages (forwarding included)."""
+        return int(sum(int(st.total_words.sum()) for st in self.stages))
+
+    @property
+    def num_physical_messages(self) -> int:
+        """Total physical messages over all stages."""
+        return sum(st.num_messages for st in self.stages)
+
+    # -- buffer metrics --------------------------------------------------
+
+    def buffer_words(self) -> np.ndarray:
+        """Per-process buffer requirement in words.
+
+        Model (Section 6.2): the buffers for the *original* messages a
+        process sends and receives, plus — for multi-stage plans — the
+        peak store-and-forward footprint: the largest over stages of
+        (words received in the stage) + (words of transit submessages
+        resident after the stage).  For a 1-stage plan (BL) the second
+        term is zero and this reduces to the paper's BL definition.
+        """
+        orig_send = self.pattern.sent_words()
+        orig_recv = self.pattern.recv_words()
+        base = orig_send + orig_recv
+        if self.n_stages == 1:
+            return base
+        peak = np.zeros(self.K, dtype=np.int64)
+        for d, st in enumerate(self.stages):
+            footprint = st.recv_words(self.K) + self.forward_occupancy[d]
+            np.maximum(peak, footprint, out=peak)
+        return base + peak
+
+    @property
+    def max_buffer_words(self) -> int:
+        """Max per-process buffer requirement in words."""
+        return int(self.buffer_words().max(initial=0))
+
+    # -- bound checks (Section 4) ---------------------------------------
+
+    def check_stage_bounds(self) -> None:
+        """Raise ``PlanError`` if any process exceeds ``k_d - 1`` sends in a stage."""
+        for d, st in enumerate(self.stages):
+            limit = self.vpt.dim_sizes[d] - 1
+            counts = st.sent_counts(self.K)
+            worst = int(counts.max(initial=0))
+            if worst > limit:
+                raise PlanError(
+                    f"stage {d}: a process sends {worst} messages, bound is {limit}"
+                )
+
+    def stage_summary(self) -> list[dict[str, float]]:
+        """Per-stage summary rows (messages, words, max per-process sends)."""
+        rows = []
+        for d, st in enumerate(self.stages):
+            rows.append(
+                {
+                    "stage": d,
+                    "messages": st.num_messages,
+                    "words": int(st.total_words.sum()),
+                    "max_sent": int(st.sent_counts(self.K).max(initial=0)),
+                    "bound": self.vpt.dim_sizes[d] - 1,
+                }
+            )
+        return rows
+
+
+def build_plan(
+    pattern: CommPattern,
+    vpt: VirtualProcessTopology,
+    *,
+    header_words: int = 0,
+    coalesce: bool = True,
+) -> CommPlan:
+    """Simulate Algorithm 1 for an entire pattern at plan level.
+
+    Parameters
+    ----------
+    pattern:
+        The original point-to-point messages.
+    vpt:
+        Topology; ``vpt.K`` must equal ``pattern.K``.
+    header_words:
+        Words of metadata charged per submessage inside each physical
+        message (the ``(dst, words)`` two-tuple of the paper's
+        submessage framing).  The paper's volume metric counts pure
+        payload, so the default is 0; set to 2 for a byte-accurate
+        wire format.
+    coalesce:
+        When False (the coalescing ablation), every submessage travels
+        as its own physical message — forfeiting the ``k_d - 1``
+        per-stage bound and showing why Algorithm 1's merging is the
+        load-bearing piece of the design.
+
+    Returns
+    -------
+    CommPlan
+        Stage-by-stage physical message schedule plus occupancy.
+    """
+    if vpt.K != pattern.K:
+        raise PlanError(f"pattern has K={pattern.K} but VPT has K={vpt.K}")
+    if header_words < 0:
+        raise PlanError("header_words must be non-negative")
+
+    K = vpt.K
+    src = pattern.src
+    dst = pattern.dst
+    size = pattern.size
+
+    stages: list[StageSchedule] = []
+    occupancy = np.zeros((vpt.n, K), dtype=np.int64)
+
+    holder = src.copy()
+    for d in range(vpt.n):
+        nxt = holder_after_stage_array(vpt, src, dst, d)
+        moved = holder != nxt
+        senders = holder[moved]
+        receivers = nxt[moved]
+        sizes = size[moved]
+
+        if senders.size and not coalesce:
+            order = np.argsort(senders * np.int64(K) + receivers, kind="stable")
+            msg_sender = senders[order]
+            msg_receiver = receivers[order]
+            payload = sizes[order]
+            nsub = np.ones(senders.size, dtype=np.int64)
+        elif senders.size:
+            key = senders * np.int64(K) + receivers
+            order = np.argsort(key, kind="stable")
+            key_sorted = key[order]
+            uniq, start = np.unique(key_sorted, return_index=True)
+            inv = np.empty(key.size, dtype=np.int64)
+            inv[order] = np.searchsorted(uniq, key_sorted)
+            nsub = np.bincount(inv, minlength=uniq.size).astype(np.int64)
+            payload = np.bincount(inv, weights=sizes, minlength=uniq.size).astype(np.int64)
+            msg_sender = (uniq // K).astype(np.int64)
+            msg_receiver = (uniq % K).astype(np.int64)
+        else:
+            nsub = np.empty(0, dtype=np.int64)
+            payload = np.empty(0, dtype=np.int64)
+            msg_sender = np.empty(0, dtype=np.int64)
+            msg_receiver = np.empty(0, dtype=np.int64)
+
+        stages.append(
+            StageSchedule(
+                stage=d,
+                sender=msg_sender,
+                receiver=msg_receiver,
+                nsub=nsub,
+                payload_words=payload,
+                total_words=payload + header_words * nsub,
+            )
+        )
+
+        holder = nxt
+        in_transit = holder != dst
+        if in_transit.any():
+            occupancy[d] = np.bincount(
+                holder[in_transit], weights=size[in_transit], minlength=K
+            ).astype(np.int64)
+
+    if not np.array_equal(holder, dst):  # pragma: no cover - defensive
+        raise PlanError("plan simulation did not deliver every submessage")
+
+    return CommPlan(
+        vpt=vpt,
+        pattern=pattern,
+        stages=stages,
+        header_words=header_words,
+        forward_occupancy=occupancy,
+    )
+
+
+def build_direct_plan(pattern: CommPattern, *, header_words: int = 0) -> CommPlan:
+    """The baseline (BL) plan: one stage of direct sends (``T_1``).
+
+    Equivalent to ``build_plan(pattern, VirtualProcessTopology((K,)))``
+    but also valid for ``K == 1`` (an empty schedule).
+    """
+    if pattern.K == 1:
+        vpt = VirtualProcessTopology((2,))  # placeholder topology, no messages possible
+        if pattern.num_messages:
+            raise PlanError("K == 1 pattern cannot contain messages")
+        empty = StageSchedule(
+            stage=0,
+            sender=np.empty(0, np.int64),
+            receiver=np.empty(0, np.int64),
+            nsub=np.empty(0, np.int64),
+            payload_words=np.empty(0, np.int64),
+            total_words=np.empty(0, np.int64),
+        )
+        return CommPlan(
+            vpt=vpt,
+            pattern=pattern,
+            stages=[empty],
+            header_words=header_words,
+            forward_occupancy=np.zeros((1, 1), dtype=np.int64),
+        )
+    vpt = VirtualProcessTopology((pattern.K,))
+    return build_plan(pattern, vpt, header_words=header_words)
+
+
+def plans_for_dimensions(
+    pattern: CommPattern,
+    dimensions: Sequence[int],
+    *,
+    header_words: int = 0,
+) -> dict[int, CommPlan]:
+    """Build one plan per requested VPT dimension.
+
+    Convenience used throughout the experiment harness: dimension 1 is
+    the baseline, dimensions >= 2 use the Section 5 balanced
+    factorization.
+    """
+    from .dimensioning import make_vpt
+
+    out: dict[int, CommPlan] = {}
+    for n in dimensions:
+        out[n] = build_plan(pattern, make_vpt(pattern.K, n), header_words=header_words)
+    return out

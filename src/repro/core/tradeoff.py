@@ -1,0 +1,105 @@
+"""The latency/bandwidth trade-off curve — Section 4 made explorable.
+
+For a process count ``K``, every VPT dimension ``n`` offers a point on
+the curve (message-count bound, expected volume factor): the bound
+ranges from ``K - 1`` (linear) down to ``lg2 K`` (logarithmic) through
+the ``O(K^{1/n})`` family, while the worst-case volume factor rises
+from 1 toward the expected-hops value of Section 4's exact formula.
+
+:func:`tradeoff_curve` tabulates those closed forms;
+:func:`recommend_dimension` picks the bound-vs-volume sweet spot for a
+machine's alpha/beta ratio and an expected message size — the
+quantitative version of Section 6.4's guidance ("for a latency-bound
+network, higher-dimensional VPTs ... for bandwidth-bound networks,
+lower-dimensional").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..errors import TopologyError
+from .bounds import forward_volume
+from .dimensioning import balanced_dim_sizes, max_message_count, valid_dimensions
+from .vpt import VirtualProcessTopology
+
+__all__ = ["TradeoffPoint", "tradeoff_curve", "recommend_dimension"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One VPT dimension's closed-form costs for ``K`` processes."""
+
+    n: int
+    dim_sizes: tuple[int, ...]
+    message_bound: int
+    volume_factor: float  # expected hops per word under all-to-all
+
+    def predicted_cost(
+        self,
+        alpha_beta_ratio: float,
+        words_per_peer: float,
+        *,
+        stage_overhead_alphas: float = 0.0,
+    ) -> float:
+        """Relative cost in units of alpha.
+
+        ``bound + n * stage_overhead + volume_factor * words / ratio``:
+        the message bound, an optional per-stage synchronization charge
+        (in alphas; large machines pay one per stage, see
+        DESIGN.md §4b), and the volume term weighted by how
+        bandwidth-bound the machine is.  Minimizing this picks the
+        dimension.
+        """
+        if alpha_beta_ratio <= 0:
+            raise TopologyError("alpha/beta ratio must be positive")
+        total_words = self.volume_factor * words_per_peer
+        return (
+            self.message_bound
+            + self.n * stage_overhead_alphas
+            + total_words / alpha_beta_ratio
+        )
+
+
+def tradeoff_curve(K: int) -> list[TradeoffPoint]:
+    """Closed-form (bound, volume factor) for every valid dimension."""
+    points = []
+    for n in valid_dimensions(K):
+        sizes = balanced_dim_sizes(K, n)
+        vpt = VirtualProcessTopology(sizes)
+        vol = forward_volume(vpt) / max(K - 1, 1)
+        points.append(
+            TradeoffPoint(
+                n=n,
+                dim_sizes=sizes,
+                message_bound=max_message_count(sizes),
+                volume_factor=vol,
+            )
+        )
+    return points
+
+
+def recommend_dimension(
+    K: int,
+    *,
+    alpha_beta_ratio: float,
+    words_per_peer: float = 1.0,
+    stage_overhead_alphas: float = 0.0,
+) -> TradeoffPoint:
+    """The dimension minimizing the closed-form relative cost.
+
+    ``alpha_beta_ratio`` is the machine's start-up-to-per-word ratio
+    (e.g. :attr:`repro.network.machines.Machine.latency_bandwidth_ratio`);
+    ``words_per_peer`` the typical message size.  Latency-bound
+    machines (large ratio) get high dimensions, bandwidth-bound ones
+    low — Section 6.4's rule, derivable from Section 4's formulas.
+    """
+    curve = tradeoff_curve(K)
+    return min(
+        curve,
+        key=lambda p: p.predicted_cost(
+            alpha_beta_ratio,
+            words_per_peer,
+            stage_overhead_alphas=stage_overhead_alphas,
+        ),
+    )
+

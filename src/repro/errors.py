@@ -1,0 +1,62 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so that callers can catch library failures without
+masking genuine programming errors (``TypeError`` and friends still
+propagate unchanged).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "RoutingError",
+    "PlanError",
+    "SimMPIError",
+    "DeadlockError",
+    "NetworkModelError",
+    "PartitionError",
+    "MatrixGenerationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """Invalid virtual process topology specification or query."""
+
+
+class RoutingError(ReproError):
+    """A route query referenced ranks outside the topology."""
+
+
+class PlanError(ReproError):
+    """Malformed communication-plan input (bad send sets, sizes, ...)."""
+
+
+class SimMPIError(ReproError):
+    """Generic failure inside the simulated MPI runtime."""
+
+
+class DeadlockError(SimMPIError):
+    """All virtual processes are blocked and no message is in flight."""
+
+
+class NetworkModelError(ReproError):
+    """Invalid network-model parameters or rank mapping."""
+
+
+class PartitionError(ReproError):
+    """Invalid partition vector or partitioning request."""
+
+
+class MatrixGenerationError(ReproError):
+    """A synthetic matrix could not be generated to specification."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is inconsistent."""

@@ -1,0 +1,195 @@
+"""Shared experiment machinery: instance cache and the cell runner.
+
+Every experiment walks the same pipeline — generate instance, partition
+rows, extract SpMV pattern, build per-dimension plans, time them on a
+machine.  The harness caches the expensive steps (matrix generation and
+the partitioner's row ordering) so the figure/table modules stay a few
+lines each, and papers over the scale adjustments documented in
+:mod:`repro.experiments.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.pattern import CommPattern
+from ..errors import ExperimentError
+from ..matrices.generators import generate_matrix
+from ..matrices.suite import SUITE, MatrixSpec
+from ..network.machines import Machine
+from ..partition.base import Partition
+from ..partition.rcm import rcm_order
+from ..partition.simple import balanced_blocks_from_order, block_partition, random_partition
+from ..spmv.driver import SpMVExperiment, run_spmv_schemes
+from ..spmv.pattern import spmv_pattern
+from .config import ExperimentConfig
+
+__all__ = ["InstanceCache", "effective_spec", "paper_dim_selection"]
+
+
+def effective_spec(name: str, K: int, cfg: ExperimentConfig) -> MatrixSpec:
+    """The instance spec actually generated for a (matrix, K) cell.
+
+    Applies, in order: the config's linear ``scale``; an upscale floor
+    so every process owns at least ``min_rows_per_part`` rows; the
+    ``nnz_budget`` cap, which shrinks the average degree (never the row
+    count).  Returned specs are what EXPERIMENTS.md documents per run.
+    """
+    base = SUITE[name] if name in SUITE else None
+    if base is None:
+        raise ExperimentError(f"unknown instance {name!r}")
+    scale = cfg.scale
+    need = cfg.min_rows_per_part * K
+    if base.n * scale < need:
+        scale = need / base.n
+    s = base.scaled(scale)
+    # cap the locality window at `spread_blocks` partition blocks so
+    # large-K average message counts stay in the paper's regime (see
+    # ExperimentConfig.spread_blocks); only binds above K ~ 1K
+    loc_cap = 1.0 - cfg.spread_blocks / K
+    if loc_cap > s.locality:
+        s = MatrixSpec(
+            name=s.name,
+            kind=s.kind,
+            n=s.n,
+            nnz=s.nnz,
+            max_degree=s.max_degree,
+            cv=s.cv,
+            maxdr=s.maxdr,
+            locality=loc_cap,
+            dense_rows=s.dense_rows,
+        )
+    if cfg.nnz_budget is not None and s.nnz > cfg.nnz_budget:
+        avg = max(cfg.nnz_budget / s.n, 2.0)
+        nnz = int(avg * s.n)
+        max_degree = min(s.max_degree, s.n)
+        s = MatrixSpec(
+            name=s.name,
+            kind=s.kind,
+            n=s.n,
+            nnz=max(nnz, s.n),
+            max_degree=max(min(max_degree, s.n), int(2 * avg) + 2),
+            cv=s.cv,
+            maxdr=s.maxdr,
+            locality=s.locality,
+            dense_rows=s.dense_rows,
+        )
+    return s
+
+
+@dataclass
+class _CacheEntry:
+    spec: MatrixSpec
+    matrix: sp.csr_matrix
+    order: np.ndarray | None = None
+
+
+class InstanceCache:
+    """Process-wide cache of generated instances and partitioner state.
+
+    Keyed by the *effective* spec, so two (K, scale) cells that resolve
+    to the same generated instance share one matrix and one RCM
+    ordering; per-K partitions are cheap cuts of that ordering.
+    """
+
+    def __init__(self, cfg: ExperimentConfig):
+        self.cfg = cfg
+        self._entries: dict[tuple, _CacheEntry] = {}
+        self._patterns: dict[tuple, CommPattern] = {}
+        self._partitions: dict[tuple, Partition] = {}
+
+    def _entry(self, name: str, K: int) -> _CacheEntry:
+        s = effective_spec(name, K, self.cfg)
+        key = (s.name, s.n, s.nnz, s.max_degree)
+        if key not in self._entries:
+            seed = self.cfg.seed * 7919 + sum(
+                ord(c) * 131**i for i, c in enumerate(name)
+            ) % (2**31)
+            A = generate_matrix(
+                s.n,
+                s.nnz,
+                s.max_degree,
+                s.cv,
+                locality=s.locality,
+                dense_rows=s.dense_rows,
+                seed=seed % (2**31),
+            )
+            self._entries[key] = _CacheEntry(spec=s, matrix=A)
+        return self._entries[key]
+
+    def matrix(self, name: str, K: int) -> sp.csr_matrix:
+        """The generated matrix for a (name, K) cell."""
+        return self._entry(name, K).matrix
+
+    def spec(self, name: str, K: int) -> MatrixSpec:
+        """The effective spec for a (name, K) cell."""
+        return self._entry(name, K).spec
+
+    def partition(self, name: str, K: int) -> Partition:
+        """Row partition for a (name, K) cell, ordering cached per matrix."""
+        entry = self._entry(name, K)
+        pkey = (entry.spec.name, entry.spec.n, entry.spec.nnz, K, self.cfg.partitioner)
+        if pkey in self._partitions:
+            return self._partitions[pkey]
+        A = entry.matrix
+        kind = self.cfg.partitioner
+        if kind == "rcm":
+            if entry.order is None:
+                entry.order = rcm_order(A)
+            weights = np.maximum(np.diff(A.indptr).astype(np.float64), 1.0)
+            part = balanced_blocks_from_order(entry.order, K, weights)
+        elif kind == "block":
+            part = block_partition(A.shape[0], K)
+        elif kind == "random":
+            part = random_partition(A.shape[0], K, seed=self.cfg.seed)
+        else:
+            from ..spmv.driver import partition_matrix
+
+            part = partition_matrix(A, K, partitioner=kind, seed=self.cfg.seed)
+        self._partitions[pkey] = part
+        return part
+
+    def pattern(self, name: str, K: int) -> CommPattern:
+        """SpMV communication pattern for a (name, K) cell."""
+        entry = self._entry(name, K)
+        key = (entry.spec.name, entry.spec.n, entry.spec.nnz, K, self.cfg.partitioner)
+        if key not in self._patterns:
+            self._patterns[key] = spmv_pattern(entry.matrix, self.partition(name, K))
+        return self._patterns[key]
+
+    def cell(
+        self,
+        name: str,
+        K: int,
+        machine: Machine,
+        dims=None,
+    ) -> SpMVExperiment:
+        """Run all schemes of one (matrix, K, machine) experiment cell."""
+        return run_spmv_schemes(
+            self.matrix(name, K),
+            K,
+            machine,
+            dims=dims,
+            name=name,
+            contention=self.cfg.contention,
+            partition=self.partition(name, K),
+            pattern=self.pattern(name, K),
+        )
+
+
+def paper_dim_selection(K: int) -> list[int]:
+    """Section 6.5's seven VPT dimensions for large-scale runs.
+
+    The lowest three (2, 3, 4), the middle two
+    (``lg2(K)/2 + 1``, ``lg2(K)/2 + 2``) and the highest two
+    (``lg2(K) - 1``, ``lg2(K)``), deduplicated and sorted.
+    """
+    lg = int(np.log2(K))
+    if 2**lg != K:
+        raise ExperimentError(f"K={K} must be a power of two")
+    mid = lg // 2
+    dims = {2, 3, 4, mid + 1, mid + 2, lg - 1, lg}
+    return sorted(d for d in dims if 2 <= d <= lg)

@@ -1,0 +1,29 @@
+"""Matrix substrate: Table 1 registry, synthetic generators, I/O, stats."""
+
+from .calibration import FidelityRow, calibrate_instance, calibrate_suite, format_calibration
+from .generators import configuration_matrix, generate_matrix, lognormal_degree_sequence
+from .io_mm import read_matrix, write_matrix
+from .stats import DegreeStats, degree_stats, is_structurally_symmetric, row_degrees
+from .suite import BOTTOM10, SUITE, TOP15, MatrixSpec, generate_instance, spec
+
+__all__ = [
+    "MatrixSpec",
+    "SUITE",
+    "TOP15",
+    "BOTTOM10",
+    "spec",
+    "generate_instance",
+    "generate_matrix",
+    "configuration_matrix",
+    "lognormal_degree_sequence",
+    "DegreeStats",
+    "degree_stats",
+    "row_degrees",
+    "is_structurally_symmetric",
+    "read_matrix",
+    "write_matrix",
+    "FidelityRow",
+    "calibrate_instance",
+    "calibrate_suite",
+    "format_calibration",
+]

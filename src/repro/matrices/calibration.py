@@ -1,0 +1,104 @@
+"""Calibration: how closely the synthetics match Table 1.
+
+The substitution argument in DESIGN.md rests on the generated matrices
+hitting the published degree statistics; this module measures that,
+instance by instance, and renders a fidelity report.  The benchmark
+``benchmarks/test_bench_table1_fidelity.py`` pins the tolerances.
+
+Fidelity is judged on the *scaled* targets (what the generator was
+asked for), plus the two scale-invariant shape quantities the
+communication behaviour depends on: ``max/avg`` (hot-spot prominence)
+and ``cv``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MatrixGenerationError
+from .stats import degree_stats
+from .suite import SUITE, generate_instance, spec
+
+__all__ = ["FidelityRow", "calibrate_instance", "calibrate_suite", "format_calibration"]
+
+
+@dataclass(frozen=True)
+class FidelityRow:
+    """Target-vs-achieved statistics of one generated instance."""
+
+    name: str
+    n: int
+    nnz_target: int
+    nnz_achieved: int
+    max_target: int
+    max_achieved: int
+    cv_target: float
+    cv_achieved: float
+    hotspot_target: float  # max / avg degree
+    hotspot_achieved: float
+
+    @property
+    def nnz_ratio(self) -> float:
+        """achieved / target nonzeros."""
+        return self.nnz_achieved / self.nnz_target if self.nnz_target else 0.0
+
+    @property
+    def max_ratio(self) -> float:
+        """achieved / target maximum degree."""
+        return self.max_achieved / self.max_target if self.max_target else 0.0
+
+    @property
+    def hotspot_ratio(self) -> float:
+        """achieved / target max-to-average prominence."""
+        return (
+            self.hotspot_achieved / self.hotspot_target if self.hotspot_target else 0.0
+        )
+
+
+def calibrate_instance(name: str, *, scale: float = 1.0, seed: int | None = None) -> FidelityRow:
+    """Generate one instance and compare it to its (scaled) targets."""
+    target = spec(name).scaled(scale)
+    st = degree_stats(generate_instance(name, scale=scale, seed=seed))
+    avg_t = target.nnz / target.n
+    return FidelityRow(
+        name=name,
+        n=st.n,
+        nnz_target=target.nnz,
+        nnz_achieved=st.nnz,
+        max_target=target.max_degree,
+        max_achieved=st.max_degree,
+        cv_target=target.cv,
+        cv_achieved=st.cv,
+        hotspot_target=target.max_degree / avg_t if avg_t else 0.0,
+        hotspot_achieved=st.max_degree / st.avg_degree if st.avg_degree else 0.0,
+    )
+
+
+def calibrate_suite(
+    *, scale: float = 1.0, names: tuple[str, ...] | None = None, seed: int | None = None
+) -> list[FidelityRow]:
+    """Calibrate every (or the named) Table 1 instance at ``scale``."""
+    if scale <= 0:
+        raise MatrixGenerationError("scale must be positive")
+    names = names if names is not None else tuple(SUITE)
+    return [calibrate_instance(nm, scale=scale, seed=seed) for nm in names]
+
+
+def format_calibration(rows: list[FidelityRow]) -> str:
+    """Fixed-width fidelity report."""
+    from ..metrics.report import Table
+
+    t = Table(
+        columns=(
+            "instance", "rows", "nnz tgt", "nnz got", "ratio",
+            "max tgt", "max got", "cv tgt", "cv got", "hot tgt", "hot got",
+        ),
+        title="Table 1 fidelity — synthetic vs target statistics",
+    )
+    for r in rows:
+        t.add_row(
+            r.name, r.n, r.nnz_target, r.nnz_achieved, r.nnz_ratio,
+            r.max_target, r.max_achieved, r.cv_target, r.cv_achieved,
+            r.hotspot_target, r.hotspot_achieved,
+        )
+    return t.render(float_fmt="{:.2f}")

@@ -1,0 +1,14 @@
+"""The paper's communication performance metrics and report helpers."""
+
+from .collect import CommStats, collect_stats
+from .report import Table, format_table, geometric_mean, geometric_mean_rows, normalize_to
+
+__all__ = [
+    "CommStats",
+    "collect_stats",
+    "Table",
+    "format_table",
+    "geometric_mean",
+    "geometric_mean_rows",
+    "normalize_to",
+]

@@ -1,0 +1,88 @@
+"""Collecting the paper's six performance metrics from a plan.
+
+Table 2 reports, per scheme and process count: maximum message count
+(``mmax``), average message count (``mavg``), average volume in words
+(``vavg``), communication time, parallel SpMV time and buffer size.
+:func:`collect_stats` extracts the machine-independent four from a
+:class:`~repro.core.plan.CommPlan`; the two timing metrics come from a
+network model (:mod:`repro.network`) and are filled in by callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.plan import CommPlan
+
+__all__ = ["CommStats", "collect_stats", "WORD_BYTES"]
+
+#: bytes per word — messages carry 8-byte (double precision) values
+WORD_BYTES = 8
+
+
+@dataclass
+class CommStats:
+    """One row of the paper's metric tables.
+
+    Times default to ``nan`` until a network model assigns them;
+    ``buffer_kb`` follows the paper's kilobyte convention with
+    :data:`WORD_BYTES` bytes per word.
+    """
+
+    scheme: str
+    K: int
+    mmax: int
+    mavg: float
+    vmax: int
+    vavg: float
+    buffer_words: int
+    comm_time_us: float = field(default=float("nan"))
+    total_time_us: float = field(default=float("nan"))
+
+    @property
+    def buffer_kb(self) -> float:
+        """Maximum per-process buffer size in kilobytes."""
+        return self.buffer_words * WORD_BYTES / 1024.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat mapping for report tables."""
+        return {
+            "scheme": self.scheme,
+            "K": self.K,
+            "mmax": self.mmax,
+            "mavg": self.mavg,
+            "vmax": self.vmax,
+            "vavg": self.vavg,
+            "comm": self.comm_time_us,
+            "total": self.total_time_us,
+            "buffer_kb": self.buffer_kb,
+        }
+
+
+def scheme_name(n_dims: int) -> str:
+    """Paper naming: dimension 1 is ``BL``, dimension n >= 2 is ``STFWn``."""
+    return "BL" if n_dims == 1 else f"STFW{n_dims}"
+
+
+def collect_stats(plan: CommPlan, scheme: str | None = None) -> CommStats:
+    """Extract the machine-independent metrics from a plan.
+
+    Parameters
+    ----------
+    plan:
+        A built :class:`~repro.core.plan.CommPlan` (BL or STFW).
+    scheme:
+        Row label; defaults to the paper's name derived from the plan's
+        VPT dimension.
+    """
+    sent_counts = plan.sent_counts()
+    sent_words = plan.sent_words()
+    return CommStats(
+        scheme=scheme if scheme is not None else scheme_name(plan.vpt.n),
+        K=plan.K,
+        mmax=int(sent_counts.max(initial=0)),
+        mavg=float(sent_counts.mean()),
+        vmax=int(sent_words.max(initial=0)),
+        vavg=float(sent_words.mean()),
+        buffer_words=plan.max_buffer_words,
+    )

@@ -1,0 +1,120 @@
+"""Tabular reporting: geometric means and paper-style text tables.
+
+The paper aggregates every metric over its 15 (or 10) test matrices
+with the geometric mean; :func:`geometric_mean_rows` reproduces that
+aggregation over dictionaries of rows, and :func:`format_table` renders
+fixed-width tables like Table 2 / Table 3 for terminal output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["geometric_mean", "geometric_mean_rows", "normalize_to", "Table", "format_table"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; ignores nothing, raises on non-positive input.
+
+    The paper's metrics (counts, volumes, times) are strictly positive
+    for every latency-bound instance, so a non-positive value indicates
+    a degenerate workload and is surfaced rather than silently skipped.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError(f"geometric mean requires positive values, got {min(vals)}")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def geometric_mean_rows(
+    rows: Sequence[Mapping[str, float]],
+    keys: Sequence[str],
+) -> dict[str, float]:
+    """Column-wise geometric mean over ``rows`` for the given ``keys``.
+
+    Non-numeric columns must be excluded by the caller; a key missing
+    from any row raises ``KeyError`` (a silent default would corrupt a
+    paper table).
+    """
+    return {k: geometric_mean(float(r[k]) for r in rows) for k in keys}
+
+
+def normalize_to(
+    rows: Mapping[str, Mapping[str, float]],
+    baseline: str,
+    keys: Sequence[str],
+) -> dict[str, dict[str, float]]:
+    """Divide each row's metrics by the baseline row's (Figure 6 view).
+
+    ``rows`` maps scheme name to its metric dict.  A value ``y > 1``
+    means the baseline is better by ``y``x, ``y < 1`` means the scheme
+    improves on the baseline by ``1/y``x — the paper's Figure 6
+    convention.
+    """
+    if baseline not in rows:
+        raise KeyError(f"baseline row {baseline!r} not present")
+    base = rows[baseline]
+    out: dict[str, dict[str, float]] = {}
+    for name, row in rows.items():
+        out[name] = {k: float(row[k]) / float(base[k]) for k in keys}
+    return out
+
+
+@dataclass
+class Table:
+    """A fixed-width text table builder for paper-style output."""
+
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *values: object) -> None:
+        """Append a row; must have one value per column."""
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(values)
+
+    def render(self, float_fmt: str = "{:.1f}") -> str:
+        """Render the table with right-aligned numeric columns."""
+        return format_table(self.columns, self.rows, title=self.title, float_fmt=float_fmt)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt_cell(v: object, float_fmt: str) -> str:
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if math.isnan(v):
+            return "-"
+        return float_fmt.format(v)
+    return str(v)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.1f}",
+) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    cells = [[_fmt_cell(v, float_fmt) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(name.rjust(w) for name, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

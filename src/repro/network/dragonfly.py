@@ -1,0 +1,126 @@
+"""Dragonfly interconnect (Cray XC40 / Aries).
+
+A Dragonfly groups routers into all-to-all connected *groups*; groups
+are connected by global links.  With minimal routing, the hop count
+between two nodes is:
+
+==============================  ====
+relation                        hops
+==============================  ====
+same node                       0
+same router                     1
+same group, different router    2
+different groups                3  (local, global, local)
+==============================  ====
+
+This idealized minimal-path model ignores adaptive (Valiant) detours;
+it is enough to carry the property the paper leans on — the XC40 being
+*more latency-bound* than the torus machines — because that property
+lives in the alpha/beta ratio, not in routing detail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NetworkModelError
+from .model import Topology
+
+__all__ = ["DragonflyTopology"]
+
+
+class DragonflyTopology(Topology):
+    """A Dragonfly with ``groups`` groups of ``routers_per_group`` routers
+    hosting ``nodes_per_router`` nodes each."""
+
+    def __init__(self, groups: int, routers_per_group: int, nodes_per_router: int):
+        if min(groups, routers_per_group, nodes_per_router) < 1:
+            raise NetworkModelError(
+                "groups, routers_per_group and nodes_per_router must be positive"
+            )
+        self._groups = int(groups)
+        self._rpg = int(routers_per_group)
+        self._npr = int(nodes_per_router)
+
+    @classmethod
+    def fit(
+        cls, num_nodes: int, *, routers_per_group: int = 16, nodes_per_router: int = 4
+    ) -> "DragonflyTopology":
+        """Smallest dragonfly (in groups) hosting ``num_nodes`` nodes.
+
+        Default geometry loosely follows Aries: 4 nodes per router, 16
+        routers (one chassis pair) per group.
+        """
+        if num_nodes < 1:
+            raise NetworkModelError("num_nodes must be positive")
+        per_group = routers_per_group * nodes_per_router
+        groups = -(-num_nodes // per_group)
+        return cls(groups, routers_per_group, nodes_per_router)
+
+    @property
+    def groups(self) -> int:
+        """Number of router groups."""
+        return self._groups
+
+    @property
+    def routers_per_group(self) -> int:
+        """Routers in each group."""
+        return self._rpg
+
+    @property
+    def nodes_per_router(self) -> int:
+        """Nodes attached to each router."""
+        return self._npr
+
+    @property
+    def num_nodes(self) -> int:
+        return self._groups * self._rpg * self._npr
+
+    def router_of(self, node: int) -> int:
+        """Global router index of ``node``."""
+        self._check_node(node)
+        return node // self._npr
+
+    def group_of(self, node: int) -> int:
+        """Group index of ``node``."""
+        self._check_node(node)
+        return node // (self._npr * self._rpg)
+
+    def hops(self, a: int, b: int) -> int:
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            return 0
+        ra, rb = a // self._npr, b // self._npr
+        if ra == rb:
+            return 1
+        ga, gb = ra // self._rpg, rb // self._rpg
+        return 2 if ga == gb else 3
+
+    def hops_array(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        for x in (a, b):
+            if x.size and (x.min() < 0 or x.max() >= self.num_nodes):
+                raise NetworkModelError("node array outside dragonfly")
+        ra, rb = a // self._npr, b // self._npr
+        ga, gb = ra // self._rpg, rb // self._rpg
+        out = np.full(np.broadcast(a, b).shape, 3, dtype=np.int64)
+        out = np.where(ga == gb, 2, out)
+        out = np.where(ra == rb, 1, out)
+        out = np.where(a == b, 0, out)
+        return out
+
+    def diameter(self) -> int:
+        """3 when multiple groups exist, else 2 (or less)."""
+        if self._groups > 1:
+            return 3
+        if self._rpg > 1:
+            return 2
+        return 1 if self._npr > 1 else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DragonflyTopology(groups={self._groups}, "
+            f"routers_per_group={self._rpg}, nodes_per_router={self._npr})"
+        )

@@ -1,0 +1,86 @@
+"""Row partitions of a sparse matrix among K processes.
+
+A :class:`Partition` is a validated length-``n`` vector assigning each
+matrix row (and the conformally-distributed vector entry) to a process.
+The partitioners in this package stand in for PaToH in the paper's
+pipeline: their job is to reduce communication while leaving the
+irregular, latency-bound residue that STFW targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """An assignment of ``n`` rows to ``K`` parts."""
+
+    __slots__ = ("_parts", "_K")
+
+    def __init__(self, parts: np.ndarray, K: int):
+        parts = np.ascontiguousarray(parts, dtype=np.int64)
+        if parts.ndim != 1:
+            raise PartitionError("partition vector must be 1-D")
+        if K < 1:
+            raise PartitionError(f"K={K} must be positive")
+        if parts.size and (parts.min() < 0 or parts.max() >= K):
+            raise PartitionError(f"partition vector references parts outside [0, {K})")
+        self._parts = parts
+        self._K = int(K)
+
+    @property
+    def parts(self) -> np.ndarray:
+        """The row-to-part vector (read-only view)."""
+        v = self._parts.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def K(self) -> int:
+        """Number of parts (processes)."""
+        return self._K
+
+    @property
+    def n(self) -> int:
+        """Number of rows partitioned."""
+        return int(self._parts.size)
+
+    def rows_of(self, p: int) -> np.ndarray:
+        """Row indices owned by part ``p``."""
+        if not 0 <= p < self._K:
+            raise PartitionError(f"part {p} outside [0, {self._K})")
+        return np.flatnonzero(self._parts == p)
+
+    def row_counts(self) -> np.ndarray:
+        """Rows per part."""
+        return np.bincount(self._parts, minlength=self._K)
+
+    def weights_per_part(self, weights: np.ndarray) -> np.ndarray:
+        """Sum of per-row ``weights`` per part (e.g. nnz balance)."""
+        w = np.asarray(weights)
+        if w.shape != self._parts.shape:
+            raise PartitionError("weights length must equal the number of rows")
+        return np.bincount(self._parts, weights=w, minlength=self._K)
+
+    def imbalance(self, weights: np.ndarray | None = None) -> float:
+        """``max part load / average part load`` (1.0 = perfect balance)."""
+        if weights is None:
+            loads = self.row_counts().astype(np.float64)
+        else:
+            loads = self.weights_per_part(weights).astype(np.float64)
+        avg = loads.mean()
+        if avg == 0:
+            return 1.0
+        return float(loads.max() / avg)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self._K == other._K and np.array_equal(self._parts, other._parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition(n={self.n}, K={self._K})"

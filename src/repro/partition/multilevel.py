@@ -1,0 +1,265 @@
+"""Multilevel k-way partitioner — the closest PaToH/Metis substitute.
+
+The classical multilevel scheme (Karypis & Kumar; Catalyurek & Aykanat
+for the hypergraph variant PaToH):
+
+1. **Coarsen**: repeatedly contract a heavy-edge matching until the
+   graph is small, accumulating vertex weights.
+2. **Initial partition**: solve the small problem directly (recursive
+   greedy-growth bisection with balance targets).
+3. **Uncoarsen + refine**: project the partition back level by level,
+   running boundary Kernighan-Lin/FM-style passes at each level.
+
+This is the quality-oriented partitioner of the package; it reduces the
+edge cut (communication volume) well beyond the ordering-based RCM
+stand-in on graphs with structure, at a few times the cost.  Dense rows
+are excluded from matching (contracting a hub collapses the graph) and
+assigned greedily at the end.
+
+Everything is array-based: the graph lives in CSR arrays, matchings and
+projections are integer vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import PartitionError
+from .base import Partition
+
+__all__ = ["multilevel_partition", "coarsen_graph", "refine_partition"]
+
+
+def _csr_graph(A: sp.spmatrix) -> sp.csr_matrix:
+    A = sp.csr_matrix(A)
+    if A.shape[0] != A.shape[1]:
+        raise PartitionError("multilevel partitioning needs a square matrix")
+    G = sp.csr_matrix(A + A.T)
+    G.data = np.ones_like(G.data)
+    G.setdiag(0)
+    G.eliminate_zeros()
+    return G
+
+
+def coarsen_graph(
+    G: sp.csr_matrix,
+    vertex_weight: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_degree_factor: float = 8.0,
+) -> tuple[sp.csr_matrix, np.ndarray, np.ndarray]:
+    """One level of heavy-edge-matching contraction.
+
+    Returns ``(G_coarse, weight_coarse, mapping)`` where ``mapping[v]``
+    is the coarse vertex of fine vertex ``v``.  Vertices whose degree
+    exceeds ``max_degree_factor`` times the average stay unmatched
+    (contracting hubs destroys the structure refinement needs).
+    """
+    n = G.shape[0]
+    deg = np.diff(G.indptr)
+    avg = max(deg.mean(), 1.0)
+    hub = deg > max_degree_factor * avg + 8
+
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    indptr, indices, data = G.indptr, G.indices, G.data
+    for v in order:
+        if match[v] != -1 or hub[v]:
+            continue
+        best, best_w = -1, -1.0
+        for idx in range(indptr[v], indptr[v + 1]):
+            u = indices[idx]
+            if match[u] == -1 and u != v and not hub[u]:
+                w = data[idx]
+                if w > best_w:
+                    best, best_w = u, w
+        if best != -1:
+            match[v] = best
+            match[best] = v
+
+    mapping = np.full(n, -1, dtype=np.int64)
+    nxt = 0
+    for v in range(n):
+        if mapping[v] != -1:
+            continue
+        mapping[v] = nxt
+        m = match[v]
+        if m != -1 and mapping[m] == -1:
+            mapping[m] = nxt
+        nxt += 1
+
+    # contract: G_coarse = P^T G P with P the mapping incidence
+    rows = mapping
+    cols = np.arange(n, dtype=np.int64)
+    P = sp.csr_matrix((np.ones(n), (cols, rows)), shape=(n, nxt))
+    Gc = sp.csr_matrix(P.T @ G @ P)
+    Gc.setdiag(0)
+    Gc.eliminate_zeros()
+    wc = np.bincount(mapping, weights=vertex_weight, minlength=nxt)
+    return Gc, wc, mapping
+
+
+def _greedy_bipartition(
+    G: sp.csr_matrix,
+    weight: np.ndarray,
+    frac: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Grow one side by repeatedly absorbing the most-connected vertex."""
+    n = G.shape[0]
+    target = frac * float(weight.sum())
+    side = np.zeros(n, dtype=bool)
+    gain = np.zeros(n, dtype=np.float64)
+    start = int(rng.integers(n))
+    frontier = {start}
+    grown = 0.0
+    indptr, indices, data = G.indptr, G.indices, G.data
+    while grown < target and frontier:
+        v = max(frontier, key=lambda u: gain[u])
+        frontier.discard(v)
+        if side[v]:
+            continue
+        side[v] = True
+        grown += float(weight[v])
+        for idx in range(indptr[v], indptr[v + 1]):
+            u = int(indices[idx])
+            if not side[u]:
+                gain[u] += float(data[idx])
+                frontier.add(u)
+        if not frontier and grown < target:
+            rest = np.flatnonzero(~side)
+            if rest.size:
+                frontier.add(int(rest[rng.integers(rest.size)]))
+    return side
+
+
+def refine_partition(
+    G: sp.csr_matrix,
+    side: np.ndarray,
+    weight: np.ndarray,
+    target: float,
+    *,
+    passes: int = 4,
+    tol: float = 0.05,
+) -> None:
+    """Boundary FM passes on a bipartition, in place.
+
+    Each pass visits boundary vertices in decreasing gain order and
+    moves those that reduce the cut while keeping the side weight
+    within ``tol`` of ``target``.
+    """
+    total = float(weight.sum())
+    lo, hi = target - tol * total, target + tol * total
+    indptr, indices, data = G.indptr, G.indices, G.data
+    side_weight = float(weight[side].sum())
+    n = G.shape[0]
+    for _ in range(passes):
+        gains = np.zeros(n, dtype=np.float64)
+        boundary = []
+        for v in range(n):
+            internal = external = 0.0
+            for idx in range(indptr[v], indptr[v + 1]):
+                u = indices[idx]
+                if side[u] == side[v]:
+                    internal += data[idx]
+                else:
+                    external += data[idx]
+            if external > 0:
+                gains[v] = external - internal
+                boundary.append(v)
+        boundary.sort(key=lambda v: -gains[v])
+        moved = 0
+        for v in boundary:
+            if gains[v] <= 0:
+                break
+            w = float(weight[v])
+            if side[v]:
+                if side_weight - w < lo:
+                    continue
+                side[v] = False
+                side_weight -= w
+            else:
+                if side_weight + w > hi:
+                    continue
+                side[v] = True
+                side_weight += w
+            moved += 1
+        if moved == 0:
+            break
+
+
+def _bipartition_multilevel(
+    G: sp.csr_matrix,
+    weight: np.ndarray,
+    frac: float,
+    rng: np.random.Generator,
+    *,
+    coarsest: int = 64,
+) -> np.ndarray:
+    """Full multilevel bisection of one (sub)graph."""
+    levels: list[tuple[sp.csr_matrix, np.ndarray, np.ndarray]] = []
+    g, w = G, weight
+    while g.shape[0] > coarsest:
+        gc, wc, mapping = coarsen_graph(g, w, rng)
+        if gc.shape[0] >= 0.95 * g.shape[0]:
+            break  # matching stalled (e.g. star graphs); stop coarsening
+        levels.append((g, w, mapping))
+        g, w = gc, wc
+
+    side = _greedy_bipartition(g, w, frac, rng)
+    refine_partition(g, side, w, frac * float(w.sum()))
+
+    for g_fine, w_fine, mapping in reversed(levels):
+        side = side[mapping]
+        refine_partition(g_fine, side, w_fine, frac * float(w_fine.sum()))
+    return side
+
+
+def multilevel_partition(
+    A: sp.spmatrix,
+    K: int,
+    *,
+    seed: int | None = None,
+    balance: str = "nnz",
+) -> Partition:
+    """Recursive multilevel k-way partition of ``A``'s rows.
+
+    The quality partitioner of the package: multilevel bisection with
+    FM refinement at every level, recursively applied until ``K``
+    parts exist.  ``K`` need not be a power of two.
+    """
+    A = sp.csr_matrix(A)
+    n = A.shape[0]
+    if K < 1:
+        raise PartitionError("K must be positive")
+    if K > n:
+        raise PartitionError(f"cannot split {n} rows into {K} non-empty parts")
+    if balance == "nnz":
+        weight = np.maximum(np.diff(A.indptr).astype(np.float64), 1.0)
+    elif balance == "rows":
+        weight = np.ones(n, dtype=np.float64)
+    else:
+        raise PartitionError(f"unknown balance mode {balance!r}")
+
+    G = _csr_graph(A)
+    rng = np.random.default_rng(seed)
+    parts = np.zeros(n, dtype=np.int64)
+
+    def rec(rows: np.ndarray, k: int, first: int) -> None:
+        if k == 1:
+            parts[rows] = first
+            return
+        k_left = k // 2
+        sub = sp.csr_matrix(G[np.ix_(rows, rows)])
+        side = _bipartition_multilevel(sub, weight[rows], k_left / k, rng)
+        left = rows[side]
+        right = rows[~side]
+        if left.size < k_left or right.size < k - k_left:
+            cut = rows.size * k_left // k
+            left, right = rows[:cut], rows[cut:]
+        rec(left, k_left, first)
+        rec(right, k - k_left, first + k_left)
+
+    rec(np.arange(n, dtype=np.int64), K, 0)
+    return Partition(parts, K)

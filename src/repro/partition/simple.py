@@ -1,0 +1,92 @@
+"""Baseline partitioners: contiguous blocks and random assignment.
+
+Block partitioning (optionally weight-balanced) is the natural-order
+baseline; random partitioning is the worst case for communication and
+serves as the upper anchor in the partitioner ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from .base import Partition
+
+__all__ = ["block_partition", "random_partition", "balanced_blocks_from_order"]
+
+
+def block_partition(
+    n: int, K: int, *, weights: np.ndarray | None = None
+) -> Partition:
+    """Contiguous row blocks; weight-balanced when ``weights`` given.
+
+    Without weights, parts get ``n/K`` rows each (earlier parts take
+    the remainder).  With weights (e.g. per-row nnz) block boundaries
+    are chosen so cumulative weight is split as evenly as a contiguous
+    split allows.
+    """
+    if n < 1 or K < 1:
+        raise PartitionError("n and K must be positive")
+    if K > n:
+        raise PartitionError(f"cannot split {n} rows into {K} non-empty parts")
+    if weights is None:
+        base, extra = divmod(n, K)
+        sizes = np.full(K, base, dtype=np.int64)
+        sizes[:extra] += 1
+        parts = np.repeat(np.arange(K, dtype=np.int64), sizes)
+        return Partition(parts, K)
+    return balanced_blocks_from_order(np.arange(n, dtype=np.int64), K, weights)
+
+
+def balanced_blocks_from_order(
+    order: np.ndarray, K: int, weights: np.ndarray
+) -> Partition:
+    """Split rows, taken in ``order``, into ``K`` weight-balanced blocks.
+
+    Used by every ordering-based partitioner (natural, RCM): cut the
+    ordered sequence at the ``t * total / K`` quantiles of cumulative
+    weight, then guarantee every part is non-empty.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    n = order.size
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (n,):
+        raise PartitionError("weights length must equal the number of rows")
+    if (w < 0).any():
+        raise PartitionError("weights must be non-negative")
+    if K > n:
+        raise PartitionError(f"cannot split {n} rows into {K} non-empty parts")
+    cum = np.cumsum(w[order])
+    total = cum[-1] if n else 0.0
+    if total <= 0:
+        # degenerate: equal-size blocks
+        return block_partition(n, K)
+    targets = total * np.arange(1, K, dtype=np.float64) / K
+    cuts = np.searchsorted(cum, targets, side="left")
+    # enforce strictly increasing cuts so no part is empty: forward
+    # pass pushes each cut past its predecessor, backward pass keeps
+    # room for the parts still to come
+    prev = 0
+    for i in range(K - 1):
+        cuts[i] = max(int(cuts[i]), prev + 1)
+        prev = cuts[i]
+    nxt = n
+    for i in range(K - 2, -1, -1):
+        cuts[i] = min(int(cuts[i]), nxt - 1)
+        nxt = cuts[i]
+    parts = np.empty(n, dtype=np.int64)
+    prev = 0
+    for p, cut in enumerate(np.append(cuts, n)):
+        parts[order[prev:cut]] = p
+        prev = cut
+    return Partition(parts, K)
+
+
+def random_partition(n: int, K: int, *, seed: int | None = None) -> Partition:
+    """Balanced random assignment (a shuffled block partition)."""
+    if K > n:
+        raise PartitionError(f"cannot split {n} rows into {K} non-empty parts")
+    rng = np.random.default_rng(seed)
+    blocks = block_partition(n, K).parts.copy()
+    rng.shuffle(blocks)
+    return Partition(blocks, K)

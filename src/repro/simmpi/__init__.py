@@ -1,0 +1,41 @@
+"""Deterministic discrete-event MPI emulator (the library's MPI substrate)."""
+
+from .analysis import RankSummary, rank_summary, stage_breakdown, to_chrome_trace
+from .collectives import (
+    REDUCTIONS,
+    AllGatherOp,
+    AllReduceOp,
+    AllToAllOp,
+    BarrierOp,
+    BcastOp,
+    RecvRequest,
+    ReduceOp,
+    SendRequest,
+)
+from .message import ANY_SOURCE, ANY_TAG, Envelope, RunResult, TraceRecord
+from .runtime import RECV_ALPHA_FRACTION, Comm, SimMPI, run_spmd
+
+__all__ = [
+    "SimMPI",
+    "Comm",
+    "run_spmd",
+    "RunResult",
+    "Envelope",
+    "TraceRecord",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "RECV_ALPHA_FRACTION",
+    "REDUCTIONS",
+    "BarrierOp",
+    "AllGatherOp",
+    "AllReduceOp",
+    "ReduceOp",
+    "AllToAllOp",
+    "BcastOp",
+    "SendRequest",
+    "RecvRequest",
+    "RankSummary",
+    "rank_summary",
+    "stage_breakdown",
+    "to_chrome_trace",
+]

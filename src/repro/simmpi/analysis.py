@@ -1,0 +1,125 @@
+"""Trace analysis: timelines, per-rank summaries, Chrome-trace export.
+
+``run_spmd(..., trace=True)`` records every delivered message; this
+module turns those records into things a performance engineer can use:
+
+* :func:`rank_summary` — per-rank message/word counts and busy spans,
+* :func:`stage_breakdown` — per-tag (= per-stage for STFW) traffic,
+* :func:`to_chrome_trace` — a ``chrome://tracing`` / Perfetto JSON
+  document with one row per rank and one flow event per message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+from .message import RunResult, TraceRecord
+
+__all__ = ["RankSummary", "rank_summary", "stage_breakdown", "to_chrome_trace"]
+
+
+@dataclass(frozen=True)
+class RankSummary:
+    """Communication totals of one rank extracted from a trace."""
+
+    rank: int
+    sent_messages: int
+    sent_words: int
+    recv_messages: int
+    recv_words: int
+    first_send_us: float
+    last_arrival_us: float
+
+
+def rank_summary(result: RunResult, K: int) -> list[RankSummary]:
+    """Per-rank totals from a traced run."""
+    sent_m = [0] * K
+    sent_w = [0] * K
+    recv_m = [0] * K
+    recv_w = [0] * K
+    first = [float("inf")] * K
+    last = [0.0] * K
+    for rec in result.trace:
+        sent_m[rec.source] += 1
+        sent_w[rec.source] += rec.words
+        recv_m[rec.dest] += 1
+        recv_w[rec.dest] += rec.words
+        first[rec.source] = min(first[rec.source], rec.send_time)
+        last[rec.dest] = max(last[rec.dest], rec.arrive_time)
+    return [
+        RankSummary(
+            rank=r,
+            sent_messages=sent_m[r],
+            sent_words=sent_w[r],
+            recv_messages=recv_m[r],
+            recv_words=recv_w[r],
+            first_send_us=first[r] if first[r] != float("inf") else 0.0,
+            last_arrival_us=last[r],
+        )
+        for r in range(K)
+    ]
+
+
+def stage_breakdown(records: Iterable[TraceRecord]) -> dict[int, dict[str, float]]:
+    """Traffic grouped by tag — for STFW traces, by communication stage."""
+    out: dict[int, dict[str, float]] = {}
+    for rec in records:
+        row = out.setdefault(rec.tag, {"messages": 0, "words": 0, "span_end": 0.0})
+        row["messages"] += 1
+        row["words"] += rec.words
+        row["span_end"] = max(row["span_end"], rec.arrive_time)
+    return dict(sorted(out.items()))
+
+
+def to_chrome_trace(result: RunResult, *, name: str = "simmpi run") -> str:
+    """Render a traced run as Chrome-trace (Perfetto) JSON.
+
+    One process row per rank; each message becomes a duration event on
+    the sender's row spanning [send, arrival] plus flow arrows from
+    sender to receiver.  Open the output in ``chrome://tracing`` or
+    https://ui.perfetto.dev.
+    """
+    events: list[dict] = []
+    ranks = set()
+    for rec in result.trace:
+        ranks.add(rec.source)
+        ranks.add(rec.dest)
+    for r in sorted(ranks):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": r,
+                "args": {"name": f"rank {r}"},
+            }
+        )
+    for i, rec in enumerate(result.trace):
+        dur = max(rec.arrive_time - rec.send_time, 0.001)
+        common = {
+            "cat": "message",
+            "pid": 0,
+            "args": {"words": rec.words, "tag": rec.tag, "dest": rec.dest},
+        }
+        events.append(
+            {
+                "name": f"msg tag={rec.tag}",
+                "ph": "X",
+                "tid": rec.source,
+                "ts": rec.send_time,
+                "dur": dur,
+                **common,
+            }
+        )
+        events.append(
+            {"name": "flow", "ph": "s", "id": i, "tid": rec.source,
+             "ts": rec.send_time, "cat": "message", "pid": 0}
+        )
+        events.append(
+            {"name": "flow", "ph": "f", "id": i, "tid": rec.dest,
+             "ts": rec.arrive_time, "cat": "message", "pid": 0, "bp": "e"}
+        )
+    doc = {"traceEvents": events, "displayTimeUnit": "ns", "otherData": {"name": name}}
+    return json.dumps(doc)

@@ -1,0 +1,131 @@
+"""Engine-native collective operations and request objects.
+
+The emulator resolves a collective when *every* live rank has yielded
+the same collective kind (a mismatch — some ranks in ``barrier``,
+others in ``allreduce`` — is reported as a deadlock, exactly the hang a
+real MPI program would produce).  Costs follow the standard tree /
+pairwise estimates of Chan et al. 2007:
+
+=============  =====================================================
+collective     virtual-time charge (on top of clock alignment)
+=============  =====================================================
+barrier        ``alpha``
+bcast          ``ceil(lg K) * (alpha + beta * words)``
+allgather      ``ceil(lg K) * alpha + beta * total_words``
+reduce         ``ceil(lg K) * (alpha + beta * words)``
+allreduce      ``2 * ceil(lg K) * (alpha + beta * words)``
+alltoall       ``(K - 1) * (alpha + beta * words_per_peer)``
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = [
+    "BarrierOp",
+    "AllGatherOp",
+    "AllReduceOp",
+    "AllToAllOp",
+    "BcastOp",
+    "ReduceOp",
+    "RecvRequest",
+    "SendRequest",
+    "REDUCTIONS",
+]
+
+#: named reduction operators accepted by reduce/allreduce
+REDUCTIONS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "max": lambda a, b: a if a >= b else b,
+    "min": lambda a, b: a if a <= b else b,
+    "prod": lambda a, b: a * b,
+}
+
+
+class BarrierOp:
+    """All ranks wait; resumes with ``None``."""
+
+    __slots__ = ()
+
+
+class AllGatherOp:
+    """Each rank contributes ``value``; resumes with the list of all."""
+
+    __slots__ = ("value", "words")
+
+    def __init__(self, value: Any, words: int):
+        self.value = value
+        self.words = words
+
+
+class AllReduceOp:
+    """Elementwise reduction over all ranks; resumes with the result."""
+
+    __slots__ = ("value", "words", "op")
+
+    def __init__(self, value: Any, words: int, op: str):
+        self.value = value
+        self.words = words
+        self.op = op
+
+
+class ReduceOp:
+    """Reduction to ``root``; resumes with the result there, None elsewhere."""
+
+    __slots__ = ("value", "words", "op", "root")
+
+    def __init__(self, value: Any, words: int, op: str, root: int):
+        self.value = value
+        self.words = words
+        self.op = op
+        self.root = root
+
+
+class AllToAllOp:
+    """Each rank contributes a length-K list; resumes with its column."""
+
+    __slots__ = ("values", "words_per_peer")
+
+    def __init__(self, values: list, words_per_peer: int):
+        self.values = values
+        self.words_per_peer = words_per_peer
+
+
+class BcastOp:
+    """Root's ``value`` is distributed; resumes with it everywhere."""
+
+    __slots__ = ("value", "words", "root")
+
+    def __init__(self, value: Any, words: int, root: int):
+        self.value = value
+        self.words = words
+        self.root = root
+
+
+class SendRequest:
+    """Completed-at-creation request returned by ``Comm.isend``.
+
+    Sends are eager in the emulator, so the request is born complete;
+    ``wait()`` yields nothing and exists for MPI-shaped code.
+    """
+
+    __slots__ = ()
+
+    def test(self) -> bool:
+        """Always true: eager sends complete immediately."""
+        return True
+
+
+class RecvRequest:
+    """Deferred receive returned by ``Comm.irecv``.
+
+    Yield the request itself (or the op from :meth:`wait`) to complete
+    it; the generator resumes with ``(source, tag, payload)``.
+    """
+
+    __slots__ = ("source", "tag")
+
+    def __init__(self, source: int, tag: int):
+        self.source = source
+        self.tag = tag

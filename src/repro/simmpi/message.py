@@ -1,0 +1,67 @@
+"""Message and trace records of the simulated MPI runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "TraceRecord"]
+
+#: wildcard source for :meth:`Comm.recv`
+ANY_SOURCE = -1
+#: wildcard tag for :meth:`Comm.recv`
+ANY_TAG = -1
+
+
+@dataclass
+class Envelope:
+    """An in-flight message inside the engine.
+
+    ``words`` is the charged size in 8-byte words (independent of the
+    Python payload object, so tests can exercise the cost model with
+    symbolic payloads).  ``send_time``/``arrive_time`` are virtual
+    microseconds on the sender's/receiver's clock.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    words: int
+    send_time: float = 0.0
+    arrive_time: float = 0.0
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One delivered message, recorded when tracing is enabled."""
+
+    source: int
+    dest: int
+    tag: int
+    words: int
+    send_time: float
+    arrive_time: float
+
+
+@dataclass
+class RunResult:
+    """Outcome of an SPMD run.
+
+    Attributes
+    ----------
+    returns:
+        Per-rank return value of the process function.
+    clocks:
+        Final virtual clock of each rank in microseconds.
+    makespan_us:
+        Maximum final clock — the run's virtual wall time.
+    trace:
+        Delivered-message records (empty unless tracing was on).
+    """
+
+    returns: list[Any]
+    clocks: list[float]
+    makespan_us: float
+    trace: list[TraceRecord] = field(default_factory=list)

@@ -1,0 +1,527 @@
+"""A deterministic discrete-event MPI emulator.
+
+``K`` virtual processes run as Python generators; blocking operations
+(``recv``, ``barrier``, ``allgather``) are ``yield`` points at which the
+engine regains control, matches messages and advances virtual clocks.
+Sends are *eager*: they never block (as MPI eager-protocol sends of
+small messages do not), so the classic send-send deadlock cannot occur,
+while recv cycles and collective mismatches are detected and reported
+as :class:`~repro.errors.DeadlockError` with a per-rank state dump.
+
+Time model
+----------
+Each rank owns a virtual clock in microseconds.  With a
+:class:`~repro.network.machines.Machine` attached:
+
+* a send charges ``alpha + alpha_hop * hops + beta * words`` to the
+  sender's clock; the message's arrival time is the sender's clock
+  after the charge (single-port serialization of sends);
+* a matching recv sets the receiver's clock to
+  ``max(own clock, arrival) + RECV_ALPHA_FRACTION * alpha + beta * words``;
+* a barrier aligns all clocks to the maximum plus one alpha;
+* an allgather is charged as a tree: ``ceil(lg K) * alpha +
+  beta * total_words`` on top of the clock alignment.
+
+Without a machine the run is purely functional (all clocks stay 0) —
+useful for semantics tests.
+
+Determinism: ranks are scheduled round-robin in rank order and message
+matching is FIFO per (source, tag), so a run is a pure function of its
+inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Callable, Generator, Sequence
+
+import numpy as np
+
+from ..errors import DeadlockError, SimMPIError
+from ..network.machines import Machine
+from ..network.mapping import block_mapping, validate_mapping
+from .collectives import (
+    REDUCTIONS,
+    AllGatherOp,
+    AllReduceOp,
+    AllToAllOp,
+    BarrierOp,
+    BcastOp,
+    RecvRequest,
+    ReduceOp,
+    SendRequest,
+)
+from .message import ANY_SOURCE, ANY_TAG, Envelope, RunResult, TraceRecord
+
+__all__ = ["Comm", "SimMPI", "run_spmd", "RECV_ALPHA_FRACTION"]
+
+#: fraction of alpha charged on the receive side of a match
+RECV_ALPHA_FRACTION = 0.4
+
+_RecvOp = RecvRequest
+_BarrierOp = BarrierOp
+_AllGatherOp = AllGatherOp
+
+#: every collective op type, used for uniform-kind completion checks
+_COLLECTIVE_OPS = (BarrierOp, AllGatherOp, AllReduceOp, ReduceOp, AllToAllOp, BcastOp)
+
+
+class Comm:
+    """Per-rank communicator handle passed to every process function.
+
+    Mirrors the mpi4py lowercase (pickle-style, any-object) API surface
+    that the paper's communication layer needs: ``send`` / ``recv`` /
+    ``barrier`` / ``allgather``.  Blocking calls return *operation
+    objects* that the process generator must ``yield``; the engine
+    resumes the generator with the result::
+
+        def worker(comm):
+            comm.send(1 - comm.rank, b"hi", words=1)
+            src, tag, payload = yield comm.recv()
+            return payload
+    """
+
+    __slots__ = ("_engine", "rank", "size")
+
+    def __init__(self, engine: "SimMPI", rank: int):
+        self._engine = engine
+        self.rank = rank
+        self.size = engine.K
+
+    def send(self, dest: int, payload: Any, *, tag: int = 0, words: int | None = None) -> None:
+        """Eagerly send ``payload`` to ``dest`` (never blocks).
+
+        ``words`` is the charged message size in 8-byte words; if
+        omitted it is taken from ``len(payload)`` (raising for unsized
+        payloads, which keeps cost accounting honest).
+        """
+        if words is None:
+            try:
+                words = len(payload)
+            except TypeError as exc:
+                raise SimMPIError("payload has no len(); pass words= explicitly") from exc
+        self._engine._post_send(self.rank, dest, tag, payload, int(words))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _RecvOp:
+        """Blocking receive; yield it to obtain ``(source, tag, payload)``."""
+        return _RecvOp(source, tag)
+
+    def barrier(self) -> _BarrierOp:
+        """Blocking barrier; yield it (resumes with ``None``)."""
+        return _BarrierOp()
+
+    def allgather(self, value: Any, *, words: int = 1) -> AllGatherOp:
+        """Blocking allgather; yield it to obtain the list of all values."""
+        return AllGatherOp(value, words)
+
+    def isend(
+        self, dest: int, payload: Any, *, tag: int = 0, words: int | None = None
+    ) -> SendRequest:
+        """Non-blocking send; eager, so the request is already complete."""
+        self.send(dest, payload, tag=tag, words=words)
+        return SendRequest()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        """Non-blocking receive; yield the request to complete it."""
+        return RecvRequest(source, tag)
+
+    def sendrecv(
+        self,
+        dest: int,
+        payload: Any,
+        *,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        words: int | None = None,
+    ) -> RecvRequest:
+        """Combined send + receive; yield the result to get the message."""
+        self.send(dest, payload, tag=sendtag, words=words)
+        return RecvRequest(source, recvtag)
+
+    def allreduce(self, value: Any, *, op: str = "sum", words: int = 1) -> AllReduceOp:
+        """Blocking allreduce; yield it to obtain the reduced value."""
+        if op not in REDUCTIONS:
+            raise SimMPIError(f"unknown reduction {op!r}; known: {', '.join(REDUCTIONS)}")
+        return AllReduceOp(value, words, op)
+
+    def reduce(
+        self, value: Any, *, root: int = 0, op: str = "sum", words: int = 1
+    ) -> ReduceOp:
+        """Blocking reduce-to-root; yields the result at root, None elsewhere."""
+        if op not in REDUCTIONS:
+            raise SimMPIError(f"unknown reduction {op!r}; known: {', '.join(REDUCTIONS)}")
+        if not 0 <= root < self.size:
+            raise SimMPIError(f"root {root} outside [0, {self.size})")
+        return ReduceOp(value, words, op, root)
+
+    def alltoall(self, values: list, *, words_per_peer: int = 1) -> AllToAllOp:
+        """Blocking all-to-all; ``values[j]`` goes to rank ``j``; yields
+        the list of values addressed to this rank."""
+        if len(values) != self.size:
+            raise SimMPIError(
+                f"alltoall needs one value per rank ({self.size}), got {len(values)}"
+            )
+        return AllToAllOp(list(values), words_per_peer)
+
+    def bcast(self, value: Any, *, root: int = 0, words: int = 1) -> BcastOp:
+        """Blocking broadcast from ``root``; yields the root's value."""
+        if not 0 <= root < self.size:
+            raise SimMPIError(f"root {root} outside [0, {self.size})")
+        return BcastOp(value, words, root)
+
+    def waitall(self, requests: list) -> Generator:
+        """Complete a list of requests; yields once per pending receive.
+
+        Use as ``results = yield from comm.waitall(reqs)``; send
+        requests resolve to ``None``, receive requests to their
+        ``(source, tag, payload)`` triple, in the order given.
+        """
+        results = []
+        for req in requests:
+            if isinstance(req, SendRequest):
+                results.append(None)
+            elif isinstance(req, RecvRequest):
+                results.append((yield req))
+            else:
+                raise SimMPIError(f"waitall got a non-request object: {req!r}")
+        return results
+
+
+class _ProcState:
+    __slots__ = ("gen", "clock", "blocked_on", "finished", "retval", "mailbox", "resume_value")
+
+    def __init__(self, gen: Generator | None):
+        self.gen = gen
+        self.clock = 0.0
+        self.blocked_on: Any = None
+        self.finished = gen is None
+        self.retval: Any = None
+        self.mailbox: deque[Envelope] = deque()
+        self.resume_value: Any = None
+
+
+class SimMPI:
+    """The engine: owns ranks, mailboxes, clocks and the cost model."""
+
+    def __init__(
+        self,
+        K: int,
+        *,
+        machine: Machine | None = None,
+        mapping: np.ndarray | None = None,
+        trace: bool = False,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+        rendezvous_threshold_words: int | None = None,
+    ):
+        if K < 1:
+            raise SimMPIError(f"K={K} must be positive")
+        if jitter < 0:
+            raise SimMPIError("jitter must be non-negative")
+        if rendezvous_threshold_words is not None and rendezvous_threshold_words < 1:
+            raise SimMPIError("rendezvous threshold must be positive")
+        self.K = int(K)
+        self.machine = machine
+        #: per-message multiplicative slowdown ~ U(0, jitter); models OS
+        #: noise / stragglers.  Deterministic per (seed, message order).
+        self.jitter = float(jitter)
+        self._jitter_rng = np.random.default_rng(jitter_seed)
+        #: messages at or above this size pay one extra alpha for the
+        #: rendezvous handshake (MPI's eager/rendezvous protocol switch)
+        self.rendezvous_threshold_words = rendezvous_threshold_words
+        self._trace_enabled = trace
+        self.trace: list[TraceRecord] = []
+        self._seq = 0
+        if machine is not None:
+            self._topology = machine.topology(K)
+            if mapping is None:
+                mapping = block_mapping(K, machine.cores_per_node)
+            self._mapping = validate_mapping(mapping, K, self._topology.num_nodes)
+        else:
+            if mapping is not None:
+                raise SimMPIError("mapping given without a machine")
+            self._topology = None
+            self._mapping = None
+        self._procs: list[_ProcState] = []
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def _send_cost(self, source: int, dest: int, words: int) -> float:
+        if self.machine is None:
+            return 0.0
+        m = self.machine
+        hops = self._topology.hops(int(self._mapping[source]), int(self._mapping[dest]))
+        cost = m.alpha_us + m.alpha_hop_us * hops + m.beta_us_per_word * words
+        if (
+            self.rendezvous_threshold_words is not None
+            and words >= self.rendezvous_threshold_words
+        ):
+            cost += m.alpha_us  # handshake round-trip
+        if self.jitter > 0.0:
+            cost *= 1.0 + self.jitter * float(self._jitter_rng.random())
+        return cost
+
+    def _recv_cost(self, words: int) -> float:
+        if self.machine is None:
+            return 0.0
+        m = self.machine
+        return RECV_ALPHA_FRACTION * m.alpha_us + m.beta_us_per_word * words
+
+    # ------------------------------------------------------------------
+    # Engine internals
+    # ------------------------------------------------------------------
+
+    def _post_send(self, source: int, dest: int, tag: int, payload: Any, words: int) -> None:
+        if not 0 <= dest < self.K:
+            raise SimMPIError(f"send to rank {dest} outside [0, {self.K})")
+        if words < 0:
+            raise SimMPIError("message words must be non-negative")
+        sender = self._procs[source]
+        start = sender.clock
+        sender.clock += self._send_cost(source, dest, words)
+        env = Envelope(
+            source=source,
+            dest=dest,
+            tag=tag,
+            payload=payload,
+            words=words,
+            send_time=start,
+            arrive_time=sender.clock,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self._procs[dest].mailbox.append(env)
+
+    def _match(self, state: _ProcState, op: _RecvOp) -> Envelope | None:
+        for i, env in enumerate(state.mailbox):
+            if (op.source in (ANY_SOURCE, env.source)) and (op.tag in (ANY_TAG, env.tag)):
+                del state.mailbox[i]
+                return env
+        return None
+
+    def _deliver(self, rank: int, state: _ProcState, env: Envelope) -> tuple[int, int, Any]:
+        state.clock = max(state.clock, env.arrive_time) + self._recv_cost(env.words)
+        if self._trace_enabled:
+            self.trace.append(
+                TraceRecord(
+                    source=env.source,
+                    dest=rank,
+                    tag=env.tag,
+                    words=env.words,
+                    send_time=env.send_time,
+                    arrive_time=env.arrive_time,
+                )
+            )
+        return (env.source, env.tag, env.payload)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self, proc_factory: Callable[[Comm], Generator | Any]) -> RunResult:
+        """Run one process per rank until all finish.
+
+        ``proc_factory(comm)`` must return a generator (a function
+        using ``yield`` for blocking calls) or a plain value for ranks
+        that perform no blocking communication.
+        """
+        self.trace = []
+        self._procs = [_ProcState(None) for _ in range(self.K)]
+        comms = [Comm(self, r) for r in range(self.K)]
+        for r in range(self.K):
+            out = proc_factory(comms[r])
+            if isinstance(out, Generator):
+                self._procs[r].gen = out
+                self._procs[r].finished = False
+            else:
+                self._procs[r].retval = out
+
+        while True:
+            progressed = False
+
+            # point-to-point phase: advance every rank that can move
+            for r in range(self.K):
+                state = self._procs[r]
+                if state.finished:
+                    continue
+                if isinstance(state.blocked_on, _RecvOp):
+                    env = self._match(state, state.blocked_on)
+                    if env is None:
+                        continue
+                    state.blocked_on = None
+                    state.resume_value = self._deliver(r, state, env)
+                elif state.blocked_on is not None:
+                    continue  # waiting on a collective
+                progressed = self._drive(r, state) or progressed
+
+            alive = [r for r in range(self.K) if not self._procs[r].finished]
+            if not alive:
+                break
+            if progressed:
+                continue
+
+            # collective phase: everyone alive stuck — complete a uniform
+            # collective if there is one, otherwise report deadlock
+            kinds = {type(self._procs[r].blocked_on) for r in alive}
+            if len(kinds) == 1 and len(alive) == self.K:
+                kind = next(iter(kinds))
+                if kind in _COLLECTIVE_OPS:
+                    self._complete_collective(kind, alive)
+                    continue
+            self._raise_deadlock(alive)
+
+        returns = [p.retval for p in self._procs]
+        clocks = [p.clock for p in self._procs]
+        return RunResult(
+            returns=returns,
+            clocks=clocks,
+            makespan_us=max(clocks) if clocks else 0.0,
+            trace=self.trace,
+        )
+
+    def _complete_collective(self, kind: type, waiting: list[int]) -> None:
+        """Resolve a uniform collective all live ranks are blocked on."""
+        ops = {r: self._procs[r].blocked_on for r in waiting}
+        lg = math.ceil(math.log2(max(self.K, 2)))
+        m = self.machine
+        alpha = 0.0 if m is None else m.alpha_us
+        beta = 0.0 if m is None else m.beta_us_per_word
+
+        if kind is BarrierOp:
+            cost = alpha
+            results = {r: None for r in waiting}
+        elif kind is AllGatherOp:
+            total_words = sum(op.words for op in ops.values())
+            cost = lg * alpha + beta * total_words
+            values = [ops[r].value for r in waiting]
+            results = {r: list(values) for r in waiting}
+        elif kind is AllReduceOp:
+            self._check_uniform(ops, "op", "allreduce")
+            words = max(op.words for op in ops.values())
+            cost = 2 * lg * (alpha + beta * words)
+            fn = REDUCTIONS[next(iter(ops.values())).op]
+            acc = None
+            for r in waiting:
+                acc = ops[r].value if acc is None else fn(acc, ops[r].value)
+            results = {r: acc for r in waiting}
+        elif kind is ReduceOp:
+            self._check_uniform(ops, "op", "reduce")
+            self._check_uniform(ops, "root", "reduce")
+            words = max(op.words for op in ops.values())
+            cost = lg * (alpha + beta * words)
+            fn = REDUCTIONS[next(iter(ops.values())).op]
+            root = next(iter(ops.values())).root
+            acc = None
+            for r in waiting:
+                acc = ops[r].value if acc is None else fn(acc, ops[r].value)
+            results = {r: (acc if r == root else None) for r in waiting}
+        elif kind is AllToAllOp:
+            words = max(op.words_per_peer for op in ops.values())
+            cost = (self.K - 1) * (alpha + beta * words)
+            results = {r: [ops[q].values[r] for q in waiting] for r in waiting}
+        elif kind is BcastOp:
+            self._check_uniform(ops, "root", "bcast")
+            root = next(iter(ops.values())).root
+            words = ops[root].words
+            cost = lg * (alpha + beta * words)
+            results = {r: ops[root].value for r in waiting}
+        else:  # pragma: no cover - defensive
+            raise SimMPIError(f"unknown collective {kind!r}")
+
+        t = max(self._procs[r].clock for r in waiting) + cost
+        for r in waiting:
+            p = self._procs[r]
+            p.clock = t
+            p.blocked_on = None
+            p.resume_value = results[r]
+
+    def _check_uniform(self, ops: dict, attr: str, name: str) -> None:
+        vals = {getattr(op, attr) for op in ops.values()}
+        if len(vals) > 1:
+            raise SimMPIError(
+                f"{name} called with mismatched {attr} across ranks: {sorted(map(str, vals))}"
+            )
+
+    def _drive(self, rank: int, state: _ProcState) -> bool:
+        """Advance one rank until it blocks or finishes; True if it moved."""
+        if state.blocked_on is not None:
+            return False
+        progressed = False
+        while True:
+            try:
+                value = state.resume_value
+                state.resume_value = None
+                op = state.gen.send(value)
+            except StopIteration as stop:
+                state.finished = True
+                state.retval = stop.value
+                return True
+            progressed = True
+            if isinstance(op, _RecvOp):
+                env = self._match(state, op)
+                if env is not None:
+                    state.resume_value = self._deliver(rank, state, env)
+                    continue
+                state.blocked_on = op
+                return progressed
+            if isinstance(op, _COLLECTIVE_OPS):
+                state.blocked_on = op
+                return progressed
+            raise SimMPIError(
+                f"rank {rank} yielded {op!r}; processes may only yield "
+                "comm.recv()/comm.barrier()/comm.allgather() operations"
+            )
+
+    def _raise_deadlock(self, alive: list[int]) -> None:
+        lines = []
+        for r in alive:
+            p = self._procs[r]
+            op = p.blocked_on
+            if isinstance(op, _RecvOp):
+                desc = f"recv(source={op.source}, tag={op.tag}), mailbox={len(p.mailbox)}"
+            elif isinstance(op, _BarrierOp):
+                desc = "barrier"
+            elif isinstance(op, _AllGatherOp):
+                desc = "allgather"
+            else:  # pragma: no cover - defensive
+                desc = repr(op)
+            lines.append(f"  rank {r}: blocked on {desc}")
+        finished = self.K - len(alive)
+        head = "deadlock: no rank can progress"
+        if finished:
+            head += f" ({finished} rank(s) already exited)"
+        raise DeadlockError(head + "\n" + "\n".join(lines))
+
+
+def run_spmd(
+    K: int,
+    fn: Callable[..., Generator | Any],
+    *args: Any,
+    machine: Machine | None = None,
+    mapping: np.ndarray | Sequence[int] | None = None,
+    trace: bool = False,
+    jitter: float = 0.0,
+    jitter_seed: int = 0,
+    rendezvous_threshold_words: int | None = None,
+) -> RunResult:
+    """Convenience wrapper: run ``fn(comm, *args)`` on every rank.
+
+    Returns the :class:`~repro.simmpi.message.RunResult` with per-rank
+    return values, final clocks and (optionally) the message trace.
+    ``jitter``/``rendezvous_threshold_words`` forward to
+    :class:`SimMPI` (straggler noise and the MPI protocol switch).
+    """
+    engine = SimMPI(
+        K,
+        machine=machine,
+        mapping=None if mapping is None else np.asarray(mapping),
+        trace=trace,
+        jitter=jitter,
+        jitter_seed=jitter_seed,
+        rendezvous_threshold_words=rendezvous_threshold_words,
+    )
+    return engine.run(lambda comm: fn(comm, *args))

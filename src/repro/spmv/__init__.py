@@ -1,0 +1,27 @@
+"""Row-parallel SpMV: pattern extraction, emulated execution, cost driver."""
+
+from .columnparallel import ColSpMVResult, columnparallel_pattern, distributed_spmv_colparallel
+from .distributed import DistributedSpMVResult, distributed_spmv
+from .driver import SchemeResult, SpMVExperiment, partition_matrix, run_spmv_schemes
+from .local import LocalBlock, local_spmv, split_matrix
+from .persistent import PersistentSpMV
+from .pattern import nnz_per_part, spmv_needed_entries, spmv_pattern
+
+__all__ = [
+    "spmv_pattern",
+    "spmv_needed_entries",
+    "nnz_per_part",
+    "LocalBlock",
+    "split_matrix",
+    "local_spmv",
+    "distributed_spmv",
+    "DistributedSpMVResult",
+    "run_spmv_schemes",
+    "partition_matrix",
+    "SpMVExperiment",
+    "SchemeResult",
+    "PersistentSpMV",
+    "columnparallel_pattern",
+    "distributed_spmv_colparallel",
+    "ColSpMVResult",
+]

@@ -1,0 +1,145 @@
+"""Cost-model SpMV driver — the scalable engine behind every experiment.
+
+For a matrix, process count and machine, this driver partitions the
+rows, extracts the SpMV communication pattern, builds one communication
+plan per requested scheme (BL = dimension 1, STFWn for n >= 2), and
+fills in the paper's six metrics: mmax, mavg, vavg, communication time,
+total SpMV time (communication + slowest local multiply) and buffer
+size.  It is plan-level throughout, so 16K processes are exact and
+cheap; the emulator path (:mod:`repro.spmv.distributed`) cross-checks
+its semantics at small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.dimensioning import make_vpt
+from ..core.pattern import CommPattern
+from ..core.plan import CommPlan, build_plan
+from ..errors import ExperimentError
+from ..metrics.collect import CommStats, collect_stats
+from ..network.machines import Machine
+from ..network.timing import spmv_compute_time, time_plan
+from ..partition import PARTITIONERS, Partition
+from .pattern import nnz_per_part, spmv_pattern
+
+__all__ = ["SchemeResult", "SpMVExperiment", "run_spmv_schemes", "partition_matrix"]
+
+
+@dataclass
+class SchemeResult:
+    """Metrics of one scheme (BL or STFWn) on one instance."""
+
+    scheme: str
+    n_dims: int
+    stats: CommStats
+    plan: CommPlan = field(repr=False)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat row for report tables."""
+        return self.stats.as_dict()
+
+
+@dataclass
+class SpMVExperiment:
+    """All schemes of one (matrix, K, machine) cell."""
+
+    name: str
+    K: int
+    machine: str
+    results: dict[str, SchemeResult]
+
+    def __getitem__(self, scheme: str) -> SchemeResult:
+        return self.results[scheme]
+
+    @property
+    def schemes(self) -> list[str]:
+        """Scheme names in dimension order."""
+        return list(self.results)
+
+    def best_stfw(self, metric: str = "comm") -> SchemeResult:
+        """The STFW scheme minimizing ``metric`` (default comm time)."""
+        stfw = [r for r in self.results.values() if r.n_dims > 1]
+        if not stfw:
+            raise ExperimentError("no STFW schemes in this experiment")
+        return min(stfw, key=lambda r: r.as_dict()[metric])
+
+
+def partition_matrix(
+    A: sp.spmatrix, K: int, *, partitioner: str = "rcm", seed: int | None = None
+) -> Partition:
+    """Partition ``A``'s rows with a named partitioner (default RCM)."""
+    try:
+        fn = PARTITIONERS[partitioner]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown partitioner {partitioner!r}; known: {', '.join(PARTITIONERS)}"
+        ) from None
+    return fn(sp.csr_matrix(A), K, seed=seed)
+
+
+def run_spmv_schemes(
+    A: sp.spmatrix,
+    K: int,
+    machine: Machine,
+    *,
+    dims: Sequence[int] | None = None,
+    partitioner: str = "rcm",
+    name: str = "",
+    seed: int | None = None,
+    contention: bool = False,
+    header_words: int = 0,
+    partition: Partition | None = None,
+    pattern: CommPattern | None = None,
+) -> SpMVExperiment:
+    """Run BL + STFW schemes for one matrix at one process count.
+
+    Parameters
+    ----------
+    A:
+        Square sparse matrix (CSR recommended).
+    K:
+        Process count (power of two, as in the paper).
+    machine:
+        Cost model (see :mod:`repro.network.machines`).
+    dims:
+        VPT dimensions to evaluate; defaults to all of ``1..lg2 K``
+        (1 = BL).
+    partitioner, seed:
+        Row partitioner selection (ignored when ``partition`` given).
+    partition, pattern:
+        Precomputed partition / pattern, letting callers amortize the
+        expensive steps across machines and dimension sets.
+    """
+    A = sp.csr_matrix(A)
+    if partition is None:
+        partition = partition_matrix(A, K, partitioner=partitioner, seed=seed)
+    if partition.K != K:
+        raise ExperimentError(f"partition has K={partition.K}, expected {K}")
+    if pattern is None:
+        pattern = spmv_pattern(A, partition)
+
+    if dims is None:
+        dims = range(1, max(int(np.log2(K)), 1) + 1)
+
+    nnz_loads = nnz_per_part(A, partition)
+    compute_us = spmv_compute_time(nnz_loads, machine)
+
+    results: dict[str, SchemeResult] = {}
+    for n_dims in dims:
+        vpt = make_vpt(K, int(n_dims))
+        plan = build_plan(pattern, vpt, header_words=header_words)
+        stats = collect_stats(plan)
+        timing = time_plan(plan, machine, contention=contention)
+        stats.comm_time_us = timing.total_us
+        stats.total_time_us = timing.total_us + compute_us
+        results[stats.scheme] = SchemeResult(
+            scheme=stats.scheme, n_dims=int(n_dims), stats=stats, plan=plan
+        )
+
+    return SpMVExperiment(name=name, K=K, machine=machine.name, results=results)

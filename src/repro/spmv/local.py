@@ -1,0 +1,69 @@
+"""Per-process pieces of the distributed SpMV: local matrix and kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import PlanError
+from ..partition.base import Partition
+
+__all__ = ["LocalBlock", "split_matrix", "local_spmv"]
+
+
+@dataclass
+class LocalBlock:
+    """One process's share of the matrix and vector.
+
+    ``rows`` are the owned global row indices; ``A_local`` keeps global
+    column indexing (columns are resolved through the gathered x
+    buffer); ``x_own`` are the owned input-vector values, conformal
+    with ``rows``.
+    """
+
+    rank: int
+    rows: np.ndarray
+    A_local: sp.csr_matrix
+    x_own: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Local nonzero count (compute load)."""
+        return int(self.A_local.nnz)
+
+
+def split_matrix(
+    A: sp.spmatrix, partition: Partition, x: np.ndarray
+) -> list[LocalBlock]:
+    """Distribute ``A``'s rows and ``x``'s entries per the partition."""
+    A = sp.csr_matrix(A)
+    n = A.shape[0]
+    if A.shape[0] != A.shape[1]:
+        raise PlanError("row-parallel SpMV needs a square matrix")
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (n,):
+        raise PlanError(f"x has shape {x.shape}, expected ({n},)")
+    blocks = []
+    for p in range(partition.K):
+        rows = partition.rows_of(p)
+        blocks.append(
+            LocalBlock(
+                rank=p,
+                rows=rows,
+                A_local=A[rows, :].tocsr(),
+                x_own=x[rows].copy(),
+            )
+        )
+    return blocks
+
+
+def local_spmv(block: LocalBlock, x_full: np.ndarray) -> np.ndarray:
+    """The local compute phase: ``y_local = A_local @ x_full``.
+
+    ``x_full`` is the length-``n`` buffer holding the process's own x
+    entries plus everything received in the communication phase;
+    entries the local rows never touch may hold garbage.
+    """
+    return block.A_local @ np.asarray(x_full, dtype=np.float64)

@@ -1,0 +1,336 @@
+"""Dependency-free SVG charts for the paper's figures.
+
+The reproduction environment ships no plotting stack, so this module
+renders line and bar charts as standalone SVG documents with nothing
+but string formatting — enough to *look at* Figure 8's scaling curves
+or Figure 9/10's bars in a browser.  The CLI writes them next to the
+text tables: ``python -m repro figure8 --svg out/``.
+
+The generic builders (:func:`svg_line_chart`, :func:`svg_bar_chart`)
+are public; per-figure adapters live in :func:`experiment_svgs`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from .errors import ExperimentError
+
+__all__ = ["svg_line_chart", "svg_bar_chart", "experiment_svgs"]
+
+#: categorical series colors (colorblind-friendly)
+PALETTE = (
+    "#0173b2", "#de8f05", "#029e73", "#d55e00",
+    "#cc78bc", "#ca9161", "#fbafe4", "#949494",
+    "#ece133", "#56b4e9",
+)
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 24, 36, 46
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 5, 10):
+        step = mult * mag
+        if raw <= step:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + step * 0.5:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    lo_e = math.floor(math.log10(max(lo, 1e-12)))
+    hi_e = math.ceil(math.log10(max(hi, 1e-12)))
+    return [10.0**e for e in range(lo_e, hi_e + 1)]
+
+
+class _Frame:
+    """Coordinate mapping for one chart body."""
+
+    def __init__(self, width, height, x_lo, x_hi, y_lo, y_hi, log_x=False, log_y=False):
+        self.width, self.height = width, height
+        self.log_x, self.log_y = log_x, log_y
+        self.x_lo, self.x_hi = x_lo, x_hi
+        self.y_lo, self.y_hi = y_lo, y_hi
+        self.body_w = width - _MARGIN_L - _MARGIN_R
+        self.body_h = height - _MARGIN_T - _MARGIN_B
+
+    def _t(self, v, lo, hi, log):
+        if log:
+            v, lo, hi = math.log10(max(v, 1e-12)), math.log10(max(lo, 1e-12)), math.log10(
+                max(hi, 1e-12)
+            )
+        if hi <= lo:
+            return 0.0
+        return (v - lo) / (hi - lo)
+
+    def x(self, v: float) -> float:
+        return _MARGIN_L + self._t(v, self.x_lo, self.x_hi, self.log_x) * self.body_w
+
+    def y(self, v: float) -> float:
+        return (
+            _MARGIN_T
+            + (1.0 - self._t(v, self.y_lo, self.y_hi, self.log_y)) * self.body_h
+        )
+
+
+def _chrome(frame: _Frame, title: str, xlabel: str, ylabel: str,
+            x_ticks, y_ticks, x_fmt=lambda v: f"{v:g}", y_fmt=lambda v: f"{v:g}") -> list[str]:
+    parts = [
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{frame.body_w}" '
+        f'height="{frame.body_h}" fill="none" stroke="#333"/>',
+        f'<text x="{frame.width / 2}" y="20" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{_esc(title)}</text>',
+        f'<text x="{frame.width / 2}" y="{frame.height - 8}" text-anchor="middle" '
+        f'font-size="11">{_esc(xlabel)}</text>',
+        f'<text x="14" y="{frame.height / 2}" text-anchor="middle" font-size="11" '
+        f'transform="rotate(-90 14 {frame.height / 2})">{_esc(ylabel)}</text>',
+    ]
+    for t in x_ticks:
+        px = frame.x(t)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{_MARGIN_T + frame.body_h}" '
+            f'x2="{px:.1f}" y2="{_MARGIN_T + frame.body_h + 4}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{_MARGIN_T + frame.body_h + 16}" '
+            f'text-anchor="middle" font-size="10">{_esc(x_fmt(t))}</text>'
+        )
+    for t in y_ticks:
+        py = frame.y(t)
+        parts.append(
+            f'<line x1="{_MARGIN_L - 4}" y1="{py:.1f}" x2="{_MARGIN_L}" '
+            f'y2="{py:.1f}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{py:.1f}" '
+            f'x2="{_MARGIN_L + frame.body_w}" y2="{py:.1f}" '
+            f'stroke="#ddd" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 8}" y="{py + 3:.1f}" text-anchor="end" '
+            f'font-size="10">{_esc(y_fmt(t))}</text>'
+        )
+    return parts
+
+
+def _legend(labels: Sequence[str], frame: _Frame) -> list[str]:
+    parts = []
+    x = _MARGIN_L + 8
+    y = _MARGIN_T + 12
+    for i, label in enumerate(labels):
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(
+            f'<rect x="{x}" y="{y - 8}" width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 14}" y="{y + 1}" font-size="10">{_esc(label)}</text>'
+        )
+        y += 14
+    return parts
+
+
+def svg_line_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    log_x: bool = False,
+    log_y: bool = False,
+    width: int = 560,
+    height: int = 360,
+) -> str:
+    """Render named (xs, ys) series as an SVG line chart.
+
+    NaN y-values break the line (the Figure 8 convention for schemes
+    that do not exist at small K).
+    """
+    pts = [
+        (x, y)
+        for xs, ys in series.values()
+        for x, y in zip(xs, ys)
+        if not (isinstance(y, float) and math.isnan(y))
+    ]
+    if not pts:
+        raise ExperimentError("no data to chart")
+    xs_all = [p[0] for p in pts]
+    ys_all = [p[1] for p in pts]
+    frame = _Frame(
+        width, height, min(xs_all), max(xs_all), min(ys_all), max(ys_all),
+        log_x=log_x, log_y=log_y,
+    )
+    x_ticks = (
+        sorted(set(xs_all)) if log_x else _nice_ticks(frame.x_lo, frame.x_hi)
+    )
+    y_ticks = _log_ticks(frame.y_lo, frame.y_hi) if log_y else _nice_ticks(
+        frame.y_lo, frame.y_hi
+    )
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    parts += _chrome(frame, title, xlabel, ylabel, x_ticks, y_ticks)
+    for i, (label, (xs, ys)) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        run: list[str] = []
+        segments: list[list[str]] = []
+        for x, y in zip(xs, ys):
+            if isinstance(y, float) and math.isnan(y):
+                if run:
+                    segments.append(run)
+                run = []
+                continue
+            run.append(f"{frame.x(x):.1f},{frame.y(y):.1f}")
+        if run:
+            segments.append(run)
+        for seg in segments:
+            parts.append(
+                f'<polyline points="{" ".join(seg)}" fill="none" '
+                f'stroke="{color}" stroke-width="1.8"/>'
+            )
+            for pt in seg:
+                px, py = pt.split(",")
+                parts.append(f'<circle cx="{px}" cy="{py}" r="2.4" fill="{color}"/>')
+    parts += _legend(list(series), frame)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_bar_chart(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    ylabel: str = "",
+    log_y: bool = False,
+    width: int = 640,
+    height: int = 360,
+) -> str:
+    """Render grouped bars: one cluster per group, one bar per series."""
+    vals = [v for vs in series.values() for v in vs if not math.isnan(v)]
+    if not vals or not groups:
+        raise ExperimentError("no data to chart")
+    y_hi = max(vals)
+    y_lo = min(min(vals), 0.0) if not log_y else min(vals)
+    frame = _Frame(width, height, 0, len(groups), y_lo, y_hi, log_y=log_y)
+    y_ticks = _log_ticks(frame.y_lo, frame.y_hi) if log_y else _nice_ticks(
+        frame.y_lo, frame.y_hi
+    )
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    parts += _chrome(frame, title, "", ylabel, [], y_ticks)
+    n_series = len(series)
+    cluster_w = frame.body_w / len(groups)
+    bar_w = cluster_w * 0.8 / max(n_series, 1)
+    base_y = frame.y(max(y_lo, min(vals)) if log_y else 0.0)
+    for gi, group in enumerate(groups):
+        gx = _MARGIN_L + gi * cluster_w + cluster_w * 0.1
+        parts.append(
+            f'<text x="{gx + cluster_w * 0.4:.1f}" '
+            f'y="{_MARGIN_T + frame.body_h + 16}" text-anchor="middle" '
+            f'font-size="9">{_esc(group)}</text>'
+        )
+        for si, (label, vs) in enumerate(series.items()):
+            v = vs[gi]
+            if math.isnan(v):
+                continue
+            color = PALETTE[si % len(PALETTE)]
+            top = frame.y(v)
+            h = abs(base_y - top)
+            y0 = min(top, base_y)
+            parts.append(
+                f'<rect x="{gx + si * bar_w:.1f}" y="{y0:.1f}" '
+                f'width="{bar_w * 0.92:.1f}" height="{max(h, 0.5):.1f}" '
+                f'fill="{color}"><title>{_esc(label)}: {v:g}</title></rect>'
+            )
+    parts += _legend(list(series), frame)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def experiment_svgs(name: str, result) -> dict[str, str]:
+    """Render an experiment module's result as one or more SVGs.
+
+    Returns ``{filename: svg_document}``; raises for experiments with
+    no chart adapter.
+    """
+    if name == "figure1":
+        out = {}
+        for row in result:
+            xs = list(range(len(row.counts)))
+            out[f"figure1_{row.name}.svg"] = svg_line_chart(
+                {
+                    row.name: (xs, [float(c) for c in row.counts]),
+                    "max": (xs, [float(row.mmax)] * len(xs)),
+                    "avg": (xs, [row.mavg] * len(xs)),
+                },
+                title=f"Figure 1 — {row.name}",
+                xlabel="process id",
+                ylabel="message count",
+            )
+        return out
+    if name == "figure8":
+        out = {}
+        for s in result:
+            out[f"figure8_{s.name}.svg"] = svg_line_chart(
+                {
+                    scheme: ([float(k) for k in s.k_values], [float(v) for v in vals])
+                    for scheme, vals in s.times.items()
+                },
+                title=f"Figure 8 — {s.name}",
+                xlabel="processes",
+                ylabel="SpMV time (us)",
+                log_x=True,
+                log_y=True,
+            )
+        return out
+    if name == "figure9":
+        out = {}
+        for block in result:
+            out[f"figure9_K{block.K}.svg"] = svg_bar_chart(
+                block.schemes,
+                {m: [float(v) for v in vs] for m, vs in block.comm_us.items()},
+                title=f"Figure 9 — {block.K} processes",
+                ylabel="comm time (us)",
+            )
+        return out
+    if name == "figure10":
+        schemes = list(result[0].stfw_comm_us) if result else []
+        return {
+            "figure10.svg": svg_bar_chart(
+                [r.name for r in result],
+                {
+                    s: [float(r.stfw_comm_us[s]) for r in result]
+                    for s in schemes
+                },
+                title="Figure 10 — comm time at 16K (BL values omitted)",
+                ylabel="comm time (us)",
+                log_y=True,
+            )
+        }
+    raise ExperimentError(f"no SVG adapter for experiment {name!r}")

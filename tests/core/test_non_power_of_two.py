@@ -1,0 +1,59 @@
+"""The paper assumes K is a power of two but notes the method "can
+easily be extended"; these tests pin that extension."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    CommPattern,
+    balanced_dim_sizes,
+    build_plan,
+    make_vpt,
+    run_stfw_exchange,
+)
+from repro.errors import TopologyError
+from repro.matrices import generate_matrix
+from repro.network import BGQ
+from repro.spmv import partition_matrix, run_spmv_schemes
+
+
+class TestNonPowerOfTwoTopologies:
+    @pytest.mark.parametrize("K,n", [(96, 2), (96, 3), (48, 2), (12, 2), (100, 2)])
+    def test_balanced_factorization(self, K, n):
+        sizes = balanced_dim_sizes(K, n)
+        assert math.prod(sizes) == K
+        assert all(k >= 2 for k in sizes)
+
+    def test_prime_K_only_flat(self):
+        assert balanced_dim_sizes(97, 1) == (97,)
+        with pytest.raises(TopologyError):
+            balanced_dim_sizes(97, 2)
+
+    @pytest.mark.parametrize("K", [12, 48, 96])
+    def test_plan_correct(self, K):
+        p = CommPattern.random(K, avg_degree=4, seed=K, words=2)
+        plan = build_plan(p, make_vpt(K, 2))
+        plan.check_stage_bounds()
+        assert plan.total_volume >= p.total_words
+
+    def test_exchange_delivers(self):
+        K = 24
+        p = CommPattern.random(K, avg_degree=3, seed=1, words=2)
+        res = run_stfw_exchange(p, make_vpt(K, 3))
+        assert sum(len(d) for d in res.delivered) == p.num_messages
+
+
+class TestNonPowerOfTwoDriver:
+    def test_spmv_schemes_at_K96(self):
+        A = generate_matrix(960, 9600, 200, 1.5, dense_rows=2, seed=3)
+        exp = run_spmv_schemes(A, 96, BGQ, dims=[1, 2, 3])
+        assert exp["STFW2"].stats.mmax < exp["BL"].stats.mmax
+        bound2 = sum(k - 1 for k in balanced_dim_sizes(96, 2))
+        assert exp["STFW2"].stats.mmax <= bound2
+
+    def test_partitioner_at_odd_K(self):
+        A = generate_matrix(300, 3000, 60, 0.8, seed=0)
+        part = partition_matrix(A, 12)
+        assert part.K == 12
+        assert part.row_counts().min() >= 1

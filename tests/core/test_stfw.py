@@ -1,0 +1,161 @@
+"""Executable Algorithm 1: delivery correctness and plan cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CommPattern,
+    VirtualProcessTopology,
+    build_plan,
+    make_vpt,
+    recv_counts_from_plan,
+    run_direct_exchange,
+    run_stfw_exchange,
+)
+from repro.errors import PlanError
+from repro.network import BGQ
+
+
+def expected_deliveries(pattern):
+    """{dest: set of (src, first_word)} ground truth for default payloads."""
+    out = {i: set() for i in range(pattern.K)}
+    for s, t, w in zip(pattern.src, pattern.dst, pattern.size):
+        out[int(t)].add((int(s), int(s) * pattern.K + int(t), int(w)))
+    return out
+
+
+def check_delivery(pattern, result):
+    want = expected_deliveries(pattern)
+    for rank, items in enumerate(result.delivered):
+        got = set()
+        for src, payload in items:
+            arr = np.asarray(payload)
+            assert (arr == arr[0]).all() if arr.size else True
+            got.add((src, int(arr[0]) if arr.size else -1, arr.size))
+        want_rank = {x for x in want[rank] if x[2] > 0}
+        got = {x for x in got if x[2] > 0}
+        assert got == want_rank, f"rank {rank} deliveries differ"
+
+
+class TestDeliveryCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_random_pattern_planned(self, n):
+        p = CommPattern.random(32, avg_degree=5, hot_processes=2, seed=n, words=3)
+        res = run_stfw_exchange(p, make_vpt(32, n))
+        check_delivery(p, res)
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_random_pattern_dynamic(self, n):
+        p = CommPattern.random(16, avg_degree=4, seed=n, words=2)
+        res = run_stfw_exchange(p, make_vpt(16, n), mode="dynamic")
+        check_delivery(p, res)
+
+    def test_all_to_all(self):
+        p = CommPattern.all_to_all(16, words=2)
+        res = run_stfw_exchange(p, make_vpt(16, 2))
+        check_delivery(p, res)
+        for items in res.delivered:
+            assert len(items) == 15
+
+    def test_hypercube(self):
+        p = CommPattern.random(32, avg_degree=6, seed=1, words=1)
+        res = run_stfw_exchange(p, make_vpt(32, 5))
+        check_delivery(p, res)
+
+    def test_empty_pattern(self):
+        p = CommPattern.from_arrays(8, [], [], [])
+        res = run_stfw_exchange(p, make_vpt(8, 3))
+        assert all(items == [] for items in res.delivered)
+
+    def test_direct_exchange(self):
+        p = CommPattern.random(32, avg_degree=5, hot_processes=1, seed=9, words=4)
+        res = run_direct_exchange(p)
+        check_delivery(p, res)
+
+    def test_nonuniform_vpt(self):
+        p = CommPattern.random(64, avg_degree=6, seed=3, words=2)
+        res = run_stfw_exchange(p, VirtualProcessTopology((8, 2, 4)))
+        check_delivery(p, res)
+
+    def test_payload_objects_pass_through(self):
+        # arbitrary sized payloads (lists) survive forwarding untouched
+        p = CommPattern.from_arrays(8, [0, 7], [7, 1], [3, 2])
+        payloads = [dict() for _ in range(8)]
+        payloads[0][7] = ["a", "b", "c"]
+        payloads[7][1] = ["x", "y"]
+        res = run_stfw_exchange(p, make_vpt(8, 3), payloads=payloads)
+        assert res.delivered[7] == [(0, ["a", "b", "c"])]
+        assert res.delivered[1] == [(7, ["x", "y"])]
+
+    def test_mismatched_vpt_rejected(self):
+        p = CommPattern.all_to_all(8)
+        with pytest.raises(PlanError):
+            run_stfw_exchange(p, make_vpt(16, 2))
+
+    def test_unknown_mode_rejected(self):
+        p = CommPattern.all_to_all(8)
+        with pytest.raises(PlanError):
+            run_stfw_exchange(p, make_vpt(8, 2), mode="bogus")
+
+
+class TestPlanCrossValidation:
+    """The executable algorithm must reproduce the plan's physical messages."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_traced_messages_equal_plan(self, n):
+        K = 16
+        p = CommPattern.random(K, avg_degree=4, hot_processes=2, seed=n + 10, words=2)
+        vpt = make_vpt(K, n)
+        plan = build_plan(p, vpt)
+        res = run_stfw_exchange(p, vpt, trace=True)
+
+        for d, st in enumerate(plan.stages):
+            plan_msgs = {
+                (int(s), int(r)): int(w)
+                for s, r, w in zip(st.sender, st.receiver, st.total_words)
+            }
+            traced = {}
+            for rec in res.run.trace:
+                if rec.tag == d:
+                    key = (rec.source, rec.dest)
+                    assert key not in traced, "duplicate physical message"
+                    traced[key] = rec.words
+            assert traced == plan_msgs, f"stage {d} differs"
+
+    def test_recv_counts_from_plan(self):
+        p = CommPattern.all_to_all(16)
+        plan = build_plan(p, make_vpt(16, 2))
+        counts = recv_counts_from_plan(plan)
+        assert counts.shape == (2, 16)
+        # all-to-all on T2(4,4): every rank receives 3 messages per stage
+        assert (counts == 3).all()
+
+    def test_dynamic_matches_planned_deliveries(self):
+        p = CommPattern.random(16, avg_degree=5, seed=5, words=2)
+        vpt = make_vpt(16, 4)
+        a = run_stfw_exchange(p, vpt, mode="planned")
+        b = run_stfw_exchange(p, vpt, mode="dynamic")
+        norm = lambda items: sorted((s, tuple(np.asarray(x))) for s, x in items)
+        for ra, rb in zip(a.delivered, b.delivered):
+            assert norm(ra) == norm(rb)
+
+
+class TestTiming:
+    def test_stfw_beats_bl_on_hotspot_pattern(self):
+        p = CommPattern.random(64, avg_degree=2, hot_processes=3, seed=2, words=2)
+        bl = run_direct_exchange(p, machine=BGQ)
+        stfw = run_stfw_exchange(p, make_vpt(64, 3), machine=BGQ)
+        assert stfw.makespan_us < bl.makespan_us
+
+    def test_makespan_positive_with_machine(self):
+        p = CommPattern.random(16, avg_degree=3, seed=0, words=1)
+        res = run_stfw_exchange(p, make_vpt(16, 2), machine=BGQ)
+        assert res.makespan_us > 0
+
+    def test_self_message_rejected(self):
+        vpt = make_vpt(8, 2)
+        p = CommPattern.from_arrays(8, [0], [1], [1])
+        payloads = [dict() for _ in range(8)]
+        payloads[0] = {0: [1]}  # illegal self message smuggled into payloads
+        with pytest.raises(PlanError):
+            run_stfw_exchange(p, vpt, payloads=payloads)

@@ -1,0 +1,86 @@
+"""Unit tests for the Section 4 trade-off explorer."""
+
+from math import log2
+
+import pytest
+
+from repro.core import (
+    CommPattern,
+    build_plan,
+    make_vpt,
+    recommend_dimension,
+    tradeoff_curve,
+)
+from repro.errors import TopologyError
+from repro.network import BGQ, CRAY_XK7
+
+
+class TestCurve:
+    def test_endpoints(self):
+        curve = tradeoff_curve(256)
+        assert curve[0].n == 1 and curve[0].message_bound == 255
+        assert curve[-1].n == 8 and curve[-1].message_bound == 8
+        assert curve[0].volume_factor == pytest.approx(1.0)
+
+    def test_bound_monotone_decreasing(self):
+        curve = tradeoff_curve(1024)
+        bounds = [p.message_bound for p in curve]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_volume_monotone_increasing(self):
+        curve = tradeoff_curve(1024)
+        vols = [p.volume_factor for p in curve]
+        assert vols == sorted(vols)
+
+    def test_volume_factor_matches_simulation(self):
+        # the closed form must equal the simulated all-to-all volume
+        K = 64
+        p = CommPattern.all_to_all(K)
+        for point in tradeoff_curve(K):
+            plan = build_plan(p, make_vpt(K, point.n))
+            simulated = plan.total_volume / (K * (K - 1))
+            assert point.volume_factor == pytest.approx(simulated)
+
+    def test_paper_example_factors(self):
+        # Section 4, K=256: T4 factor 3.01, T8 4.02, T2 1.88
+        by_n = {p.n: p for p in tradeoff_curve(256)}
+        assert by_n[4].volume_factor == pytest.approx(3.01, abs=0.01)
+        assert by_n[8].volume_factor == pytest.approx(4.02, abs=0.01)
+        assert by_n[2].volume_factor == pytest.approx(1.88, abs=0.01)
+
+
+class TestRecommendation:
+    def test_latency_bound_machine_gets_high_dimension(self):
+        rec = recommend_dimension(256, alpha_beta_ratio=10_000, words_per_peer=10)
+        assert rec.n >= 6
+
+    def test_bandwidth_bound_machine_gets_low_dimension(self):
+        rec = recommend_dimension(256, alpha_beta_ratio=2, words_per_peer=5000)
+        assert rec.n <= 3
+
+    def test_stage_overhead_pulls_toward_middle(self):
+        # the large-scale regime of Table 3: without overhead the max
+        # dimension wins; with the lg(nodes) sync charge the winner is
+        # an interior dimension, as measured
+        K = 16384
+        ratio = CRAY_XK7.latency_bandwidth_ratio
+        free = recommend_dimension(K, alpha_beta_ratio=ratio, words_per_peer=100)
+        nodes = CRAY_XK7.num_nodes(K)
+        synced = recommend_dimension(
+            K,
+            alpha_beta_ratio=ratio,
+            words_per_peer=100,
+            stage_overhead_alphas=log2(nodes),
+        )
+        assert synced.n < free.n
+        assert 3 <= synced.n <= 7  # Table 3's winners live here
+
+    def test_machine_ratio_integration(self):
+        rec = recommend_dimension(
+            64, alpha_beta_ratio=BGQ.latency_bandwidth_ratio, words_per_peer=50
+        )
+        assert 1 <= rec.n <= 6
+
+    def test_bad_ratio(self):
+        with pytest.raises(TopologyError):
+            tradeoff_curve(64)[0].predicted_cost(0.0, 1.0)

@@ -1,0 +1,69 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "figure1",
+            "table2",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "table3",
+            "figure10",
+        }
+
+    def test_parse_experiment_with_scale(self):
+        args = build_parser().parse_args(["table2", "--scale", "0.5"])
+        assert args.command == "table2"
+        assert args.scale == 0.5
+
+    def test_parse_report(self):
+        args = build_parser().parse_args(["report", "-o", "out.md"])
+        assert args.output == "out.md"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_partitioner_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--partitioner", "patoh"])
+
+
+class TestCommands:
+    def test_instances(self, capsys):
+        assert main(["instances"]) == 0
+        out = capsys.readouterr().out
+        assert "gupta2" in out and "pattern1" in out
+
+    def test_figure1_small(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.03")
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern1" in out and "max=" in out
+
+    def test_scale_override(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert main(["figure1", "--scale", "0.03", "--seed", "1"]) == 0
+        assert "sparsine" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        # keep the report test fast: restrict to the two cheapest entries
+        import repro.cli as cli
+
+        full = dict(cli.EXPERIMENTS)
+        monkeypatch.setattr(
+            cli, "EXPERIMENTS", {"figure1": full["figure1"], "figure6": full["figure6"]}
+        )
+        out = tmp_path / "report.md"
+        assert main(["report", "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "## figure1" in text and "## figure6" in text
+        assert "matrix scale: 0.02" in text

@@ -1,0 +1,41 @@
+"""Unit tests for experiment configuration."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentConfig, default_config, quick_config
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.scale == 0.25
+        assert cfg.partitioner == "rcm"
+
+    def test_full(self):
+        cfg = ExperimentConfig.full()
+        assert cfg.scale == 1.0
+        assert cfg.nnz_budget is None
+
+    def test_with_scale(self):
+        assert ExperimentConfig().with_scale(0.5).scale == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(scale=0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(min_rows_per_part=0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(nnz_budget=10)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.4")
+        assert default_config().scale == 0.4
+
+    def test_env_bad_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ExperimentError):
+            default_config()
+
+    def test_quick_config_smaller(self):
+        assert quick_config().scale < ExperimentConfig().scale

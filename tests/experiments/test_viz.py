@@ -1,0 +1,130 @@
+"""Unit tests for the SVG chart renderer."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.viz import experiment_svgs, svg_bar_chart, svg_line_chart
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_valid_document(self):
+        svg = svg_line_chart(
+            {"a": ([1, 2, 3], [10.0, 20.0, 15.0])},
+            title="demo",
+            xlabel="x",
+            ylabel="y",
+        )
+        root = parse(svg)
+        assert root.tag == f"{NS}svg"
+        assert len(root.findall(f".//{NS}polyline")) == 1
+        texts = [t.text for t in root.findall(f".//{NS}text")]
+        assert "demo" in texts
+
+    def test_nan_breaks_line(self):
+        svg = svg_line_chart(
+            {"a": ([1, 2, 3, 4], [1.0, float("nan"), 3.0, 4.0])}
+        )
+        root = parse(svg)
+        # two segments: before and after the gap
+        assert len(root.findall(f".//{NS}polyline")) == 2
+
+    def test_multi_series_colored(self):
+        svg = svg_line_chart(
+            {
+                "a": ([1, 2], [1.0, 2.0]),
+                "b": ([1, 2], [2.0, 3.0]),
+            }
+        )
+        root = parse(svg)
+        strokes = {p.get("stroke") for p in root.findall(f".//{NS}polyline")}
+        assert len(strokes) == 2
+
+    def test_log_axes(self):
+        svg = svg_line_chart(
+            {"a": ([32, 64, 128, 256], [1000.0, 500.0, 300.0, 200.0])},
+            log_x=True,
+            log_y=True,
+        )
+        parse(svg)  # must be valid
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            svg_line_chart({"a": ([], [])})
+
+
+class TestBarChart:
+    def test_valid_document(self):
+        svg = svg_bar_chart(
+            ["g1", "g2"],
+            {"s1": [1.0, 2.0], "s2": [3.0, 4.0]},
+            title="bars",
+            ylabel="v",
+        )
+        root = parse(svg)
+        # background + frame + 4 bars + legend swatches
+        bars = [
+            r for r in root.findall(f".//{NS}rect")
+            if r.find(f"{NS}title") is not None
+        ]
+        assert len(bars) == 4
+
+    def test_nan_bars_skipped(self):
+        svg = svg_bar_chart(["g"], {"s": [float("nan")], "t": [1.0]})
+        root = parse(svg)
+        bars = [
+            r for r in root.findall(f".//{NS}rect")
+            if r.find(f"{NS}title") is not None
+        ]
+        assert len(bars) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            svg_bar_chart([], {})
+
+
+class TestExperimentAdapters:
+    def test_figure1(self):
+        from repro.experiments import ExperimentConfig, figure1
+
+        rows = figure1.run(ExperimentConfig(scale=0.03), K=64)
+        out = experiment_svgs("figure1", rows)
+        assert set(out) == {
+            "figure1_pattern1.svg",
+            "figure1_pkustk04.svg",
+            "figure1_sparsine.svg",
+        }
+        for doc in out.values():
+            parse(doc)
+
+    def test_figure8(self):
+        from repro.experiments import ExperimentConfig, figure8
+
+        series = figure8.run(
+            ExperimentConfig(scale=0.03),
+            matrices=("sparsine",),
+            k_values=(32, 64),
+            scheme_dims=(1, 2, 6),
+        )
+        out = experiment_svgs("figure8", series)
+        parse(out["figure8_sparsine.svg"])
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            experiment_svgs("table2", [])
+
+    def test_ticks_sane(self):
+        from repro.viz import _nice_ticks
+
+        ticks = _nice_ticks(0, 97)
+        assert ticks[0] <= 0 and ticks[-1] >= 97
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+        assert not any(math.isnan(t) for t in ticks)

@@ -1,0 +1,63 @@
+"""Smoke tests: the fast example scripts must run to completion.
+
+The heavyweight examples (spmv_scaling, network_comparison,
+custom_application, iterative_solver, dimension_advisor) are exercised
+manually / in benchmarks; the three below finish in seconds and guard
+the public API surfaces the README points at.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 120) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_paper_walkthrough(self):
+        out = run_example("paper_walkthrough.py")
+        assert "Figure 2" in out and "Figure 4" in out and "Figure 5" in out
+        assert "Pc received from: Pa, Pb" in out
+
+    def test_emulated_exchange(self):
+        out = run_example("emulated_exchange.py")
+        assert "physical messages the plan" in out
+        assert "matches the sequential" in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py", timeout=240)
+        assert "BL" in out and "STFW8" in out
+        assert "trade-off" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "spmv_scaling.py",
+            "network_comparison.py",
+            "emulated_exchange.py",
+            "custom_application.py",
+            "vpt_mapping.py",
+            "iterative_solver.py",
+            "paper_walkthrough.py",
+            "dimension_advisor.py",
+            "render_charts.py",
+        ],
+    )
+    def test_example_exists_and_compiles(self, name):
+        path = EXAMPLES / name
+        assert path.exists(), name
+        compile(path.read_text(), str(path), "exec")

@@ -1,0 +1,85 @@
+"""Integration tests: the full pipeline, matrix to delivered vector."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    apply_mapping,
+    build_direct_plan,
+    build_plan,
+    locality_vpt_mapping,
+    make_vpt,
+)
+from repro.matrices import degree_stats, generate_instance, spec
+from repro.network import BGQ, CRAY_XC40, time_plan
+from repro.partition import rcm_partition
+from repro.spmv import distributed_spmv, run_spmv_schemes, spmv_pattern
+
+
+@pytest.fixture(scope="module")
+def gupta_small():
+    return generate_instance("gupta2", scale=0.03, seed=11)
+
+
+class TestEndToEnd:
+    def test_matrix_to_verified_spmv_bl_and_stfw(self, gupta_small):
+        A = gupta_small
+        n = A.shape[0]
+        x = np.random.default_rng(0).normal(size=n)
+        part = rcm_partition(A, 16)
+        y_bl = distributed_spmv(A, part, x).y
+        y_stfw = distributed_spmv(A, part, x, vpt=make_vpt(16, 4)).y
+        assert np.allclose(y_bl, sp.csr_matrix(A) @ x)
+        assert np.allclose(y_stfw, y_bl)
+
+    def test_generated_instance_is_irregular(self, gupta_small):
+        st = degree_stats(gupta_small)
+        target = spec("gupta2").scaled(0.03)
+        assert st.max_degree > 5 * st.avg_degree
+        assert st.n == target.n
+
+    def test_pattern_metrics_flow_into_driver(self, gupta_small):
+        A = gupta_small
+        part = rcm_partition(A, 32)
+        pattern = spmv_pattern(A, part)
+        exp = run_spmv_schemes(A, 32, BGQ, partition=part, pattern=pattern)
+        assert exp["BL"].stats.mmax == pattern.stats().mmax
+
+    def test_full_chain_with_mapping_extension(self, gupta_small):
+        A = gupta_small
+        part = rcm_partition(A, 32)
+        pattern = spmv_pattern(A, part)
+        scrambled = apply_mapping(
+            pattern, np.random.default_rng(1).permutation(32).astype(np.int64)
+        )
+        mapped = apply_mapping(scrambled, locality_vpt_mapping(scrambled))
+        vpt = make_vpt(32, 5)
+        assert build_plan(mapped, vpt).total_volume <= build_plan(
+            scrambled, vpt
+        ).total_volume
+
+    def test_timing_consistency_across_paths(self, gupta_small):
+        # driver comm time == time_plan of the same plan
+        A = gupta_small
+        part = rcm_partition(A, 32)
+        pattern = spmv_pattern(A, part)
+        exp = run_spmv_schemes(A, 32, BGQ, dims=[3], partition=part, pattern=pattern)
+        direct = time_plan(build_plan(pattern, make_vpt(32, 3)), BGQ).total_us
+        assert exp["STFW3"].stats.comm_time_us == pytest.approx(direct)
+
+    def test_bl_plan_equals_pattern_on_both_machines(self, gupta_small):
+        A = gupta_small
+        part = rcm_partition(A, 16)
+        pattern = spmv_pattern(A, part)
+        plan = build_direct_plan(pattern)
+        t1 = time_plan(plan, BGQ).total_us
+        t2 = time_plan(plan, CRAY_XC40).total_us
+        assert t1 > 0 and t2 > 0 and t1 != t2
+
+    def test_deterministic_pipeline(self, gupta_small):
+        A = generate_instance("gupta2", scale=0.03, seed=11)
+        assert (A != gupta_small).nnz == 0
+        p1 = rcm_partition(A, 16)
+        p2 = rcm_partition(gupta_small, 16)
+        assert p1 == p2

@@ -1,0 +1,40 @@
+"""Unit tests for the Table 1 calibration module."""
+
+import pytest
+
+from repro.errors import MatrixGenerationError
+from repro.matrices import calibrate_instance, calibrate_suite, format_calibration
+
+
+class TestCalibrateInstance:
+    def test_basic(self):
+        row = calibrate_instance("cbuckle", scale=0.1)
+        assert row.name == "cbuckle"
+        assert 0.5 < row.nnz_ratio < 1.5
+        assert row.max_achieved == row.max_target  # topped up exactly
+
+    def test_ratios(self):
+        row = calibrate_instance("gupta2", scale=0.1)
+        assert row.nnz_ratio == pytest.approx(row.nnz_achieved / row.nnz_target)
+        assert row.max_ratio == pytest.approx(1.0, abs=0.2)
+        assert row.hotspot_ratio > 0.5
+
+    def test_deterministic(self):
+        a = calibrate_instance("net125", scale=0.1)
+        b = calibrate_instance("net125", scale=0.1)
+        assert a == b
+
+
+class TestCalibrateSuite:
+    def test_subset(self):
+        rows = calibrate_suite(scale=0.05, names=("cbuckle", "sparsine"))
+        assert [r.name for r in rows] == ["cbuckle", "sparsine"]
+
+    def test_bad_scale(self):
+        with pytest.raises(MatrixGenerationError):
+            calibrate_suite(scale=0)
+
+    def test_format(self):
+        rows = calibrate_suite(scale=0.05, names=("cbuckle",))
+        text = format_calibration(rows)
+        assert "cbuckle" in text and "hot got" in text

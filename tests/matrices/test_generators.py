@@ -1,0 +1,152 @@
+"""Unit tests for synthetic matrix generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixGenerationError
+from repro.matrices import (
+    configuration_matrix,
+    degree_stats,
+    generate_matrix,
+    is_structurally_symmetric,
+    lognormal_degree_sequence,
+)
+
+
+class TestDegreeSequence:
+    def test_mean_on_target(self):
+        rng = np.random.default_rng(0)
+        deg = lognormal_degree_sequence(10_000, 20.0, 1.0, 500, rng=rng)
+        assert deg.mean() == pytest.approx(20.0, rel=0.05)
+
+    def test_max_pinned(self):
+        rng = np.random.default_rng(1)
+        deg = lognormal_degree_sequence(5000, 10.0, 2.0, 400, rng=rng, dense_rows=3)
+        assert deg.max() == 400
+        assert (deg[:3] == 400).all()
+
+    def test_cv_approximates_target(self):
+        # (cv, max) pairs must be self-consistent: pinning one row at
+        # `max` alone contributes sqrt((max-avg)^2/n)/avg to the cv, so
+        # the max is chosen (like in the real Table 1 rows) not to
+        # exceed the target on its own
+        rng = np.random.default_rng(2)
+        for cv, max_degree in ((0.3, 300), (1.0, 2000), (2.5, 5000)):
+            deg = lognormal_degree_sequence(
+                50_000, 30.0, cv, max_degree, rng=rng, dense_rows=0
+            )
+            achieved = deg.std() / deg.mean()
+            assert achieved == pytest.approx(cv, rel=0.35), f"cv target {cv}"
+
+    def test_low_cv_nearly_uniform(self):
+        rng = np.random.default_rng(3)
+        deg = lognormal_degree_sequence(1000, 50.0, 0.0, 100, rng=rng, dense_rows=0)
+        assert deg.std() / deg.mean() < 0.05
+
+    def test_always_at_least_one_max_row(self):
+        rng = np.random.default_rng(4)
+        deg = lognormal_degree_sequence(1000, 5.0, 0.5, 200, rng=rng, dense_rows=0)
+        assert deg.max() == 200
+
+    def test_bounds_respected(self):
+        rng = np.random.default_rng(5)
+        deg = lognormal_degree_sequence(2000, 8.0, 3.0, 150, rng=rng)
+        assert deg.min() >= 1 and deg.max() <= 150
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(MatrixGenerationError):
+            lognormal_degree_sequence(1, 5.0, 1.0, 10, rng=rng)
+        with pytest.raises(MatrixGenerationError):
+            lognormal_degree_sequence(100, 0.5, 1.0, 10, rng=rng)
+        with pytest.raises(MatrixGenerationError):
+            lognormal_degree_sequence(100, 5.0, 1.0, 200, rng=rng)
+        with pytest.raises(MatrixGenerationError):
+            lognormal_degree_sequence(100, 50.0, 1.0, 20, rng=rng)
+
+
+class TestConfigurationMatrix:
+    def test_symmetric_with_diagonal(self):
+        rng = np.random.default_rng(0)
+        deg = np.full(500, 6)
+        A = configuration_matrix(deg, rng=rng)
+        assert is_structurally_symmetric(A)
+        assert (A.diagonal() != 0).all()
+
+    def test_degrees_approximate_target(self):
+        rng = np.random.default_rng(1)
+        deg = np.full(2000, 10)
+        A = configuration_matrix(deg, rng=rng)
+        achieved = np.diff(A.indptr) - 1  # exclude diagonal
+        assert achieved.mean() == pytest.approx(10, rel=0.15)
+
+    def test_locality_reduces_bandwidth(self):
+        rng = np.random.default_rng(2)
+        deg = np.full(2000, 8)
+        local = configuration_matrix(deg, locality=0.99, rng=np.random.default_rng(2))
+        globl = configuration_matrix(deg, locality=0.0, rng=rng)
+
+        def mean_band(A):
+            coo = A.tocoo()
+            return np.abs(coo.row - coo.col).mean()
+
+        assert mean_band(local) < mean_band(globl) / 5
+
+    def test_locality_out_of_range(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(MatrixGenerationError):
+            configuration_matrix(np.full(10, 2), locality=1.5, rng=rng)
+
+    def test_zero_degrees_gives_identity(self):
+        rng = np.random.default_rng(0)
+        A = configuration_matrix(np.zeros(10, dtype=np.int64), rng=rng)
+        assert A.nnz == 10
+
+    def test_too_small(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(MatrixGenerationError):
+            configuration_matrix(np.array([2]), rng=rng)
+
+
+class TestGenerateMatrix:
+    def test_stats_near_targets(self):
+        A = generate_matrix(20_000, 400_000, 2000, 2.0, dense_rows=2, seed=7)
+        st = degree_stats(A)
+        assert st.n == 20_000
+        assert st.nnz == pytest.approx(400_000, rel=0.25)
+        assert st.max_degree == pytest.approx(2000, rel=0.1)
+        assert st.cv == pytest.approx(2.0, rel=0.4)
+
+    def test_reproducible(self):
+        A = generate_matrix(1000, 10_000, 100, 1.0, seed=3)
+        B = generate_matrix(1000, 10_000, 100, 1.0, seed=3)
+        assert (A != B).nnz == 0
+
+    def test_different_seeds_differ(self):
+        A = generate_matrix(1000, 10_000, 100, 1.0, seed=3)
+        B = generate_matrix(1000, 10_000, 100, 1.0, seed=4)
+        assert (A != B).nnz > 0
+
+    def test_symmetric_pattern(self):
+        A = generate_matrix(2000, 30_000, 500, 1.5, seed=0)
+        assert is_structurally_symmetric(A)
+
+    def test_random_values(self):
+        A = generate_matrix(500, 5000, 50, 0.5, seed=1, values="random")
+        offdiag = A.data[A.data != 1.0]
+        assert offdiag.size > 0
+
+    def test_unknown_values_mode(self):
+        with pytest.raises(MatrixGenerationError):
+            generate_matrix(500, 5000, 50, 0.5, seed=1, values="bogus")
+
+    def test_nnz_below_n_rejected(self):
+        with pytest.raises(MatrixGenerationError):
+            generate_matrix(1000, 500, 50, 0.5)
+
+    def test_dense_row_is_latency_hotspot(self):
+        # the structural property the whole paper rests on: a dense row
+        # makes one row's degree far above the mean
+        A = generate_matrix(5000, 50_000, 2500, 3.0, dense_rows=1, seed=2)
+        st = degree_stats(A)
+        assert st.max_degree > 20 * st.avg_degree

@@ -1,0 +1,84 @@
+"""Property-based tests for the matrix generators."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrices import (
+    configuration_matrix,
+    degree_stats,
+    generate_matrix,
+    is_structurally_symmetric,
+    lognormal_degree_sequence,
+)
+
+
+@st.composite
+def gen_params(draw):
+    n = draw(st.integers(64, 600))
+    avg = draw(st.floats(2.0, 12.0))
+    nnz = int(n * avg)
+    cv = draw(st.floats(0.1, 3.0))
+    max_degree = draw(st.integers(int(avg * 2) + 4, max(n // 2, int(avg * 2) + 5)))
+    locality = draw(st.floats(0.0, 0.99))
+    dense = draw(st.integers(0, 3))
+    seed = draw(st.integers(0, 100))
+    return n, nnz, max_degree, cv, locality, dense, seed
+
+
+class TestGeneratorInvariants:
+    @given(gen_params())
+    @settings(max_examples=25, deadline=None)
+    def test_always_symmetric_with_full_diagonal(self, params):
+        n, nnz, max_degree, cv, locality, dense, seed = params
+        A = generate_matrix(
+            n, nnz, max_degree, cv, locality=locality, dense_rows=dense, seed=seed
+        )
+        assert A.shape == (n, n)
+        assert is_structurally_symmetric(A)
+        assert (A.diagonal() != 0).all()
+
+    @given(gen_params())
+    @settings(max_examples=25, deadline=None)
+    def test_degrees_within_bounds(self, params):
+        n, nnz, max_degree, cv, locality, dense, seed = params
+        A = generate_matrix(
+            n, nnz, max_degree, cv, locality=locality, dense_rows=dense, seed=seed
+        )
+        st_ = degree_stats(A)
+        assert st_.max_degree <= max(max_degree, 1) + 1
+        assert st_.nnz >= n  # at least the diagonal
+
+    @given(gen_params())
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, params):
+        n, nnz, max_degree, cv, locality, dense, seed = params
+        A = generate_matrix(
+            n, nnz, max_degree, cv, locality=locality, dense_rows=dense, seed=seed
+        )
+        B = generate_matrix(
+            n, nnz, max_degree, cv, locality=locality, dense_rows=dense, seed=seed
+        )
+        assert (A != B).nnz == 0
+
+    @given(st.integers(32, 300), st.integers(2, 10), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_configuration_matrix_degree_conservation(self, n, deg, seed):
+        rng = np.random.default_rng(seed)
+        A = configuration_matrix(np.full(n, deg), rng=rng)
+        achieved = np.diff(sp.csr_matrix(A).indptr) - 1
+        # dedupe only removes edges: achieved <= requested (+/- parity)
+        assert achieved.max() <= deg + 1
+        assert achieved.sum() <= n * deg
+
+    @given(st.integers(64, 400), st.floats(0.2, 3.0), st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_degree_sequence_bounds(self, n, cv, seed):
+        rng = np.random.default_rng(seed)
+        avg = 8.0
+        max_degree = n // 2
+        deg = lognormal_degree_sequence(n, avg, cv, max_degree, rng=rng)
+        assert deg.min() >= 1
+        assert deg.max() <= max_degree
+        assert deg.max() == max_degree  # pinned

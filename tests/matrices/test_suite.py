@@ -1,0 +1,86 @@
+"""Unit tests for the Table 1 registry and instance generation."""
+
+import pytest
+
+from repro.errors import MatrixGenerationError
+from repro.matrices import BOTTOM10, SUITE, TOP15, degree_stats, generate_instance, spec
+
+
+class TestRegistry:
+    def test_all_22_instances(self):
+        assert len(SUITE) == 22
+
+    def test_top15_is_papers_top_block(self):
+        assert len(TOP15) == 15
+        assert TOP15[0] == "cbuckle"
+        assert TOP15[-1] == "coPapersCiteseer"
+
+    def test_bottom10_is_over_10M_nnz(self):
+        assert len(BOTTOM10) == 10
+        assert all(SUITE[name].nnz > 10_000_000 for name in BOTTOM10)
+        assert "mip1" in BOTTOM10 and "Si02" in BOTTOM10
+
+    def test_table1_values_spotcheck(self):
+        g = spec("gupta2")
+        assert (g.n, g.nnz, g.max_degree) == (62064, 4248286, 8413)
+        assert g.cv == pytest.approx(5.20)
+        t = spec("TSOPF_FS_b300_c2")
+        assert t.maxdr == pytest.approx(0.488)
+
+    def test_maxdr_consistent_with_max_and_n(self):
+        for s in SUITE.values():
+            assert s.max_degree / s.n == pytest.approx(s.maxdr, abs=0.002)
+
+    def test_unknown_name(self):
+        with pytest.raises(MatrixGenerationError):
+            spec("not_a_matrix")
+
+
+class TestScaling:
+    def test_scale_preserves_relative_quantities(self):
+        s = spec("pattern1").scaled(0.25)
+        full = spec("pattern1")
+        assert s.n == pytest.approx(full.n * 0.25, rel=0.01)
+        # communication-preserving scaling: avg degree scales with n
+        assert s.nnz / s.n == pytest.approx(0.25 * full.nnz / full.n, rel=0.05)
+        assert s.max_degree / s.n == pytest.approx(full.maxdr, rel=0.05)
+        assert s.cv == full.cv
+
+    def test_tiny_scale_floors_avg_degree(self):
+        s = spec("coPapersCiteseer").scaled(0.01)
+        assert s.nnz / s.n >= 5.9  # floored, not degenerate
+
+    def test_upscale_allowed(self):
+        s = spec("human_gene2").scaled(2.0)
+        assert s.n == pytest.approx(2 * 14340, rel=0.01)
+        assert s.maxdr == spec("human_gene2").maxdr
+
+    def test_scale_one_is_identity(self):
+        assert spec("cbuckle").scaled(1.0) is spec("cbuckle")
+
+    def test_bad_scale(self):
+        with pytest.raises(MatrixGenerationError):
+            spec("cbuckle").scaled(0.0)
+        with pytest.raises(MatrixGenerationError):
+            spec("cbuckle").scaled(100.0)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", ["sparsine", "gupta2", "coAuthorsDBLP"])
+    def test_small_scale_stats(self, name):
+        s = spec(name).scaled(0.1)
+        A = generate_instance(name, scale=0.1)
+        st = degree_stats(A)
+        assert st.n == s.n
+        assert st.nnz == pytest.approx(s.nnz, rel=0.35)
+        assert st.max_degree == pytest.approx(s.max_degree, rel=0.15)
+
+    def test_default_seed_stable(self):
+        A = generate_instance("net125", scale=0.05)
+        B = generate_instance("net125", scale=0.05)
+        assert (A != B).nnz == 0
+
+    def test_irregular_instance_has_hotspot(self):
+        A = generate_instance("TSOPF_FS_b300_c2", scale=0.05)
+        st = degree_stats(A)
+        assert st.max_degree > 10 * st.avg_degree

@@ -1,0 +1,65 @@
+"""Unit tests for metric collection."""
+
+import math
+
+import pytest
+
+from repro.core import CommPattern, build_direct_plan, build_plan, make_vpt
+from repro.metrics import CommStats, collect_stats
+from repro.metrics.collect import WORD_BYTES, scheme_name
+
+
+class TestSchemeName:
+    def test_naming(self):
+        assert scheme_name(1) == "BL"
+        assert scheme_name(2) == "STFW2"
+        assert scheme_name(9) == "STFW9"
+
+
+class TestCollectStats:
+    def test_direct_plan_stats(self):
+        p = CommPattern.all_to_all(8, words=4)
+        stats = collect_stats(build_direct_plan(p))
+        assert stats.scheme == "BL"
+        assert stats.K == 8
+        assert stats.mmax == 7
+        assert stats.mavg == 7.0
+        assert stats.vavg == 28.0
+        # all-to-all: every process sends and receives 7*4 words
+        assert stats.buffer_words == 56
+
+    def test_stfw_scheme_label(self):
+        p = CommPattern.all_to_all(16)
+        stats = collect_stats(build_plan(p, make_vpt(16, 4)))
+        assert stats.scheme == "STFW4"
+
+    def test_custom_label(self):
+        p = CommPattern.all_to_all(8)
+        stats = collect_stats(build_direct_plan(p), scheme="custom")
+        assert stats.scheme == "custom"
+
+    def test_times_default_nan(self):
+        p = CommPattern.all_to_all(8)
+        stats = collect_stats(build_direct_plan(p))
+        assert math.isnan(stats.comm_time_us)
+        assert math.isnan(stats.total_time_us)
+
+    def test_buffer_kb_conversion(self):
+        stats = CommStats(
+            scheme="BL", K=4, mmax=1, mavg=1.0, vmax=128, vavg=1.0, buffer_words=128
+        )
+        assert stats.buffer_kb == pytest.approx(128 * WORD_BYTES / 1024)
+
+    def test_as_dict_keys(self):
+        p = CommPattern.all_to_all(8)
+        d = collect_stats(build_direct_plan(p)).as_dict()
+        assert set(d) == {
+            "scheme", "K", "mmax", "mavg", "vmax", "vavg", "comm", "total", "buffer_kb"
+        }
+
+    def test_stfw_reduces_mmax_on_irregular_pattern(self):
+        p = CommPattern.random(128, avg_degree=4, hot_processes=3, seed=0, words=16)
+        bl = collect_stats(build_direct_plan(p))
+        stfw = collect_stats(build_plan(p, make_vpt(128, 4)))
+        assert stfw.mmax < bl.mmax
+        assert stfw.vavg >= bl.vavg

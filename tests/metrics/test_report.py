@@ -1,0 +1,84 @@
+"""Unit tests for report helpers (geometric means, tables, normalization)."""
+
+import math
+
+import pytest
+
+from repro.metrics import Table, format_table, geometric_mean, geometric_mean_rows, normalize_to
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([5]) == pytest.approx(5.0)
+
+    def test_invariance_under_scaling(self):
+        vals = [1.5, 2.5, 10.0]
+        assert geometric_mean([3 * v for v in vals]) == pytest.approx(
+            3 * geometric_mean(vals)
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-2.0])
+
+    def test_rows(self):
+        rows = [{"a": 2.0, "b": 3.0}, {"a": 8.0, "b": 27.0}]
+        gm = geometric_mean_rows(rows, ["a", "b"])
+        assert gm["a"] == pytest.approx(4.0)
+        assert gm["b"] == pytest.approx(9.0)
+
+    def test_rows_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            geometric_mean_rows([{"a": 1.0}], ["a", "b"])
+
+
+class TestNormalizeTo:
+    def test_figure6_convention(self):
+        rows = {
+            "BL": {"mmax": 100.0, "vavg": 10.0},
+            "STFW4": {"mmax": 10.0, "vavg": 25.0},
+        }
+        norm = normalize_to(rows, "BL", ["mmax", "vavg"])
+        assert norm["BL"] == {"mmax": 1.0, "vavg": 1.0}
+        assert norm["STFW4"]["mmax"] == pytest.approx(0.1)  # 10x better than BL
+        assert norm["STFW4"]["vavg"] == pytest.approx(2.5)  # 2.5x worse than BL
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalize_to({"a": {"x": 1.0}}, "BL", ["x"])
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table(columns=("scheme", "mmax"), title="demo")
+        t.add_row("BL", 44.3)
+        t.add_row("STFW2", 13.3)
+        text = t.render()
+        assert "demo" in text
+        assert "BL" in text and "44.3" in text
+        assert "STFW2" in text and "13.3" in text
+
+    def test_row_arity_checked(self):
+        t = Table(columns=("a", "b"))
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_nan_renders_as_dash(self):
+        text = format_table(["x"], [[math.nan]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_alignment_consistent(self):
+        text = format_table(["col"], [["a"], ["longer"]])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_float_format_override(self):
+        text = format_table(["v"], [[3.14159]], float_fmt="{:.3f}")
+        assert "3.142" in text

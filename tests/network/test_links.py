@@ -1,0 +1,148 @@
+"""Unit tests for the link-level congestion model."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommPattern, build_direct_plan, build_plan, make_vpt
+from repro.errors import NetworkModelError
+from repro.network import (
+    BGQ,
+    CRAY_XC40,
+    DragonflyTopology,
+    TorusTopology,
+    congestion_summary,
+    dragonfly_route_links,
+    link_loads,
+    time_plan,
+    time_plan_links,
+    torus_route_links,
+)
+
+
+class TestTorusRouting:
+    def test_self_route_empty(self):
+        t = TorusTopology((4, 4))
+        assert torus_route_links(t, 5, 5) == []
+
+    def test_route_length_is_hop_count(self):
+        t = TorusTopology((4, 4, 4))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b = (int(x) for x in rng.integers(0, t.num_nodes, 2))
+            assert len(torus_route_links(t, a, b)) == t.hops(a, b)
+
+    def test_route_takes_short_way_around(self):
+        t = TorusTopology((8,))
+        links = torus_route_links(t, 0, 7)
+        assert links == [(0, 0, -1)]  # the wrap link, not 7 forward steps
+
+    def test_route_is_connected(self):
+        t = TorusTopology((4, 4))
+        links = torus_route_links(t, 0, 15)
+        # consecutive links leave the node the previous one arrived at
+        node = 0
+        for ln_node, dim, step in links:
+            assert ln_node == node
+            coords = list(t.coords(node))
+            coords[dim] = (coords[dim] + step) % t.dims[dim]
+            node = coords[0] + coords[1] * t.dims[0]
+        assert node == 15
+
+    def test_dimension_order(self):
+        t = TorusTopology((4, 4))
+        dims_seen = [dim for _, dim, _ in torus_route_links(t, 0, 15)]
+        assert dims_seen == sorted(dims_seen)
+
+    def test_bad_node(self):
+        t = TorusTopology((4,))
+        with pytest.raises(NetworkModelError):
+            torus_route_links(t, 0, 4)
+
+
+class TestDragonflyRouting:
+    def test_self_route_empty(self):
+        t = DragonflyTopology(2, 2, 2)
+        assert dragonfly_route_links(t, 3, 3) == []
+
+    def test_same_router(self):
+        t = DragonflyTopology(2, 2, 2)
+        links = dragonfly_route_links(t, 0, 1)
+        assert links == [("t", 0), ("t", 1)]
+
+    def test_same_group(self):
+        t = DragonflyTopology(2, 2, 2)
+        links = dragonfly_route_links(t, 0, 2)
+        assert ("l", 0, 1) in links
+
+    def test_cross_group_uses_global_link(self):
+        t = DragonflyTopology(2, 2, 2)
+        links = dragonfly_route_links(t, 0, 7)
+        assert ("g", 0, 1) in links
+
+    def test_bad_node(self):
+        t = DragonflyTopology(1, 1, 2)
+        with pytest.raises(NetworkModelError):
+            dragonfly_route_links(t, 0, 5)
+
+
+class TestLinkLoads:
+    def test_on_node_traffic_is_free(self):
+        # ranks 0 and 1 share node 0 on BGQ: no link load
+        p = CommPattern.from_arrays(32, [0], [1], [100])
+        plan = build_direct_plan(p)
+        topo = BGQ.topology(32)
+        mapping = np.zeros(32, dtype=np.int64)
+        assert link_loads(plan.stages[0], topo, mapping) == {}
+
+    def test_loads_accumulate(self):
+        t = TorusTopology((4,))
+        p = CommPattern.from_arrays(4, [0, 1], [2, 2], [10, 20])
+        plan = build_direct_plan(p)
+        mapping = np.arange(4, dtype=np.int64)
+        loads = link_loads(plan.stages[0], t, mapping)
+        # 0->2 passes link (1,0,+1); 1->2 uses it too
+        assert loads[(1, 0, 1)] == 30
+
+    def test_congestion_summary_shape(self):
+        p = CommPattern.random(64, avg_degree=6, seed=1, words=10)
+        plan = build_plan(p, make_vpt(64, 3))
+        summary = congestion_summary(plan, BGQ)
+        assert len(summary) == 3
+        for s in summary:
+            assert s.max_load >= s.mean_load >= 0
+            if s.mean_load:
+                assert s.imbalance >= 1.0
+
+
+class TestTimePlanLinks:
+    def test_at_least_port_model(self):
+        p = CommPattern.random(64, avg_degree=8, hot_processes=2, seed=3, words=500)
+        plan = build_plan(p, make_vpt(64, 2))
+        port = time_plan(plan, BGQ).total_us
+        linked = time_plan_links(plan, BGQ).total_us
+        assert linked >= port
+
+    def test_congestion_binds_on_funneled_traffic(self):
+        # all 16 off-node ranks hammer rank 0's node: its terminal/torus
+        # links must carry everything, so the link model exceeds the
+        # port model's receive time only if drain > port; at minimum it
+        # cannot be lower
+        K = 64
+        src = np.arange(16, 32, dtype=np.int64)
+        dst = np.zeros(16, dtype=np.int64)
+        p = CommPattern.from_arrays(K, src, dst, np.full(16, 10_000))
+        plan = build_direct_plan(p)
+        linked = time_plan_links(plan, BGQ)
+        port = time_plan(plan, BGQ)
+        assert linked.total_us >= port.total_us
+
+    def test_dragonfly_supported(self):
+        p = CommPattern.random(128, avg_degree=4, seed=5, words=50)
+        plan = build_plan(p, make_vpt(128, 3))
+        t = time_plan_links(plan, CRAY_XC40)
+        assert t.total_us > 0
+
+    def test_empty_plan(self):
+        p = CommPattern.from_arrays(32, [], [], [])
+        t = time_plan_links(build_direct_plan(p), BGQ)
+        assert t.total_us == 0.0

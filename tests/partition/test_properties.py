@@ -1,0 +1,62 @@
+"""Property-based tests for partitioners."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrices import generate_matrix
+from repro.partition import (
+    balanced_blocks_from_order,
+    bisection_partition,
+    block_partition,
+    random_partition,
+    rcm_partition,
+)
+
+
+@st.composite
+def n_and_K(draw):
+    n = draw(st.integers(16, 400))
+    K = draw(st.integers(1, min(n, 32)))
+    return n, K
+
+
+class TestPartitionInvariants:
+    @given(n_and_K())
+    @settings(max_examples=40, deadline=None)
+    def test_block_every_row_once_no_empty_parts(self, nk):
+        n, K = nk
+        p = block_partition(n, K)
+        assert p.parts.size == n
+        assert p.row_counts().min() >= 1
+        assert p.row_counts().sum() == n
+
+    @given(n_and_K(), st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_random_balanced(self, nk, seed):
+        n, K = nk
+        p = random_partition(n, K, seed=seed)
+        counts = p.row_counts()
+        assert counts.max() - counts.min() <= 1
+
+    @given(n_and_K(), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_blocks_from_arbitrary_order(self, nk, seed):
+        n, K = nk
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(n).astype(np.int64)
+        weights = rng.uniform(0.1, 10.0, n)
+        p = balanced_blocks_from_order(order, K, weights)
+        assert p.row_counts().min() >= 1
+        # each part owns a contiguous run of the given order
+        seen_parts = p.parts[order]
+        assert (np.diff(seen_parts) >= 0).all()
+
+    @given(st.integers(0, 6), st.integers(2, 16))
+    @settings(max_examples=12, deadline=None)
+    def test_structural_partitioners_valid(self, seed, K):
+        A = generate_matrix(300, 3000, 60, 0.8, locality=0.9, seed=seed)
+        for part in (rcm_partition(A, K), bisection_partition(A, K, seed=seed)):
+            assert part.K == K
+            assert part.row_counts().min() >= 1
+            assert part.row_counts().sum() == 300

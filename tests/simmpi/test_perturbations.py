@@ -1,0 +1,92 @@
+"""Unit tests for jitter (straggler noise) and the rendezvous switch."""
+
+import pytest
+
+from repro.core import CommPattern, make_vpt, run_direct_exchange, run_stfw_exchange
+from repro.errors import SimMPIError
+from repro.network import BGQ
+from repro.simmpi import SimMPI, run_spmd
+
+
+def pingpong(comm):
+    if comm.rank == 0:
+        comm.send(1, "x", words=100)
+        return None
+    yield comm.recv()
+    return None
+
+
+class TestJitter:
+    def test_zero_jitter_is_baseline(self):
+        a = run_spmd(2, pingpong, machine=BGQ)
+        b = run_spmd(2, pingpong, machine=BGQ, jitter=0.0)
+        assert a.clocks == b.clocks
+
+    def test_jitter_slows_but_preserves_semantics(self):
+        base = run_spmd(2, pingpong, machine=BGQ)
+        noisy = run_spmd(2, pingpong, machine=BGQ, jitter=0.5, jitter_seed=1)
+        assert noisy.makespan_us > base.makespan_us
+        assert noisy.makespan_us < base.makespan_us * 1.5 + 1e-9
+
+    def test_jitter_deterministic_per_seed(self):
+        a = run_spmd(2, pingpong, machine=BGQ, jitter=0.3, jitter_seed=7)
+        b = run_spmd(2, pingpong, machine=BGQ, jitter=0.3, jitter_seed=7)
+        c = run_spmd(2, pingpong, machine=BGQ, jitter=0.3, jitter_seed=8)
+        assert a.clocks == b.clocks
+        assert a.clocks != c.clocks
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(SimMPIError):
+            SimMPI(2, machine=BGQ, jitter=-0.1)
+
+    def test_exchange_correct_under_jitter(self):
+        p = CommPattern.random(16, avg_degree=4, seed=0, words=3)
+        res = run_stfw_exchange(p, make_vpt(16, 2))
+        # deliveries must be identical with and without noise
+        import numpy as np
+
+        noisy = run_stfw_exchange(p, make_vpt(16, 2))
+        norm = lambda d: [
+            sorted((s, tuple(np.asarray(v))) for s, v in items) for items in d
+        ]
+        assert norm(res.delivered) == norm(noisy.delivered)
+
+
+class TestRendezvous:
+    def test_large_messages_pay_handshake(self):
+        eager = run_spmd(2, pingpong, machine=BGQ)
+        rdv = run_spmd(2, pingpong, machine=BGQ, rendezvous_threshold_words=50)
+        assert rdv.makespan_us == pytest.approx(
+            eager.makespan_us + BGQ.alpha_us
+        )
+
+    def test_small_messages_stay_eager(self):
+        eager = run_spmd(2, pingpong, machine=BGQ)
+        rdv = run_spmd(2, pingpong, machine=BGQ, rendezvous_threshold_words=101)
+        assert rdv.makespan_us == pytest.approx(eager.makespan_us)
+
+    def test_threshold_validated(self):
+        with pytest.raises(SimMPIError):
+            SimMPI(2, machine=BGQ, rendezvous_threshold_words=0)
+
+    def test_rendezvous_threshold_flows_through_exchanges(self):
+        # every original message is 600 words: with the threshold just
+        # above, BL stays eager; just below, every BL send pays the
+        # handshake and BL slows down
+        p = CommPattern.random(32, avg_degree=2, hot_processes=2, seed=1, words=600)
+        eager = run_direct_exchange(
+            p, machine=BGQ, rendezvous_threshold_words=601
+        ).run.makespan_us
+        rdv = run_direct_exchange(
+            p, machine=BGQ, rendezvous_threshold_words=600
+        ).run.makespan_us
+        assert rdv > eager
+
+    def test_jitter_flows_through_stfw_exchange(self):
+        p = CommPattern.random(16, avg_degree=3, seed=4, words=10)
+        vpt = make_vpt(16, 2)
+        calm = run_stfw_exchange(p, vpt, machine=BGQ).run.makespan_us
+        noisy = run_stfw_exchange(
+            p, vpt, machine=BGQ, jitter=0.4, jitter_seed=2
+        ).run.makespan_us
+        assert noisy > calm

@@ -1,0 +1,328 @@
+"""Unit tests for the simulated MPI runtime."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimMPIError
+from repro.network import BGQ
+from repro.simmpi import ANY_SOURCE, ANY_TAG, SimMPI, run_spmd
+
+
+class TestBasicSendRecv:
+    def test_ping(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "hello", words=1)
+                return "sent"
+            else:
+                src, tag, payload = yield comm.recv()
+                return (src, payload)
+
+        res = run_spmd(2, worker)
+        assert res.returns == ["sent", (0, "hello")]
+
+    def test_ping_pong(self):
+        def worker(comm):
+            other = 1 - comm.rank
+            if comm.rank == 0:
+                comm.send(other, 41, words=1)
+                _, _, v = yield comm.recv(source=other)
+                return v
+            else:
+                _, _, v = yield comm.recv(source=other)
+                comm.send(other, v + 1, words=1)
+                return v
+
+        res = run_spmd(2, worker)
+        assert res.returns == [42, 41]
+
+    def test_recv_by_source_filter(self):
+        def worker(comm):
+            if comm.rank in (0, 1):
+                comm.send(2, comm.rank * 100, words=1)
+                return None
+            got = []
+            # explicitly receive rank 1 first even if 0's arrived earlier
+            src, _, v = yield comm.recv(source=1)
+            got.append((src, v))
+            src, _, v = yield comm.recv(source=0)
+            got.append((src, v))
+            return got
+
+        res = run_spmd(3, worker)
+        assert res.returns[2] == [(1, 100), (0, 0)]
+
+    def test_recv_by_tag_filter(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "a", tag=7, words=1)
+                comm.send(1, "b", tag=9, words=1)
+                return None
+            _, tag, v = yield comm.recv(tag=9)
+            assert (tag, v) == (9, "b")
+            _, tag, v = yield comm.recv(tag=ANY_TAG)
+            return (tag, v)
+
+        res = run_spmd(2, worker)
+        assert res.returns[1] == (7, "a")
+
+    def test_fifo_per_source(self):
+        def worker(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(1, i, words=1)
+                return None
+            out = []
+            for _ in range(5):
+                _, _, v = yield comm.recv(source=0)
+                out.append(v)
+            return out
+
+        res = run_spmd(2, worker)
+        assert res.returns[1] == [0, 1, 2, 3, 4]
+
+    def test_any_source(self):
+        def worker(comm):
+            if comm.rank:
+                comm.send(0, comm.rank, words=1)
+                return None
+            seen = set()
+            for _ in range(comm.size - 1):
+                src, _, v = yield comm.recv(source=ANY_SOURCE)
+                assert src == v
+                seen.add(v)
+            return seen
+
+        res = run_spmd(8, worker)
+        assert res.returns[0] == set(range(1, 8))
+
+    def test_plain_return_rank(self):
+        # ranks that do no blocking communication may return a value
+        def worker(comm):
+            return comm.rank * 2
+
+        res = run_spmd(4, worker)
+        assert res.returns == [0, 2, 4, 6]
+
+    def test_send_to_invalid_rank(self):
+        def worker(comm):
+            comm.send(99, "x", words=1)
+            return None
+
+        with pytest.raises(SimMPIError):
+            run_spmd(2, worker)
+
+    def test_unsized_payload_needs_words(self):
+        def worker(comm):
+            comm.send(0, 123)  # int has no len()
+            return None
+
+        with pytest.raises(SimMPIError):
+            run_spmd(2, worker)
+
+    def test_invalid_yield_rejected(self):
+        def worker(comm):
+            yield "not an op"
+
+        with pytest.raises(SimMPIError):
+            run_spmd(1, worker)
+
+    def test_K_must_be_positive(self):
+        with pytest.raises(SimMPIError):
+            SimMPI(0)
+
+
+class TestDeadlockDetection:
+    def test_recv_with_no_sender(self):
+        def worker(comm):
+            yield comm.recv()
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(2, worker)
+        assert "blocked on recv" in str(err.value)
+
+    def test_mismatched_tag_deadlocks(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "x", tag=1, words=1)
+                return None
+            yield comm.recv(tag=2)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(2, worker)
+
+    def test_partial_barrier_deadlocks(self):
+        def worker(comm):
+            if comm.rank == 0:
+                return None  # exits without the barrier
+            yield comm.barrier()
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(2, worker)
+        assert "exited" in str(err.value)
+
+    def test_mixed_collectives_deadlock(self):
+        def worker(comm):
+            if comm.rank == 0:
+                yield comm.barrier()
+            else:
+                yield comm.allgather(1)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(2, worker)
+
+
+class TestCollectives:
+    def test_barrier_all_pass(self):
+        def worker(comm):
+            yield comm.barrier()
+            return "done"
+
+        res = run_spmd(4, worker)
+        assert res.returns == ["done"] * 4
+
+    def test_allgather(self):
+        def worker(comm):
+            vals = yield comm.allgather(comm.rank**2)
+            return vals
+
+        res = run_spmd(4, worker)
+        assert res.returns == [[0, 1, 4, 9]] * 4
+
+    def test_barrier_then_messages(self):
+        def worker(comm):
+            yield comm.barrier()
+            if comm.rank == 0:
+                comm.send(1, "after", words=1)
+                return None
+            _, _, v = yield comm.recv()
+            return v
+
+        res = run_spmd(2, worker)
+        assert res.returns[1] == "after"
+
+
+class TestVirtualTime:
+    def test_no_machine_zero_clocks(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "x", words=100)
+                return None
+            yield comm.recv()
+            return None
+
+        res = run_spmd(2, worker)
+        assert res.makespan_us == 0.0
+
+    def test_send_charges_alpha_beta(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "x", words=100)
+                return None
+            yield comm.recv()
+            return None
+
+        res = run_spmd(2, worker, machine=BGQ)
+        # sender paid alpha + 100*beta; same-node so no hop cost
+        expected_send = BGQ.alpha_us + 100 * BGQ.beta_us_per_word
+        assert res.clocks[0] == pytest.approx(expected_send)
+        assert res.clocks[1] > res.clocks[0]  # receiver waited + recv cost
+
+    def test_serial_sends_accumulate(self):
+        def worker(comm):
+            if comm.rank == 0:
+                for d in range(1, comm.size):
+                    comm.send(d, "x", words=1)
+                return None
+            yield comm.recv()
+            return None
+
+        res = run_spmd(8, worker, machine=BGQ)
+        assert res.clocks[0] >= 7 * BGQ.alpha_us
+
+    def test_receiver_waits_for_arrival(self):
+        def worker(comm):
+            if comm.rank == 0:
+                # rank 0 does lots of work first (many self-charged sends)
+                for _ in range(10):
+                    comm.send(1, "spam", words=1)
+                comm.send(1, "last", words=1)
+                return None
+            out = None
+            for _ in range(11):
+                _, _, out = yield comm.recv()
+            return out
+
+        res = run_spmd(2, worker, machine=BGQ)
+        assert res.returns[1] == "last"
+        assert res.clocks[1] >= res.clocks[0]
+
+    def test_barrier_aligns_clocks(self):
+        def worker(comm):
+            if comm.rank == 0:
+                for _ in range(5):
+                    comm.send(1, "x", words=1)
+            if comm.rank == 1:
+                for _ in range(5):
+                    yield comm.recv()
+            yield comm.barrier()
+            return None
+
+        res = run_spmd(4, worker, machine=BGQ)
+        assert len(set(round(c, 9) for c in res.clocks)) == 1
+
+    def test_makespan_is_max_clock(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "x", words=10_000)
+                return None
+            if comm.rank == 1:
+                yield comm.recv()
+            return None
+
+        res = run_spmd(4, worker, machine=BGQ)
+        assert res.makespan_us == pytest.approx(max(res.clocks))
+
+
+class TestTracing:
+    def test_trace_records_messages(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "x", tag=3, words=5)
+                return None
+            yield comm.recv()
+            return None
+
+        res = run_spmd(2, worker, trace=True)
+        assert len(res.trace) == 1
+        rec = res.trace[0]
+        assert (rec.source, rec.dest, rec.tag, rec.words) == (0, 1, 3, 5)
+
+    def test_trace_off_by_default(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "x", words=1)
+                return None
+            yield comm.recv()
+            return None
+
+        assert run_spmd(2, worker).trace == []
+
+    def test_mapping_without_machine_rejected(self):
+        with pytest.raises(SimMPIError):
+            SimMPI(4, mapping=[0, 0, 0, 0])
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def worker(comm):
+            rotated = (comm.rank + 1) % comm.size
+            comm.send(rotated, comm.rank, words=1)
+            _, _, v = yield comm.recv()
+            vals = yield comm.allgather(v)
+            return tuple(vals)
+
+        a = run_spmd(16, worker, machine=BGQ, trace=True)
+        b = run_spmd(16, worker, machine=BGQ, trace=True)
+        assert a.returns == b.returns
+        assert a.clocks == b.clocks
+        assert a.trace == b.trace

@@ -1,0 +1,102 @@
+"""Unit tests for the column-parallel SpMV variant."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import make_vpt
+from repro.errors import PlanError
+from repro.matrices import generate_matrix
+from repro.network import BGQ
+from repro.partition import Partition, block_partition, rcm_partition
+from repro.spmv import (
+    columnparallel_pattern,
+    distributed_spmv_colparallel,
+    spmv_pattern,
+)
+
+
+@pytest.fixture(scope="module")
+def case():
+    A = generate_matrix(192, 2300, 48, 1.2, seed=8, values="random")
+    part = rcm_partition(A, 16)
+    x = np.random.default_rng(3).normal(size=192)
+    return A, part, x
+
+
+class TestPattern:
+    def test_transposed_of_rowparallel_on_symmetric(self, case):
+        # with a structurally symmetric matrix, the fold pattern is the
+        # transpose of the expand pattern (same pairs, reversed roles)
+        A, part, _ = case
+        row = spmv_pattern(A, part)
+        col = columnparallel_pattern(A, part)
+        row_pairs = {(int(s), int(d)) for s, d in zip(row.src, row.dst)}
+        col_pairs = {(int(s), int(d)) for s, d in zip(col.src, col.dst)}
+        assert col_pairs == {(d, s) for s, d in row_pairs}
+
+    def test_message_sizes_count_distinct_rows(self):
+        # 2x2 block: process 0 owns rows/cols {0,1}, contributes to
+        # rows 2,3 through column 1's entries
+        A = sp.csr_matrix(
+            np.array(
+                [[1, 0, 0, 0],
+                 [0, 1, 0, 0],
+                 [0, 1, 1, 0],
+                 [0, 1, 0, 1]], dtype=float
+            )
+        )
+        p = Partition(np.array([0, 0, 1, 1]), 2)
+        pat = columnparallel_pattern(A, p)
+        assert pat.sendset(0) == {1: 2}  # partials for rows 2 and 3
+        assert pat.sendset(1) == {}
+
+    def test_diagonal_no_communication(self):
+        A = sp.identity(32, format="csr")
+        pat = columnparallel_pattern(A, block_partition(32, 4))
+        assert pat.num_messages == 0
+
+    def test_rectangular_rejected(self, case):
+        with pytest.raises(PlanError):
+            columnparallel_pattern(sp.random(4, 6, format="csr"), block_partition(4, 2))
+
+
+class TestDistributed:
+    def test_bl_matches_sequential(self, case):
+        A, part, x = case
+        res = distributed_spmv_colparallel(A, part, x)
+        assert np.allclose(res.y, sp.csr_matrix(A) @ x)
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_stfw_matches_sequential(self, case, n):
+        A, part, x = case
+        res = distributed_spmv_colparallel(A, part, x, vpt=make_vpt(16, n))
+        assert np.allclose(res.y, sp.csr_matrix(A) @ x)
+
+    def test_row_and_column_parallel_agree(self, case):
+        from repro.spmv import distributed_spmv
+
+        A, part, x = case
+        yr = distributed_spmv(A, part, x).y
+        yc = distributed_spmv_colparallel(A, part, x).y
+        assert np.allclose(yr, yc)
+
+    def test_timed(self, case):
+        A, part, x = case
+        res = distributed_spmv_colparallel(A, part, x, vpt=make_vpt(16, 2), machine=BGQ)
+        assert res.makespan_us > 0
+
+    def test_bad_x(self, case):
+        A, part, _ = case
+        with pytest.raises(PlanError):
+            distributed_spmv_colparallel(A, part, np.zeros(5))
+
+    def test_vpt_mismatch(self, case):
+        A, part, x = case
+        with pytest.raises(PlanError):
+            distributed_spmv_colparallel(A, part, x, vpt=make_vpt(32, 2))
+
+    def test_partition_mismatch(self, case):
+        A, _, x = case
+        with pytest.raises(PlanError):
+            distributed_spmv_colparallel(A, block_partition(100, 4), x)

@@ -1,0 +1,100 @@
+"""Distributed SpMV on the emulator: numerics must match the sequential product."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import make_vpt
+from repro.errors import PlanError
+from repro.matrices import generate_matrix
+from repro.network import BGQ
+from repro.partition import block_partition, random_partition, rcm_partition
+from repro.spmv import distributed_spmv, local_spmv, split_matrix
+
+
+def make_case(n=128, K=8, seed=0):
+    A = generate_matrix(n, n * 10, n // 4, 1.0, seed=seed, values="random")
+    x = np.random.default_rng(seed).normal(size=n)
+    return A, x
+
+
+class TestSplitMatrix:
+    def test_rows_partitioned(self):
+        A, x = make_case()
+        p = block_partition(128, 8)
+        blocks = split_matrix(A, p, x)
+        total_rows = sum(b.rows.size for b in blocks)
+        assert total_rows == 128
+        assert sum(b.nnz for b in blocks) == sp.csr_matrix(A).nnz
+
+    def test_x_conformal(self):
+        A, x = make_case()
+        p = random_partition(128, 4, seed=1)
+        for b in split_matrix(A, p, x):
+            assert np.array_equal(b.x_own, x[b.rows])
+
+    def test_local_spmv_matches_rows(self):
+        A, x = make_case()
+        p = block_partition(128, 4)
+        blocks = split_matrix(A, p, x)
+        y_ref = sp.csr_matrix(A) @ x
+        for b in blocks:
+            y_local = local_spmv(b, x)
+            assert np.allclose(y_local, y_ref[b.rows])
+
+    def test_bad_x_shape(self):
+        A, x = make_case()
+        with pytest.raises(PlanError):
+            split_matrix(A, block_partition(128, 4), x[:-1])
+
+
+class TestDistributedSpmvBL:
+    def test_matches_sequential(self):
+        A, x = make_case()
+        p = rcm_partition(A, 8)
+        res = distributed_spmv(A, p, x)  # verify=True raises on mismatch
+        assert np.allclose(res.y, sp.csr_matrix(A) @ x)
+
+    def test_random_partition_still_correct(self):
+        A, x = make_case(seed=3)
+        p = random_partition(128, 8, seed=3)
+        res = distributed_spmv(A, p, x)
+        assert np.allclose(res.y, sp.csr_matrix(A) @ x)
+
+    def test_single_part(self):
+        A, x = make_case()
+        res = distributed_spmv(A, block_partition(128, 1), x)
+        assert np.allclose(res.y, sp.csr_matrix(A) @ x)
+
+
+class TestDistributedSpmvSTFW:
+    @pytest.mark.parametrize("n_dims", [2, 3])
+    def test_matches_sequential(self, n_dims):
+        A, x = make_case(K=8)
+        p = rcm_partition(A, 8)
+        res = distributed_spmv(A, p, x, vpt=make_vpt(8, n_dims))
+        assert np.allclose(res.y, sp.csr_matrix(A) @ x)
+
+    def test_bl_and_stfw_same_result(self):
+        A, x = make_case(seed=5)
+        p = rcm_partition(A, 8)
+        bl = distributed_spmv(A, p, x)
+        stfw = distributed_spmv(A, p, x, vpt=make_vpt(8, 3))
+        assert np.allclose(bl.y, stfw.y)
+
+    def test_hypercube_16(self):
+        A, x = make_case(n=160, K=16, seed=7)
+        p = rcm_partition(A, 16)
+        res = distributed_spmv(A, p, x, vpt=make_vpt(16, 4))
+        assert np.allclose(res.y, sp.csr_matrix(A) @ x)
+
+    def test_with_machine_timed(self):
+        A, x = make_case()
+        p = rcm_partition(A, 8)
+        res = distributed_spmv(A, p, x, vpt=make_vpt(8, 2), machine=BGQ)
+        assert res.makespan_us > 0
+
+    def test_vpt_K_mismatch(self):
+        A, x = make_case()
+        with pytest.raises(PlanError):
+            distributed_spmv(A, block_partition(128, 8), x, vpt=make_vpt(16, 2))

@@ -1,0 +1,86 @@
+"""Unit tests for the cost-model SpMV driver."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.matrices import generate_matrix
+from repro.network import BGQ, CRAY_XC40
+from repro.spmv import partition_matrix, run_spmv_schemes
+
+
+def hotspot_matrix(n=2048, seed=0):
+    # dense rows + moderate cv: a latency-bound instance in miniature
+    return generate_matrix(n, n * 12, n // 2, 2.0, dense_rows=3, seed=seed)
+
+
+class TestRunSpmvSchemes:
+    def test_all_dims_by_default(self):
+        exp = run_spmv_schemes(hotspot_matrix(), 64, BGQ)
+        assert exp.schemes == ["BL", "STFW2", "STFW3", "STFW4", "STFW5", "STFW6"]
+
+    def test_explicit_dims(self):
+        exp = run_spmv_schemes(hotspot_matrix(), 64, BGQ, dims=[1, 3])
+        assert exp.schemes == ["BL", "STFW3"]
+
+    def test_times_filled_in(self):
+        exp = run_spmv_schemes(hotspot_matrix(), 64, BGQ, dims=[1, 2])
+        for r in exp.results.values():
+            assert not math.isnan(r.stats.comm_time_us)
+            assert r.stats.total_time_us > r.stats.comm_time_us  # compute added
+
+    def test_paper_shape_mmax_drops_vavg_rises(self):
+        exp = run_spmv_schemes(hotspot_matrix(), 128, BGQ)
+        bl = exp["BL"].stats
+        high = exp["STFW7"].stats
+        assert high.mmax < bl.mmax / 3
+        assert high.vavg > bl.vavg
+
+    def test_paper_shape_stfw_wins_comm_time(self):
+        exp = run_spmv_schemes(hotspot_matrix(), 128, BGQ)
+        bl_comm = exp["BL"].stats.comm_time_us
+        best = exp.best_stfw("comm").stats.comm_time_us
+        assert best < bl_comm
+
+    def test_mmax_within_bound(self):
+        exp = run_spmv_schemes(hotspot_matrix(), 64, BGQ)
+        from repro.core import make_vpt
+
+        for r in exp.results.values():
+            bound = make_vpt(64, r.n_dims).max_message_count_bound()
+            assert r.stats.mmax <= bound
+
+    def test_precomputed_partition_reused(self):
+        A = hotspot_matrix()
+        part = partition_matrix(A, 64)
+        a = run_spmv_schemes(A, 64, BGQ, dims=[1], partition=part)
+        b = run_spmv_schemes(A, 64, CRAY_XC40, dims=[1], partition=part)
+        # same machine-independent metrics, different times
+        assert a["BL"].stats.mmax == b["BL"].stats.mmax
+        assert a["BL"].stats.comm_time_us != b["BL"].stats.comm_time_us
+
+    def test_partition_K_mismatch(self):
+        A = hotspot_matrix()
+        part = partition_matrix(A, 32)
+        with pytest.raises(ExperimentError):
+            run_spmv_schemes(A, 64, BGQ, partition=part)
+
+    def test_unknown_partitioner(self):
+        with pytest.raises(ExperimentError):
+            partition_matrix(hotspot_matrix(), 8, partitioner="patoh")
+
+    def test_best_stfw_requires_stfw(self):
+        exp = run_spmv_schemes(hotspot_matrix(), 64, BGQ, dims=[1])
+        with pytest.raises(ExperimentError):
+            exp.best_stfw()
+
+    def test_xc40_benefits_more_than_bgq(self):
+        # Section 6.4: the more latency-bound machine gains more from STFW
+        A = hotspot_matrix(seed=4)
+        part = partition_matrix(A, 128)
+        bgq = run_spmv_schemes(A, 128, BGQ, partition=part)
+        xc = run_spmv_schemes(A, 128, CRAY_XC40, partition=part)
+        gain_bgq = bgq["BL"].stats.comm_time_us / bgq.best_stfw("comm").stats.comm_time_us
+        gain_xc = xc["BL"].stats.comm_time_us / xc.best_stfw("comm").stats.comm_time_us
+        assert gain_xc > gain_bgq

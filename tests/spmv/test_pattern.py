@@ -1,0 +1,127 @@
+"""Unit tests for SpMV pattern extraction."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import PlanError
+from repro.matrices import generate_matrix
+from repro.partition import Partition, block_partition, random_partition
+from repro.spmv import nnz_per_part, spmv_needed_entries, spmv_pattern
+
+
+def tiny_matrix():
+    # 4x4: row i needs x entries at its nonzero columns
+    #  [d . a .]
+    #  [. d . b]
+    #  [c . d .]
+    #  [. e . d]
+    rows = [0, 0, 1, 1, 2, 2, 3, 3]
+    cols = [0, 2, 1, 3, 0, 2, 1, 3]
+    return sp.csr_matrix((np.ones(8), (rows, cols)), shape=(4, 4))
+
+
+class TestSpmvPattern:
+    def test_tiny_hand_checked(self):
+        A = tiny_matrix()
+        p = Partition(np.array([0, 0, 1, 1]), 2)
+        pat = spmv_pattern(A, p)
+        # P0 owns rows/x {0,1}; row0 needs x2 (P1), row1 needs x3 (P1)
+        # P1 owns rows/x {2,3}; row2 needs x0 (P0), row3 needs x1 (P0)
+        assert pat.sendset(0) == {1: 2}
+        assert pat.sendset(1) == {0: 2}
+
+    def test_distinct_columns_counted_once(self):
+        # two rows of the same part needing the same remote x entry
+        rows = [0, 1]
+        cols = [3, 3]
+        A = sp.csr_matrix((np.ones(2), (rows, cols)), shape=(4, 4))
+        p = Partition(np.array([0, 0, 1, 1]), 2)
+        pat = spmv_pattern(A, p)
+        assert pat.sendset(1) == {0: 1}  # x3 sent once, not twice
+
+    def test_diagonal_matrix_no_communication(self):
+        A = sp.identity(64, format="csr")
+        p = block_partition(64, 8)
+        pat = spmv_pattern(A, p)
+        assert pat.num_messages == 0
+
+    def test_single_part_no_communication(self):
+        A = generate_matrix(128, 1024, 32, 0.5, seed=0)
+        pat = spmv_pattern(A, block_partition(128, 1))
+        assert pat.num_messages == 0
+
+    def test_symmetric_pattern_symmetric_messages(self):
+        # structurally symmetric matrix => p talks to q iff q talks to p
+        A = generate_matrix(256, 4096, 64, 1.0, seed=1)
+        pat = spmv_pattern(A, block_partition(256, 8))
+        pairs = {(int(s), int(d)) for s, d in zip(pat.src, pat.dst)}
+        assert pairs == {(d, s) for s, d in pairs}
+
+    def test_dense_column_makes_hotspot(self):
+        # a dense column j means owner(j) sends to nearly every part
+        n, K = 256, 16
+        rows = np.arange(n)
+        cols = np.zeros(n, dtype=int)
+        A = sp.csr_matrix((np.ones(n), (rows, cols)), shape=(n, n))
+        A = A + sp.identity(n)
+        pat = spmv_pattern(A, block_partition(n, K))
+        assert pat.sent_counts()[0] == K - 1
+
+    def test_rectangular_rejected(self):
+        A = sp.random(4, 6, density=0.5, format="csr")
+        with pytest.raises(PlanError):
+            spmv_pattern(A, block_partition(4, 2))
+
+    def test_partition_size_mismatch(self):
+        A = sp.identity(8, format="csr")
+        with pytest.raises(PlanError):
+            spmv_pattern(A, block_partition(4, 2))
+
+
+class TestNeededEntries:
+    def test_matches_pattern_sizes(self):
+        A = generate_matrix(200, 2400, 50, 1.2, seed=2)
+        p = random_partition(200, 8, seed=0)
+        pat = spmv_pattern(A, p)
+        needed = spmv_needed_entries(A, p)
+        for q in range(8):
+            for pp, idx in needed[q].items():
+                assert pat.sendset(pp)[q] == idx.size
+
+    def test_indices_are_sorted_and_owned_by_sender(self):
+        A = generate_matrix(200, 2400, 50, 1.2, seed=3)
+        p = random_partition(200, 8, seed=1)
+        needed = spmv_needed_entries(A, p)
+        for q in range(8):
+            for pp, idx in needed[q].items():
+                assert (np.diff(idx) > 0).all()
+                assert (p.parts[idx] == pp).all()
+
+    def test_no_self_entries(self):
+        A = generate_matrix(100, 1200, 30, 0.8, seed=4)
+        p = block_partition(100, 4)
+        needed = spmv_needed_entries(A, p)
+        for q in range(4):
+            assert q not in needed[q]
+
+    def test_empty_for_diagonal(self):
+        A = sp.identity(16, format="csr")
+        needed = spmv_needed_entries(A, block_partition(16, 4))
+        assert all(d == {} for d in needed)
+
+
+class TestNnzPerPart:
+    def test_sums_to_total(self):
+        A = generate_matrix(300, 3000, 60, 1.0, seed=5)
+        p = random_partition(300, 8, seed=2)
+        loads = nnz_per_part(A, p)
+        assert loads.sum() == sp.csr_matrix(A).nnz
+
+    def test_balanced_partition_balanced_loads(self):
+        A = generate_matrix(512, 8192, 64, 0.3, seed=6, dense_rows=0)
+        from repro.partition import rcm_partition
+
+        p = rcm_partition(A, 8)
+        loads = nnz_per_part(A, p)
+        assert loads.max() / loads.mean() < 1.5
