@@ -147,7 +147,8 @@ def stfw_process(
             comm.send(dst_rank, list(subs), tag=d, words=words)
         fwbuf[d].clear()
 
-        # receive and scatter (lines 13-17)
+        # receive and scatter (lines 13-17); the wildcard-source recv
+        # delivers stage-d messages in virtual arrival order
         for _ in range(expect):
             _, _, subs = yield comm.recv(tag=d)
             for dst, src, payload in subs:
@@ -265,7 +266,7 @@ def run_stfw_exchange(
 
     result = run_spmd(
         vpt.K,
-        lambda comm: factory(comm),
+        factory,
         machine=machine,
         mapping=mapping,
         trace=trace,

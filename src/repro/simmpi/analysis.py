@@ -29,12 +29,18 @@ class RankSummary:
     sent_words: int
     recv_messages: int
     recv_words: int
+    #: time of the rank's first send, ``nan`` if it never sent anything
     first_send_us: float
     last_arrival_us: float
 
 
 def rank_summary(result: RunResult, K: int) -> list[RankSummary]:
-    """Per-rank totals from a traced run."""
+    """Per-rank totals from a traced run.
+
+    Ranks that never sent report ``first_send_us = nan`` (a send at
+    t=0 is a real event and keeps its 0.0, so the two are
+    distinguishable; use :func:`math.isnan` to filter idle ranks).
+    """
     sent_m = [0] * K
     sent_w = [0] * K
     recv_m = [0] * K
@@ -55,7 +61,7 @@ def rank_summary(result: RunResult, K: int) -> list[RankSummary]:
             sent_words=sent_w[r],
             recv_messages=recv_m[r],
             recv_words=recv_w[r],
-            first_send_us=first[r] if first[r] != float("inf") else 0.0,
+            first_send_us=first[r] if first[r] != float("inf") else float("nan"),
             last_arrival_us=last[r],
         )
         for r in range(K)
@@ -80,6 +86,11 @@ def to_chrome_trace(result: RunResult, *, name: str = "simmpi run") -> str:
     the sender's row spanning [send, arrival] plus flow arrows from
     sender to receiver.  Open the output in ``chrome://tracing`` or
     https://ui.perfetto.dev.
+
+    Timestamps (``ts``/``dur``) are virtual microseconds — the Chrome
+    trace format's native unit — and ``displayTimeUnit`` is ``"ms"``
+    (the format only allows ``"ms"`` or ``"ns"``; declaring ``"ns"``
+    would make Perfetto render every duration 1000x too long).
     """
     events: list[dict] = []
     ranks = set()
@@ -121,5 +132,5 @@ def to_chrome_trace(result: RunResult, *, name: str = "simmpi run") -> str:
             {"name": "flow", "ph": "f", "id": i, "tid": rec.dest,
              "ts": rec.arrive_time, "cat": "message", "pid": 0, "bp": "e"}
         )
-    doc = {"traceEvents": events, "displayTimeUnit": "ns", "otherData": {"name": name}}
+    doc = {"traceEvents": events, "displayTimeUnit": "ms", "otherData": {"name": name}}
     return json.dumps(doc)

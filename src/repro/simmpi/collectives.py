@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from .message import ANY_SOURCE, ANY_TAG
+
 __all__ = [
     "BarrierOp",
     "AllGatherOp",
@@ -48,6 +50,10 @@ class BarrierOp:
 
     __slots__ = ()
 
+    def describe(self) -> str:
+        """Human-readable form for deadlock state dumps."""
+        return "barrier"
+
 
 class AllGatherOp:
     """Each rank contributes ``value``; resumes with the list of all."""
@@ -57,6 +63,10 @@ class AllGatherOp:
     def __init__(self, value: Any, words: int):
         self.value = value
         self.words = words
+
+    def describe(self) -> str:
+        """Human-readable form for deadlock state dumps."""
+        return f"allgather(words={self.words})"
 
 
 class AllReduceOp:
@@ -68,6 +78,10 @@ class AllReduceOp:
         self.value = value
         self.words = words
         self.op = op
+
+    def describe(self) -> str:
+        """Human-readable form for deadlock state dumps."""
+        return f"allreduce(op={self.op}, words={self.words})"
 
 
 class ReduceOp:
@@ -81,6 +95,10 @@ class ReduceOp:
         self.op = op
         self.root = root
 
+    def describe(self) -> str:
+        """Human-readable form for deadlock state dumps."""
+        return f"reduce(op={self.op}, root={self.root}, words={self.words})"
+
 
 class AllToAllOp:
     """Each rank contributes a length-K list; resumes with its column."""
@@ -90,6 +108,10 @@ class AllToAllOp:
     def __init__(self, values: list, words_per_peer: int):
         self.values = values
         self.words_per_peer = words_per_peer
+
+    def describe(self) -> str:
+        """Human-readable form for deadlock state dumps."""
+        return f"alltoall(words_per_peer={self.words_per_peer})"
 
 
 class BcastOp:
@@ -101,6 +123,10 @@ class BcastOp:
         self.value = value
         self.words = words
         self.root = root
+
+    def describe(self) -> str:
+        """Human-readable form for deadlock state dumps."""
+        return f"bcast(root={self.root}, words={self.words})"
 
 
 class SendRequest:
@@ -129,3 +155,9 @@ class RecvRequest:
     def __init__(self, source: int, tag: int):
         self.source = source
         self.tag = tag
+
+    def describe(self) -> str:
+        """Human-readable form for deadlock state dumps."""
+        src = "ANY_SOURCE" if self.source == ANY_SOURCE else self.source
+        tag = "ANY_TAG" if self.tag == ANY_TAG else self.tag
+        return f"recv(source={src}, tag={tag})"

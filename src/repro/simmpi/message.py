@@ -1,11 +1,37 @@
-"""Message and trace records of the simulated MPI runtime."""
+"""Messages, the indexed mailbox, and trace records of the simulated MPI runtime.
+
+Besides the plain data records (:class:`Envelope`, :class:`TraceRecord`,
+:class:`RunResult`) this module owns :class:`Mailbox` — the per-rank
+message store the event-driven engine matches receives against.  It
+replaces the seed engine's linear-scan ``deque`` with four indexes so a
+``recv`` completes in O(log n) regardless of how many unrelated
+messages are queued:
+
+* a ``(source, tag) -> deque`` map for fully-specified receives (per
+  source, posting order equals virtual arrival order, so a plain FIFO
+  is already arrival-ordered);
+* a per-source heap for ``recv(source=s, tag=ANY_TAG)``;
+* a per-tag heap for ``recv(source=ANY_SOURCE, tag=t)`` (the hot path
+  of the store-and-forward stage loop);
+* a global heap for ``recv(ANY_SOURCE, ANY_TAG)``.
+
+All heaps are keyed by ``(arrive_time, seq)``, which gives the engine
+its documented wildcard guarantee: a wildcard receive matches the
+waiting envelope with the **earliest virtual arrival time**, ties
+broken by engine posting order.  The wildcard heaps are created
+lazily, per flavor, on first use; an envelope may live in several
+indexes at once, so consuming it through one marks it ``consumed`` and
+the stale entries elsewhere are skipped lazily on their next pop.
+"""
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Any
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "TraceRecord"]
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "Mailbox", "RunResult", "TraceRecord"]
 
 #: wildcard source for :meth:`Comm.recv`
 ANY_SOURCE = -1
@@ -13,14 +39,15 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """An in-flight message inside the engine.
 
     ``words`` is the charged size in 8-byte words (independent of the
     Python payload object, so tests can exercise the cost model with
     symbolic payloads).  ``send_time``/``arrive_time`` are virtual
-    microseconds on the sender's/receiver's clock.
+    microseconds on the sender's/receiver's clock.  ``consumed`` flips
+    when a receive matches the envelope; stale index entries check it.
     """
 
     source: int
@@ -31,6 +58,110 @@ class Envelope:
     send_time: float = 0.0
     arrive_time: float = 0.0
     seq: int = 0
+    consumed: bool = field(default=False, compare=False, repr=False)
+
+
+class Mailbox:
+    """Per-rank message store with indexed, arrival-ordered matching.
+
+    The per-``(source, tag)`` FIFO deques are always maintained (a post
+    is one dict lookup plus an append).  The three wildcard heap
+    indexes are **activated lazily**, per flavor, the first time a
+    matching wildcard receive runs — a rank that only ever posts fully
+    specified receives (or only ``recv(tag=d)``, the STFW stage loop)
+    never pays for indexes it does not use.  Once a heap exists it is
+    kept current by subsequent posts.
+    """
+
+    __slots__ = ("_by_key", "_src_heaps", "_tag_heaps", "_any_heap", "_len")
+
+    def __init__(self) -> None:
+        self._by_key: dict[tuple[int, int], deque[Envelope]] = {}
+        #: lazily-activated wildcard indexes; a missing entry means no
+        #: wildcard receive of that flavor has run yet
+        self._src_heaps: dict[int, list[tuple[float, int, Envelope]]] = {}
+        self._tag_heaps: dict[int, list[tuple[float, int, Envelope]]] = {}
+        self._any_heap: list[tuple[float, int, Envelope]] | None = None
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def post(self, env: Envelope) -> None:
+        """File one envelope; updates whichever indexes are active."""
+        key = (env.source, env.tag)
+        q = self._by_key.get(key)
+        if q is None:
+            q = self._by_key[key] = deque()
+        q.append(env)
+        if self._src_heaps or self._tag_heaps or self._any_heap is not None:
+            entry = (env.arrive_time, env.seq, env)
+            heap = self._src_heaps.get(env.source)
+            if heap is not None:
+                heappush(heap, entry)
+            heap = self._tag_heaps.get(env.tag)
+            if heap is not None:
+                heappush(heap, entry)
+            if self._any_heap is not None:
+                heappush(self._any_heap, entry)
+        self._len += 1
+
+    def match(self, source: int, tag: int) -> Envelope | None:
+        """Pop the envelope a ``recv(source, tag)`` should receive.
+
+        Fully-specified receives are FIFO per (source, tag); wildcard
+        receives take the earliest ``arrive_time`` among the matching
+        envelopes, ties broken by posting order.  Returns ``None`` when
+        nothing matches.
+        """
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            env = self._pop_deque(self._by_key.get((source, tag)))
+        elif source == ANY_SOURCE and tag == ANY_TAG:
+            if self._any_heap is None:
+                self._any_heap = self._build_heap(lambda s, t: True)
+            env = self._pop_heap(self._any_heap)
+        elif source == ANY_SOURCE:
+            heap = self._tag_heaps.get(tag)
+            if heap is None:
+                heap = self._tag_heaps[tag] = self._build_heap(lambda s, t: t == tag)
+            env = self._pop_heap(heap)
+        else:
+            heap = self._src_heaps.get(source)
+            if heap is None:
+                heap = self._src_heaps[source] = self._build_heap(lambda s, t: s == source)
+            env = self._pop_heap(heap)
+        if env is not None:
+            env.consumed = True
+            self._len -= 1
+        return env
+
+    def _build_heap(self, want) -> list[tuple[float, int, Envelope]]:
+        """Activate a wildcard index: backfill from the live deques."""
+        heap = [
+            (env.arrive_time, env.seq, env)
+            for (s, t), q in self._by_key.items()
+            if want(s, t)
+            for env in q
+            if not env.consumed
+        ]
+        heapify(heap)
+        return heap
+
+    @staticmethod
+    def _pop_deque(q: deque[Envelope] | None) -> Envelope | None:
+        while q:
+            env = q.popleft()
+            if not env.consumed:
+                return env
+        return None
+
+    @staticmethod
+    def _pop_heap(heap: list[tuple[float, int, Envelope]] | None) -> Envelope | None:
+        while heap:
+            env = heappop(heap)[2]
+            if not env.consumed:
+                return env
+        return None
 
 
 @dataclass(frozen=True)

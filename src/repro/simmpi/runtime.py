@@ -1,12 +1,47 @@
 """A deterministic discrete-event MPI emulator.
 
 ``K`` virtual processes run as Python generators; blocking operations
-(``recv``, ``barrier``, ``allgather``) are ``yield`` points at which the
-engine regains control, matches messages and advances virtual clocks.
-Sends are *eager*: they never block (as MPI eager-protocol sends of
-small messages do not), so the classic send-send deadlock cannot occur,
-while recv cycles and collective mismatches are detected and reported
-as :class:`~repro.errors.DeadlockError` with a per-rank state dump.
+(``recv``, ``barrier``, ``allgather``, ...) are ``yield`` points at
+which the engine regains control, matches messages and advances virtual
+clocks.  Sends are *eager*: they never block (as MPI eager-protocol
+sends of small messages do not), so the classic send-send deadlock
+cannot occur, while recv cycles and collective mismatches are detected
+and reported as :class:`~repro.errors.DeadlockError` with a per-rank
+state dump.
+
+Engine architecture
+-------------------
+The scheduler is **event-driven**, not a round-robin scan:
+
+* A **ready deque** holds exactly the ranks that can make progress.
+  Each pop drives one rank until it blocks or finishes; a rank blocked
+  on a receive or a collective costs *nothing* until the event that
+  unblocks it occurs, so an engine step is O(work done), not O(K).
+* Each rank owns an indexed :class:`~repro.simmpi.message.Mailbox`
+  instead of a linear-scan list: fully-specified receives pop a
+  per-``(source, tag)`` FIFO, and wildcard receives pop an
+  arrival-time-ordered heap — O(log n) either way.
+* A rank blocked on a receive registers its ``(source, tag)`` interest
+  (the wait-map is the op itself, since a rank blocks on at most one
+  receive); :meth:`SimMPI._post_send` checks the destination's posted
+  interest and **wakes the receiver directly** when the new envelope
+  matches it.  No other rank is ever inspected on a send.
+* Collective completion is counter-driven: the engine tracks how many
+  live ranks are blocked on which collective kind, so the
+  "all K ranks have entered the same collective" check is O(1) and only
+  runs when the ready deque drains.
+
+Wildcard matching semantics
+---------------------------
+``recv(ANY_SOURCE, ...)`` / ``recv(..., ANY_TAG)`` receives are
+**arrival-time ordered**: among the waiting envelopes that match, the
+one with the earliest virtual ``arrive_time`` is delivered first (ties
+broken by engine posting order).  The seed engine matched wildcard
+receives in engine posting order, which could deliver a message that
+arrives *later* in virtual time than another waiting envelope and
+inflate makespans; the indexed matcher fixes that.  Fully-specified
+receives remain FIFO per ``(source, tag)`` (which per source is the
+same as arrival order, since a sender's clock is monotone).
 
 Time model
 ----------
@@ -25,9 +60,9 @@ Each rank owns a virtual clock in microseconds.  With a
 Without a machine the run is purely functional (all clocks stay 0) —
 useful for semantics tests.
 
-Determinism: ranks are scheduled round-robin in rank order and message
-matching is FIFO per (source, tag), so a run is a pure function of its
-inputs.
+Determinism: the ready deque is seeded in rank order, ranks are woken
+in posting order, and message matching follows the rules above, so a
+run is a pure function of its inputs.
 """
 
 from __future__ import annotations
@@ -52,7 +87,7 @@ from .collectives import (
     ReduceOp,
     SendRequest,
 )
-from .message import ANY_SOURCE, ANY_TAG, Envelope, RunResult, TraceRecord
+from .message import ANY_SOURCE, ANY_TAG, Envelope, Mailbox, RunResult, TraceRecord
 
 __all__ = ["Comm", "SimMPI", "run_spmd", "RECV_ALPHA_FRACTION"]
 
@@ -190,7 +225,16 @@ class Comm:
 
 
 class _ProcState:
-    __slots__ = ("gen", "clock", "blocked_on", "finished", "retval", "mailbox", "resume_value")
+    __slots__ = (
+        "gen",
+        "clock",
+        "blocked_on",
+        "finished",
+        "retval",
+        "mailbox",
+        "resume_value",
+        "queued",
+    )
 
     def __init__(self, gen: Generator | None):
         self.gen = gen
@@ -198,8 +242,10 @@ class _ProcState:
         self.blocked_on: Any = None
         self.finished = gen is None
         self.retval: Any = None
-        self.mailbox: deque[Envelope] = deque()
+        self.mailbox = Mailbox()
         self.resume_value: Any = None
+        #: True while the rank sits in the engine's ready deque
+        self.queued = False
 
 
 class SimMPI:
@@ -245,6 +291,12 @@ class SimMPI:
             self._topology = None
             self._mapping = None
         self._procs: list[_ProcState] = []
+        self._ready: deque[int] = deque()
+        self._num_finished = 0
+        #: ranks currently blocked on a collective, and a kind -> count
+        #: map over them; together they make the completion check O(1)
+        self._coll_blocked = 0
+        self._coll_kinds: dict[type, int] = {}
 
     # ------------------------------------------------------------------
     # Cost model
@@ -294,14 +346,23 @@ class SimMPI:
             seq=self._seq,
         )
         self._seq += 1
-        self._procs[dest].mailbox.append(env)
+        dest_state = self._procs[dest]
+        dest_state.mailbox.post(env)
+        # wait-map lookup: wake the receiver iff it posted a matching
+        # (source, tag) interest — no other rank is ever inspected
+        op = dest_state.blocked_on
+        if (
+            isinstance(op, _RecvOp)
+            and (op.source == ANY_SOURCE or op.source == source)
+            and (op.tag == ANY_TAG or op.tag == tag)
+        ):
+            self._wake(dest)
 
-    def _match(self, state: _ProcState, op: _RecvOp) -> Envelope | None:
-        for i, env in enumerate(state.mailbox):
-            if (op.source in (ANY_SOURCE, env.source)) and (op.tag in (ANY_TAG, env.tag)):
-                del state.mailbox[i]
-                return env
-        return None
+    def _wake(self, rank: int) -> None:
+        state = self._procs[rank]
+        if not state.queued:
+            state.queued = True
+            self._ready.append(rank)
 
     def _deliver(self, rank: int, state: _ProcState, env: Envelope) -> tuple[int, int, Any]:
         state.clock = max(state.clock, env.arrive_time) + self._recv_cost(env.words)
@@ -331,48 +392,60 @@ class SimMPI:
         """
         self.trace = []
         self._procs = [_ProcState(None) for _ in range(self.K)]
+        self._ready = ready = deque()
+        self._num_finished = 0
+        self._coll_blocked = 0
+        self._coll_kinds = {}
         comms = [Comm(self, r) for r in range(self.K)]
         for r in range(self.K):
             out = proc_factory(comms[r])
+            state = self._procs[r]
             if isinstance(out, Generator):
-                self._procs[r].gen = out
-                self._procs[r].finished = False
+                state.gen = out
+                state.finished = False
+                state.queued = True
+                ready.append(r)
             else:
-                self._procs[r].retval = out
+                state.retval = out
+                self._num_finished += 1
 
         while True:
-            progressed = False
-
-            # point-to-point phase: advance every rank that can move
-            for r in range(self.K):
+            # event loop: drive ready ranks until nothing is runnable
+            while ready:
+                r = ready.popleft()
                 state = self._procs[r]
+                state.queued = False
                 if state.finished:
                     continue
-                if isinstance(state.blocked_on, _RecvOp):
-                    env = self._match(state, state.blocked_on)
+                op = state.blocked_on
+                if op is not None:
+                    if not isinstance(op, _RecvOp):
+                        continue  # collectives resume via _complete_collective
+                    env = state.mailbox.match(op.source, op.tag)
                     if env is None:
-                        continue
+                        continue  # stale wake; stay blocked
                     state.blocked_on = None
                     state.resume_value = self._deliver(r, state, env)
-                elif state.blocked_on is not None:
-                    continue  # waiting on a collective
-                progressed = self._drive(r, state) or progressed
+                self._drive(r, state)
 
-            alive = [r for r in range(self.K) if not self._procs[r].finished]
-            if not alive:
+            if self._num_finished == self.K:
                 break
-            if progressed:
-                continue
 
-            # collective phase: everyone alive stuck — complete a uniform
-            # collective if there is one, otherwise report deadlock
-            kinds = {type(self._procs[r].blocked_on) for r in alive}
-            if len(kinds) == 1 and len(alive) == self.K:
-                kind = next(iter(kinds))
-                if kind in _COLLECTIVE_OPS:
-                    self._complete_collective(kind, alive)
-                    continue
-            self._raise_deadlock(alive)
+            # ready deque drained: either every live rank sits in one
+            # uniform collective (counter check, O(1)) or we deadlocked
+            alive_count = self.K - self._num_finished
+            if (
+                alive_count == self.K
+                and self._coll_blocked == self.K
+                and len(self._coll_kinds) == 1
+            ):
+                self._complete_collective(
+                    next(iter(self._coll_kinds)), list(range(self.K))
+                )
+                continue
+            self._raise_deadlock(
+                [r for r in range(self.K) if not self._procs[r].finished]
+            )
 
         returns = [p.retval for p in self._procs]
         clocks = [p.clock for p in self._procs]
@@ -438,6 +511,9 @@ class SimMPI:
             p.clock = t
             p.blocked_on = None
             p.resume_value = results[r]
+            self._wake(r)
+        self._coll_blocked = 0
+        self._coll_kinds.clear()
 
     def _check_uniform(self, ops: dict, attr: str, name: str) -> None:
         vals = {getattr(op, attr) for op in ops.values()}
@@ -446,11 +522,8 @@ class SimMPI:
                 f"{name} called with mismatched {attr} across ranks: {sorted(map(str, vals))}"
             )
 
-    def _drive(self, rank: int, state: _ProcState) -> bool:
-        """Advance one rank until it blocks or finishes; True if it moved."""
-        if state.blocked_on is not None:
-            return False
-        progressed = False
+    def _drive(self, rank: int, state: _ProcState) -> None:
+        """Advance one rank until it blocks or finishes."""
         while True:
             try:
                 value = state.resume_value
@@ -459,18 +532,21 @@ class SimMPI:
             except StopIteration as stop:
                 state.finished = True
                 state.retval = stop.value
-                return True
-            progressed = True
+                self._num_finished += 1
+                return
             if isinstance(op, _RecvOp):
-                env = self._match(state, op)
+                env = state.mailbox.match(op.source, op.tag)
                 if env is not None:
                     state.resume_value = self._deliver(rank, state, env)
                     continue
                 state.blocked_on = op
-                return progressed
+                return
             if isinstance(op, _COLLECTIVE_OPS):
                 state.blocked_on = op
-                return progressed
+                kind = type(op)
+                self._coll_blocked += 1
+                self._coll_kinds[kind] = self._coll_kinds.get(kind, 0) + 1
+                return
             raise SimMPIError(
                 f"rank {rank} yielded {op!r}; processes may only yield "
                 "comm.recv()/comm.barrier()/comm.allgather() operations"
@@ -482,13 +558,11 @@ class SimMPI:
             p = self._procs[r]
             op = p.blocked_on
             if isinstance(op, _RecvOp):
-                desc = f"recv(source={op.source}, tag={op.tag}), mailbox={len(p.mailbox)}"
-            elif isinstance(op, _BarrierOp):
-                desc = "barrier"
-            elif isinstance(op, _AllGatherOp):
-                desc = "allgather"
-            else:  # pragma: no cover - defensive
-                desc = repr(op)
+                desc = f"{op.describe()}, mailbox={len(p.mailbox)}"
+            elif op is None:  # pragma: no cover - defensive
+                desc = "nothing (runnable?)"
+            else:
+                desc = op.describe()
             lines.append(f"  rank {r}: blocked on {desc}")
         finished = self.K - len(alive)
         head = "deadlock: no rank can progress"

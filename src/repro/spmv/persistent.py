@@ -121,7 +121,7 @@ class PersistentSpMV:
                     x_full[needed[comm.rank][src]] = payload
             return local_spmv(block, x_full)
 
-        run = run_spmd(self.K, lambda comm: rank_fn(comm), machine=self.machine)
+        run = run_spmd(self.K, rank_fn, machine=self.machine)
         y = np.zeros(n, dtype=np.float64)
         for p in range(self.K):
             y[self._rows[p]] = run.returns[p]

@@ -1,6 +1,7 @@
 """Unit tests for trace analysis and Chrome-trace export."""
 
 import json
+import math
 
 from repro.core import CommPattern, make_vpt, run_stfw_exchange
 from repro.network import BGQ
@@ -33,9 +34,15 @@ class TestRankSummary:
     def test_time_spans(self):
         res = traced_run()
         summ = rank_summary(res, 8)
-        assert summ[0].first_send_us == 0.0
+        assert summ[0].first_send_us == 0.0  # real send at t=0 stays 0.0
         assert summ[1].last_arrival_us > 0
-        assert summ[3].first_send_us == 0.0  # idle rank defaults
+
+    def test_idle_rank_first_send_is_nan(self):
+        # "never sent" must be distinguishable from "sent at t=0"
+        res = traced_run()
+        summ = rank_summary(res, 8)
+        assert math.isnan(summ[3].first_send_us)
+        assert summ[3].sent_messages == 0
 
     def test_matches_stfw_stats(self):
         p = CommPattern.random(16, avg_degree=4, seed=2, words=3)
@@ -87,6 +94,14 @@ class TestChromeTrace:
             e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"
         }
         assert "rank 0" in names and "rank 1" in names
+
+    def test_display_time_unit_is_ms(self):
+        # timestamps are virtual microseconds (the chrome-trace `ts`
+        # convention); the format only allows "ms"/"ns" and "ns" made
+        # Perfetto scale every duration 1000x too long
+        res = traced_run()
+        doc = json.loads(to_chrome_trace(res))
+        assert doc["displayTimeUnit"] == "ms"
 
     def test_empty_trace(self):
         def worker(comm):

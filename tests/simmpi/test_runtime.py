@@ -95,6 +95,69 @@ class TestBasicSendRecv:
         res = run_spmd(8, worker)
         assert res.returns[0] == set(range(1, 8))
 
+    def test_any_source_matches_earliest_arrival(self):
+        # Two senders whose virtual arrival order inverts their engine
+        # posting order: rank 1 runs first (posting "late" first) but
+        # has a huge clock from earlier sends, while rank 2 posts
+        # "early" afterwards with a near-zero clock.  A wildcard recv
+        # must deliver "early" (earliest arrive_time), not the first
+        # posted envelope.
+        def worker(comm):
+            if comm.rank == 1:
+                for _ in range(8):
+                    comm.send(3, "spam", words=500)  # inflate rank 1's clock
+                comm.send(0, "late", words=1)
+                return None
+            if comm.rank == 2:
+                comm.send(0, "early", words=1)
+                return None
+            if comm.rank == 3:
+                for _ in range(8):
+                    yield comm.recv(source=1)
+                return None
+            got = []
+            for _ in range(2):
+                src, _, v = yield comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                got.append((src, v))
+            return got
+
+        res = run_spmd(4, worker, machine=BGQ, trace=True)
+        assert res.returns[0] == [(2, "early"), (1, "late")]
+        # sanity: the arrival order really was inverted vs posting order
+        arrivals = {rec.source: rec.arrive_time for rec in res.trace if rec.dest == 0}
+        assert arrivals[2] < arrivals[1]
+
+    def test_any_tag_from_source_is_fifo(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "first", tag=5, words=1)
+                comm.send(1, "second", tag=3, words=1)
+                return None
+            out = []
+            for _ in range(2):
+                _, tag, v = yield comm.recv(source=0, tag=ANY_TAG)
+                out.append((tag, v))
+            return out
+
+        res = run_spmd(2, worker, machine=BGQ)
+        assert res.returns[1] == [(5, "first"), (3, "second")]
+
+    def test_wildcard_ties_break_by_posting_order(self):
+        # without a machine all arrivals are at t=0: ties must fall
+        # back to engine posting order (deterministic, rank order here)
+        def worker(comm):
+            if comm.rank:
+                comm.send(0, comm.rank, words=1)
+                return None
+            out = []
+            for _ in range(comm.size - 1):
+                src, _, _ = yield comm.recv()
+                out.append(src)
+            return out
+
+        res = run_spmd(5, worker)
+        assert res.returns[0] == [1, 2, 3, 4]
+
     def test_plain_return_rank(self):
         # ranks that do no blocking communication may return a value
         def worker(comm):
@@ -169,6 +232,40 @@ class TestDeadlockDetection:
 
         with pytest.raises(DeadlockError):
             run_spmd(2, worker)
+
+    def test_deadlock_dump_names_allreduce_and_bcast(self):
+        def worker(comm):
+            if comm.rank == 0:
+                yield comm.allreduce(1, op="max", words=3)
+            else:
+                yield comm.bcast(None, root=1, words=2)
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(2, worker)
+        text = str(err.value)
+        assert "rank 0: blocked on allreduce(op=max, words=3)" in text
+        assert "rank 1: blocked on bcast(root=1, words=2)" in text
+
+    def test_deadlock_dump_names_reduce_and_alltoall(self):
+        def worker(comm):
+            if comm.rank == 0:
+                yield comm.reduce(1, root=0, op="sum", words=1)
+            else:
+                yield comm.alltoall([0, 0], words_per_peer=4)
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(2, worker)
+        text = str(err.value)
+        assert "reduce(op=sum, root=0, words=1)" in text
+        assert "alltoall(words_per_peer=4)" in text
+
+    def test_deadlock_dump_recv_shows_wildcards(self):
+        def worker(comm):
+            yield comm.recv()
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(1, worker)
+        assert "recv(source=ANY_SOURCE, tag=ANY_TAG), mailbox=0" in str(err.value)
 
 
 class TestCollectives:
