@@ -1,0 +1,52 @@
+"""Benchmark: resilience sweep of BL vs STFW under injected faults.
+
+Regenerates the ``repro faults`` table — fault-tolerant variants of
+both schemes across a link-drop sweep plus a forwarder-crash scenario —
+and asserts its qualitative findings: clean runs cost nothing, the
+fault-tolerant schemes deliver every countable pair at every swept
+drop rate, and the forwarder crash strands plain STFW while STFW-FT
+detours around it.
+"""
+
+from conftest import emit
+
+from repro.experiments import faults
+from repro.metrics import Table
+
+K = 32
+DROP_RATES = (0.0, 0.05)
+
+
+def test_bench_faults_resilience(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: faults.run(bench_config, K=K, drop_rates=DROP_RATES),
+        rounds=1,
+        iterations=1,
+    )
+
+    t = Table(
+        columns=("scenario", "scheme", "completion", "inflation", "outcome"),
+        title=f"fault-resilience sweep — K={K}, BlueGene/Q emulator",
+    )
+    for scenario, s in result.rows:
+        t.add_row(
+            scenario,
+            s.scheme,
+            f"{100.0 * s.completion_rate:.1f}%",
+            f"{s.makespan_inflation:.2f}x",
+            "ok" if s.completed else "deadlock",
+        )
+    emit(benchmark, t.render())
+
+    for scenario, s in result.rows:
+        if scenario == "drop 0%":
+            # a fault-free plan costs nothing
+            assert s.completion_rate == 1.0 and s.makespan_inflation == 1.0
+        elif scenario.startswith("drop"):
+            # retries recover every drop at the swept rates
+            assert s.completion_rate == 1.0
+            assert s.makespan_inflation >= 1.0
+    crash = {s.scheme: s for sc, s in result.rows if sc.startswith("crash")}
+    assert not crash["STFW"].completed and crash["STFW"].stranded
+    assert crash["STFW-FT"].completed and crash["STFW-FT"].completion_rate == 1.0
+    assert crash["BL-FT"].completion_rate == 1.0

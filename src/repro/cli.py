@@ -23,6 +23,7 @@ from . import __version__
 from .experiments import (
     ExperimentConfig,
     default_config,
+    faults,
     figure1,
     figure6,
     figure7,
@@ -45,6 +46,7 @@ EXPERIMENTS: dict[str, tuple[Callable, Callable]] = {
     "figure9": (figure9.run, figure9.format_result),
     "table3": (table3.run, table3.format_result),
     "figure10": (figure10.run, figure10.format_result),
+    "faults": (faults.run, faults.format_result),
 }
 
 

@@ -42,10 +42,16 @@ from .serialize import load_pattern, load_plan, save_pattern, save_plan
 from .routing import Hop, holder_after_stage, holder_after_stage_array, route, route_length
 from .stfw import (
     ExchangeResult,
+    FTExchangeResult,
+    FTRankReport,
+    direct_ft_process,
     direct_process,
     recv_counts_from_plan,
     run_direct_exchange,
+    run_direct_ft_exchange,
     run_stfw_exchange,
+    run_stfw_ft_exchange,
+    stfw_ft_process,
     stfw_process,
 )
 from .tradeoff import TradeoffPoint, recommend_dimension, tradeoff_curve
@@ -78,10 +84,16 @@ __all__ = [
     "holder_after_stage_array",
     "stfw_process",
     "direct_process",
+    "stfw_ft_process",
+    "direct_ft_process",
     "recv_counts_from_plan",
     "run_stfw_exchange",
     "run_direct_exchange",
+    "run_stfw_ft_exchange",
+    "run_direct_ft_exchange",
     "ExchangeResult",
+    "FTRankReport",
+    "FTExchangeResult",
     "locality_vpt_mapping",
     "apply_mapping",
     "communication_matrix",

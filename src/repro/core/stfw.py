@@ -21,17 +21,49 @@ Two receive modes are supported:
 * ``dynamic`` — each stage is preceded by a count exchange with all
   ``k_d - 1`` dimension-``d`` neighbors, so no global knowledge is
   needed (the cold-start path).
+
+Fault tolerance
+---------------
+STFW concentrates risk that the direct scheme does not have: one dead
+forwarder in stage ``d`` strands the coalesced submessages of many
+(source, destination) pairs.  :func:`stfw_ft_process` is the
+fault-tolerant variant, built on the reliable delivery layer
+(:class:`~repro.simmpi.reliable.ReliableComm`):
+
+* every hop is acked, retried with exponential backoff, and
+  deduplicated; a neighbor that exhausts the retry budget is marked
+  *suspected dead*;
+* submessages bound for a dead forwarder are **detoured**: the e-cube
+  dimension order is locally permuted (fix an alternate dimension
+  first), or the bundle is rerouted through an alternate digit of the
+  same dimension with that dimension deferred, falling back to a
+  direct send to the final destination when a dimension's forwarders
+  are exhausted;
+* delivery is confirmed **end-to-end**: the final destination sends an
+  ``END`` receipt to the origin, which re-sends unconfirmed payloads
+  directly after a quiesce timeout (bounded recovery rounds);
+* each rank reports delivered vs. lost payloads
+  (:class:`FTRankReport`), so degradation is measurable instead of a
+  silent hang.
+
+The non-tolerant :func:`stfw_process` under the same
+:class:`~repro.simmpi.faults.FaultPlan` deadlocks; pass
+``on_fault="partial"`` to :func:`run_stfw_exchange` to turn the
+structured :class:`~repro.errors.DeadlockError` into a partial
+:class:`ExchangeResult` that names the stranded pairs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Generator, Mapping, Sequence
 
 import numpy as np
 
-from ..errors import PlanError
-from ..simmpi.message import RunResult
+from ..errors import DeadlockError, PendingOp, PlanError
+from ..simmpi.faults import FaultPlan
+from ..simmpi.message import TIMEOUT, RunResult
+from ..simmpi.reliable import ReliableComm
 from ..simmpi.runtime import Comm, run_spmd
 from .pattern import CommPattern
 from .plan import CommPlan, build_plan
@@ -40,14 +72,24 @@ from .vpt import VirtualProcessTopology
 __all__ = [
     "stfw_process",
     "direct_process",
+    "stfw_ft_process",
+    "direct_ft_process",
     "recv_counts_from_plan",
     "run_stfw_exchange",
     "run_direct_exchange",
+    "run_stfw_ft_exchange",
+    "run_direct_ft_exchange",
     "ExchangeResult",
+    "FTRankReport",
+    "FTExchangeResult",
 ]
 
 #: tag offset separating per-stage count messages from data messages
 _COUNT_TAG_BASE = 1 << 20
+
+#: logical (reliable-layer) tags of the fault-tolerant exchange
+_FT_BUNDLE_TAG = 0
+_FT_END_TAG = 1
 
 
 @dataclass
@@ -57,11 +99,17 @@ class ExchangeResult:
     ``delivered[i]`` lists ``(source, payload)`` pairs received by rank
     ``i`` (in arrival order); ``run`` carries clocks and the optional
     trace; ``plan`` is present when the exchange ran in planned mode.
+    ``completed`` is False when the run was cut short by injected
+    faults (``on_fault="partial"``); ``pending`` then holds the
+    machine-readable blocked-rank dump and ``crashed`` the dead ranks.
     """
 
     delivered: list[list[tuple[int, Any]]]
     run: RunResult
     plan: CommPlan | None = None
+    completed: bool = True
+    pending: tuple[PendingOp, ...] = ()
+    crashed: tuple[int, ...] = ()
 
     @property
     def makespan_us(self) -> float:
@@ -95,6 +143,7 @@ def stfw_process(
     recv_counts: Sequence[int] | None = None,
     *,
     header_words: int = 0,
+    out: list | None = None,
 ) -> Generator:
     """Algorithm 1 for one rank; run under :func:`repro.simmpi.run_spmd`.
 
@@ -112,6 +161,10 @@ def stfw_process(
         (planned mode); ``None`` selects dynamic count exchange.
     header_words:
         Extra words charged per submessage for its framing.
+    out:
+        Optional external delivery sink.  Deliveries are appended to it
+        as they happen, so a caller injecting faults can still read the
+        partial deliveries of a run that ends in a deadlock.
 
     Returns
     -------
@@ -124,7 +177,7 @@ def stfw_process(
     # fwbuf[d][digit] = submessages to forward in stage d to the
     # neighbor whose dimension-d coordinate is `digit`
     fwbuf: list[dict[int, list[tuple[int, int, Any]]]] = [{} for _ in range(n)]
-    delivered: list[tuple[int, Any]] = []
+    delivered: list[tuple[int, Any]] = [] if out is None else out
 
     # Algorithm 1 lines 4-6: bucket my own SendSet
     for dst, payload in send_data.items():
@@ -208,6 +261,282 @@ def direct_process(
 
 
 # ----------------------------------------------------------------------
+# Fault-tolerant exchange (reliable hops, e-cube detours, end-to-end
+# receipts)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FTRankReport:
+    """One rank's outcome of a fault-tolerant exchange.
+
+    ``delivered`` lists ``(origin, payload)`` pairs that reached this
+    rank; ``lost`` lists ``(origin, destination)`` pairs this rank gave
+    up on — as their origin (no end-to-end receipt after recovery) or
+    as a forwarder (destination or every route to it dead, or the hop
+    budget exhausted); ``dead_peers`` are ranks this rank's reliable
+    layer presumes crashed.
+    """
+
+    delivered: list[tuple[int, Any]] = field(default_factory=list)
+    lost: list[tuple[int, int]] = field(default_factory=list)
+    dead_peers: list[int] = field(default_factory=list)
+
+
+def _ft_next_hop(
+    vpt: VirtualProcessTopology,
+    rank: int,
+    dst: int,
+    skip: tuple[int, ...],
+    dead: set[int],
+) -> tuple[int, tuple[int, ...]] | None:
+    """Choose the next hop for a submessage under suspected-dead ranks.
+
+    Dimension-ordered (e-cube) routing, locally adapted: fix the lowest
+    differing dimension whose forwarder is alive, preferring dimensions
+    not deferred by an earlier detour (``skip``).  When a dimension's
+    target forwarder is dead, try an **alternate digit in the same
+    dimension** — the bundle detours through a live group member and
+    the dimension is deferred, to be re-fixed later from a different
+    group.  When every alternative is exhausted, fall back to a direct
+    send to ``dst``.  Returns ``(next_hop, new_skip)``, or ``None``
+    when ``dst`` itself is presumed dead (the submessage is lost).
+    """
+    diffs = [d for d in range(vpt.n) if vpt.digit(rank, d) != vpt.digit(dst, d)]
+    ordered = [d for d in diffs if d not in skip] + [d for d in diffs if d in skip]
+    for d in ordered:
+        target_digit = vpt.digit(dst, d)
+        q = _neighbor_with_digit(vpt, rank, d, target_digit)
+        if q == dst:
+            # last differing dimension: the forwarder IS the destination
+            if dst in dead:
+                return None
+            return dst, ()
+        if q not in dead:
+            return q, skip
+        # e-cube detour: alternate digit in the same dimension, with
+        # the dimension deferred so the detour rank does not bounce the
+        # bundle straight back toward the dead forwarder
+        for g in vpt.neighbors(rank, d):
+            if g in dead or vpt.digit(g, d) == target_digit:
+                continue
+            new_skip = skip if d in skip else skip + (d,)
+            return g, new_skip
+        # dimension exhausted; try the next differing dimension
+    # every forwarding option is dead: send directly to the destination
+    if dst in dead:
+        return None
+    return dst, ()
+
+
+def _ft_ship(
+    rc: ReliableComm,
+    vpt: VirtualProcessTopology,
+    lost: list[tuple[int, int]],
+    subs: list[tuple[int, int, Any, int, tuple[int, ...]]],
+    *,
+    header_words: int,
+) -> Generator:
+    """Route and reliably send submessages, re-routing around failures.
+
+    ``subs`` entries are ``(dst, origin, payload, ttl, skip)``.  Bundles
+    are coalesced per chosen next hop; a hop whose ack never arrives
+    marks the peer dead and the affected submessages are re-routed
+    under the updated suspicion set, until everything is shipped or
+    recorded in ``lost``.
+    """
+    rank = rc.comm.rank
+    remaining = list(subs)
+    while remaining:
+        bundles: dict[int, list] = {}
+        for dst, origin, payload, ttl, skip in remaining:
+            hop = _ft_next_hop(vpt, rank, dst, skip, rc.dead)
+            if hop is None:
+                lost.append((origin, dst))
+                continue
+            nxt, new_skip = hop
+            bundles.setdefault(nxt, []).append((dst, origin, payload, ttl, new_skip))
+        remaining = []
+        for nxt, bundle in sorted(bundles.items()):
+            words = sum(_payload_words(p) for _, _, p, _, _ in bundle)
+            words += header_words * len(bundle)
+            ok = yield from rc.try_send(nxt, bundle, tag=_FT_BUNDLE_TAG, words=words)
+            if not ok:
+                # peer newly suspected dead: re-route this bundle
+                remaining.extend(bundle)
+
+
+def stfw_ft_process(
+    comm: Comm,
+    vpt: VirtualProcessTopology,
+    send_data: Mapping[int, Any],
+    *,
+    timeout_us: float = 150.0,
+    max_retries: int = 3,
+    backoff: float = 2.0,
+    quiesce_us: float | None = None,
+    end_wait_us: float | None = None,
+    max_recovery_rounds: int = 2,
+    header_words: int = 0,
+) -> Generator:
+    """Fault-tolerant Algorithm 1 for one rank.
+
+    Store-and-forward exchange over the reliable delivery layer: every
+    hop is acked/retried/deduplicated, dead forwarders are routed
+    around (see :func:`_ft_next_hop`), and each delivery is confirmed
+    end-to-end with an ``END`` receipt from the final destination to
+    the origin.  An origin whose receipts stop arriving for
+    ``end_wait_us`` re-sends unconfirmed payloads directly (up to
+    ``max_recovery_rounds`` rounds — the case where a forwarder acked a
+    bundle and then died holding it), then reports anything still
+    unconfirmed as lost.
+
+    Termination is quiesce-based — per-stage receive counts would be
+    wrong in both directions under faults (a dead forwarder strands
+    planned messages; detours create unplanned ones), so no global
+    knowledge is assumed at all.  ``quiesce_us`` defaults to three
+    full retry cycles, enough to sit out a neighbor discovering a dead
+    rank; ``end_wait_us`` defaults to **one** retry cycle so recovery
+    re-sends land while their receivers are still inside their own
+    quiesce windows.
+
+    Returns an :class:`FTRankReport`.
+    """
+    rank = comm.rank
+    rc = ReliableComm(
+        comm, timeout_us=timeout_us, max_retries=max_retries, backoff=backoff
+    )
+    retry_cycle = timeout_us * sum(backoff**k for k in range(max_retries + 1))
+    if quiesce_us is None:
+        quiesce_us = 3.0 * retry_cycle
+    if end_wait_us is None:
+        end_wait_us = retry_cycle
+    ttl0 = 2 * vpt.n + 4  # hop budget: detours add at most one hop per dimension
+
+    delivered: list[tuple[int, Any]] = []
+    delivered_origins: set[int] = set()
+    lost: list[tuple[int, int]] = []
+    #: payloads this rank originated, keyed by destination, until their
+    #: END receipt arrives
+    outstanding: dict[int, Any] = {}
+
+    subs = []
+    for dst in sorted(send_data):
+        if dst == rank:
+            raise PlanError(f"rank {rank} has a self message in its SendSet")
+        outstanding[dst] = send_data[dst]
+        subs.append((dst, rank, send_data[dst], ttl0, ()))
+    yield from _ft_ship(rc, vpt, lost, subs, header_words=header_words)
+
+    recovery_rounds = 0
+    while True:
+        # an origin still missing END receipts polls on the short
+        # end-wait so its recovery re-send arrives while the receiver
+        # is still inside its own (long) quiesce window
+        recovering = bool(outstanding) and recovery_rounds < max_recovery_rounds
+        wait = min(quiesce_us, end_wait_us) if recovering else quiesce_us
+        got = yield from rc.recv(timeout_us=wait)
+        if got is TIMEOUT:
+            dropped = [dst for dst in outstanding if dst in rc.dead]
+            for dst in dropped:
+                lost.append((rank, dst))
+                del outstanding[dst]
+            if outstanding and recovery_rounds < max_recovery_rounds:
+                recovery_rounds += 1
+                # recovery: bypass forwarding, re-send straight to the
+                # destination (duplicates are suppressed there)
+                for dst in sorted(outstanding):
+                    payload = outstanding[dst]
+                    bundle = [(dst, rank, payload, 1, ())]
+                    words = _payload_words(payload) + header_words
+                    ok = yield from rc.try_send(
+                        dst, bundle, tag=_FT_BUNDLE_TAG, words=words
+                    )
+                    if not ok:
+                        lost.append((rank, dst))
+                        del outstanding[dst]
+                continue
+            if wait < quiesce_us:
+                # the short end-wait poll expired, not the quiesce:
+                # stay alive a full quiesce window so that a peer's
+                # recovery re-send still finds this rank receiving
+                continue
+            break
+        src, ltag, body = got
+        if ltag == _FT_END_TAG:
+            outstanding.pop(body, None)
+            continue
+        forwards = []
+        for dst, origin, payload, ttl, skip in body:
+            if dst == rank:
+                if origin not in delivered_origins:
+                    delivered_origins.add(origin)
+                    delivered.append((origin, payload))
+                # end-to-end receipt to the origin (re-sent for a
+                # duplicate too: the origin is clearly still waiting)
+                yield from rc.try_send(origin, dst, tag=_FT_END_TAG, words=1)
+            elif ttl <= 1:
+                lost.append((origin, dst))
+            else:
+                forwards.append((dst, origin, payload, ttl - 1, skip))
+        if forwards:
+            yield from _ft_ship(rc, vpt, lost, forwards, header_words=header_words)
+
+    for dst in sorted(outstanding):
+        lost.append((rank, dst))
+    # a pair can be recorded twice (once when shipping fails, once when
+    # its END receipt never arrives); report each loss exactly once
+    return FTRankReport(
+        delivered=delivered, lost=sorted(set(lost)), dead_peers=sorted(rc.dead)
+    )
+
+
+def direct_ft_process(
+    comm: Comm,
+    send_data: Mapping[int, Any],
+    *,
+    timeout_us: float = 150.0,
+    max_retries: int = 3,
+    backoff: float = 2.0,
+    quiesce_us: float | None = None,
+) -> Generator:
+    """Fault-tolerant baseline: direct reliable sends, quiesce receive.
+
+    The BL counterpart of :func:`stfw_ft_process` — no forwarding, so a
+    hop-level ack already is an end-to-end receipt.  Returns an
+    :class:`FTRankReport`.
+    """
+    rank = comm.rank
+    rc = ReliableComm(
+        comm, timeout_us=timeout_us, max_retries=max_retries, backoff=backoff
+    )
+    if quiesce_us is None:
+        retry_cycle = timeout_us * sum(backoff**k for k in range(max_retries + 1))
+        quiesce_us = 3.0 * retry_cycle
+
+    delivered: list[tuple[int, Any]] = []
+    lost: list[tuple[int, int]] = []
+    for dst in sorted(send_data):
+        if dst == rank:
+            raise PlanError(f"rank {rank} has a self message in its SendSet")
+        payload = send_data[dst]
+        ok = yield from rc.try_send(
+            dst, payload, tag=_FT_BUNDLE_TAG, words=_payload_words(payload)
+        )
+        if not ok:
+            lost.append((rank, dst))
+    while True:
+        got = yield from rc.recv(timeout_us=quiesce_us)
+        if got is TIMEOUT:
+            break
+        src, _, payload = got
+        delivered.append((src, payload))
+    return FTRankReport(
+        delivered=delivered, lost=sorted(set(lost)), dead_peers=sorted(rc.dead)
+    )
+
+
+# ----------------------------------------------------------------------
 # Whole-system drivers
 # ----------------------------------------------------------------------
 
@@ -224,6 +553,51 @@ def _default_payloads(pattern: CommPattern) -> list[dict[int, np.ndarray]]:
     return send_data
 
 
+def _run_spmd_on_fault(
+    K: int,
+    factory,
+    sinks: list[list[tuple[int, Any]]],
+    on_fault: str,
+    **spmd_kwargs,
+) -> ExchangeResult:
+    """Run an SPMD exchange, optionally salvaging a fault deadlock.
+
+    With ``on_fault="raise"`` a fault-induced hang propagates as
+    :class:`~repro.errors.DeadlockError`.  With ``"partial"`` it is
+    caught and converted into an incomplete :class:`ExchangeResult`
+    whose deliveries come from the externally-owned ``sinks`` and whose
+    ``pending``/``crashed`` carry the structured deadlock state.
+    """
+    if on_fault not in ("raise", "partial"):
+        raise PlanError(f"unknown on_fault {on_fault!r}")
+    try:
+        result = run_spmd(K, factory, **spmd_kwargs)
+    except DeadlockError as exc:
+        if on_fault == "raise":
+            raise
+        clocks = list(exc.clocks) if exc.clocks else [0.0] * K
+        run = RunResult(
+            returns=[None] * K,
+            clocks=clocks,
+            makespan_us=max(clocks),
+            crashed=list(exc.crashed),
+        )
+        return ExchangeResult(
+            delivered=[list(s) for s in sinks],
+            run=run,
+            plan=None,
+            completed=False,
+            pending=exc.pending,
+            crashed=exc.crashed,
+        )
+    return ExchangeResult(
+        delivered=result.returns,
+        run=result,
+        plan=None,
+        crashed=tuple(result.crashed),
+    )
+
+
 def run_stfw_exchange(
     pattern: CommPattern,
     vpt: VirtualProcessTopology,
@@ -234,6 +608,8 @@ def run_stfw_exchange(
     mode: str = "planned",
     header_words: int = 0,
     trace: bool = False,
+    fault_plan: FaultPlan | None = None,
+    on_fault: str = "raise",
     **engine_kwargs,
 ) -> ExchangeResult:
     """Execute the full STFW exchange for ``pattern`` on the emulator.
@@ -242,8 +618,13 @@ def run_stfw_exchange(
     pattern.  ``mode`` is ``"planned"`` (receive counts precomputed
     from the plan; the amortized-setup path the paper times) or
     ``"dynamic"`` (per-stage count exchange; no global knowledge).
-    Extra keyword arguments (``jitter``, ``rendezvous_threshold_words``,
-    ...) forward to the :class:`~repro.simmpi.runtime.SimMPI` engine.
+    A ``fault_plan`` injects crashes/drops; this exchange has **no**
+    tolerance for them, so a killed forwarder strands submessages —
+    ``on_fault="partial"`` turns the resulting deadlock into an
+    incomplete :class:`ExchangeResult` (partial deliveries plus the
+    blocked-rank dump) instead of raising.  Extra keyword arguments
+    (``jitter``, ``rendezvous_threshold_words``, ...) forward to the
+    :class:`~repro.simmpi.runtime.SimMPI` engine.
     """
     if pattern.K != vpt.K:
         raise PlanError(f"pattern K={pattern.K} != vpt K={vpt.K}")
@@ -258,21 +639,32 @@ def run_stfw_exchange(
         plan = build_plan(pattern, vpt, header_words=header_words)
         counts = recv_counts_from_plan(plan)
 
+    sinks: list[list[tuple[int, Any]]] = [[] for _ in range(vpt.K)]
+
     def factory(comm: Comm):
         rc = None if counts is None else counts[:, comm.rank]
         return stfw_process(
-            comm, vpt, payloads[comm.rank], rc, header_words=header_words
+            comm,
+            vpt,
+            payloads[comm.rank],
+            rc,
+            header_words=header_words,
+            out=sinks[comm.rank],
         )
 
-    result = run_spmd(
+    result = _run_spmd_on_fault(
         vpt.K,
         factory,
+        sinks,
+        on_fault,
         machine=machine,
         mapping=mapping,
         trace=trace,
+        fault_plan=fault_plan,
         **engine_kwargs,
     )
-    return ExchangeResult(delivered=result.returns, run=result, plan=plan)
+    result.plan = plan
+    return result
 
 
 def run_direct_exchange(
@@ -282,19 +674,154 @@ def run_direct_exchange(
     machine=None,
     mapping=None,
     trace: bool = False,
+    fault_plan: FaultPlan | None = None,
+    on_fault: str = "raise",
     **engine_kwargs,
 ) -> ExchangeResult:
-    """Execute the baseline direct exchange for ``pattern`` on the emulator."""
+    """Execute the baseline direct exchange for ``pattern`` on the emulator.
+
+    Accepts the same ``fault_plan``/``on_fault`` handling as
+    :func:`run_stfw_exchange`.
+    """
     if payloads is None:
         payloads = _default_payloads(pattern)
     expect = pattern.recv_counts()
 
-    result = run_spmd(
+    return _run_spmd_on_fault(
         pattern.K,
         lambda comm: direct_process(comm, payloads[comm.rank], int(expect[comm.rank])),
+        [[] for _ in range(pattern.K)],
+        on_fault,
         machine=machine,
         mapping=mapping,
         trace=trace,
+        fault_plan=fault_plan,
         **engine_kwargs,
     )
-    return ExchangeResult(delivered=result.returns, run=result, plan=None)
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant drivers
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FTExchangeResult:
+    """Outcome of a fault-tolerant exchange.
+
+    ``reports[i]`` is rank ``i``'s :class:`FTRankReport`, or ``None``
+    when that rank crashed before returning one.
+    """
+
+    reports: list[FTRankReport | None]
+    run: RunResult
+
+    @property
+    def crashed(self) -> tuple[int, ...]:
+        """Ranks the fault plan killed during the run."""
+        return tuple(self.run.crashed)
+
+    @property
+    def delivered(self) -> list[list[tuple[int, Any]]]:
+        """Per-rank delivered ``(origin, payload)`` pairs (empty for crashed)."""
+        return [[] if r is None else list(r.delivered) for r in self.reports]
+
+    @property
+    def makespan_us(self) -> float:
+        """Virtual wall time of the exchange."""
+        return self.run.makespan_us
+
+
+def _ft_reports(result: RunResult) -> list[FTRankReport | None]:
+    """Harvest rank reports, leaving ``None`` for crashed ranks."""
+    return [r if isinstance(r, FTRankReport) else None for r in result.returns]
+
+
+def run_stfw_ft_exchange(
+    pattern: CommPattern,
+    vpt: VirtualProcessTopology,
+    *,
+    payloads: Sequence[Mapping[int, Any]] | None = None,
+    machine=None,
+    mapping=None,
+    trace: bool = False,
+    fault_plan: FaultPlan | None = None,
+    timeout_us: float = 150.0,
+    max_retries: int = 3,
+    backoff: float = 2.0,
+    quiesce_us: float | None = None,
+    end_wait_us: float | None = None,
+    max_recovery_rounds: int = 2,
+    header_words: int = 0,
+    **engine_kwargs,
+) -> FTExchangeResult:
+    """Execute the fault-tolerant STFW exchange for ``pattern``.
+
+    Every live rank terminates (every blocking receive carries a
+    virtual-time deadline), so a ``fault_plan`` can never deadlock this
+    exchange — surviving ranks return :class:`FTRankReport` objects
+    accounting for every payload as delivered or lost.
+    """
+    if pattern.K != vpt.K:
+        raise PlanError(f"pattern K={pattern.K} != vpt K={vpt.K}")
+    if payloads is None:
+        payloads = _default_payloads(pattern)
+
+    result = run_spmd(
+        vpt.K,
+        lambda comm: stfw_ft_process(
+            comm,
+            vpt,
+            payloads[comm.rank],
+            timeout_us=timeout_us,
+            max_retries=max_retries,
+            backoff=backoff,
+            quiesce_us=quiesce_us,
+            end_wait_us=end_wait_us,
+            max_recovery_rounds=max_recovery_rounds,
+            header_words=header_words,
+        ),
+        machine=machine,
+        mapping=mapping,
+        trace=trace,
+        fault_plan=fault_plan,
+        **engine_kwargs,
+    )
+    return FTExchangeResult(reports=_ft_reports(result), run=result)
+
+
+def run_direct_ft_exchange(
+    pattern: CommPattern,
+    *,
+    payloads: Sequence[Mapping[int, Any]] | None = None,
+    machine=None,
+    mapping=None,
+    trace: bool = False,
+    fault_plan: FaultPlan | None = None,
+    timeout_us: float = 150.0,
+    max_retries: int = 3,
+    backoff: float = 2.0,
+    quiesce_us: float | None = None,
+    **engine_kwargs,
+) -> FTExchangeResult:
+    """Execute the fault-tolerant baseline exchange for ``pattern``."""
+    if payloads is None:
+        payloads = _default_payloads(pattern)
+
+    result = run_spmd(
+        pattern.K,
+        lambda comm: direct_ft_process(
+            comm,
+            payloads[comm.rank],
+            timeout_us=timeout_us,
+            max_retries=max_retries,
+            backoff=backoff,
+            quiesce_us=quiesce_us,
+        ),
+        machine=machine,
+        mapping=mapping,
+        trace=trace,
+        fault_plan=fault_plan,
+        **engine_kwargs,
+    )
+    return FTExchangeResult(reports=_ft_reports(result), run=result)

@@ -8,6 +8,9 @@ propagate unchanged).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Sequence
+
 __all__ = [
     "ReproError",
     "TopologyError",
@@ -15,6 +18,8 @@ __all__ = [
     "PlanError",
     "SimMPIError",
     "DeadlockError",
+    "FaultError",
+    "PendingOp",
     "NetworkModelError",
     "PartitionError",
     "MatrixGenerationError",
@@ -42,8 +47,75 @@ class SimMPIError(ReproError):
     """Generic failure inside the simulated MPI runtime."""
 
 
+@dataclass(frozen=True)
+class PendingOp:
+    """Machine-readable description of one blocked rank in a deadlock dump.
+
+    ``kind`` is the blocking operation family (``"recv"``, ``"barrier"``,
+    ``"allgather"``, ...); ``source``/``tag`` are only meaningful for
+    receives (``None`` otherwise, with wildcards reported as ``-1``).
+    ``mailbox`` is the number of unconsumed envelopes waiting at the
+    rank — a non-empty mailbox on a blocked receive usually means a
+    tag/source mismatch rather than a missing send.
+    """
+
+    rank: int
+    kind: str
+    source: int | None = None
+    tag: int | None = None
+    mailbox: int = 0
+
+
 class DeadlockError(SimMPIError):
-    """All virtual processes are blocked and no message is in flight."""
+    """All virtual processes are blocked and no message is in flight.
+
+    Besides the formatted per-rank dump in ``args[0]``, the exception
+    carries structured state so tests and resilience reports can assert
+    on it without string parsing:
+
+    ``pending``
+        one :class:`PendingOp` per blocked rank;
+    ``crashed``
+        ranks killed by fault injection before the deadlock;
+    ``clocks``
+        every rank's virtual clock (microseconds) at detection time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pending: Sequence[PendingOp] = (),
+        crashed: Sequence[int] = (),
+        clocks: Sequence[float] = (),
+    ):
+        super().__init__(message)
+        self.pending = tuple(pending)
+        self.crashed = tuple(crashed)
+        self.clocks = tuple(clocks)
+
+
+class FaultError(SimMPIError):
+    """Reliable delivery gave up: retries exhausted without an ack.
+
+    Carries the structured context of the failed transfer: ``rank``
+    (the sender), ``dest``, ``tag`` (the logical tag) and ``attempts``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int | None = None,
+        dest: int | None = None,
+        tag: int | None = None,
+        attempts: int | None = None,
+    ):
+        super().__init__(message)
+        self.rank = rank
+        self.dest = dest
+        self.tag = tag
+        self.attempts = attempts
 
 
 class NetworkModelError(ReproError):

@@ -12,9 +12,12 @@ figure9   communication time on torus vs dragonfly, K in {128, 512}
 table3    large-scale communication, 4K-16K processes
 figure10  per-instance comm times at 16K on the XK7 torus
 ========  ==========================================================
+
+``faults`` (not a paper artifact) measures BL vs STFW resilience under
+the emulator's fault-injection subsystem.
 """
 
-from . import figure1, figure6, figure7, figure8, figure9, figure10, table2, table3
+from . import faults, figure1, figure6, figure7, figure8, figure9, figure10, table2, table3
 from .config import ExperimentConfig, default_config, quick_config
 from .harness import InstanceCache, effective_spec, paper_dim_selection
 
@@ -33,4 +36,5 @@ __all__ = [
     "figure9",
     "table3",
     "figure10",
+    "faults",
 ]

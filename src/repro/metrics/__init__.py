@@ -2,6 +2,13 @@
 
 from .collect import CommStats, collect_stats
 from .report import Table, format_table, geometric_mean, geometric_mean_rows, normalize_to
+from .resilience import (
+    ResilienceStats,
+    delivered_pairs,
+    expected_pairs,
+    resilience_stats,
+    resilience_table,
+)
 
 __all__ = [
     "CommStats",
@@ -11,4 +18,9 @@ __all__ = [
     "geometric_mean",
     "geometric_mean_rows",
     "normalize_to",
+    "ResilienceStats",
+    "expected_pairs",
+    "delivered_pairs",
+    "resilience_stats",
+    "resilience_table",
 ]

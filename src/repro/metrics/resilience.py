@@ -1,0 +1,152 @@
+"""Resilience accounting for exchanges run under fault injection.
+
+Turns the per-rank outcomes of a faulted exchange into the numbers a
+resilience study needs: which ``(source, destination)`` pairs were
+*expected* (the pattern's messages minus those touching crashed ranks —
+a dead origin cannot send, a dead destination cannot receive, so those
+pairs are uncountable rather than failed), which were *delivered*, the
+**completion rate**, and the **makespan inflation** over a fault-free
+reference run of the same scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..core.pattern import CommPattern
+from .report import Table
+
+__all__ = [
+    "ResilienceStats",
+    "expected_pairs",
+    "delivered_pairs",
+    "resilience_stats",
+    "resilience_table",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Delivery accounting of one faulted exchange.
+
+    ``completion_rate`` is over the countable pairs only; ``stranded``
+    lists expected pairs that never arrived.  ``makespan_inflation`` is
+    the faulted makespan over the fault-free reference makespan (1.0
+    when no reference is supplied).
+    """
+
+    scheme: str
+    expected: int
+    delivered: int
+    stranded: tuple[tuple[int, int], ...]
+    crashed: tuple[int, ...]
+    completed: bool
+    makespan_us: float
+    makespan_inflation: float
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of countable pairs delivered (1.0 when none expected)."""
+        if self.expected == 0:
+            return 1.0
+        return self.delivered / self.expected
+
+
+def expected_pairs(
+    pattern: CommPattern, crashed: Iterable[int] = ()
+) -> set[tuple[int, int]]:
+    """The pattern's ``(source, destination)`` pairs that remain countable.
+
+    Pairs whose origin or destination crashed are excluded: no scheme,
+    however tolerant, can deliver to (or source from) a dead rank.
+    """
+    dead = set(int(r) for r in crashed)
+    return {
+        (int(s), int(t))
+        for s, t in zip(pattern.src, pattern.dst)
+        if int(s) not in dead and int(t) not in dead
+    }
+
+
+def delivered_pairs(
+    delivered: Sequence[Sequence[tuple[int, Any]]],
+) -> set[tuple[int, int]]:
+    """``(source, destination)`` pairs present in per-rank delivery lists.
+
+    ``delivered[i]`` holds rank ``i``'s received ``(source, payload)``
+    pairs — the shape of both ``ExchangeResult.delivered`` and
+    ``FTExchangeResult.delivered``.
+    """
+    return {
+        (int(src), dst)
+        for dst, msgs in enumerate(delivered)
+        for src, _ in msgs
+    }
+
+
+def resilience_stats(
+    scheme: str,
+    pattern: CommPattern,
+    delivered: Sequence[Sequence[tuple[int, Any]]],
+    *,
+    crashed: Iterable[int] = (),
+    completed: bool = True,
+    makespan_us: float = 0.0,
+    reference_makespan_us: float | None = None,
+) -> ResilienceStats:
+    """Account one faulted run against its pattern.
+
+    ``reference_makespan_us`` is the same scheme's fault-free makespan;
+    inflation falls back to 1.0 when it is missing or zero.
+    """
+    expected = expected_pairs(pattern, crashed)
+    got = delivered_pairs(delivered)
+    stranded = tuple(sorted(expected - got))
+    if reference_makespan_us and reference_makespan_us > 0:
+        inflation = makespan_us / reference_makespan_us
+    else:
+        inflation = 1.0
+    return ResilienceStats(
+        scheme=scheme,
+        expected=len(expected),
+        delivered=len(expected & got),
+        stranded=stranded,
+        crashed=tuple(sorted(set(int(r) for r in crashed))),
+        completed=completed,
+        makespan_us=makespan_us,
+        makespan_inflation=inflation,
+    )
+
+
+def resilience_table(
+    rows: Sequence[tuple[str, ResilienceStats]],
+    *,
+    title: str = "Resilience under injected faults",
+) -> str:
+    """Render scenario rows as a paper-style fixed-width text table."""
+    t = Table(
+        columns=(
+            "scenario",
+            "scheme",
+            "expected",
+            "delivered",
+            "completion",
+            "makespan_us",
+            "inflation",
+            "outcome",
+        ),
+        title=title,
+    )
+    for scenario, s in rows:
+        t.add_row(
+            scenario,
+            s.scheme,
+            s.expected,
+            s.delivered,
+            f"{100.0 * s.completion_rate:.1f}%",
+            f"{s.makespan_us:.1f}",
+            f"{s.makespan_inflation:.2f}x",
+            "ok" if s.completed else f"deadlock({len(s.stranded)} stranded)",
+        )
+    return t.render()

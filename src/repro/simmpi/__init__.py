@@ -12,7 +12,9 @@ from .collectives import (
     ReduceOp,
     SendRequest,
 )
-from .message import ANY_SOURCE, ANY_TAG, Envelope, RunResult, TraceRecord
+from .faults import FaultEvent, FaultPlan, LinkOutage
+from .message import ANY_SOURCE, ANY_TAG, TIMEOUT, Envelope, RunResult, TraceRecord
+from .reliable import ReliableComm, ReliableStats
 from .runtime import RECV_ALPHA_FRACTION, Comm, SimMPI, run_spmd
 
 __all__ = [
@@ -24,7 +26,13 @@ __all__ = [
     "TraceRecord",
     "ANY_SOURCE",
     "ANY_TAG",
+    "TIMEOUT",
     "RECV_ALPHA_FRACTION",
+    "FaultPlan",
+    "FaultEvent",
+    "LinkOutage",
+    "ReliableComm",
+    "ReliableStats",
     "REDUCTIONS",
     "BarrierOp",
     "AllGatherOp",

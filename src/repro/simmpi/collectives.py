@@ -144,20 +144,30 @@ class SendRequest:
 
 
 class RecvRequest:
-    """Deferred receive returned by ``Comm.irecv``.
+    """Deferred receive returned by ``Comm.irecv`` / ``Comm.recv``.
 
     Yield the request itself (or the op from :meth:`wait`) to complete
-    it; the generator resumes with ``(source, tag, payload)``.
+    it; the generator resumes with ``(source, tag, payload)``.  A
+    ``timeout_us`` makes the receive resumable by a virtual-time timer:
+    if no matching message arrives within that many microseconds of
+    blocking, the generator resumes with the
+    :data:`~repro.simmpi.message.TIMEOUT` sentinel instead.  ``deadline``
+    is the absolute expiry time, filled in by the engine at block time.
     """
 
-    __slots__ = ("source", "tag")
+    __slots__ = ("source", "tag", "timeout_us", "deadline")
 
-    def __init__(self, source: int, tag: int):
+    def __init__(self, source: int, tag: int, timeout_us: float | None = None):
         self.source = source
         self.tag = tag
+        self.timeout_us = timeout_us
+        self.deadline: float | None = None
 
     def describe(self) -> str:
         """Human-readable form for deadlock state dumps."""
         src = "ANY_SOURCE" if self.source == ANY_SOURCE else self.source
         tag = "ANY_TAG" if self.tag == ANY_TAG else self.tag
-        return f"recv(source={src}, tag={tag})"
+        base = f"recv(source={src}, tag={tag}"
+        if self.timeout_us is not None:
+            base += f", timeout_us={self.timeout_us}"
+        return base + ")"

@@ -1,0 +1,235 @@
+"""Declarative, seed-deterministic fault injection for the SimMPI engine.
+
+A :class:`FaultPlan` describes *what goes wrong* in a run — rank
+crashes at virtual times, per-link message drop/duplication
+probabilities, per-rank straggler slowdowns and transient link outage
+windows — without any reference to the workload.  The engine consults
+the plan inside :meth:`~repro.simmpi.runtime.SimMPI._post_send` and its
+cost model, so **any existing SPMD workload runs under injected faults
+unmodified**: pass ``fault_plan=`` to :class:`~repro.simmpi.runtime.SimMPI`
+or :func:`~repro.simmpi.runtime.run_spmd`.
+
+Determinism
+-----------
+All randomness flows from one ``numpy`` generator seeded with
+``plan.seed``, consumed in engine posting order, so a run under a given
+plan is a pure function of its inputs.  A *trivial* plan (no crashes,
+zero probabilities, unit slowdowns, no outages) consumes **no** random
+numbers and perturbs **no** costs: the run is byte-identical to one
+with no plan at all.
+
+Semantics
+---------
+* **Crash** — rank ``r`` with ``crashes[r] = t`` executes nothing at or
+  after virtual time ``t``.  A send initiated at clock >= ``t`` is
+  swallowed and the rank dies; a rank blocked past ``t`` is killed by a
+  virtual-time timer event.  Messages posted to an already-dead rank
+  are dropped (recorded as ``kind="drop"``, ``reason="dest-dead"``).
+  Crashed ranks finish with return value ``None`` and are listed in
+  :attr:`~repro.simmpi.message.RunResult.crashed`.
+* **Drop / duplicate** — each posted message rolls against the link's
+  drop then duplication probability (``link_drop`` overrides
+  ``default_drop``; likewise for duplication).  A duplicated envelope
+  is posted twice with the same arrival time.
+* **Straggler** — ``stragglers[r] = f`` multiplies every send and
+  receive cost charged to rank ``r`` by ``f``.
+* **Outage** — a :class:`LinkOutage` drops every message whose send
+  *starts* inside ``[start_us, end_us)`` on the matching link
+  (``src``/``dst`` of ``-1`` match any rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SimMPIError
+
+__all__ = ["FaultPlan", "LinkOutage", "FaultEvent", "FaultState"]
+
+#: wildcard rank in a :class:`LinkOutage`
+ANY_RANK = -1
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """A transient outage window on one (or every) directed link.
+
+    Messages whose send starts at virtual time ``t`` with
+    ``start_us <= t < end_us`` on a matching link are dropped.  A
+    ``src`` or ``dst`` of ``-1`` matches any rank.
+    """
+
+    src: int
+    dst: int
+    start_us: float
+    end_us: float
+
+    def matches(self, src: int, dst: int, t: float) -> bool:
+        """True iff a send ``src -> dst`` starting at ``t`` is in the window."""
+        return (
+            (self.src == ANY_RANK or self.src == src)
+            and (self.dst == ANY_RANK or self.dst == dst)
+            and self.start_us <= t < self.end_us
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault the engine actually injected during a run.
+
+    ``kind`` is ``"crash"``, ``"drop"`` or ``"duplicate"``; ``reason``
+    refines drops (``"link"``, ``"outage"`` or ``"dest-dead"``).  For a
+    crash only ``rank`` and ``time_us`` are meaningful.
+    """
+
+    kind: str
+    time_us: float
+    rank: int
+    dest: int = -1
+    tag: int = 0
+    words: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative fault schedule for one engine run.
+
+    Attributes
+    ----------
+    crashes:
+        ``{rank: virtual crash time in us}``.
+    link_drop / link_duplicate:
+        ``{(src, dst): probability}`` per directed link, overriding the
+        corresponding default.
+    default_drop / default_duplicate:
+        Probability applied to links without an explicit entry.
+    stragglers:
+        ``{rank: multiplicative slowdown}`` on all message costs the
+        rank pays (1.0 = nominal; must be positive).
+    outages:
+        Transient :class:`LinkOutage` windows (deterministic drops).
+    seed:
+        Seed of the single RNG behind the probabilistic faults.
+    """
+
+    crashes: Mapping[int, float] = field(default_factory=dict)
+    link_drop: Mapping[tuple[int, int], float] = field(default_factory=dict)
+    link_duplicate: Mapping[tuple[int, int], float] = field(default_factory=dict)
+    default_drop: float = 0.0
+    default_duplicate: float = 0.0
+    stragglers: Mapping[int, float] = field(default_factory=dict)
+    outages: Sequence[LinkOutage] = ()
+    seed: int = 0
+
+    def validate(self, K: int) -> None:
+        """Check every rank, probability and window against ``K`` ranks."""
+        for r, t in self.crashes.items():
+            if not 0 <= r < K:
+                raise SimMPIError(f"fault plan crashes rank {r} outside [0, {K})")
+            if t < 0:
+                raise SimMPIError(f"crash time {t} for rank {r} is negative")
+        for name, probs in (("link_drop", self.link_drop), ("link_duplicate", self.link_duplicate)):
+            for (s, d), p in probs.items():
+                if not (0 <= s < K and 0 <= d < K):
+                    raise SimMPIError(f"fault plan {name} link ({s}, {d}) outside [0, {K})")
+                if not 0.0 <= p <= 1.0:
+                    raise SimMPIError(f"fault plan {name}[{s},{d}]={p} outside [0, 1]")
+        for name, p in (("default_drop", self.default_drop), ("default_duplicate", self.default_duplicate)):
+            if not 0.0 <= p <= 1.0:
+                raise SimMPIError(f"fault plan {name}={p} outside [0, 1]")
+        for r, f in self.stragglers.items():
+            if not 0 <= r < K:
+                raise SimMPIError(f"fault plan straggler rank {r} outside [0, {K})")
+            if f <= 0:
+                raise SimMPIError(f"straggler factor {f} for rank {r} must be positive")
+        for o in self.outages:
+            if o.src != ANY_RANK and not 0 <= o.src < K:
+                raise SimMPIError(f"outage src {o.src} outside [0, {K})")
+            if o.dst != ANY_RANK and not 0 <= o.dst < K:
+                raise SimMPIError(f"outage dst {o.dst} outside [0, {K})")
+            if o.end_us < o.start_us:
+                raise SimMPIError(f"outage window [{o.start_us}, {o.end_us}) is reversed")
+
+    @property
+    def is_trivial(self) -> bool:
+        """True iff the plan injects nothing (run is byte-identical to no plan)."""
+        return (
+            not self.crashes
+            and not self.outages
+            and self.default_drop == 0.0
+            and self.default_duplicate == 0.0
+            and all(p == 0.0 for p in self.link_drop.values())
+            and all(p == 0.0 for p in self.link_duplicate.values())
+            and all(f == 1.0 for f in self.stragglers.values())
+        )
+
+    def drop_prob(self, src: int, dst: int) -> float:
+        """Drop probability of the directed link ``src -> dst``."""
+        return self.link_drop.get((src, dst), self.default_drop)
+
+    def duplicate_prob(self, src: int, dst: int) -> float:
+        """Duplication probability of the directed link ``src -> dst``."""
+        return self.link_duplicate.get((src, dst), self.default_duplicate)
+
+
+class FaultState:
+    """Per-run mutable state of a :class:`FaultPlan` (RNG, crashes, log).
+
+    Created fresh by :meth:`SimMPI.run` so repeated runs on the same
+    engine are identically seeded.
+    """
+
+    __slots__ = ("plan", "rng", "crashed", "events", "_slow")
+
+    def __init__(self, plan: FaultPlan, K: int):
+        plan.validate(K)
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.crashed: set[int] = set()
+        self.events: list[FaultEvent] = []
+        self._slow = {r: float(f) for r, f in plan.stragglers.items() if f != 1.0}
+
+    def slowdown(self, rank: int) -> float:
+        """Straggler factor of ``rank`` (1.0 when nominal)."""
+        return self._slow.get(rank, 1.0)
+
+    def crash_time(self, rank: int) -> float | None:
+        """Scheduled crash time of ``rank``, or ``None``."""
+        return self.plan.crashes.get(rank)
+
+    def record_crash(self, rank: int, t: float) -> None:
+        """Mark ``rank`` dead at virtual time ``t``."""
+        self.crashed.add(rank)
+        self.events.append(FaultEvent(kind="crash", time_us=t, rank=rank))
+
+    def outcome(self, src: int, dst: int, tag: int, words: int, t: float) -> str:
+        """Fate of a message posted ``src -> dst`` at time ``t``.
+
+        Returns ``"deliver"``, ``"drop"`` or ``"duplicate"`` and logs
+        drop/duplicate events.  Probabilities of exactly zero consume
+        no randomness, keeping trivial plans byte-identical.
+        """
+        if dst in self.crashed:
+            self.events.append(
+                FaultEvent("drop", t, src, dst, tag, words, reason="dest-dead")
+            )
+            return "drop"
+        for o in self.plan.outages:
+            if o.matches(src, dst, t):
+                self.events.append(
+                    FaultEvent("drop", t, src, dst, tag, words, reason="outage")
+                )
+                return "drop"
+        p = self.plan.drop_prob(src, dst)
+        if p > 0.0 and float(self.rng.random()) < p:
+            self.events.append(FaultEvent("drop", t, src, dst, tag, words, reason="link"))
+            return "drop"
+        q = self.plan.duplicate_prob(src, dst)
+        if q > 0.0 and float(self.rng.random()) < q:
+            self.events.append(FaultEvent("duplicate", t, src, dst, tag, words))
+            return "duplicate"
+        return "deliver"

@@ -31,12 +31,37 @@ from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
 from typing import Any
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "Mailbox", "RunResult", "TraceRecord"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "TIMEOUT",
+    "Envelope",
+    "Mailbox",
+    "RunResult",
+    "TraceRecord",
+]
 
 #: wildcard source for :meth:`Comm.recv`
 ANY_SOURCE = -1
 #: wildcard tag for :meth:`Comm.recv`
 ANY_TAG = -1
+
+
+class _Timeout:
+    """Singleton resume value of a receive whose deadline expired."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TIMEOUT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: the value a ``recv(..., timeout_us=...)`` resumes with when its
+#: deadline fires before a matching message arrives; test with ``is``
+TIMEOUT = _Timeout()
 
 
 @dataclass(slots=True)
@@ -183,16 +208,25 @@ class RunResult:
     Attributes
     ----------
     returns:
-        Per-rank return value of the process function.
+        Per-rank return value of the process function (``None`` for a
+        rank killed by fault injection).
     clocks:
         Final virtual clock of each rank in microseconds.
     makespan_us:
         Maximum final clock — the run's virtual wall time.
     trace:
         Delivered-message records (empty unless tracing was on).
+    crashed:
+        Ranks killed by the run's fault plan, in crash order.
+    fault_events:
+        Injected-fault log (:class:`~repro.simmpi.faults.FaultEvent`);
+        empty when no fault fired, so a run under a trivial plan
+        compares equal to one with no plan at all.
     """
 
     returns: list[Any]
     clocks: list[float]
     makespan_us: float
     trace: list[TraceRecord] = field(default_factory=list)
+    crashed: list[int] = field(default_factory=list)
+    fault_events: list = field(default_factory=list)

@@ -1,0 +1,257 @@
+"""Reliable delivery on top of the eager, lossy engine transport.
+
+With a :class:`~repro.simmpi.faults.FaultPlan` attached, the engine's
+eager sends may be dropped, duplicated or addressed to a crashed rank.
+:class:`ReliableComm` restores exactly-once delivery between live ranks
+with the classic end-host mechanisms:
+
+* every payload travels in a ``DATA`` frame carrying a per-sender
+  **sequence number** and is answered by an ``ACK`` frame;
+* an unacknowledged frame is retransmitted after a per-message
+  **timeout** that grows by an exponential **backoff** factor, up to a
+  bounded retry budget — exhaustion marks the peer *suspected dead*
+  (:attr:`ReliableComm.dead`) and either fails fast
+  (:meth:`try_send` → ``False``) or raises
+  :class:`~repro.errors.FaultError` (:meth:`send`);
+* a receiver **suppresses duplicates** by remembering delivered
+  ``(source, seq)`` pairs, re-acking them so a lost ack cannot wedge
+  the sender.
+
+All reliable traffic of one rank shares a single engine tag
+(:data:`WIRE_TAG`); the *logical* tag rides inside the frame.  While a
+sender waits for an ack it keeps servicing the wire — incoming ``DATA``
+is acked immediately and stashed for a later :meth:`recv` — so two
+ranks that simultaneously send to each other cannot deadlock waiting
+for acks.
+
+The methods that can block are generator functions: call them with
+``yield from`` inside an SPMD process::
+
+    def worker(comm):
+        rc = ReliableComm(comm, timeout_us=100.0)
+        ok = yield from rc.try_send(peer, payload, tag=1, words=8)
+        msg = yield from rc.recv(tag=1, timeout_us=500.0)
+        if msg is TIMEOUT:
+            ...
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from ..errors import FaultError, SimMPIError
+from .message import TIMEOUT
+from .runtime import Comm
+
+__all__ = ["ReliableComm", "ReliableStats", "WIRE_TAG", "ACK_WORDS"]
+
+#: the engine tag every reliable-layer frame travels on
+WIRE_TAG = 1 << 24
+
+#: charged size of an ``ACK`` frame in words
+ACK_WORDS = 1
+
+#: frame kind markers (index 0 of every frame tuple)
+_DATA = 0
+_ACK = 1
+
+
+@dataclass
+class ReliableStats:
+    """Counters of one rank's reliable-layer activity."""
+
+    sent: int = 0
+    retries: int = 0
+    acked: int = 0
+    delivered: int = 0
+    duplicates_suppressed: int = 0
+    timeouts: int = 0
+    presumed_dead: list[int] = field(default_factory=list)
+
+
+class ReliableComm:
+    """Ack/retry/dedup wrapper around one rank's :class:`Comm`.
+
+    Parameters
+    ----------
+    comm:
+        The rank's raw communicator.
+    timeout_us:
+        Virtual time to wait for an ack before the first retransmit.
+    max_retries:
+        Retransmissions after the initial send; ``max_retries + 1``
+        total attempts.
+    backoff:
+        Multiplier on the ack timeout after each failed attempt
+        (bounded exponential backoff).
+    header_words:
+        Extra words charged per ``DATA`` frame for its framing.
+    """
+
+    def __init__(
+        self,
+        comm: Comm,
+        *,
+        timeout_us: float = 100.0,
+        max_retries: int = 3,
+        backoff: float = 2.0,
+        header_words: int = 2,
+    ):
+        if timeout_us <= 0:
+            raise SimMPIError("reliable timeout_us must be positive")
+        if max_retries < 0:
+            raise SimMPIError("max_retries must be non-negative")
+        if backoff < 1.0:
+            raise SimMPIError("backoff must be >= 1")
+        if header_words < 0:
+            raise SimMPIError("header_words must be non-negative")
+        self.comm = comm
+        self.timeout_us = float(timeout_us)
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.header_words = int(header_words)
+        #: peers that exhausted a retry budget (suspected crashed)
+        self.dead: set[int] = set()
+        self.stats = ReliableStats()
+        self._next_seq = 0
+        #: delivered (source -> seqs) for duplicate suppression
+        self._seen: dict[int, set[int]] = {}
+        #: DATA accepted while waiting for something else: (src, ltag, payload)
+        self._stash: deque[tuple[int, int, Any]] = deque()
+
+    @property
+    def rank(self) -> int:
+        """The underlying rank."""
+        return self.comm.rank
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def try_send(
+        self, dest: int, payload: Any, *, tag: int = 0, words: int | None = None
+    ) -> Generator[Any, Any, bool]:
+        """Reliably send; returns True on ack, False when ``dest`` is
+        presumed dead (immediately if already suspected).
+
+        Use as ``ok = yield from rc.try_send(...)``.
+        """
+        if dest == self.comm.rank:
+            raise SimMPIError(f"rank {dest}: reliable self-send is meaningless")
+        if dest in self.dead:
+            return False
+        if words is None:
+            words = len(payload)
+        seq = self._next_seq
+        self._next_seq += 1
+        frame = (_DATA, seq, tag, payload)
+        wire_words = int(words) + self.header_words
+        for attempt in range(self.max_retries + 1):
+            self.comm.send(dest, frame, tag=WIRE_TAG, words=wire_words)
+            self.stats.sent += 1
+            if attempt:
+                self.stats.retries += 1
+            deadline = self.comm.time + self.timeout_us * (self.backoff**attempt)
+            while True:
+                remaining = deadline - self.comm.time
+                if remaining <= 0:
+                    self.stats.timeouts += 1
+                    break
+                got = yield self.comm.recv(tag=WIRE_TAG, timeout_us=remaining)
+                if got is TIMEOUT:
+                    self.stats.timeouts += 1
+                    break
+                src, _, fr = got
+                if fr[0] == _ACK:
+                    if src == dest and fr[1] == seq:
+                        self.stats.acked += 1
+                        return True
+                    # an ack for an older (retransmitted) transfer: ignore
+                else:
+                    self._accept_data(src, fr)
+        self.dead.add(dest)
+        self.stats.presumed_dead.append(dest)
+        return False
+
+    def send(
+        self, dest: int, payload: Any, *, tag: int = 0, words: int | None = None
+    ) -> Generator[Any, Any, None]:
+        """Reliably send or raise :class:`~repro.errors.FaultError`.
+
+        Use as ``yield from rc.send(...)``.
+        """
+        ok = yield from self.try_send(dest, payload, tag=tag, words=words)
+        if not ok:
+            attempts = self.max_retries + 1
+            raise FaultError(
+                f"rank {self.comm.rank}: no ack from rank {dest} for tag {tag} "
+                f"after {attempts} attempt(s); peer presumed dead",
+                rank=self.comm.rank,
+                dest=dest,
+                tag=tag,
+                attempts=attempts,
+            )
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def recv(
+        self, *, tag: int | None = None, timeout_us: float | None = None
+    ) -> Generator[Any, Any, Any]:
+        """Receive the next reliable message, optionally filtered by
+        logical ``tag``; returns ``(source, tag, payload)`` or — with a
+        ``timeout_us`` — the :data:`~repro.simmpi.message.TIMEOUT`
+        sentinel once that much virtual time passes without one.
+
+        Use as ``msg = yield from rc.recv(...)``.
+        """
+        got = self._pop_stash(tag)
+        if got is not None:
+            return got
+        deadline = None if timeout_us is None else self.comm.time + timeout_us
+        while True:
+            if deadline is None:
+                raw = yield self.comm.recv(tag=WIRE_TAG)
+            else:
+                remaining = deadline - self.comm.time
+                if remaining <= 0:
+                    return TIMEOUT
+                raw = yield self.comm.recv(tag=WIRE_TAG, timeout_us=remaining)
+                if raw is TIMEOUT:
+                    return TIMEOUT
+            src, _, fr = raw
+            if fr[0] == _ACK:
+                continue  # ack of an already-satisfied retransmission
+            self._accept_data(src, fr)
+            got = self._pop_stash(tag)
+            if got is not None:
+                return got
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _accept_data(self, src: int, frame: tuple) -> None:
+        """Ack a DATA frame and stash it unless it is a duplicate."""
+        _, seq, ltag, payload = frame
+        self.comm.send(src, (_ACK, seq), tag=WIRE_TAG, words=ACK_WORDS)
+        seen = self._seen.setdefault(src, set())
+        if seq in seen:
+            self.stats.duplicates_suppressed += 1
+            return
+        seen.add(seq)
+        self.stats.delivered += 1
+        self._stash.append((src, ltag, payload))
+
+    def _pop_stash(self, tag: int | None) -> tuple[int, int, Any] | None:
+        """Pop the oldest stashed message matching ``tag`` (any if None)."""
+        if tag is None:
+            return self._stash.popleft() if self._stash else None
+        for i, item in enumerate(self._stash):
+            if item[1] == tag:
+                del self._stash[i]
+                return item
+        return None

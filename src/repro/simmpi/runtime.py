@@ -60,9 +60,31 @@ Each rank owns a virtual clock in microseconds.  With a
 Without a machine the run is purely functional (all clocks stay 0) —
 useful for semantics tests.
 
+Timers and fault injection
+--------------------------
+Two kinds of **virtual-time timer events** extend the event loop; both
+only fire when the ready deque drains (they cost nothing while the
+system makes progress):
+
+* a ``recv(..., timeout_us=...)`` blocked past its deadline resumes
+  with the :data:`~repro.simmpi.message.TIMEOUT` sentinel, its clock
+  advanced to the deadline — the primitive underneath the reliable
+  delivery layer (:mod:`repro.simmpi.reliable`);
+* a rank whose :class:`~repro.simmpi.faults.FaultPlan` crash time has
+  passed is killed where it blocks.
+
+With a ``fault_plan`` attached, :meth:`SimMPI._post_send` additionally
+consults the plan for link drops / duplications / outages, and the
+cost model applies per-rank straggler slowdowns; see
+:mod:`repro.simmpi.faults` for semantics and determinism guarantees.
+If every live rank is blocked and no timer is pending, the run is a
+deadlock, reported as :class:`~repro.errors.DeadlockError` carrying a
+machine-readable :class:`~repro.errors.PendingOp` list.
+
 Determinism: the ready deque is seeded in rank order, ranks are woken
-in posting order, and message matching follows the rules above, so a
-run is a pure function of its inputs.
+in posting order, message matching follows the rules above, and timer
+events fire in (time, kind, rank) order, so a run is a pure function
+of its inputs (including the fault plan's seed).
 """
 
 from __future__ import annotations
@@ -73,7 +95,7 @@ from typing import Any, Callable, Generator, Sequence
 
 import numpy as np
 
-from ..errors import DeadlockError, SimMPIError
+from ..errors import DeadlockError, PendingOp, SimMPIError
 from ..network.machines import Machine
 from ..network.mapping import block_mapping, validate_mapping
 from .collectives import (
@@ -87,9 +109,21 @@ from .collectives import (
     ReduceOp,
     SendRequest,
 )
-from .message import ANY_SOURCE, ANY_TAG, Envelope, Mailbox, RunResult, TraceRecord
+from .faults import FaultPlan, FaultState
+from .message import ANY_SOURCE, ANY_TAG, TIMEOUT, Envelope, Mailbox, RunResult, TraceRecord
 
 __all__ = ["Comm", "SimMPI", "run_spmd", "RECV_ALPHA_FRACTION"]
+
+
+class _RankCrashed(BaseException):
+    """Raised inside a process generator whose rank's crash time passed.
+
+    Derives from ``BaseException`` so workload-level ``except
+    Exception`` handlers cannot swallow a fault-injected crash.
+    """
+
+    def __init__(self, rank: int):
+        self.rank = rank
 
 #: fraction of alpha charged on the receive side of a match
 RECV_ALPHA_FRACTION = 0.4
@@ -124,23 +158,57 @@ class Comm:
         self.rank = rank
         self.size = engine.K
 
+    @property
+    def time(self) -> float:
+        """This rank's current virtual clock in microseconds."""
+        return self._engine._procs[self.rank].clock
+
     def send(self, dest: int, payload: Any, *, tag: int = 0, words: int | None = None) -> None:
         """Eagerly send ``payload`` to ``dest`` (never blocks).
 
         ``words`` is the charged message size in 8-byte words; if
         omitted it is taken from ``len(payload)`` (raising for unsized
-        payloads, which keeps cost accounting honest).
+        payloads, which keeps cost accounting honest).  Arguments are
+        validated here, at the call site, so a bad destination, size or
+        tag names the offending rank instead of failing deep inside the
+        engine.
         """
+        if not 0 <= dest < self.size:
+            raise SimMPIError(
+                f"rank {self.rank}: send to rank {dest} outside [0, {self.size})"
+            )
+        if tag < 0:
+            raise SimMPIError(f"rank {self.rank}: send with negative tag {tag}")
         if words is None:
             try:
                 words = len(payload)
             except TypeError as exc:
-                raise SimMPIError("payload has no len(); pass words= explicitly") from exc
+                raise SimMPIError(
+                    f"rank {self.rank}: payload has no len(); pass words= explicitly"
+                ) from exc
+        if words < 0:
+            raise SimMPIError(
+                f"rank {self.rank}: message words must be non-negative, got {words}"
+            )
         self._engine._post_send(self.rank, dest, tag, payload, int(words))
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _RecvOp:
-        """Blocking receive; yield it to obtain ``(source, tag, payload)``."""
-        return _RecvOp(source, tag)
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        timeout_us: float | None = None,
+    ) -> _RecvOp:
+        """Blocking receive; yield it to obtain ``(source, tag, payload)``.
+
+        With ``timeout_us``, the receive gives up after that much
+        virtual time and resumes with the
+        :data:`~repro.simmpi.message.TIMEOUT` sentinel instead of a
+        message triple.
+        """
+        if timeout_us is not None and timeout_us <= 0:
+            raise SimMPIError(f"rank {self.rank}: timeout_us must be positive")
+        return _RecvOp(source, tag, timeout_us)
 
     def barrier(self) -> _BarrierOp:
         """Blocking barrier; yield it (resumes with ``None``)."""
@@ -261,6 +329,7 @@ class SimMPI:
         jitter: float = 0.0,
         jitter_seed: int = 0,
         rendezvous_threshold_words: int | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         if K < 1:
             raise SimMPIError(f"K={K} must be positive")
@@ -277,6 +346,12 @@ class SimMPI:
         #: messages at or above this size pay one extra alpha for the
         #: rendezvous handshake (MPI's eager/rendezvous protocol switch)
         self.rendezvous_threshold_words = rendezvous_threshold_words
+        if fault_plan is not None:
+            fault_plan.validate(K)
+        self.fault_plan = fault_plan
+        #: per-run fault state; rebuilt by :meth:`run` so repeated runs
+        #: on one engine are identically seeded
+        self._faults: FaultState | None = None
         self._trace_enabled = trace
         self.trace: list[TraceRecord] = []
         self._seq = 0
@@ -315,13 +390,22 @@ class SimMPI:
             cost += m.alpha_us  # handshake round-trip
         if self.jitter > 0.0:
             cost *= 1.0 + self.jitter * float(self._jitter_rng.random())
+        if self._faults is not None:
+            slow = self._faults.slowdown(source)
+            if slow != 1.0:
+                cost *= slow
         return cost
 
-    def _recv_cost(self, words: int) -> float:
+    def _recv_cost(self, rank: int, words: int) -> float:
         if self.machine is None:
             return 0.0
         m = self.machine
-        return RECV_ALPHA_FRACTION * m.alpha_us + m.beta_us_per_word * words
+        cost = RECV_ALPHA_FRACTION * m.alpha_us + m.beta_us_per_word * words
+        if self._faults is not None:
+            slow = self._faults.slowdown(rank)
+            if slow != 1.0:
+                cost *= slow
+        return cost
 
     # ------------------------------------------------------------------
     # Engine internals
@@ -332,9 +416,22 @@ class SimMPI:
             raise SimMPIError(f"send to rank {dest} outside [0, {self.K})")
         if words < 0:
             raise SimMPIError("message words must be non-negative")
+        fs = self._faults
         sender = self._procs[source]
+        if fs is not None:
+            ct = fs.crash_time(source)
+            if ct is not None and sender.clock >= ct:
+                # the send starts at or after the rank's crash time: the
+                # rank dies here instead of sending (unwound in _drive)
+                raise _RankCrashed(source)
         start = sender.clock
         sender.clock += self._send_cost(source, dest, words)
+        duplicate = False
+        if fs is not None:
+            fate = fs.outcome(source, dest, tag, words, start)
+            if fate == "drop":
+                return  # the sender paid the cost; the message is gone
+            duplicate = fate == "duplicate"
         env = Envelope(
             source=source,
             dest=dest,
@@ -348,6 +445,19 @@ class SimMPI:
         self._seq += 1
         dest_state = self._procs[dest]
         dest_state.mailbox.post(env)
+        if duplicate:
+            twin = Envelope(
+                source=source,
+                dest=dest,
+                tag=tag,
+                payload=payload,
+                words=words,
+                send_time=start,
+                arrive_time=env.arrive_time,
+                seq=self._seq,
+            )
+            self._seq += 1
+            dest_state.mailbox.post(twin)
         # wait-map lookup: wake the receiver iff it posted a matching
         # (source, tag) interest — no other rank is ever inspected
         op = dest_state.blocked_on
@@ -365,7 +475,7 @@ class SimMPI:
             self._ready.append(rank)
 
     def _deliver(self, rank: int, state: _ProcState, env: Envelope) -> tuple[int, int, Any]:
-        state.clock = max(state.clock, env.arrive_time) + self._recv_cost(env.words)
+        state.clock = max(state.clock, env.arrive_time) + self._recv_cost(rank, env.words)
         if self._trace_enabled:
             self.trace.append(
                 TraceRecord(
@@ -396,6 +506,9 @@ class SimMPI:
         self._num_finished = 0
         self._coll_blocked = 0
         self._coll_kinds = {}
+        self._faults = (
+            None if self.fault_plan is None else FaultState(self.fault_plan, self.K)
+        )
         comms = [Comm(self, r) for r in range(self.K)]
         for r in range(self.K):
             out = proc_factory(comms[r])
@@ -432,7 +545,9 @@ class SimMPI:
                 break
 
             # ready deque drained: either every live rank sits in one
-            # uniform collective (counter check, O(1)) or we deadlocked
+            # uniform collective (counter check, O(1)), a virtual-time
+            # timer (recv timeout / scheduled crash) fires, or we
+            # deadlocked
             alive_count = self.K - self._num_finished
             if (
                 alive_count == self.K
@@ -443,18 +558,83 @@ class SimMPI:
                     next(iter(self._coll_kinds)), list(range(self.K))
                 )
                 continue
+            if self._fire_next_timer():
+                continue
             self._raise_deadlock(
                 [r for r in range(self.K) if not self._procs[r].finished]
             )
 
         returns = [p.retval for p in self._procs]
         clocks = [p.clock for p in self._procs]
+        fs = self._faults
         return RunResult(
             returns=returns,
             clocks=clocks,
             makespan_us=max(clocks) if clocks else 0.0,
             trace=self.trace,
+            crashed=[] if fs is None else sorted(fs.crashed),
+            fault_events=[] if fs is None else list(fs.events),
         )
+
+    def _fire_next_timer(self) -> bool:
+        """Fire the earliest pending virtual-time event, if any.
+
+        Two event kinds exist: a scheduled **crash** of a live rank and
+        the **deadline** of a blocked ``recv(..., timeout_us=...)``.
+        Events fire in ``(time, kind, rank)`` order with crashes first
+        at equal times (a message to a rank dying at *t* must already
+        find it dead).  Returns True iff an event fired.
+        """
+        fs = self._faults
+        best: tuple[float, int, int] | None = None
+        for r in range(self.K):
+            state = self._procs[r]
+            if state.finished:
+                continue
+            if fs is not None:
+                ct = fs.crash_time(r)
+                if ct is not None:
+                    # an overdue crash (clock already past it) fires now
+                    key = (max(ct, state.clock), 0, r)
+                    if best is None or key < best:
+                        best = key
+            op = state.blocked_on
+            if isinstance(op, _RecvOp) and op.deadline is not None:
+                key = (op.deadline, 1, r)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            return False
+        t, kind, r = best
+        state = self._procs[r]
+        if kind == 0:
+            self._kill_rank(r, state, at=t)
+        else:
+            state.clock = max(state.clock, t)
+            state.blocked_on = None
+            state.resume_value = TIMEOUT
+            self._wake(r)
+        return True
+
+    def _kill_rank(self, rank: int, state: _ProcState, *, at: float) -> None:
+        """Crash ``rank`` at virtual time ``at`` (fault injection)."""
+        state.clock = max(state.clock, at)
+        if state.blocked_on is not None and not isinstance(state.blocked_on, _RecvOp):
+            # dying inside a collective: release the completion counters
+            kind = type(state.blocked_on)
+            self._coll_blocked -= 1
+            n = self._coll_kinds.get(kind, 0) - 1
+            if n > 0:
+                self._coll_kinds[kind] = n
+            else:
+                self._coll_kinds.pop(kind, None)
+        state.blocked_on = None
+        if state.gen is not None:
+            state.gen.close()
+        state.finished = True
+        state.retval = None
+        self._num_finished += 1
+        self._faults.record_crash(rank, state.clock)
 
     def _complete_collective(self, kind: type, waiting: list[int]) -> None:
         """Resolve a uniform collective all live ranks are blocked on."""
@@ -523,8 +703,13 @@ class SimMPI:
             )
 
     def _drive(self, rank: int, state: _ProcState) -> None:
-        """Advance one rank until it blocks or finishes."""
+        """Advance one rank until it blocks, finishes or crashes."""
+        fs = self._faults
+        crash_t = None if fs is None else fs.crash_time(rank)
         while True:
+            if crash_t is not None and state.clock >= crash_t:
+                self._kill_rank(rank, state, at=state.clock)
+                return
             try:
                 value = state.resume_value
                 state.resume_value = None
@@ -534,12 +719,17 @@ class SimMPI:
                 state.retval = stop.value
                 self._num_finished += 1
                 return
+            except _RankCrashed:
+                self._kill_rank(rank, state, at=state.clock)
+                return
             if isinstance(op, _RecvOp):
                 env = state.mailbox.match(op.source, op.tag)
                 if env is not None:
                     state.resume_value = self._deliver(rank, state, env)
                     continue
                 state.blocked_on = op
+                if op.timeout_us is not None:
+                    op.deadline = state.clock + op.timeout_us
                 return
             if isinstance(op, _COLLECTIVE_OPS):
                 state.blocked_on = op
@@ -554,21 +744,43 @@ class SimMPI:
 
     def _raise_deadlock(self, alive: list[int]) -> None:
         lines = []
+        pending: list[PendingOp] = []
         for r in alive:
             p = self._procs[r]
             op = p.blocked_on
             if isinstance(op, _RecvOp):
                 desc = f"{op.describe()}, mailbox={len(p.mailbox)}"
+                pending.append(
+                    PendingOp(
+                        rank=r,
+                        kind="recv",
+                        source=op.source,
+                        tag=op.tag,
+                        mailbox=len(p.mailbox),
+                    )
+                )
             elif op is None:  # pragma: no cover - defensive
                 desc = "nothing (runnable?)"
+                pending.append(PendingOp(rank=r, kind="runnable"))
             else:
                 desc = op.describe()
+                kind = type(op).__name__.removesuffix("Op").lower()
+                pending.append(PendingOp(rank=r, kind=kind, mailbox=len(p.mailbox)))
             lines.append(f"  rank {r}: blocked on {desc}")
+        fs = self._faults
+        crashed = () if fs is None else tuple(sorted(fs.crashed))
         finished = self.K - len(alive)
         head = "deadlock: no rank can progress"
-        if finished:
-            head += f" ({finished} rank(s) already exited)"
-        raise DeadlockError(head + "\n" + "\n".join(lines))
+        if crashed:
+            head += f" ({len(crashed)} rank(s) crashed: {list(crashed)})"
+        if finished - len(crashed):
+            head += f" ({finished - len(crashed)} rank(s) already exited)"
+        raise DeadlockError(
+            head + "\n" + "\n".join(lines),
+            pending=pending,
+            crashed=crashed,
+            clocks=tuple(p.clock for p in self._procs),
+        )
 
 
 def run_spmd(
@@ -581,13 +793,15 @@ def run_spmd(
     jitter: float = 0.0,
     jitter_seed: int = 0,
     rendezvous_threshold_words: int | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> RunResult:
     """Convenience wrapper: run ``fn(comm, *args)`` on every rank.
 
     Returns the :class:`~repro.simmpi.message.RunResult` with per-rank
     return values, final clocks and (optionally) the message trace.
-    ``jitter``/``rendezvous_threshold_words`` forward to
-    :class:`SimMPI` (straggler noise and the MPI protocol switch).
+    ``jitter``/``rendezvous_threshold_words``/``fault_plan`` forward to
+    :class:`SimMPI` (straggler noise, the MPI protocol switch, and
+    fault injection).
     """
     engine = SimMPI(
         K,
@@ -597,5 +811,6 @@ def run_spmd(
         jitter=jitter,
         jitter_seed=jitter_seed,
         rendezvous_threshold_words=rendezvous_threshold_words,
+        fault_plan=fault_plan,
     )
     return engine.run(lambda comm: fn(comm, *args))

@@ -1,0 +1,194 @@
+"""Fault-tolerant exchange tests: detours, receipts, graceful loss.
+
+The headline scenario (the issue's acceptance criterion): a FaultPlan
+kills one interior forwarder mid-exchange.  Fault-tolerant STFW must
+still deliver **every** payload that neither originates nor terminates
+at the dead rank, while the same plan against plain STFW reports
+stranded submessages — both deterministically from the same seed.
+"""
+
+import pytest
+
+from repro.core import (
+    CommPattern,
+    make_vpt,
+    run_direct_ft_exchange,
+    run_stfw_exchange,
+    run_stfw_ft_exchange,
+)
+from repro.core.routing import route
+from repro.experiments.faults import busiest_forwarder
+from repro.metrics import delivered_pairs, expected_pairs
+from repro.network import BGQ
+from repro.simmpi import FaultPlan
+
+#: fast reliable-transport knobs shared by the tests
+FT = dict(timeout_us=50.0, max_retries=2, backoff=2.0)
+
+
+def all_pairs(pattern):
+    return {(int(s), int(t)) for s, t in zip(pattern.src, pattern.dst)}
+
+
+class TestFaultFree:
+    def test_ft_stfw_delivers_everything(self):
+        pattern = CommPattern.random(16, avg_degree=3, seed=3)
+        vpt = make_vpt(16, 2)
+        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, **FT)
+        assert res.crashed == ()
+        assert delivered_pairs(res.delivered) == all_pairs(pattern)
+        assert all(r.lost == [] for r in res.reports)
+        assert all(r.dead_peers == [] for r in res.reports)
+
+    def test_ft_direct_delivers_everything(self):
+        pattern = CommPattern.random(16, avg_degree=3, seed=3)
+        res = run_direct_ft_exchange(pattern, machine=BGQ, **FT)
+        assert delivered_pairs(res.delivered) == all_pairs(pattern)
+        assert all(r.lost == [] for r in res.reports)
+
+    def test_payloads_arrive_intact(self):
+        pattern = CommPattern.random(8, avg_degree=2, seed=1)
+        vpt = make_vpt(8, 2)
+        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, **FT)
+        for dst, msgs in enumerate(res.delivered):
+            for src, payload in msgs:
+                # synthetic payloads encode (src, dst): src * K + dst
+                assert list(payload) == [src * pattern.K + dst] * len(payload)
+
+
+class TestForwarderCrash:
+    """The acceptance scenario."""
+
+    K = 32
+    SEED = 0
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        pattern = CommPattern.random(self.K, avg_degree=4, seed=self.SEED)
+        vpt = make_vpt(self.K, 2)
+        base = run_stfw_exchange(pattern, vpt, machine=BGQ)
+        dead = busiest_forwarder(pattern, vpt)
+        plan = FaultPlan(crashes={dead: 0.4 * base.makespan_us})
+        return pattern, vpt, dead, plan
+
+    def test_dead_rank_is_an_interior_forwarder(self, scenario):
+        pattern, vpt, dead, plan = scenario
+        hops = [
+            h.receiver
+            for s, t in zip(pattern.src, pattern.dst)
+            for h in route(vpt, int(s), int(t))[:-1]
+        ]
+        assert dead in hops
+
+    def test_ft_stfw_delivers_all_countable_pairs(self, scenario):
+        pattern, vpt, dead, plan = scenario
+        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, fault_plan=plan)
+        assert res.crashed == (dead,)
+        expected = expected_pairs(pattern, res.crashed)
+        assert expected <= delivered_pairs(res.delivered)
+        # losses may only involve the dead rank
+        for r in res.reports:
+            if r is None:
+                continue
+            for origin, dst in r.lost:
+                assert dead in (origin, dst)
+
+    def test_plain_stfw_reports_stranded_pairs(self, scenario):
+        pattern, vpt, dead, plan = scenario
+        res = run_stfw_exchange(
+            pattern, vpt, machine=BGQ, fault_plan=plan, on_fault="partial"
+        )
+        assert not res.completed
+        assert res.crashed == (dead,)
+        assert len(res.pending) > 0  # blocked ranks, machine-readable
+        stranded = expected_pairs(pattern, res.crashed) - delivered_pairs(res.delivered)
+        assert stranded  # the non-tolerant exchange lost countable pairs
+
+    def test_same_seed_is_deterministic(self, scenario):
+        pattern, vpt, dead, plan = scenario
+
+        def snapshot():
+            res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, fault_plan=plan)
+            return (
+                res.crashed,
+                res.makespan_us,
+                [
+                    None
+                    if r is None
+                    else (
+                        [(o, list(p)) for o, p in r.delivered],
+                        r.lost,
+                        r.dead_peers,
+                    )
+                    for r in res.reports
+                ],
+            )
+
+        assert snapshot() == snapshot()
+
+
+class TestLinkDrops:
+    def test_ft_stfw_survives_heavy_drops(self):
+        pattern = CommPattern.random(16, avg_degree=3, seed=7)
+        vpt = make_vpt(16, 2)
+        plan = FaultPlan(default_drop=0.1, seed=5)
+        res = run_stfw_ft_exchange(
+            pattern, vpt, machine=BGQ, fault_plan=plan, timeout_us=100.0, max_retries=4
+        )
+        assert delivered_pairs(res.delivered) == all_pairs(pattern)
+
+    def test_makespan_inflates_under_drops(self):
+        pattern = CommPattern.random(16, avg_degree=3, seed=7)
+        vpt = make_vpt(16, 2)
+        clean = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, **FT)
+        noisy = run_stfw_ft_exchange(
+            pattern,
+            vpt,
+            machine=BGQ,
+            fault_plan=FaultPlan(default_drop=0.1, seed=5),
+            **FT,
+        )
+        assert noisy.makespan_us > clean.makespan_us
+
+
+class TestCrashAtStart:
+    def test_origin_dead_from_t0(self):
+        """A rank dead before sending anything: only its pairs are lost."""
+        pattern = CommPattern.random(16, avg_degree=3, seed=11)
+        vpt = make_vpt(16, 2)
+        plan = FaultPlan(crashes={2: 0.0})
+        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, fault_plan=plan)
+        assert res.crashed == (2,)
+        expected = expected_pairs(pattern, res.crashed)
+        assert expected <= delivered_pairs(res.delivered)
+
+    def test_senders_to_dead_rank_report_loss(self):
+        pattern = CommPattern.random(16, avg_degree=3, seed=11)
+        vpt = make_vpt(16, 2)
+        dead = 2
+        senders = {int(s) for s, t in zip(pattern.src, pattern.dst) if int(t) == dead}
+        assert senders, "seed must produce senders to the dead rank"
+        plan = FaultPlan(crashes={dead: 0.0})
+        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, fault_plan=plan)
+        lost_pairs = {p for r in res.reports if r is not None for p in r.lost}
+        for s in senders:
+            assert (s, dead) in lost_pairs
+
+
+class TestExchangeResultShape:
+    def test_ft_result_properties(self):
+        pattern = CommPattern.random(8, avg_degree=2, seed=1)
+        vpt = make_vpt(8, 2)
+        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, **FT)
+        assert len(res.reports) == 8
+        assert len(res.delivered) == 8
+        assert res.makespan_us == res.run.makespan_us
+        assert res.crashed == ()
+
+    def test_k_mismatch_rejected(self):
+        from repro.errors import PlanError
+
+        pattern = CommPattern.random(8, avg_degree=2, seed=1)
+        vpt = make_vpt(16, 2)
+        with pytest.raises(PlanError, match="pattern K"):
+            run_stfw_ft_exchange(pattern, vpt)

@@ -16,6 +16,7 @@ class TestParser:
             "figure9",
             "table3",
             "figure10",
+            "faults",
         }
 
     def test_parse_experiment_with_scale(self):

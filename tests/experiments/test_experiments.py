@@ -231,3 +231,42 @@ class TestFigure10:
         rows = figure10.run(CFG, matrices=("mip1",), K=1024, cache=cache)
         text = figure10.format_result(rows)
         assert "mip1" in text and "gain" in text
+
+
+class TestFaults:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import faults
+
+        return faults.run(CFG, K=16, drop_rates=(0.0, 0.05))
+
+    def test_row_structure(self, result):
+        from repro.experiments import faults
+
+        # 2 drop rates x 2 schemes + crash scenario x 3 schemes
+        assert len(result.rows) == 2 * 2 + 3
+        schemes = {s.scheme for _, s in result.rows}
+        assert schemes == {"BL-FT", "STFW-FT", "STFW"}
+        assert result.K == 16
+
+    def test_fault_tolerant_schemes_complete_clean_sweep(self, result):
+        for scenario, s in result.rows:
+            if scenario == "drop 0%":
+                assert s.completion_rate == 1.0
+                assert s.makespan_inflation == 1.0
+
+    def test_crash_strands_plain_stfw_only(self, result):
+        crash_rows = {
+            s.scheme: s for scenario, s in result.rows if scenario.startswith("crash")
+        }
+        assert not crash_rows["STFW"].completed
+        assert crash_rows["STFW"].stranded
+        assert crash_rows["STFW-FT"].completed
+        assert crash_rows["STFW-FT"].completion_rate == 1.0
+
+    def test_format(self, result):
+        from repro.experiments import faults
+
+        text = faults.format_result(result)
+        assert "Resilience" in text
+        assert "STFW-FT" in text and "deadlock" in text

@@ -1,0 +1,206 @@
+"""Unit tests for the reliable delivery layer (ack/retry/dedup)."""
+
+import pytest
+
+from repro.errors import FaultError, SimMPIError
+from repro.network import BGQ
+from repro.simmpi import TIMEOUT, FaultPlan, ReliableComm, run_spmd
+
+
+class TestHappyPath:
+    def test_roundtrip_without_faults(self):
+        def worker(comm):
+            rc = ReliableComm(comm)
+            if comm.rank == 0:
+                ok = yield from rc.try_send(1, [1, 2, 3], tag=7)
+                return (ok, rc.stats.sent, rc.stats.acked)
+            got = yield from rc.recv(tag=7)
+            return got
+
+        res = run_spmd(2, worker, machine=BGQ)
+        assert res.returns[0] == (True, 1, 1)
+        assert res.returns[1] == (0, 7, [1, 2, 3])
+
+    def test_symmetric_exchange_no_ack_deadlock(self):
+        """Both ranks send simultaneously; ack-waiters service the wire."""
+
+        def worker(comm):
+            rc = ReliableComm(comm)
+            other = 1 - comm.rank
+            ok = yield from rc.try_send(other, f"from {comm.rank}", tag=0, words=2)
+            got = yield from rc.recv(tag=0)
+            return (ok, got[2])
+
+        res = run_spmd(2, worker, machine=BGQ)
+        assert res.returns == [(True, "from 1"), (True, "from 0")]
+
+    def test_recv_timeout_returns_sentinel(self):
+        def worker(comm):
+            rc = ReliableComm(comm)
+            got = yield from rc.recv(timeout_us=50.0)
+            return got
+
+        res = run_spmd(1, worker, machine=BGQ)
+        assert res.returns[0] is TIMEOUT
+
+
+class TestRetries:
+    def test_lost_data_frame_is_retransmitted(self):
+        """A one-shot outage eats the first DATA frame; the retry lands."""
+
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=50.0, max_retries=3)
+            if comm.rank == 0:
+                ok = yield from rc.try_send(1, "payload", words=2)
+                return (ok, rc.stats.retries)
+            got = yield from rc.recv(timeout_us=1000.0)
+            return got[2]
+
+        from repro.simmpi import LinkOutage
+
+        plan = FaultPlan(outages=(LinkOutage(0, 1, 0.0, 1.0),))
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        assert res.returns[0] == (True, 1)
+        assert res.returns[1] == "payload"
+
+    def test_retry_exhaustion_returns_false_and_marks_dead(self):
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=20.0, max_retries=2)
+            if comm.rank == 0:
+                ok = yield from rc.try_send(1, "void", words=1)
+                return (ok, sorted(rc.dead), rc.stats.sent)
+            yield comm.recv(timeout_us=500.0)  # raw engine recv: never acks
+            return None
+
+        plan = FaultPlan(link_drop={(0, 1): 1.0})
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        ok, dead, sent = res.returns[0]
+        assert ok is False
+        assert dead == [1]
+        assert sent == 3  # initial + 2 retries
+
+    def test_second_send_to_dead_peer_fails_fast(self):
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=20.0, max_retries=0)
+            if comm.rank == 0:
+                first = yield from rc.try_send(1, "a", words=1)
+                sent_before = rc.stats.sent
+                second = yield from rc.try_send(1, "b", words=1)
+                return (first, second, rc.stats.sent - sent_before)
+            yield comm.recv(timeout_us=200.0)
+            return None
+
+        plan = FaultPlan(link_drop={(0, 1): 1.0})
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        assert res.returns[0] == (False, False, 0)  # no wire traffic at all
+
+    def test_send_raises_structured_fault_error(self):
+        """Satellite: FaultError carries rank/dest/tag/attempts."""
+
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=20.0, max_retries=1)
+            if comm.rank == 0:
+                yield from rc.send(1, "x", tag=9, words=1)
+                return "unreachable"
+            yield comm.recv(timeout_us=500.0)
+            return None
+
+        plan = FaultPlan(link_drop={(0, 1): 1.0})
+        with pytest.raises(FaultError) as ei:
+            run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        exc = ei.value
+        assert (exc.rank, exc.dest, exc.tag, exc.attempts) == (0, 1, 9, 2)
+        assert "no ack from rank 1" in str(exc)
+
+
+class TestDeduplication:
+    def test_duplicate_delivered_exactly_once(self):
+        """Satellite: engine-level duplication is suppressed by seqs."""
+
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=100.0)
+            if comm.rank == 0:
+                ok = yield from rc.try_send(1, "once", words=1)
+                return ok
+            got = []
+            while True:
+                m = yield from rc.recv(timeout_us=300.0)
+                if m is TIMEOUT:
+                    return (got, rc.stats.duplicates_suppressed)
+                got.append(m[2])
+
+        plan = FaultPlan(link_duplicate={(0, 1): 1.0})
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        got, suppressed = res.returns[1]
+        assert got == ["once"]
+        assert suppressed >= 1
+
+    def test_retransmission_after_lost_ack_is_suppressed(self):
+        """Data arrives, the ack dies, the sender retries: the receiver
+        re-acks but must not deliver the payload twice."""
+
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=50.0, max_retries=3)
+            if comm.rank == 0:
+                ok = yield from rc.try_send(1, "precious", words=1)
+                return (ok, rc.stats.retries)
+            got = []
+            while True:
+                m = yield from rc.recv(timeout_us=400.0)
+                if m is TIMEOUT:
+                    return (got, rc.stats.duplicates_suppressed)
+                got.append(m[2])
+
+        from repro.simmpi import LinkOutage
+
+        # eat only the first ack (1 -> 0, sent a few us in after the
+        # data's flight time), never the data
+        plan = FaultPlan(outages=(LinkOutage(1, 0, 0.0, 10.0),))
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        ok, retries = res.returns[0]
+        got, suppressed = res.returns[1]
+        assert ok is True and retries >= 1
+        assert got == ["precious"]
+        assert suppressed >= 1
+
+
+class TestArguments:
+    def test_self_send_rejected(self):
+        def worker(comm):
+            rc = ReliableComm(comm)
+            yield from rc.try_send(0, "x", words=1)
+
+        with pytest.raises(SimMPIError, match="self-send"):
+            run_spmd(1, worker)
+
+    def test_bad_constructor_args(self):
+        def make(**kw):
+            def worker(comm):
+                ReliableComm(comm, **kw)
+                return None
+                yield  # pragma: no cover
+
+            return worker
+
+        with pytest.raises(SimMPIError, match="timeout_us"):
+            run_spmd(1, make(timeout_us=0.0))
+        with pytest.raises(SimMPIError, match="max_retries"):
+            run_spmd(1, make(max_retries=-1))
+        with pytest.raises(SimMPIError, match="backoff"):
+            run_spmd(1, make(backoff=0.5))
+        with pytest.raises(SimMPIError, match="header_words"):
+            run_spmd(1, make(header_words=-1))
+
+    def test_logical_tag_filter(self):
+        def worker(comm):
+            rc = ReliableComm(comm)
+            if comm.rank == 0:
+                yield from rc.try_send(1, "a", tag=1, words=1)
+                yield from rc.try_send(1, "b", tag=2, words=1)
+                return None
+            m2 = yield from rc.recv(tag=2)
+            m1 = yield from rc.recv(tag=1)
+            return (m1[2], m2[2])
+
+        res = run_spmd(2, worker, machine=BGQ)
+        assert res.returns[1] == ("a", "b")
