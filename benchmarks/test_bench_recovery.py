@@ -1,0 +1,47 @@
+"""Benchmark: shrink-recovery cost of the iterative SpMV, BL vs STFW.
+
+Regenerates the ``repro recover`` table — checkpoint/restart iterative
+SpMV under scheduled crashes — and asserts its qualitative findings:
+every run (fault-free or crashed, either scheme) converges to the exact
+fault-free vector, recoveries roll back bounded work, and the rebuilt
+topology keeps respecting the paper's per-process message bound.
+"""
+
+from conftest import emit
+
+from repro.experiments import recover
+from repro.metrics import recovery_table
+
+K = 32
+ITERATIONS = 24
+
+
+def test_bench_recovery(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: recover.run(bench_config, K=K, iterations=ITERATIONS),
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        benchmark,
+        recovery_table(
+            result.rows,
+            title=f"shrink-recovery sweep — K={K}, {ITERATIONS} iterations, "
+            "BlueGene/Q emulator",
+        ),
+    )
+
+    by_key = {(sc, s.scheme): s for sc, s in result.rows}
+    for scheme in ("BL", "STFW2"):
+        clean = by_key[("fault-free", scheme)]
+        assert clean.recoveries == 0 and clean.final_K == K
+        for scenario in ("1 crash", "2 crashes"):
+            s = by_key[(scenario, scheme)]
+            n_crashes = 1 if scenario == "1 crash" else 2
+            assert s.final_K == K - n_crashes
+            assert 1 <= s.recoveries <= n_crashes
+            # a rollback loses at most one checkpoint interval per epoch
+            assert s.lost_iterations <= s.recoveries * result.checkpoint_interval
+            assert s.makespan_us > clean.makespan_us
+            assert s.bound_ok

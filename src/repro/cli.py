@@ -30,6 +30,7 @@ from .experiments import (
     figure8,
     figure9,
     figure10,
+    recover,
     table2,
     table3,
 )
@@ -47,6 +48,7 @@ EXPERIMENTS: dict[str, tuple[Callable, Callable]] = {
     "table3": (table3.run, table3.format_result),
     "figure10": (figure10.run, figure10.format_result),
     "faults": (faults.run, faults.format_result),
+    "recover": (recover.run, recover.format_result),
 }
 
 

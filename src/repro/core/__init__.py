@@ -36,6 +36,7 @@ from .mapping import (
     weighted_hop_volume,
 )
 from .pattern import CommPattern, PatternStats
+from .recovery import RecoveryPlan, build_recovery, shrink_dim_sizes
 from .regularizer import Regularizer
 from .plan import CommPlan, StageSchedule, build_direct_plan, build_plan, plans_for_dimensions
 from .serialize import load_pattern, load_plan, save_pattern, save_plan
@@ -116,4 +117,7 @@ __all__ = [
     "direct_volume",
     "buffer_bound_words",
     "expected_hops_uniform",
+    "RecoveryPlan",
+    "build_recovery",
+    "shrink_dim_sizes",
 ]

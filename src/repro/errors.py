@@ -8,7 +8,7 @@ propagate unchanged).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 __all__ = [
@@ -19,7 +19,9 @@ __all__ = [
     "SimMPIError",
     "DeadlockError",
     "FaultError",
+    "RecoveryError",
     "PendingOp",
+    "format_pending",
     "NetworkModelError",
     "PartitionError",
     "MatrixGenerationError",
@@ -56,7 +58,9 @@ class PendingOp:
     receives (``None`` otherwise, with wildcards reported as ``-1``).
     ``mailbox`` is the number of unconsumed envelopes waiting at the
     rank — a non-empty mailbox on a blocked receive usually means a
-    tag/source mismatch rather than a missing send.
+    tag/source mismatch rather than a missing send.  ``detail`` is the
+    engine's pre-rendered description of the blocking op (excluded from
+    equality so tests can compare against hand-built instances).
     """
 
     rank: int
@@ -64,6 +68,32 @@ class PendingOp:
     source: int | None = None
     tag: int | None = None
     mailbox: int = 0
+    detail: str | None = field(default=None, compare=False)
+
+
+def format_pending(pending: Sequence[PendingOp]) -> str:
+    """Render blocked-rank state as the standard per-rank dump lines.
+
+    One ``  rank R: blocked on <op>`` line per entry, used by both the
+    deadlock report and recovery-abort messages so the two read
+    identically.  Entries carrying the engine's ``detail`` string are
+    printed verbatim; hand-built entries fall back to a reconstruction
+    from the structured fields.
+    """
+    lines = []
+    for p in pending:
+        if p.detail is not None:
+            desc = p.detail
+        elif p.kind == "recv":
+            src = "ANY_SOURCE" if p.source in (None, -1) else p.source
+            tag = "ANY_TAG" if p.tag in (None, -1) else p.tag
+            desc = f"recv(source={src}, tag={tag}), mailbox={p.mailbox}"
+        elif p.kind == "runnable":
+            desc = "nothing (runnable?)"
+        else:
+            desc = p.kind
+        lines.append(f"  rank {p.rank}: blocked on {desc}")
+    return "\n".join(lines)
 
 
 class DeadlockError(SimMPIError):
@@ -116,6 +146,31 @@ class FaultError(SimMPIError):
         self.dest = dest
         self.tag = tag
         self.attempts = attempts
+
+
+class RecoveryError(SimMPIError):
+    """Shrink-recovery could not restore a consistent run state.
+
+    Raised when an iterative run cannot continue past a failure: no
+    complete checkpoint exists to roll back to, no survivors remain, or
+    repeated retry rounds made no progress.  ``dead`` is the agreed
+    dead set at abort time, ``iteration`` the iteration the aborting
+    rank had reached, and ``pending`` any blocked-rank state inherited
+    from an underlying deadlock (formatted with :func:`format_pending`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        dead: Sequence[int] = (),
+        iteration: int | None = None,
+        pending: Sequence[PendingOp] = (),
+    ):
+        super().__init__(message)
+        self.dead = tuple(dead)
+        self.iteration = iteration
+        self.pending = tuple(pending)
 
 
 class NetworkModelError(ReproError):

@@ -13,11 +13,23 @@ table3    large-scale communication, 4K-16K processes
 figure10  per-instance comm times at 16K on the XK7 torus
 ========  ==========================================================
 
-``faults`` (not a paper artifact) measures BL vs STFW resilience under
-the emulator's fault-injection subsystem.
+``faults`` and ``recover`` (not paper artifacts) measure BL vs STFW
+resilience and shrink-recovery cost under the emulator's
+fault-injection subsystem.
 """
 
-from . import faults, figure1, figure6, figure7, figure8, figure9, figure10, table2, table3
+from . import (
+    faults,
+    figure1,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    recover,
+    table2,
+    table3,
+)
 from .config import ExperimentConfig, default_config, quick_config
 from .harness import InstanceCache, effective_spec, paper_dim_selection
 
@@ -37,4 +49,5 @@ __all__ = [
     "table3",
     "figure10",
     "faults",
+    "recover",
 ]

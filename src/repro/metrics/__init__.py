@@ -3,9 +3,13 @@
 from .collect import CommStats, collect_stats
 from .report import Table, format_table, geometric_mean, geometric_mean_rows, normalize_to
 from .resilience import (
+    RecoveryEvent,
+    RecoveryStats,
     ResilienceStats,
     delivered_pairs,
     expected_pairs,
+    recovery_stats,
+    recovery_table,
     resilience_stats,
     resilience_table,
 )
@@ -23,4 +27,8 @@ __all__ = [
     "delivered_pairs",
     "resilience_stats",
     "resilience_table",
+    "RecoveryEvent",
+    "RecoveryStats",
+    "recovery_stats",
+    "recovery_table",
 ]

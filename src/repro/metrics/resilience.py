@@ -23,6 +23,10 @@ __all__ = [
     "delivered_pairs",
     "resilience_stats",
     "resilience_table",
+    "RecoveryEvent",
+    "RecoveryStats",
+    "recovery_stats",
+    "recovery_table",
 ]
 
 
@@ -117,6 +121,128 @@ def resilience_stats(
         makespan_us=makespan_us,
         makespan_inflation=inflation,
     )
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One shrink-recovery episode of an iterative run.
+
+    Recorded when a shrink agreement grows the dead set: the run rolls
+    back from ``detected_iteration`` to the checkpoint at
+    ``rollback_iteration``, rebuilds its topology over ``new_K``
+    survivors, and resumes.  ``message_bound`` is the rebuilt plan's
+    ``sum_d (k'_d - 1)`` per-process message bound (``K' - 1`` for the
+    direct fallback).
+    """
+
+    epoch: int
+    detected_iteration: int
+    rollback_iteration: int
+    dead: tuple[int, ...]
+    new_dead: tuple[int, ...]
+    new_K: int
+    detected_at_us: float
+    resumed_at_us: float
+    message_bound: int
+
+    @property
+    def lost_iterations(self) -> int:
+        """Iterations of completed work discarded by the rollback."""
+        return self.detected_iteration - self.rollback_iteration
+
+    @property
+    def recovery_latency_us(self) -> float:
+        """Virtual time from detection to resumed execution."""
+        return self.resumed_at_us - self.detected_at_us
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """Aggregate recovery accounting of one iterative run.
+
+    ``message_delta``/``volume_delta`` compare one exchange of the
+    final epoch against one exchange of the initial epoch (physical
+    messages / total words), quantifying the steady-state cost of
+    running on the shrunken topology.  ``bound_ok`` checks the final
+    plan's worst per-process sent count against the paper's
+    ``sum_d (k'_d - 1)`` bound.
+    """
+
+    scheme: str
+    K: int
+    final_K: int
+    iterations: int
+    recoveries: int
+    lost_iterations: int
+    recovery_latency_us: float
+    makespan_us: float
+    message_delta: float
+    volume_delta: float
+    message_bound: int
+    bound_ok: bool
+
+
+def recovery_stats(result) -> RecoveryStats:
+    """Summarize an iterative recovery run.
+
+    ``result`` is duck-typed (any object with the
+    ``IterativeRecoveryResult`` fields) so this module does not import
+    the SpMV driver.
+    """
+    events = list(result.events)
+    return RecoveryStats(
+        scheme=result.scheme,
+        K=result.K,
+        final_K=result.final_K,
+        iterations=result.iterations,
+        recoveries=len(events),
+        lost_iterations=sum(e.lost_iterations for e in events),
+        recovery_latency_us=sum(e.recovery_latency_us for e in events),
+        makespan_us=result.makespan_us,
+        message_delta=result.final_messages / max(result.initial_messages, 1),
+        volume_delta=result.final_volume / max(result.initial_volume, 1),
+        message_bound=result.message_bound,
+        bound_ok=result.final_mmax <= result.message_bound,
+    )
+
+
+def recovery_table(
+    rows: Sequence[tuple[str, RecoveryStats]],
+    *,
+    title: str = "Shrink-recovery cost, BL vs STFW",
+) -> str:
+    """Render recovery-sweep rows as a paper-style fixed-width table."""
+    t = Table(
+        columns=(
+            "scenario",
+            "scheme",
+            "K",
+            "K'",
+            "recoveries",
+            "lost_iters",
+            "latency_us",
+            "makespan_us",
+            "msg_delta",
+            "vol_delta",
+            "bound",
+        ),
+        title=title,
+    )
+    for scenario, s in rows:
+        t.add_row(
+            scenario,
+            s.scheme,
+            s.K,
+            s.final_K,
+            s.recoveries,
+            s.lost_iterations,
+            f"{s.recovery_latency_us:.1f}",
+            f"{s.makespan_us:.1f}",
+            f"{s.message_delta:.2f}x",
+            f"{s.volume_delta:.2f}x",
+            f"<={s.message_bound}" if s.bound_ok else f"VIOLATED({s.message_bound})",
+        )
+    return t.render()
 
 
 def resilience_table(

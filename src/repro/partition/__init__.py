@@ -1,6 +1,6 @@
 """Row partitioners (PaToH stand-ins) and partition quality metrics."""
 
-from .base import Partition
+from .base import Partition, reassign_parts
 from .bisection import bisect_once, bisection_partition
 from .metrics import connectivity_volume, edge_cut, partition_quality
 from .multilevel import coarsen_graph, multilevel_partition, refine_partition
@@ -9,6 +9,7 @@ from .simple import balanced_blocks_from_order, block_partition, random_partitio
 
 __all__ = [
     "Partition",
+    "reassign_parts",
     "block_partition",
     "random_partition",
     "balanced_blocks_from_order",

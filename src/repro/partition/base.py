@@ -13,7 +13,7 @@ import numpy as np
 
 from ..errors import PartitionError
 
-__all__ = ["Partition"]
+__all__ = ["Partition", "reassign_parts"]
 
 
 class Partition:
@@ -84,3 +84,35 @@ class Partition:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Partition(n={self.n}, K={self._K})"
+
+
+def reassign_parts(partition: Partition, dead: tuple[int, ...] | list[int]) -> Partition:
+    """Move every dead part's rows to the least-loaded surviving part.
+
+    The recovery remap after a shrink: rows of crashed processes are
+    folded into survivors greedily by current row count (dead parts
+    processed in ascending order, ties broken by lowest part id), which
+    keeps the surviving loads as even as a one-shot remap can.  The
+    result keeps the original ``K`` — dead parts simply own no rows —
+    so the caller can compact part ids separately when it renumbers
+    ranks.
+    """
+    dead_set = set(int(d) for d in dead)
+    for d in dead_set:
+        if not 0 <= d < partition.K:
+            raise PartitionError(f"dead part {d} outside [0, {partition.K})")
+    survivors = [p for p in range(partition.K) if p not in dead_set]
+    if not survivors:
+        raise PartitionError("cannot reassign: no surviving parts")
+    if not dead_set:
+        return partition
+    parts = partition.parts.copy()
+    loads = {p: int(c) for p, c in enumerate(partition.row_counts()) if p not in dead_set}
+    for d in sorted(dead_set):
+        rows = np.flatnonzero(parts == d)
+        if rows.size == 0:
+            continue
+        target = min(loads, key=lambda p: (loads[p], p))
+        parts[rows] = target
+        loads[target] += int(rows.size)
+    return Partition(parts, partition.K)

@@ -12,6 +12,8 @@ from .collectives import (
     ReduceOp,
     SendRequest,
 )
+from .checkpoint import HEARTBEAT_TAG, CheckpointStore, RankCheckpoint, heartbeat_round
+from .collectives import ShrinkOp
 from .faults import FaultEvent, FaultPlan, LinkOutage
 from .message import ANY_SOURCE, ANY_TAG, TIMEOUT, Envelope, RunResult, TraceRecord
 from .reliable import ReliableComm, ReliableStats
@@ -40,6 +42,11 @@ __all__ = [
     "ReduceOp",
     "AllToAllOp",
     "BcastOp",
+    "ShrinkOp",
+    "CheckpointStore",
+    "RankCheckpoint",
+    "heartbeat_round",
+    "HEARTBEAT_TAG",
     "SendRequest",
     "RecvRequest",
     "RankSummary",

@@ -1,0 +1,206 @@
+"""Coordinated checkpointing and heartbeat failure detection.
+
+Two building blocks of the shrink-recovery protocol sit here because
+they are solver-agnostic:
+
+:class:`CheckpointStore` / :class:`RankCheckpoint`
+    Host-side snapshots of per-rank solver state taken at iteration
+    boundaries.  A checkpoint is **coordinated**: every expected saver
+    contributes a snapshot of the *same* iteration, and only then is
+    the checkpoint complete and eligible as a rollback target.  Rows
+    are stored with their **global** indices, so a restore can
+    redistribute them over any survivor partition — the saver set after
+    a shrink need not match the saver set that wrote the snapshot.
+    Complete checkpoints are immutable; an incomplete one whose
+    expected-saver set changes (a crash happened mid-interval) is
+    discarded and retaken by the survivors.
+
+:func:`heartbeat_round`
+    One round of virtual-time failure detection on top of
+    :class:`~repro.simmpi.reliable.ReliableComm`.  Liveness is inferred
+    from the reliable layer's ack machinery: a ping that exhausts its
+    retry budget marks the peer suspected, and an expected ping that
+    does not arrive within the timeout marks *its* sender suspected.
+    Run over a ring (each survivor pings its successor) every rank's
+    liveness is observed by exactly one peer per round, and the
+    suspicion sets are merged during the subsequent shrink agreement.
+
+Determinism: both mechanisms live entirely in virtual time — no wall
+clock, no host randomness — so a run that crashes and recovers is a
+pure function of its inputs, which is what makes restore-and-replay
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimMPIError
+from .message import TIMEOUT
+from .reliable import ReliableComm
+
+__all__ = [
+    "HEARTBEAT_TAG",
+    "RankCheckpoint",
+    "CheckpointStore",
+    "heartbeat_round",
+]
+
+#: logical tag of heartbeat pings (above any solver tag, below the
+#: reliable layer's wire tag)
+HEARTBEAT_TAG = (1 << 23) + 1
+
+
+@dataclass(frozen=True)
+class RankCheckpoint:
+    """One rank's snapshot at an iteration boundary.
+
+    ``rows`` are **global** row indices and ``values`` the vector
+    entries the saver owned, so restore is ownership-agnostic.
+    ``rng_cursor`` records the iteration the rank's per-iteration
+    noise stream had reached (the stream itself is stateless — seeded
+    by ``(seed, iteration)`` — so the cursor alone replays it).
+    """
+
+    iteration: int
+    rows: np.ndarray
+    values: np.ndarray
+    rng_cursor: int
+
+    def __post_init__(self) -> None:
+        rows = np.asarray(self.rows, dtype=np.int64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if rows.shape != values.shape:
+            raise SimMPIError(
+                f"checkpoint rows {rows.shape} and values {values.shape} disagree"
+            )
+        rows.setflags(write=False)
+        values.setflags(write=False)
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "values", values)
+
+
+class CheckpointStore:
+    """Host-side coordinated checkpoint collection, keyed by iteration.
+
+    The store models stable storage shared by all ranks (a parallel
+    file system): savers write independently, and a checkpoint becomes
+    a valid rollback target only once *every* expected saver has
+    contributed — a partial checkpoint is never restored from.
+    """
+
+    def __init__(self) -> None:
+        #: iteration -> (expected savers, {saver: RankCheckpoint})
+        self._cps: dict[int, tuple[frozenset[int], dict[int, RankCheckpoint]]] = {}
+
+    def save(
+        self, saver: int, cp: RankCheckpoint, expected_savers: tuple[int, ...] | frozenset[int]
+    ) -> None:
+        """File one rank's snapshot toward the checkpoint at ``cp.iteration``.
+
+        ``expected_savers`` is the saver set the checkpoint needs to be
+        complete.  A complete checkpoint is immutable (a re-save is
+        rejected); an *incomplete* one whose expected set differs from
+        ``expected_savers`` is stale — a crash changed the survivor set
+        mid-interval — and is discarded before this save is filed.
+        """
+        expected = frozenset(expected_savers)
+        if saver not in expected:
+            raise SimMPIError(
+                f"rank {saver} is not among the expected savers {sorted(expected)}"
+            )
+        entry = self._cps.get(cp.iteration)
+        if entry is not None:
+            prev_expected, got = entry
+            if prev_expected == got.keys():
+                raise SimMPIError(
+                    f"checkpoint at iteration {cp.iteration} is complete and immutable"
+                )
+            if prev_expected != expected:
+                entry = None  # stale partial checkpoint from before a crash
+        if entry is None:
+            entry = (expected, {})
+            self._cps[cp.iteration] = entry
+        entry[1][saver] = cp
+
+    def savers(self, iteration: int) -> frozenset[int]:
+        """Ranks that have saved toward ``iteration`` so far."""
+        entry = self._cps.get(iteration)
+        return frozenset() if entry is None else frozenset(entry[1])
+
+    def is_complete(self, iteration: int) -> bool:
+        """True iff every expected saver contributed at ``iteration``."""
+        entry = self._cps.get(iteration)
+        return entry is not None and entry[0] == entry[1].keys()
+
+    def latest_complete(self, *, before: int | None = None) -> int | None:
+        """Newest complete checkpoint iteration (optionally ``< before``)."""
+        best = None
+        for it in self._cps:
+            if before is not None and it >= before:
+                continue
+            if self.is_complete(it) and (best is None or it > best):
+                best = it
+        return best
+
+    def checkpoints(self, iteration: int) -> dict[int, RankCheckpoint]:
+        """The per-saver snapshots of a complete checkpoint."""
+        if not self.is_complete(iteration):
+            raise SimMPIError(f"no complete checkpoint at iteration {iteration}")
+        return dict(self._cps[iteration][1])
+
+    def restore_vector(self, iteration: int, n: int) -> np.ndarray:
+        """Assemble the full length-``n`` vector of a complete checkpoint."""
+        out = np.empty(n, dtype=np.float64)
+        covered = np.zeros(n, dtype=bool)
+        for cp in self.checkpoints(iteration).values():
+            out[cp.rows] = cp.values
+            covered[cp.rows] = True
+        if not covered.all():
+            missing = int(n - covered.sum())
+            raise SimMPIError(
+                f"checkpoint at iteration {iteration} covers only "
+                f"{n - missing}/{n} rows"
+            )
+        return out
+
+
+def heartbeat_round(
+    rc: ReliableComm,
+    *,
+    ping_to: tuple[int, ...],
+    expect_from: tuple[int, ...],
+    timeout_us: float,
+):
+    """One failure-detection round; returns the sorted suspected ranks.
+
+    Pings every rank in ``ping_to`` through the reliable layer (the ack
+    doubles as the liveness proof — no pong message is needed) and then
+    waits up to ``timeout_us`` of virtual time for a ping from every
+    rank in ``expect_from``.  A peer is suspected if its ack never came
+    (retry budget exhausted) or its expected ping never arrived.
+
+    Use as ``suspected = yield from heartbeat_round(...)`` inside an
+    SPMD process.  Suspicion is local — feed the result into a
+    :meth:`~repro.simmpi.runtime.Comm.shrink` agreement to make it
+    global and consistent.
+    """
+    suspected: set[int] = set()
+    for peer in ping_to:
+        ok = yield from rc.try_send(peer, ("HB",), tag=HEARTBEAT_TAG, words=1)
+        if not ok:
+            suspected.add(peer)
+    waiting = set(expect_from)
+    deadline = rc.comm.time + timeout_us
+    while waiting:
+        remaining = deadline - rc.comm.time
+        if remaining <= 0:
+            break
+        got = yield from rc.recv(tag=HEARTBEAT_TAG, timeout_us=remaining)
+        if got is TIMEOUT:
+            break
+        waiting.discard(got[0])
+    suspected.update(waiting)
+    return sorted(suspected)

@@ -31,6 +31,7 @@ __all__ = [
     "AllToAllOp",
     "BcastOp",
     "ReduceOp",
+    "ShrinkOp",
     "RecvRequest",
     "SendRequest",
     "REDUCTIONS",
@@ -127,6 +128,23 @@ class BcastOp:
     def describe(self) -> str:
         """Human-readable form for deadlock state dumps."""
         return f"bcast(root={self.root}, words={self.words})"
+
+
+class ShrinkOp:
+    """Revoke-and-agree shrink; resumes with the agreed dead-rank tuple.
+
+    Unlike the other collectives, a shrink completes over the *live*
+    ranks only: survivors align clocks, agree on the set of crashed
+    ranks, and have their mailboxes purged (every in-flight message
+    from before the agreement is revoked).  After a shrink, ordinary
+    collectives complete over the survivor set.
+    """
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        """Human-readable form for deadlock state dumps."""
+        return "shrink"
 
 
 class SendRequest:

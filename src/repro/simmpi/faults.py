@@ -40,6 +40,7 @@ Semantics
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -125,34 +126,91 @@ class FaultPlan:
     outages: Sequence[LinkOutage] = ()
     seed: int = 0
 
-    def validate(self, K: int) -> None:
-        """Check every rank, probability and window against ``K`` ranks."""
+    def __post_init__(self) -> None:
+        # K-independent checks fail eagerly, at construction, with the
+        # offending field named — a bad probability should not wait
+        # until the plan is attached to an engine to be reported
+        self._validate_values()
+
+    def _validate_values(self) -> None:
+        """Rank-count-independent validity: probabilities, times, windows."""
         for r, t in self.crashes.items():
-            if not 0 <= r < K:
-                raise SimMPIError(f"fault plan crashes rank {r} outside [0, {K})")
             if t < 0:
                 raise SimMPIError(f"crash time {t} for rank {r} is negative")
         for name, probs in (("link_drop", self.link_drop), ("link_duplicate", self.link_duplicate)):
             for (s, d), p in probs.items():
-                if not (0 <= s < K and 0 <= d < K):
-                    raise SimMPIError(f"fault plan {name} link ({s}, {d}) outside [0, {K})")
                 if not 0.0 <= p <= 1.0:
                     raise SimMPIError(f"fault plan {name}[{s},{d}]={p} outside [0, 1]")
         for name, p in (("default_drop", self.default_drop), ("default_duplicate", self.default_duplicate)):
             if not 0.0 <= p <= 1.0:
                 raise SimMPIError(f"fault plan {name}={p} outside [0, 1]")
         for r, f in self.stragglers.items():
-            if not 0 <= r < K:
-                raise SimMPIError(f"fault plan straggler rank {r} outside [0, {K})")
             if f <= 0:
                 raise SimMPIError(f"straggler factor {f} for rank {r} must be positive")
+        for o in self.outages:
+            if o.end_us < o.start_us:
+                raise SimMPIError(f"outage window [{o.start_us}, {o.end_us}) is reversed")
+
+    def validate(self, K: int) -> None:
+        """Check every rank, probability and window against ``K`` ranks."""
+        self._validate_values()
+        for r in self.crashes:
+            if not 0 <= r < K:
+                raise SimMPIError(f"fault plan crashes rank {r} outside [0, {K})")
+        for name, probs in (("link_drop", self.link_drop), ("link_duplicate", self.link_duplicate)):
+            for s, d in probs:
+                if not (0 <= s < K and 0 <= d < K):
+                    raise SimMPIError(f"fault plan {name} link ({s}, {d}) outside [0, {K})")
+        for r in self.stragglers:
+            if not 0 <= r < K:
+                raise SimMPIError(f"fault plan straggler rank {r} outside [0, {K})")
         for o in self.outages:
             if o.src != ANY_RANK and not 0 <= o.src < K:
                 raise SimMPIError(f"outage src {o.src} outside [0, {K})")
             if o.dst != ANY_RANK and not 0 <= o.dst < K:
                 raise SimMPIError(f"outage dst {o.dst} outside [0, {K})")
-            if o.end_us < o.start_us:
-                raise SimMPIError(f"outage window [{o.start_us}, {o.end_us}) is reversed")
+
+    def to_json(self) -> str:
+        """Serialize to a canonical JSON string (sorted keys).
+
+        The inverse of :meth:`from_json`; lets a sweep record the exact
+        crash schedule it ran as a reproducible artifact.
+        """
+        doc = {
+            "crashes": {str(r): t for r, t in sorted(self.crashes.items())},
+            "link_drop": [[s, d, p] for (s, d), p in sorted(self.link_drop.items())],
+            "link_duplicate": [
+                [s, d, p] for (s, d), p in sorted(self.link_duplicate.items())
+            ],
+            "default_drop": self.default_drop,
+            "default_duplicate": self.default_duplicate,
+            "stragglers": {str(r): f for r, f in sorted(self.stragglers.items())},
+            "outages": [[o.src, o.dst, o.start_us, o.end_us] for o in self.outages],
+            "seed": self.seed,
+        }
+        return json.dumps(doc, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output (exact round-trip)."""
+        doc = json.loads(text)
+        return cls(
+            crashes={int(r): float(t) for r, t in doc.get("crashes", {}).items()},
+            link_drop={
+                (int(s), int(d)): float(p) for s, d, p in doc.get("link_drop", [])
+            },
+            link_duplicate={
+                (int(s), int(d)): float(p) for s, d, p in doc.get("link_duplicate", [])
+            },
+            default_drop=float(doc.get("default_drop", 0.0)),
+            default_duplicate=float(doc.get("default_duplicate", 0.0)),
+            stragglers={int(r): float(f) for r, f in doc.get("stragglers", {}).items()},
+            outages=tuple(
+                LinkOutage(int(s), int(d), float(a), float(b))
+                for s, d, a, b in doc.get("outages", [])
+            ),
+            seed=int(doc.get("seed", 0)),
+        )
 
     @property
     def is_trivial(self) -> bool:

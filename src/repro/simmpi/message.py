@@ -172,6 +172,26 @@ class Mailbox:
         heapify(heap)
         return heap
 
+    def purge(self) -> int:
+        """Drop every unconsumed envelope (a shrink's revoke step).
+
+        Returns the number of envelopes discarded.  Envelopes are
+        marked consumed so stale references in previously-built heaps
+        can never resurface, then all indexes are reset.
+        """
+        dropped = 0
+        for q in self._by_key.values():
+            for env in q:
+                if not env.consumed:
+                    env.consumed = True
+                    dropped += 1
+        self._by_key.clear()
+        self._src_heaps.clear()
+        self._tag_heaps.clear()
+        self._any_heap = None
+        self._len = 0
+        return dropped
+
     @staticmethod
     def _pop_deque(q: deque[Envelope] | None) -> Envelope | None:
         while q:

@@ -118,8 +118,11 @@ class ReliableComm:
         self._next_seq = 0
         #: delivered (source -> seqs) for duplicate suppression
         self._seen: dict[int, set[int]] = {}
-        #: DATA accepted while waiting for something else: (src, ltag, payload)
-        self._stash: deque[tuple[int, int, Any]] = deque()
+        #: DATA accepted while waiting for something else, kept sorted
+        #: by per-source seq: (src, ltag, payload, seq).  A tagged recv
+        #: may skip over earlier frames of other tags, so append order
+        #: alone does not preserve a source's send order — the seq does.
+        self._stash: deque[tuple[int, int, Any, int]] = deque()
 
     @property
     def rank(self) -> int:
@@ -235,7 +238,14 @@ class ReliableComm:
     # ------------------------------------------------------------------
 
     def _accept_data(self, src: int, frame: tuple) -> None:
-        """Ack a DATA frame and stash it unless it is a duplicate."""
+        """Ack a DATA frame and stash it unless it is a duplicate.
+
+        The stash is kept sorted by sequence number *per source*: a
+        retransmitted frame can arrive after a younger frame from the
+        same sender, and tagged receives skip over non-matching
+        entries, so plain append order would let a later wildcard
+        receive hand back frames out of the sender's send order.
+        """
         _, seq, ltag, payload = frame
         self.comm.send(src, (_ACK, seq), tag=WIRE_TAG, words=ACK_WORDS)
         seen = self._seen.setdefault(src, set())
@@ -244,14 +254,19 @@ class ReliableComm:
             return
         seen.add(seq)
         self.stats.delivered += 1
-        self._stash.append((src, ltag, payload))
+        for i, item in enumerate(self._stash):
+            if item[0] == src and item[3] > seq:
+                self._stash.insert(i, (src, ltag, payload, seq))
+                return
+        self._stash.append((src, ltag, payload, seq))
 
     def _pop_stash(self, tag: int | None) -> tuple[int, int, Any] | None:
         """Pop the oldest stashed message matching ``tag`` (any if None)."""
         if tag is None:
-            return self._stash.popleft() if self._stash else None
+            item = self._stash.popleft() if self._stash else None
+            return None if item is None else item[:3]
         for i, item in enumerate(self._stash):
             if item[1] == tag:
                 del self._stash[i]
-                return item
+                return item[:3]
         return None

@@ -95,7 +95,7 @@ from typing import Any, Callable, Generator, Sequence
 
 import numpy as np
 
-from ..errors import DeadlockError, PendingOp, SimMPIError
+from ..errors import DeadlockError, PendingOp, SimMPIError, format_pending
 from ..network.machines import Machine
 from ..network.mapping import block_mapping, validate_mapping
 from .collectives import (
@@ -108,6 +108,7 @@ from .collectives import (
     RecvRequest,
     ReduceOp,
     SendRequest,
+    ShrinkOp,
 )
 from .faults import FaultPlan, FaultState
 from .message import ANY_SOURCE, ANY_TAG, TIMEOUT, Envelope, Mailbox, RunResult, TraceRecord
@@ -133,7 +134,15 @@ _BarrierOp = BarrierOp
 _AllGatherOp = AllGatherOp
 
 #: every collective op type, used for uniform-kind completion checks
-_COLLECTIVE_OPS = (BarrierOp, AllGatherOp, AllReduceOp, ReduceOp, AllToAllOp, BcastOp)
+_COLLECTIVE_OPS = (
+    BarrierOp,
+    AllGatherOp,
+    AllReduceOp,
+    ReduceOp,
+    AllToAllOp,
+    BcastOp,
+    ShrinkOp,
+)
 
 
 class Comm:
@@ -268,6 +277,19 @@ class Comm:
             )
         return AllToAllOp(list(values), words_per_peer)
 
+    def shrink(self) -> ShrinkOp:
+        """Blocking revoke-and-agree shrink; yield it to obtain the
+        agreed tuple of crashed ranks (ascending).
+
+        The ULFM-style recovery primitive: every *surviving* rank must
+        call it (it completes like a collective, but over the live
+        ranks only).  On completion each survivor's mailbox is purged —
+        in-flight messages from before the agreement are revoked — and
+        from then on ordinary collectives complete over the survivor
+        set, so a shrunk run can keep using barriers and reductions.
+        """
+        return ShrinkOp()
+
     def bcast(self, value: Any, *, root: int = 0, words: int = 1) -> BcastOp:
         """Blocking broadcast from ``root``; yields the root's value."""
         if not 0 <= root < self.size:
@@ -372,6 +394,10 @@ class SimMPI:
         #: map over them; together they make the completion check O(1)
         self._coll_blocked = 0
         self._coll_kinds: dict[type, int] = {}
+        #: crashed ranks a completed shrink has acknowledged; ordinary
+        #: collectives may complete over the survivors once every
+        #: finished rank is in this set
+        self._acked_dead: set[int] = set()
 
     # ------------------------------------------------------------------
     # Cost model
@@ -506,6 +532,7 @@ class SimMPI:
         self._num_finished = 0
         self._coll_blocked = 0
         self._coll_kinds = {}
+        self._acked_dead = set()
         self._faults = (
             None if self.fault_plan is None else FaultState(self.fault_plan, self.K)
         )
@@ -549,15 +576,32 @@ class SimMPI:
             # timer (recv timeout / scheduled crash) fires, or we
             # deadlocked
             alive_count = self.K - self._num_finished
-            if (
-                alive_count == self.K
-                and self._coll_blocked == self.K
-                and len(self._coll_kinds) == 1
-            ):
-                self._complete_collective(
-                    next(iter(self._coll_kinds)), list(range(self.K))
-                )
-                continue
+            if self._coll_blocked == alive_count and len(self._coll_kinds) == 1:
+                kind = next(iter(self._coll_kinds))
+                if kind is ShrinkOp:
+                    # crash timers due by the agreement point fire
+                    # before it (the shrink cannot miss a rank already
+                    # due to die), but the agreement never warps time
+                    # forward: crashes scheduled after it stay pending
+                    horizon = max(
+                        self._procs[r].clock
+                        for r in range(self.K)
+                        if not self._procs[r].finished
+                    )
+                    if self._fire_next_timer(horizon=horizon):
+                        continue
+                    self._complete_shrink()
+                    continue
+                # ordinary collectives need every rank — or, after a
+                # shrink, every survivor (finished ranks all being
+                # shrink-acknowledged crashes)
+                finished = {r for r in range(self.K) if self._procs[r].finished}
+                if alive_count == self.K or finished <= self._acked_dead:
+                    self._complete_collective(
+                        kind,
+                        [r for r in range(self.K) if not self._procs[r].finished],
+                    )
+                    continue
             if self._fire_next_timer():
                 continue
             self._raise_deadlock(
@@ -576,14 +620,17 @@ class SimMPI:
             fault_events=[] if fs is None else list(fs.events),
         )
 
-    def _fire_next_timer(self) -> bool:
+    def _fire_next_timer(self, *, horizon: float | None = None) -> bool:
         """Fire the earliest pending virtual-time event, if any.
 
         Two event kinds exist: a scheduled **crash** of a live rank and
         the **deadline** of a blocked ``recv(..., timeout_us=...)``.
         Events fire in ``(time, kind, rank)`` order with crashes first
         at equal times (a message to a rank dying at *t* must already
-        find it dead).  Returns True iff an event fired.
+        find it dead).  With ``horizon``, events strictly after it are
+        left pending (used by the shrink agreement, which must not pull
+        future crashes into the present).  Returns True iff an event
+        fired.
         """
         fs = self._faults
         best: tuple[float, int, int] | None = None
@@ -606,6 +653,8 @@ class SimMPI:
         if best is None:
             return False
         t, kind, r = best
+        if horizon is not None and t > horizon:
+            return False
         state = self._procs[r]
         if kind == 0:
             self._kill_rank(r, state, at=t)
@@ -636,10 +685,38 @@ class SimMPI:
         self._num_finished += 1
         self._faults.record_crash(rank, state.clock)
 
+    def _complete_shrink(self) -> None:
+        """Resolve a shrink: agree on the dead set, revoke in-flight mail.
+
+        Completes over the live ranks only.  Costs one revoke round
+        plus two tree sweeps over the survivors (the agreement), after
+        which every survivor's mailbox is purged and each resumes with
+        the agreed tuple of crashed ranks.
+        """
+        waiting = [r for r in range(self.K) if not self._procs[r].finished]
+        fs = self._faults
+        dead = () if fs is None else tuple(sorted(fs.crashed))
+        self._acked_dead.update(dead)
+        m = self.machine
+        alpha = 0.0 if m is None else m.alpha_us
+        lg = math.ceil(math.log2(max(len(waiting), 2)))
+        cost = (1 + 2 * lg) * alpha
+        t = max(self._procs[r].clock for r in waiting) + cost
+        for r in waiting:
+            p = self._procs[r]
+            p.clock = t
+            p.blocked_on = None
+            p.mailbox.purge()
+            p.resume_value = dead
+            self._wake(r)
+        self._coll_blocked = 0
+        self._coll_kinds.clear()
+
     def _complete_collective(self, kind: type, waiting: list[int]) -> None:
         """Resolve a uniform collective all live ranks are blocked on."""
         ops = {r: self._procs[r].blocked_on for r in waiting}
-        lg = math.ceil(math.log2(max(self.K, 2)))
+        P = len(waiting)
+        lg = math.ceil(math.log2(max(P, 2)))
         m = self.machine
         alpha = 0.0 if m is None else m.alpha_us
         beta = 0.0 if m is None else m.beta_us_per_word
@@ -668,17 +745,21 @@ class SimMPI:
             cost = lg * (alpha + beta * words)
             fn = REDUCTIONS[next(iter(ops.values())).op]
             root = next(iter(ops.values())).root
+            if root not in ops:
+                raise SimMPIError(f"reduce root {root} is not a live rank")
             acc = None
             for r in waiting:
                 acc = ops[r].value if acc is None else fn(acc, ops[r].value)
             results = {r: (acc if r == root else None) for r in waiting}
         elif kind is AllToAllOp:
             words = max(op.words_per_peer for op in ops.values())
-            cost = (self.K - 1) * (alpha + beta * words)
+            cost = (P - 1) * (alpha + beta * words)
             results = {r: [ops[q].values[r] for q in waiting] for r in waiting}
         elif kind is BcastOp:
             self._check_uniform(ops, "root", "bcast")
             root = next(iter(ops.values())).root
+            if root not in ops:
+                raise SimMPIError(f"bcast root {root} is not a live rank")
             words = ops[root].words
             cost = lg * (alpha + beta * words)
             results = {r: ops[root].value for r in waiting}
@@ -743,13 +824,11 @@ class SimMPI:
             )
 
     def _raise_deadlock(self, alive: list[int]) -> None:
-        lines = []
         pending: list[PendingOp] = []
         for r in alive:
             p = self._procs[r]
             op = p.blocked_on
             if isinstance(op, _RecvOp):
-                desc = f"{op.describe()}, mailbox={len(p.mailbox)}"
                 pending.append(
                     PendingOp(
                         rank=r,
@@ -757,16 +836,18 @@ class SimMPI:
                         source=op.source,
                         tag=op.tag,
                         mailbox=len(p.mailbox),
+                        detail=f"{op.describe()}, mailbox={len(p.mailbox)}",
                     )
                 )
             elif op is None:  # pragma: no cover - defensive
-                desc = "nothing (runnable?)"
                 pending.append(PendingOp(rank=r, kind="runnable"))
             else:
-                desc = op.describe()
                 kind = type(op).__name__.removesuffix("Op").lower()
-                pending.append(PendingOp(rank=r, kind=kind, mailbox=len(p.mailbox)))
-            lines.append(f"  rank {r}: blocked on {desc}")
+                pending.append(
+                    PendingOp(
+                        rank=r, kind=kind, mailbox=len(p.mailbox), detail=op.describe()
+                    )
+                )
         fs = self._faults
         crashed = () if fs is None else tuple(sorted(fs.crashed))
         finished = self.K - len(alive)
@@ -776,7 +857,7 @@ class SimMPI:
         if finished - len(crashed):
             head += f" ({finished - len(crashed)} rank(s) already exited)"
         raise DeadlockError(
-            head + "\n" + "\n".join(lines),
+            head + "\n" + format_pending(pending),
             pending=pending,
             crashed=crashed,
             clocks=tuple(p.clock for p in self._procs),

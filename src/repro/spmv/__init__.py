@@ -2,7 +2,15 @@
 
 from .columnparallel import ColSpMVResult, columnparallel_pattern, distributed_spmv_colparallel
 from .distributed import DistributedSpMVResult, distributed_spmv
-from .driver import SchemeResult, SpMVExperiment, partition_matrix, run_spmv_schemes
+from .driver import (
+    IterativeRecoveryResult,
+    SchemeResult,
+    SpMVExperiment,
+    iterative_reference,
+    partition_matrix,
+    run_iterative_with_recovery,
+    run_spmv_schemes,
+)
 from .local import LocalBlock, local_spmv, split_matrix
 from .persistent import PersistentSpMV
 from .pattern import nnz_per_part, spmv_needed_entries, spmv_pattern
@@ -24,4 +32,7 @@ __all__ = [
     "columnparallel_pattern",
     "distributed_spmv_colparallel",
     "ColSpMVResult",
+    "IterativeRecoveryResult",
+    "run_iterative_with_recovery",
+    "iterative_reference",
 ]

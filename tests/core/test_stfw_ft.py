@@ -175,6 +175,55 @@ class TestCrashAtStart:
             assert (s, dead) in lost_pairs
 
 
+class TestNonPowerOfTwoShapes:
+    """Satellite: detour routing at topologies whose dimension sizes
+    are not powers of two — T_2(3, 5) and T_3(2, 3, 4)."""
+
+    @pytest.mark.parametrize(
+        "dim_sizes,seed", [((3, 5), 2), ((2, 3, 4), 4)], ids=["T2(3,5)", "T3(2,3,4)"]
+    )
+    def test_forwarder_crash_quiesces_and_delivers(self, dim_sizes, seed):
+        from repro.core import VirtualProcessTopology
+
+        K = 1
+        for k in dim_sizes:
+            K *= k
+        pattern = CommPattern.random(K, avg_degree=3, seed=seed)
+        vpt = VirtualProcessTopology(dim_sizes)
+        base = run_stfw_exchange(pattern, vpt, machine=BGQ)
+        dead = busiest_forwarder(pattern, vpt)
+        plan = FaultPlan(crashes={dead: 0.4 * base.makespan_us})
+
+        # the END-receipt quiesce must terminate (no deadlock, bounded
+        # virtual time) despite the mixed-radix stage structure
+        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, fault_plan=plan, **FT)
+        assert res.crashed == (dead,)
+
+        # delivered = fault-free pairs minus those touching the corpse
+        expected = expected_pairs(pattern, res.crashed)
+        assert expected <= delivered_pairs(res.delivered)
+        for r in res.reports:
+            if r is None:
+                continue
+            for origin, dst in r.lost:
+                assert dead in (origin, dst)
+
+    @pytest.mark.parametrize(
+        "dim_sizes,seed", [((3, 5), 2), ((2, 3, 4), 4)], ids=["T2(3,5)", "T3(2,3,4)"]
+    )
+    def test_fault_free_baseline_delivers_everything(self, dim_sizes, seed):
+        from repro.core import VirtualProcessTopology
+
+        K = 1
+        for k in dim_sizes:
+            K *= k
+        pattern = CommPattern.random(K, avg_degree=3, seed=seed)
+        vpt = VirtualProcessTopology(dim_sizes)
+        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, **FT)
+        assert res.crashed == ()
+        assert delivered_pairs(res.delivered) == all_pairs(pattern)
+
+
 class TestExchangeResultShape:
     def test_ft_result_properties(self):
         pattern = CommPattern.random(8, avg_degree=2, seed=1)

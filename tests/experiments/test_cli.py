@@ -17,6 +17,7 @@ class TestParser:
             "table3",
             "figure10",
             "faults",
+            "recover",
         }
 
     def test_parse_experiment_with_scale(self):

@@ -1,0 +1,123 @@
+"""Unit tests for coordinated checkpoints and heartbeat detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimMPIError
+from repro.network import BGQ
+from repro.simmpi import (
+    CheckpointStore,
+    FaultPlan,
+    RankCheckpoint,
+    ReliableComm,
+    run_spmd,
+)
+from repro.simmpi.checkpoint import heartbeat_round
+
+
+def cp(iteration, rows, values, cursor=None):
+    return RankCheckpoint(
+        iteration=iteration,
+        rows=np.asarray(rows),
+        values=np.asarray(values, dtype=np.float64),
+        rng_cursor=iteration if cursor is None else cursor,
+    )
+
+
+class TestRankCheckpoint:
+    def test_arrays_coerced_and_frozen(self):
+        c = cp(3, [0, 2], [1.5, -2.5])
+        assert c.rows.dtype == np.int64
+        assert c.values.dtype == np.float64
+        with pytest.raises(ValueError):
+            c.rows[0] = 9
+        with pytest.raises(ValueError):
+            c.values[0] = 9.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimMPIError, match="disagree"):
+            cp(0, [0, 1, 2], [1.0])
+
+
+class TestCheckpointStore:
+    def test_incomplete_until_every_saver_files(self):
+        store = CheckpointStore()
+        store.save(0, cp(4, [0], [1.0]), expected_savers=(0, 1))
+        assert not store.is_complete(4)
+        assert store.savers(4) == {0}
+        store.save(1, cp(4, [1], [2.0]), expected_savers=(0, 1))
+        assert store.is_complete(4)
+
+    def test_unexpected_saver_rejected(self):
+        store = CheckpointStore()
+        with pytest.raises(SimMPIError, match="not among"):
+            store.save(7, cp(0, [0], [1.0]), expected_savers=(0, 1))
+
+    def test_complete_checkpoint_is_immutable(self):
+        store = CheckpointStore()
+        store.save(0, cp(2, [0], [1.0]), expected_savers=(0,))
+        with pytest.raises(SimMPIError, match="immutable"):
+            store.save(0, cp(2, [0], [9.0]), expected_savers=(0,))
+
+    def test_stale_partial_discarded_on_expected_change(self):
+        """A crash mid-interval shrinks the saver set; the half-written
+        checkpoint from before is discarded, not merged."""
+        store = CheckpointStore()
+        store.save(0, cp(8, [0, 1], [1.0, 2.0]), expected_savers=(0, 1, 2))
+        # rank 2 died; survivors retake iteration 8 over {0, 1}
+        store.save(0, cp(8, [0, 1, 2], [1.0, 2.0, 3.0]), expected_savers=(0, 1))
+        assert store.savers(8) == {0}
+        store.save(1, cp(8, [3], [4.0]), expected_savers=(0, 1))
+        assert store.is_complete(8)
+        assert np.array_equal(store.restore_vector(8, 4), [1.0, 2.0, 3.0, 4.0])
+
+    def test_latest_complete_with_and_without_bound(self):
+        store = CheckpointStore()
+        for it in (0, 4, 8):
+            store.save(0, cp(it, [0], [float(it)]), expected_savers=(0,))
+        store.save(0, cp(12, [0], [12.0]), expected_savers=(0, 1))  # partial
+        assert store.latest_complete() == 8
+        assert store.latest_complete(before=8) == 4
+        assert store.latest_complete(before=0) is None
+
+    def test_restore_rejects_partial_coverage(self):
+        store = CheckpointStore()
+        store.save(0, cp(0, [0, 1], [1.0, 2.0]), expected_savers=(0,))
+        with pytest.raises(SimMPIError, match="covers only"):
+            store.restore_vector(0, 4)
+
+    def test_restore_is_ownership_agnostic(self):
+        """Global row indices let overlapping saver layouts restore."""
+        store = CheckpointStore()
+        store.save(0, cp(0, [2, 0], [20.0, 0.0]), expected_savers=(0, 1))
+        store.save(1, cp(0, [1, 3], [10.0, 30.0]), expected_savers=(0, 1))
+        assert np.array_equal(store.restore_vector(0, 4), [0.0, 10.0, 20.0, 30.0])
+
+    def test_missing_checkpoint_raises(self):
+        with pytest.raises(SimMPIError, match="no complete checkpoint"):
+            CheckpointStore().checkpoints(3)
+
+
+class TestHeartbeatRound:
+    def _ring(self, comm, timeout_us=300.0):
+        rc = ReliableComm(comm, timeout_us=60.0, max_retries=1)
+        K = comm.size
+        succ = (comm.rank + 1) % K
+        pred = (comm.rank - 1) % K
+        sus = yield from heartbeat_round(
+            rc, ping_to=(succ,), expect_from=(pred,), timeout_us=timeout_us
+        )
+        return sus
+
+    def test_all_alive_no_suspicion(self):
+        res = run_spmd(4, self._ring, machine=BGQ)
+        assert res.returns == [[]] * 4
+
+    def test_dead_rank_suspected_by_both_neighbors(self):
+        res = run_spmd(
+            4, self._ring, machine=BGQ, fault_plan=FaultPlan(crashes={2: 0.0})
+        )
+        assert res.crashed == [2]
+        assert res.returns[1] == [2]  # ack from successor 2 never came
+        assert res.returns[3] == [2]  # ping from predecessor 2 never arrived
+        assert res.returns[0] == []

@@ -74,6 +74,72 @@ class TestValidation:
             )
 
 
+class TestEagerValidation:
+    """Satellite: invalid values fail at construction, naming the field."""
+
+    def test_bad_probability_at_construction(self):
+        with pytest.raises(SimMPIError, match=r"default_drop=1.5 outside \[0, 1\]"):
+            FaultPlan(default_drop=1.5)
+        with pytest.raises(SimMPIError, match=r"link_drop\[0,1\]=-0.1"):
+            FaultPlan(link_drop={(0, 1): -0.1})
+        with pytest.raises(SimMPIError, match=r"link_duplicate\[2,3\]=2\.0"):
+            FaultPlan(link_duplicate={(2, 3): 2.0})
+        with pytest.raises(SimMPIError, match="default_duplicate"):
+            FaultPlan(default_duplicate=-0.5)
+
+    def test_bad_times_at_construction(self):
+        with pytest.raises(SimMPIError, match="negative"):
+            FaultPlan(crashes={0: -1.0})
+        with pytest.raises(SimMPIError, match="positive"):
+            FaultPlan(stragglers={0: 0.0})
+        with pytest.raises(SimMPIError, match="reversed"):
+            FaultPlan(outages=(LinkOutage(0, 1, 5.0, 1.0),))
+
+    def test_rank_range_checks_still_deferred_to_validate(self):
+        """Rank bounds need K, so they only fire on validate(K)."""
+        plan = FaultPlan(crashes={5: 1.0})  # constructs fine
+        with pytest.raises(SimMPIError, match="outside"):
+            plan.validate(2)
+
+
+class TestJsonRoundTrip:
+    """Satellite: to_json/from_json reproduce the plan exactly."""
+
+    def test_full_plan_round_trips(self):
+        plan = FaultPlan(
+            crashes={3: 12.5, 0: 0.0},
+            link_drop={(0, 1): 0.25, (2, 0): 1.0},
+            link_duplicate={(1, 2): 0.5},
+            default_drop=0.01,
+            default_duplicate=0.02,
+            stragglers={1: 2.5},
+            outages=(LinkOutage(0, 1, 5.0, 10.0), LinkOutage(-1, 2, 0.0, 3.0)),
+            seed=42,
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_empty_plan_round_trips(self):
+        plan = FaultPlan()
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan and again.is_trivial
+
+    def test_json_is_canonical(self):
+        """Same plan, same string — dict insertion order is irrelevant."""
+        a = FaultPlan(crashes={2: 1.0, 1: 5.0}, link_drop={(1, 0): 0.5, (0, 1): 0.5})
+        b = FaultPlan(crashes={1: 5.0, 2: 1.0}, link_drop={(0, 1): 0.5, (1, 0): 0.5})
+        assert a.to_json() == b.to_json()
+
+    def test_from_json_tolerates_missing_fields(self):
+        plan = FaultPlan.from_json('{"crashes": {"4": 7.0}}')
+        assert plan.crashes == {4: 7.0}
+        assert plan.seed == 0 and plan.outages == ()
+
+    def test_from_json_validates_eagerly(self):
+        with pytest.raises(SimMPIError, match=r"outside \[0, 1\]"):
+            FaultPlan.from_json('{"default_drop": 3.0}')
+
+
 class TestCrashes:
     def test_crash_before_send_kills_message(self):
         """A rank crashed at t=0 sends nothing; the receiver times out."""

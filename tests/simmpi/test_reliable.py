@@ -204,3 +204,70 @@ class TestArguments:
 
         res = run_spmd(2, worker, machine=BGQ)
         assert res.returns[1] == ("a", "b")
+
+
+class TestStashOrdering:
+    """Satellite regression: a wildcard recv after tagged recvs must
+    hand back stashed frames in each source's send (seq) order."""
+
+    def test_wildcard_after_tagged_preserves_seq_order(self):
+        """Interleaved tags: a tagged recv skips over two stashed
+        frames of another tag; the wildcard recvs that follow must
+        return them oldest-first."""
+
+        def worker(comm):
+            rc = ReliableComm(comm)
+            if comm.rank == 0:
+                yield from rc.try_send(1, "early", tag=7, words=1)  # seq 0
+                yield from rc.try_send(1, "late", tag=7, words=1)  # seq 1
+                yield from rc.try_send(1, "mid", tag=8, words=1)  # seq 2
+                return None
+            m_b = yield from rc.recv(tag=8)  # stashes seq 0 and seq 1
+            m1 = yield from rc.recv()
+            m2 = yield from rc.recv()
+            return (m_b[2], m1[2], m2[2])
+
+        res = run_spmd(2, worker, machine=BGQ)
+        assert res.returns[1] == ("mid", "early", "late")
+
+    def test_out_of_order_acceptance_is_resorted(self):
+        """Frames accepted out of seq order (a retransmission landing
+        after a younger frame) are stashed back into per-source order."""
+        from repro.simmpi.reliable import _DATA
+
+        def worker(comm):
+            rc = ReliableComm(comm)
+            if comm.rank == 1:
+                # simulate wire arrivals seq 2, 0, 1 (acks go to rank 0,
+                # which never receives them — eager sends don't block)
+                rc._accept_data(0, (_DATA, 2, 7, "late"))
+                rc._accept_data(0, (_DATA, 0, 7, "early"))
+                rc._accept_data(0, (_DATA, 1, 8, "mid"))
+                m_b = yield from rc.recv(tag=8)
+                m1 = yield from rc.recv()
+                m2 = yield from rc.recv()
+                return (m_b[2], m1[2], m2[2])
+            return None
+            yield  # pragma: no cover
+
+        res = run_spmd(2, worker, machine=BGQ)
+        assert res.returns[1] == ("mid", "early", "late")
+
+    def test_interleaved_sources_keep_their_own_order(self):
+        def worker(comm):
+            rc = ReliableComm(comm)
+            if comm.rank < 2:
+                for i in range(3):
+                    yield from rc.try_send(2, (comm.rank, i), tag=1, words=1)
+                return None
+            got = []
+            for _ in range(6):
+                m = yield from rc.recv(tag=1)
+                got.append(m[2])
+            return got
+
+        res = run_spmd(3, worker, machine=BGQ)
+        per_src = {0: [], 1: []}
+        for src, i in res.returns[2]:
+            per_src[src].append(i)
+        assert per_src == {0: [0, 1, 2], 1: [0, 1, 2]}
