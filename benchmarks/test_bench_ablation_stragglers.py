@@ -13,7 +13,7 @@ regularization does not buy latency at the price of fragility.
 
 from conftest import emit
 
-from repro.core import CommPattern, make_vpt, run_direct_exchange, run_stfw_exchange
+from repro.core import CommPattern, make_vpt, run_exchange
 from repro.metrics import Table
 from repro.network import BGQ
 
@@ -30,10 +30,10 @@ def test_bench_ablation_stragglers(benchmark, bench_config):
     def run():
         rows = []
         for jitter in JITTERS:
-            bl = run_direct_exchange(
-                pattern, machine=BGQ, jitter=jitter, jitter_seed=1
+            bl = run_exchange(
+                pattern, scheme="direct", machine=BGQ, jitter=jitter, jitter_seed=1
             ).run.makespan_us
-            stfw = run_stfw_exchange(
+            stfw = run_exchange(
                 pattern, vpt, machine=BGQ, jitter=jitter, jitter_seed=1
             ).run.makespan_us
             rows.append((jitter, bl, stfw, bl / stfw))

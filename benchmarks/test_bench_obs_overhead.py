@@ -1,0 +1,71 @@
+"""Disabled-tracer overhead on the engine-scaling workload.
+
+The observability layer promises a near-zero disabled path: every
+instrumented constructor stores ``self._obs = tracer if (tracer is not
+None and tracer.enabled) else None`` once, and every hot-path hook is
+gated on a single ``if obs is not None`` local check.  This benchmark
+holds it to that promise on the same persistent sparse STFW exchange as
+:mod:`test_bench_engine_scaling`: running with ``NULL_TRACER`` (or no
+tracer at all — the default) must stay within 2% of the untraced
+engine's wall clock.
+
+Quick mode: ``REPRO_OBS_BENCH_K=256 REPRO_OBS_BENCH_ITERS=400``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+from repro.obs import NULL_TRACER
+from repro.simmpi.runtime import SimMPI
+
+from test_bench_engine_scaling import _exchange_setup, _normalize
+
+BENCH_K = int(os.environ.get("REPRO_OBS_BENCH_K", "1024"))
+BENCH_ITERS = int(os.environ.get("REPRO_OBS_BENCH_ITERS", "1000"))
+#: tolerated slowdown of the disabled-tracer run (interleaved best-of-N
+#: floors the scheduler noise; the gated hooks are a pointer test each)
+MAX_OVERHEAD = 1.02
+#: absolute slack for quick-mode runs whose total time approaches the
+#: host timer / scheduler noise floor
+NOISE_FLOOR_S = 0.002
+_REPS = 7
+
+
+def _timed(factory, K, tracer) -> tuple[float, object]:
+    engine = SimMPI(K, tracer=tracer) if tracer is not None else SimMPI(K)
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        res = engine.run(factory)
+        return time.perf_counter() - t0, res
+    finally:
+        gc.enable()
+
+
+def test_bench_disabled_tracer_overhead():
+    """NULL_TRACER run within 2% of the tracer-free engine."""
+    K, iters = BENCH_K, BENCH_ITERS
+    factory = _exchange_setup(K, iters)
+
+    _timed(factory, K, None)  # warmup: allocator + bytecode caches
+    base_s = null_s = float("inf")
+    base_res = null_res = None
+    for _ in range(_REPS):  # interleaved best-of-N floors scheduler noise
+        s, base_res = _timed(factory, K, None)
+        base_s = min(base_s, s)
+        s, null_res = _timed(factory, K, NULL_TRACER)
+        null_s = min(null_s, s)
+
+    overhead = null_s / base_s
+    print(
+        f"\nobs overhead @ K={K}, iters={iters}: untraced {base_s * 1e3:.1f} ms, "
+        f"NULL_TRACER {null_s * 1e3:.1f} ms, ratio {overhead:.3f}"
+    )
+    # identical results — the disabled tracer must not perturb the run
+    assert _normalize(base_res.returns) == _normalize(null_res.returns)
+    assert base_res.clocks == null_res.clocks
+    assert null_s < base_s * MAX_OVERHEAD + NOISE_FLOOR_S

@@ -18,7 +18,7 @@ from repro.core import (
     CommPattern,
     build_plan,
     make_vpt,
-    run_stfw_exchange,
+    run_exchange,
 )
 from repro.matrices import generate_matrix
 from repro.network import BGQ
@@ -32,7 +32,7 @@ pattern = CommPattern.random(K, avg_degree=3, words=4, hot_processes=1, seed=7)
 print(f"{pattern.num_messages} original messages on {K} processes, "
       f"VPT T2{vpt.dim_sizes}\n")
 
-result = run_stfw_exchange(pattern, vpt, machine=BGQ, trace=True)
+result = run_exchange(pattern, vpt, machine=BGQ, trace=True)
 plan = result.plan
 
 print("stage  physical msgs  submsgs  words   (bound = k_d - 1 per process)")

@@ -20,7 +20,7 @@ from repro.core import (
     CommPattern,
     VirtualProcessTopology,
     build_plan,
-    run_stfw_exchange,
+    run_exchange,
 )
 
 vpt = VirtualProcessTopology((4, 4, 4))
@@ -87,7 +87,7 @@ for d in range(vpt.n):
     print(f"  after stage {d + 1}: {occupied if occupied else 'empty'}")
 
 # and the emulator agrees, delivering every payload to its destination
-result = run_stfw_exchange(pattern, vpt)
+result = run_exchange(pattern, vpt)
 for dest in (pc, pd, pe, pf):
     srcs = sorted(names[s] for s, _ in result.delivered[dest])
     print(f"  {names[dest]} received from: {', '.join(srcs)}")

@@ -76,6 +76,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_args(p)
     p.add_argument("-o", "--output", default="-", help="output file ('-' = stdout)")
 
+    p = sub.add_parser(
+        "trace",
+        help="run a target under the tracer; write Chrome trace JSON + JSONL "
+        "event stream and print a summary table",
+    )
+    p.add_argument(
+        "target",
+        nargs="?",
+        default="exchange",
+        choices=("exchange", *EXPERIMENTS),
+        help="what to trace: a synthetic STFW exchange (default) or an experiment",
+    )
+    _add_config_args(p)
+    p.add_argument(
+        "--out", metavar="DIR", default=".", help="directory for the trace files"
+    )
+    p.add_argument(
+        "--K", type=int, default=64, help="process count of the 'exchange' target"
+    )
+    p.add_argument(
+        "--dims", type=int, default=2, help="VPT dimension of the 'exchange' target"
+    )
+
     sub.add_parser("instances", help="list the Table 1 instance registry")
     return parser
 
@@ -125,6 +148,69 @@ def _cmd_instances() -> str:
     return t.render(float_fmt="{:.3f}")
 
 
+def _cmd_trace(args: argparse.Namespace, cfg: ExperimentConfig) -> int:
+    """Run the trace target with a live tracer and export the timeline.
+
+    Writes ``<target>.trace.json`` (Chrome ``trace_event`` JSON, load it
+    in chrome://tracing or https://ui.perfetto.dev) and
+    ``<target>.events.jsonl`` into ``--out``, then prints the span and
+    counter summary.
+    """
+    from .obs import Tracer, chrome_trace, jsonl_events, summary_table
+
+    tracer = Tracer(args.target)
+    run_result = None
+    extras: list[str] = []
+
+    if args.target == "exchange":
+        from .core import CommPattern, run_exchange
+        from .metrics import Table
+        from .network import BGQ
+
+        pattern = CommPattern.random(args.K, avg_degree=8, seed=cfg.seed, words=16)
+        res = run_exchange(
+            pattern, dims=args.dims, machine=BGQ, trace=True, tracer=tracer
+        )
+        run_result = res.run
+        t = Table(
+            columns=("stage", "traced msgs", "plan msgs", "traced words", "plan words"),
+            title="per-stage counters — traced vs CommPlan statics",
+        )
+        for d, st in enumerate(res.plan.stages):
+            t.add_row(
+                d,
+                int(tracer.value("stfw.stage_messages", stage=d)),
+                st.num_messages,
+                int(tracer.value("stfw.stage_words", stage=d)),
+                int(st.total_words.sum()),
+            )
+        extras.append(t.render())
+    else:
+        run_fn, _ = EXPERIMENTS[args.target]
+        with tracer.span(f"experiment.{args.target}", track="host", cat="experiment"):
+            if args.target in ("faults", "recover"):
+                run_fn(cfg, tracer=tracer)
+            else:
+                from .experiments.harness import InstanceCache
+
+                run_fn(cfg, cache=InstanceCache(cfg, tracer=tracer))
+
+    os.makedirs(args.out, exist_ok=True)
+    trace_path = os.path.join(args.out, f"{args.target}.trace.json")
+    with open(trace_path, "w") as fh:
+        fh.write(chrome_trace(tracer, run=run_result, name=args.target))
+    jsonl_path = os.path.join(args.out, f"{args.target}.events.jsonl")
+    with open(jsonl_path, "w") as fh:
+        fh.write(jsonl_events(tracer))
+    print(summary_table(tracer))
+    for block in extras:
+        print()
+        print(block)
+    print(f"wrote {trace_path}", file=sys.stderr)
+    print(f"wrote {jsonl_path}", file=sys.stderr)
+    return 0
+
+
 def run_report(cfg: ExperimentConfig) -> str:
     """Run every experiment and render one markdown document.
 
@@ -170,6 +256,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     cfg = _config_from(args)
+
+    if args.command == "trace":
+        return _cmd_trace(args, cfg)
 
     if args.command == "report":
         text = run_report(cfg)

@@ -50,6 +50,7 @@ from .stfw import (
     recv_counts_from_plan,
     run_direct_exchange,
     run_direct_ft_exchange,
+    run_exchange,
     run_stfw_exchange,
     run_stfw_ft_exchange,
     stfw_ft_process,
@@ -88,6 +89,7 @@ __all__ = [
     "stfw_ft_process",
     "direct_ft_process",
     "recv_counts_from_plan",
+    "run_exchange",
     "run_stfw_exchange",
     "run_direct_exchange",
     "run_stfw_ft_exchange",

@@ -34,7 +34,7 @@ from .dimensioning import make_vpt, valid_dimensions
 from .mapping import apply_mapping, locality_vpt_mapping, refine_vpt_mapping
 from .pattern import CommPattern
 from .plan import CommPlan, build_plan
-from .stfw import ExchangeResult, run_direct_exchange, run_stfw_exchange
+from .stfw import ExchangeResult, run_exchange
 from .vpt import VirtualProcessTopology
 
 __all__ = ["Regularizer"]
@@ -158,6 +158,7 @@ class Regularizer:
         *,
         machine=None,
         trace: bool = False,
+        tracer=None,
     ) -> ExchangeResult:
         """Deliver payloads through the topology on the MPI emulator.
 
@@ -166,21 +167,29 @@ class Regularizer:
         the pattern).  Payload keys refer to the *original* process
         numbering; with ``remap=True`` they are translated internally.
         Returns deliveries indexed by original process ids as well.
+        An optional :class:`repro.obs.Tracer` collects stage spans and
+        message counters for the run.
         """
         if payloads is not None and self.position is not None:
             payloads = self._translate(payloads)
         if self.is_baseline:
-            result = run_direct_exchange(
-                self.pattern, payloads=payloads, machine=machine, trace=trace
+            result = run_exchange(
+                self.pattern,
+                scheme="direct",
+                payloads=payloads,
+                machine=machine,
+                trace=trace,
+                tracer=tracer,
             )
         else:
-            result = run_stfw_exchange(
+            result = run_exchange(
                 self.pattern,
                 self.vpt,
                 payloads=payloads,
                 machine=machine,
                 header_words=self._header_words,
                 trace=trace,
+                tracer=tracer,
             )
         return self._untranslate(result)
 

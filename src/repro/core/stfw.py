@@ -48,13 +48,22 @@ fault-tolerant variant, built on the reliable delivery layer
 
 The non-tolerant :func:`stfw_process` under the same
 :class:`~repro.simmpi.faults.FaultPlan` deadlocks; pass
-``on_fault="partial"`` to :func:`run_stfw_exchange` to turn the
-structured :class:`~repro.errors.DeadlockError` into a partial
+``on_fault="partial"`` to :func:`run_exchange` to turn the structured
+:class:`~repro.errors.DeadlockError` into a partial
 :class:`ExchangeResult` that names the stranded pairs.
+
+:func:`run_exchange` is the single whole-system driver — scheme
+(STFW via ``vpt``/``dims`` or the direct baseline via
+``scheme="direct"``) and fault policy (``on_fault`` of ``"raise"`` /
+``"partial"`` / ``"tolerate"``) are orthogonal arguments.  The former
+per-variant entry points (``run_stfw_exchange``,
+``run_direct_exchange``, ``run_stfw_ft_exchange``,
+``run_direct_ft_exchange``) survive as deprecated shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Generator, Mapping, Sequence
 
@@ -75,6 +84,7 @@ __all__ = [
     "stfw_ft_process",
     "direct_ft_process",
     "recv_counts_from_plan",
+    "run_exchange",
     "run_stfw_exchange",
     "run_direct_exchange",
     "run_stfw_ft_exchange",
@@ -94,7 +104,7 @@ _FT_END_TAG = 1
 
 @dataclass
 class ExchangeResult:
-    """Outcome of a full exchange on the emulator.
+    """Outcome of a full exchange on the emulator (any scheme).
 
     ``delivered[i]`` lists ``(source, payload)`` pairs received by rank
     ``i`` (in arrival order); ``run`` carries clocks and the optional
@@ -102,6 +112,12 @@ class ExchangeResult:
     ``completed`` is False when the run was cut short by injected
     faults (``on_fault="partial"``); ``pending`` then holds the
     machine-readable blocked-rank dump and ``crashed`` the dead ranks.
+
+    Fault-tolerant exchanges (``on_fault="tolerate"``) additionally
+    fill ``reports``: ``reports[i]`` is rank ``i``'s
+    :class:`FTRankReport` (``None`` for a crashed rank), and
+    ``delivered`` mirrors the reports' delivered lists.  ``reports`` is
+    ``None`` for non-tolerant runs.
     """
 
     delivered: list[list[tuple[int, Any]]]
@@ -110,11 +126,27 @@ class ExchangeResult:
     completed: bool = True
     pending: tuple[PendingOp, ...] = ()
     crashed: tuple[int, ...] = ()
+    reports: list["FTRankReport | None"] | None = None
 
     @property
     def makespan_us(self) -> float:
         """Virtual wall time of the exchange."""
         return self.run.makespan_us
+
+    @property
+    def lost(self) -> list[tuple[int, int]]:
+        """All ``(origin, destination)`` pairs reported lost (FT runs).
+
+        Empty for non-tolerant runs (which either deliver everything or
+        fail another way).
+        """
+        if self.reports is None:
+            return []
+        out: set[tuple[int, int]] = set()
+        for rep in self.reports:
+            if rep is not None:
+                out.update(rep.lost)
+        return sorted(out)
 
 
 def _payload_words(payload: Any) -> int:
@@ -144,6 +176,7 @@ def stfw_process(
     *,
     header_words: int = 0,
     out: list | None = None,
+    tracer=None,
 ) -> Generator:
     """Algorithm 1 for one rank; run under :func:`repro.simmpi.run_spmd`.
 
@@ -165,6 +198,10 @@ def stfw_process(
         Optional external delivery sink.  Deliveries are appended to it
         as they happen, so a caller injecting faults can still read the
         partial deliveries of a run that ends in a deadlock.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; records one virtual-time
+        span per stage on this rank's track plus ``stfw.*`` counters
+        (per-stage message/word totals, origin vs forwarded words).
 
     Returns
     -------
@@ -173,6 +210,7 @@ def stfw_process(
     """
     rank = comm.rank
     n = vpt.n
+    obs = tracer if (tracer is not None and tracer.enabled) else None
 
     # fwbuf[d][digit] = submessages to forward in stage d to the
     # neighbor whose dimension-d coordinate is `digit`
@@ -188,6 +226,7 @@ def stfw_process(
 
     # Algorithm 1 lines 7-17: the stage loop
     for d in range(n):
+        stage_t0 = comm.time
         if recv_counts is None:
             expect = yield from _exchange_counts(comm, vpt, d, fwbuf[d])
         else:
@@ -198,6 +237,15 @@ def stfw_process(
             dst_rank = _neighbor_with_digit(vpt, rank, d, digit)
             words = sum(_payload_words(p) for _, _, p in subs) + header_words * len(subs)
             comm.send(dst_rank, list(subs), tag=d, words=words)
+            if obs is not None:
+                obs.count("stfw.stage_messages", 1, stage=d)
+                obs.count("stfw.stage_words", words, stage=d)
+                for _, src, payload in subs:
+                    pw = _payload_words(payload)
+                    if src == rank:
+                        obs.count("stfw.origin_words", pw, track=rank)
+                    else:
+                        obs.count("stfw.forwarded_words", pw, track=rank)
         fwbuf[d].clear()
 
         # receive and scatter (lines 13-17); the wildcard-source recv
@@ -215,6 +263,11 @@ def stfw_process(
                             f"needing earlier stage {c}"
                         )
                     fwbuf[c].setdefault(vpt.digit(dst, c), []).append((dst, src, payload))
+        if obs is not None:
+            obs.add_span(
+                f"stfw.stage{d}", stage_t0, comm.time, track=rank,
+                cat="stage", stage=d, expected=expect,
+            )
 
     return delivered
 
@@ -249,14 +302,25 @@ def direct_process(
     comm: Comm,
     send_data: Mapping[int, Any],
     expect: int,
+    *,
+    tracer=None,
 ) -> Generator:
     """The baseline (BL): plain point-to-point sends, no regularization."""
+    obs = tracer if (tracer is not None and tracer.enabled) else None
+    t0 = comm.time
     delivered: list[tuple[int, Any]] = []
     for dst, payload in send_data.items():
-        comm.send(dst, payload, tag=0, words=_payload_words(payload))
+        words = _payload_words(payload)
+        comm.send(dst, payload, tag=0, words=words)
+        if obs is not None:
+            obs.count("direct.messages", 1)
+            obs.count("direct.words", words)
     for _ in range(expect):
         src, _, payload = yield comm.recv(tag=0)
         delivered.append((src, payload))
+    if obs is not None:
+        obs.add_span("direct.exchange", t0, comm.time, track=comm.rank,
+                     cat="stage", expected=int(expect))
     return delivered
 
 
@@ -378,6 +442,7 @@ def stfw_ft_process(
     end_wait_us: float | None = None,
     max_recovery_rounds: int = 2,
     header_words: int = 0,
+    tracer=None,
 ) -> Generator:
     """Fault-tolerant Algorithm 1 for one rank.
 
@@ -403,8 +468,10 @@ def stfw_ft_process(
     Returns an :class:`FTRankReport`.
     """
     rank = comm.rank
+    obs = tracer if (tracer is not None and tracer.enabled) else None
     rc = ReliableComm(
-        comm, timeout_us=timeout_us, max_retries=max_retries, backoff=backoff
+        comm, timeout_us=timeout_us, max_retries=max_retries, backoff=backoff,
+        tracer=tracer,
     )
     retry_cycle = timeout_us * sum(backoff**k for k in range(max_retries + 1))
     if quiesce_us is None:
@@ -443,6 +510,12 @@ def stfw_ft_process(
                 del outstanding[dst]
             if outstanding and recovery_rounds < max_recovery_rounds:
                 recovery_rounds += 1
+                if obs is not None:
+                    obs.count("stfw_ft.recovery_rounds", 1, track=rank)
+                    obs.instant(
+                        "stfw_ft.recovery", comm.time, track=rank, cat="fault",
+                        outstanding=len(outstanding),
+                    )
                 # recovery: bypass forwarding, re-send straight to the
                 # destination (duplicates are suppressed there)
                 for dst in sorted(outstanding):
@@ -499,6 +572,7 @@ def direct_ft_process(
     max_retries: int = 3,
     backoff: float = 2.0,
     quiesce_us: float | None = None,
+    tracer=None,
 ) -> Generator:
     """Fault-tolerant baseline: direct reliable sends, quiesce receive.
 
@@ -508,7 +582,8 @@ def direct_ft_process(
     """
     rank = comm.rank
     rc = ReliableComm(
-        comm, timeout_us=timeout_us, max_retries=max_retries, backoff=backoff
+        comm, timeout_us=timeout_us, max_retries=max_retries, backoff=backoff,
+        tracer=tracer,
     )
     if quiesce_us is None:
         retry_cycle = timeout_us * sum(backoff**k for k in range(max_retries + 1))
@@ -598,138 +673,235 @@ def _run_spmd_on_fault(
     )
 
 
-def run_stfw_exchange(
+#: fault-tolerance knob defaults, used both as ``run_exchange`` defaults
+#: and to detect FT knobs passed to a non-tolerant run
+_FT_DEFAULTS = {
+    "timeout_us": 150.0,
+    "max_retries": 3,
+    "backoff": 2.0,
+    "quiesce_us": None,
+    "end_wait_us": None,
+    "max_recovery_rounds": 2,
+}
+
+
+def _resolve_scheme(
     pattern: CommPattern,
-    vpt: VirtualProcessTopology,
+    vpt: VirtualProcessTopology | None,
+    scheme: str | None,
+    dims: int | None,
+) -> tuple[VirtualProcessTopology | None, str]:
+    """Normalize the (vpt, scheme, dims) triple of :func:`run_exchange`.
+
+    Returns ``(vpt, kind)`` with ``kind`` in ``{"stfw", "direct"}``;
+    ``vpt`` is ``None`` exactly for the direct scheme.  Accepts the
+    canonical report labels (``"BL"``, ``"STFW3"``) as scheme strings
+    so CLI/report code can round-trip them.
+    """
+    if scheme is not None:
+        s = str(scheme).lower()
+        if s in ("direct", "bl"):
+            if vpt is not None:
+                raise PlanError(f"scheme {scheme!r} does not take a vpt")
+            if dims is not None:
+                raise PlanError(f"scheme {scheme!r} does not take dims=")
+            return None, "direct"
+        if s.startswith("stfw") and s[4:].isdigit():
+            n = int(s[4:])
+            if dims is not None and dims != n:
+                raise PlanError(f"scheme {scheme!r} conflicts with dims={dims}")
+            dims = n
+        elif s != "stfw":
+            raise PlanError(
+                f"unknown scheme {scheme!r}; use 'direct'/'BL', 'stfw', or 'STFW<n>'"
+            )
+    elif vpt is None and dims is None:
+        raise PlanError("run_exchange needs a vpt, dims=, or scheme=")
+
+    if vpt is None:
+        if dims is None:
+            raise PlanError("scheme 'stfw' needs a vpt or dims=")
+        from .dimensioning import make_vpt
+
+        vpt = make_vpt(pattern.K, dims)
+    elif dims is not None and vpt.n != dims:
+        raise PlanError(f"vpt has {vpt.n} dimensions but dims={dims} was given")
+    if pattern.K != vpt.K:
+        raise PlanError(f"pattern K={pattern.K} != vpt K={vpt.K}")
+    return vpt, "stfw"
+
+
+def run_exchange(
+    pattern: CommPattern,
+    vpt: VirtualProcessTopology | None = None,
     *,
+    scheme: str | None = None,
+    dims: int | None = None,
     payloads: Sequence[Mapping[int, Any]] | None = None,
     machine=None,
     mapping=None,
     mode: str = "planned",
     header_words: int = 0,
     trace: bool = False,
+    tracer=None,
     fault_plan: FaultPlan | None = None,
     on_fault: str = "raise",
+    timeout_us: float = 150.0,
+    max_retries: int = 3,
+    backoff: float = 2.0,
+    quiesce_us: float | None = None,
+    end_wait_us: float | None = None,
+    max_recovery_rounds: int = 2,
     **engine_kwargs,
 ) -> ExchangeResult:
-    """Execute the full STFW exchange for ``pattern`` on the emulator.
+    """Execute one full exchange for ``pattern`` on the emulator.
+
+    The single entry point for every exchange variant; the scheme and
+    the fault-handling policy are orthogonal axes:
+
+    * **scheme** — STFW when a ``vpt`` (or ``dims=n``, building the
+      balanced ``T_n`` formation) is given; the direct baseline with
+      ``scheme="direct"`` (alias ``"BL"``).  Report labels like
+      ``"STFW3"`` are accepted and imply ``dims``.
+    * **on_fault** — what to do when a ``fault_plan`` bites:
+      ``"raise"`` propagates the :class:`~repro.errors.DeadlockError`
+      a non-tolerant exchange produces; ``"partial"`` converts it into
+      an incomplete :class:`ExchangeResult` naming the stranded pairs;
+      ``"tolerate"`` runs the fault-tolerant protocol (reliable hops,
+      e-cube detours, END receipts) and always terminates, filling
+      ``reports`` with per-rank :class:`FTRankReport` accounting.
 
     ``payloads`` defaults to synthetic verifiable arrays sized by the
     pattern.  ``mode`` is ``"planned"`` (receive counts precomputed
     from the plan; the amortized-setup path the paper times) or
-    ``"dynamic"`` (per-stage count exchange; no global knowledge).
-    A ``fault_plan`` injects crashes/drops; this exchange has **no**
-    tolerance for them, so a killed forwarder strands submessages —
-    ``on_fault="partial"`` turns the resulting deadlock into an
-    incomplete :class:`ExchangeResult` (partial deliveries plus the
-    blocked-rank dump) instead of raising.  Extra keyword arguments
-    (``jitter``, ``rendezvous_threshold_words``, ...) forward to the
-    :class:`~repro.simmpi.runtime.SimMPI` engine.
+    ``"dynamic"`` (per-stage count exchange; no global knowledge) —
+    STFW only, as is ``header_words``.  The FT knobs (``timeout_us``,
+    ``max_retries``, ``backoff``, ``quiesce_us``, ``end_wait_us``,
+    ``max_recovery_rounds``) apply only with ``on_fault="tolerate"``;
+    passing a non-default value otherwise is an error naming the knob.
+    ``tracer`` is an optional :class:`repro.obs.Tracer` receiving
+    engine events plus per-stage spans and ``stfw.*`` counters.  Extra
+    keyword arguments (``jitter``, ``rendezvous_threshold_words``, ...)
+    forward to the :class:`~repro.simmpi.runtime.SimMPI` engine.
     """
-    if pattern.K != vpt.K:
-        raise PlanError(f"pattern K={pattern.K} != vpt K={vpt.K}")
+    vpt, kind = _resolve_scheme(pattern, vpt, scheme, dims)
     if mode not in ("planned", "dynamic"):
         raise PlanError(f"unknown mode {mode!r}")
+    if on_fault not in ("raise", "partial", "tolerate"):
+        raise PlanError(
+            f"unknown on_fault {on_fault!r}; use 'raise', 'partial' or 'tolerate'"
+        )
+    ft_knobs = {
+        "timeout_us": timeout_us,
+        "max_retries": max_retries,
+        "backoff": backoff,
+        "quiesce_us": quiesce_us,
+        "end_wait_us": end_wait_us,
+        "max_recovery_rounds": max_recovery_rounds,
+    }
+    if on_fault != "tolerate":
+        for knob, value in ft_knobs.items():
+            if value != _FT_DEFAULTS[knob]:
+                raise PlanError(
+                    f"{knob}={value!r} only applies with on_fault='tolerate' "
+                    f"(got on_fault={on_fault!r})"
+                )
     if payloads is None:
         payloads = _default_payloads(pattern)
 
-    plan: CommPlan | None = None
-    counts: np.ndarray | None = None
-    if mode == "planned":
-        plan = build_plan(pattern, vpt, header_words=header_words)
-        counts = recv_counts_from_plan(plan)
-
-    sinks: list[list[tuple[int, Any]]] = [[] for _ in range(vpt.K)]
-
-    def factory(comm: Comm):
-        rc = None if counts is None else counts[:, comm.rank]
-        return stfw_process(
-            comm,
-            vpt,
-            payloads[comm.rank],
-            rc,
-            header_words=header_words,
-            out=sinks[comm.rank],
+    if on_fault == "tolerate":
+        if kind == "stfw":
+            factory = lambda comm: stfw_ft_process(  # noqa: E731
+                comm,
+                vpt,
+                payloads[comm.rank],
+                header_words=header_words,
+                tracer=tracer,
+                **ft_knobs,
+            )
+        else:
+            del ft_knobs["end_wait_us"], ft_knobs["max_recovery_rounds"]
+            factory = lambda comm: direct_ft_process(  # noqa: E731
+                comm, payloads[comm.rank], tracer=tracer, **ft_knobs
+            )
+        result = run_spmd(
+            pattern.K,
+            factory,
+            machine=machine,
+            mapping=mapping,
+            trace=trace,
+            fault_plan=fault_plan,
+            tracer=tracer,
+            **engine_kwargs,
+        )
+        reports = _ft_reports(result)
+        return ExchangeResult(
+            delivered=[[] if r is None else list(r.delivered) for r in reports],
+            run=result,
+            plan=None,
+            crashed=tuple(result.crashed),
+            reports=reports,
         )
 
-    result = _run_spmd_on_fault(
-        vpt.K,
-        factory,
-        sinks,
-        on_fault,
-        machine=machine,
-        mapping=mapping,
-        trace=trace,
-        fault_plan=fault_plan,
-        **engine_kwargs,
-    )
-    result.plan = plan
-    return result
+    if kind == "stfw":
+        plan: CommPlan | None = None
+        counts: np.ndarray | None = None
+        if mode == "planned":
+            plan = build_plan(pattern, vpt, header_words=header_words)
+            counts = recv_counts_from_plan(plan)
+        sinks: list[list[tuple[int, Any]]] = [[] for _ in range(vpt.K)]
 
+        def factory(comm: Comm):
+            rc = None if counts is None else counts[:, comm.rank]
+            return stfw_process(
+                comm,
+                vpt,
+                payloads[comm.rank],
+                rc,
+                header_words=header_words,
+                out=sinks[comm.rank],
+                tracer=tracer,
+            )
 
-def run_direct_exchange(
-    pattern: CommPattern,
-    *,
-    payloads: Sequence[Mapping[int, Any]] | None = None,
-    machine=None,
-    mapping=None,
-    trace: bool = False,
-    fault_plan: FaultPlan | None = None,
-    on_fault: str = "raise",
-    **engine_kwargs,
-) -> ExchangeResult:
-    """Execute the baseline direct exchange for ``pattern`` on the emulator.
+        result = _run_spmd_on_fault(
+            vpt.K,
+            factory,
+            sinks,
+            on_fault,
+            machine=machine,
+            mapping=mapping,
+            trace=trace,
+            fault_plan=fault_plan,
+            tracer=tracer,
+            **engine_kwargs,
+        )
+        result.plan = plan
+        return result
 
-    Accepts the same ``fault_plan``/``on_fault`` handling as
-    :func:`run_stfw_exchange`.
-    """
-    if payloads is None:
-        payloads = _default_payloads(pattern)
     expect = pattern.recv_counts()
-
     return _run_spmd_on_fault(
         pattern.K,
-        lambda comm: direct_process(comm, payloads[comm.rank], int(expect[comm.rank])),
+        lambda comm: direct_process(
+            comm, payloads[comm.rank], int(expect[comm.rank]), tracer=tracer
+        ),
         [[] for _ in range(pattern.K)],
         on_fault,
         machine=machine,
         mapping=mapping,
         trace=trace,
         fault_plan=fault_plan,
+        tracer=tracer,
         **engine_kwargs,
     )
 
 
 # ----------------------------------------------------------------------
-# Fault-tolerant drivers
+# Deprecated entry points (thin shims over run_exchange)
 # ----------------------------------------------------------------------
 
-
-@dataclass
-class FTExchangeResult:
-    """Outcome of a fault-tolerant exchange.
-
-    ``reports[i]`` is rank ``i``'s :class:`FTRankReport`, or ``None``
-    when that rank crashed before returning one.
-    """
-
-    reports: list[FTRankReport | None]
-    run: RunResult
-
-    @property
-    def crashed(self) -> tuple[int, ...]:
-        """Ranks the fault plan killed during the run."""
-        return tuple(self.run.crashed)
-
-    @property
-    def delivered(self) -> list[list[tuple[int, Any]]]:
-        """Per-rank delivered ``(origin, payload)`` pairs (empty for crashed)."""
-        return [[] if r is None else list(r.delivered) for r in self.reports]
-
-    @property
-    def makespan_us(self) -> float:
-        """Virtual wall time of the exchange."""
-        return self.run.makespan_us
+#: merged into :class:`ExchangeResult`; the alias keeps old isinstance
+#: checks and annotations working
+FTExchangeResult = ExchangeResult
 
 
 def _ft_reports(result: RunResult) -> list[FTRankReport | None]:
@@ -737,91 +909,49 @@ def _ft_reports(result: RunResult) -> list[FTRankReport | None]:
     return [r if isinstance(r, FTRankReport) else None for r in result.returns]
 
 
+def run_stfw_exchange(
+    pattern: CommPattern, vpt: VirtualProcessTopology, **kwargs
+) -> ExchangeResult:
+    """Deprecated: use ``run_exchange(pattern, vpt, ...)``."""
+    warnings.warn(
+        "run_stfw_exchange is deprecated; use run_exchange(pattern, vpt, ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_exchange(pattern, vpt, **kwargs)
+
+
+def run_direct_exchange(pattern: CommPattern, **kwargs) -> ExchangeResult:
+    """Deprecated: use ``run_exchange(pattern, scheme="direct", ...)``."""
+    warnings.warn(
+        "run_direct_exchange is deprecated; use "
+        "run_exchange(pattern, scheme='direct', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_exchange(pattern, scheme="direct", **kwargs)
+
+
 def run_stfw_ft_exchange(
-    pattern: CommPattern,
-    vpt: VirtualProcessTopology,
-    *,
-    payloads: Sequence[Mapping[int, Any]] | None = None,
-    machine=None,
-    mapping=None,
-    trace: bool = False,
-    fault_plan: FaultPlan | None = None,
-    timeout_us: float = 150.0,
-    max_retries: int = 3,
-    backoff: float = 2.0,
-    quiesce_us: float | None = None,
-    end_wait_us: float | None = None,
-    max_recovery_rounds: int = 2,
-    header_words: int = 0,
-    **engine_kwargs,
-) -> FTExchangeResult:
-    """Execute the fault-tolerant STFW exchange for ``pattern``.
-
-    Every live rank terminates (every blocking receive carries a
-    virtual-time deadline), so a ``fault_plan`` can never deadlock this
-    exchange — surviving ranks return :class:`FTRankReport` objects
-    accounting for every payload as delivered or lost.
-    """
-    if pattern.K != vpt.K:
-        raise PlanError(f"pattern K={pattern.K} != vpt K={vpt.K}")
-    if payloads is None:
-        payloads = _default_payloads(pattern)
-
-    result = run_spmd(
-        vpt.K,
-        lambda comm: stfw_ft_process(
-            comm,
-            vpt,
-            payloads[comm.rank],
-            timeout_us=timeout_us,
-            max_retries=max_retries,
-            backoff=backoff,
-            quiesce_us=quiesce_us,
-            end_wait_us=end_wait_us,
-            max_recovery_rounds=max_recovery_rounds,
-            header_words=header_words,
-        ),
-        machine=machine,
-        mapping=mapping,
-        trace=trace,
-        fault_plan=fault_plan,
-        **engine_kwargs,
+    pattern: CommPattern, vpt: VirtualProcessTopology, **kwargs
+) -> ExchangeResult:
+    """Deprecated: use ``run_exchange(pattern, vpt, on_fault="tolerate", ...)``."""
+    warnings.warn(
+        "run_stfw_ft_exchange is deprecated; use "
+        "run_exchange(pattern, vpt, on_fault='tolerate', ...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return FTExchangeResult(reports=_ft_reports(result), run=result)
+    return run_exchange(pattern, vpt, on_fault="tolerate", **kwargs)
 
 
-def run_direct_ft_exchange(
-    pattern: CommPattern,
-    *,
-    payloads: Sequence[Mapping[int, Any]] | None = None,
-    machine=None,
-    mapping=None,
-    trace: bool = False,
-    fault_plan: FaultPlan | None = None,
-    timeout_us: float = 150.0,
-    max_retries: int = 3,
-    backoff: float = 2.0,
-    quiesce_us: float | None = None,
-    **engine_kwargs,
-) -> FTExchangeResult:
-    """Execute the fault-tolerant baseline exchange for ``pattern``."""
-    if payloads is None:
-        payloads = _default_payloads(pattern)
-
-    result = run_spmd(
-        pattern.K,
-        lambda comm: direct_ft_process(
-            comm,
-            payloads[comm.rank],
-            timeout_us=timeout_us,
-            max_retries=max_retries,
-            backoff=backoff,
-            quiesce_us=quiesce_us,
-        ),
-        machine=machine,
-        mapping=mapping,
-        trace=trace,
-        fault_plan=fault_plan,
-        **engine_kwargs,
+def run_direct_ft_exchange(pattern: CommPattern, **kwargs) -> ExchangeResult:
+    """Deprecated: use ``run_exchange(pattern, scheme="direct",
+    on_fault="tolerate", ...)``."""
+    warnings.warn(
+        "run_direct_ft_exchange is deprecated; use "
+        "run_exchange(pattern, scheme='direct', on_fault='tolerate', ...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return FTExchangeResult(reports=_ft_reports(result), run=result)
+    return run_exchange(pattern, scheme="direct", on_fault="tolerate", **kwargs)

@@ -26,6 +26,8 @@ __all__ = [
     "PartitionError",
     "MatrixGenerationError",
     "ExperimentError",
+    "MetricsError",
+    "ObsError",
 ]
 
 
@@ -187,3 +189,11 @@ class MatrixGenerationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration is inconsistent."""
+
+
+class MetricsError(ReproError):
+    """Invalid metrics request (e.g. an unknown scheme label)."""
+
+
+class ObsError(ReproError):
+    """Invalid tracing input or a malformed trace export."""

@@ -27,9 +27,7 @@ from ..core.pattern import CommPattern
 from ..core.dimensioning import make_vpt
 from ..core.routing import route
 from ..core.stfw import (
-    run_direct_ft_exchange,
-    run_stfw_exchange,
-    run_stfw_ft_exchange,
+    run_exchange,
 )
 from ..metrics.resilience import ResilienceStats, resilience_stats, resilience_table
 from ..network.machines import BGQ, Machine
@@ -93,8 +91,13 @@ def run(
     K: int = K_PROCESSES,
     machine: Machine = BGQ,
     drop_rates: tuple[float, ...] = DROP_RATES,
+    tracer=None,
 ) -> FaultsResult:
-    """Run the resilience sweep; deterministic in ``cfg.seed``."""
+    """Run the resilience sweep; deterministic in ``cfg.seed``.
+
+    An optional :class:`repro.obs.Tracer` collects stage spans and
+    reliable-layer counters across every scenario's exchange.
+    """
     cfg = cfg or default_config()
     pattern = CommPattern.random(K, avg_degree=4, seed=cfg.seed)
     vpt = make_vpt(K, 2)
@@ -106,11 +109,11 @@ def run(
     for rate in drop_rates:
         plan = FaultPlan(default_drop=rate, seed=cfg.seed + 1)
         scenario = f"drop {100.0 * rate:g}%"
-        bl = run_direct_ft_exchange(
-            pattern, machine=machine, fault_plan=plan, **_FT_KWARGS
+        bl = run_exchange(
+            pattern, scheme="direct", on_fault="tolerate", machine=machine, fault_plan=plan, tracer=tracer, **_FT_KWARGS
         )
-        stfw = run_stfw_ft_exchange(
-            pattern, vpt, machine=machine, fault_plan=plan, **_FT_KWARGS
+        stfw = run_exchange(
+            pattern, vpt, on_fault="tolerate", machine=machine, fault_plan=plan, tracer=tracer, **_FT_KWARGS
         )
         for name, res in (("BL-FT", bl), ("STFW-FT", stfw)):
             ref.setdefault(name, res.makespan_us)
@@ -129,14 +132,14 @@ def run(
             )
 
     # --- forwarder-crash scenario --------------------------------------
-    base = run_stfw_exchange(pattern, vpt, machine=machine)
+    base = run_exchange(pattern, vpt, machine=machine, tracer=tracer)
     crash_rank = busiest_forwarder(pattern, vpt)
     crash_time = _CRASH_FRACTION * base.makespan_us
     plan = FaultPlan(crashes={crash_rank: crash_time})
     scenario = f"crash rank {crash_rank}"
 
-    plain = run_stfw_exchange(
-        pattern, vpt, machine=machine, fault_plan=plan, on_fault="partial"
+    plain = run_exchange(
+        pattern, vpt, machine=machine, fault_plan=plan, on_fault="partial", tracer=tracer
     )
     rows.append(
         (
@@ -152,11 +155,11 @@ def run(
             ),
         )
     )
-    bl = run_direct_ft_exchange(
-        pattern, machine=machine, fault_plan=plan, **_FT_KWARGS
+    bl = run_exchange(
+        pattern, scheme="direct", on_fault="tolerate", machine=machine, fault_plan=plan, tracer=tracer, **_FT_KWARGS
     )
-    stfw = run_stfw_ft_exchange(
-        pattern, vpt, machine=machine, fault_plan=plan, **_FT_KWARGS
+    stfw = run_exchange(
+        pattern, vpt, on_fault="tolerate", machine=machine, fault_plan=plan, tracer=tracer, **_FT_KWARGS
     )
     for name, res in (("BL-FT", bl), ("STFW-FT", stfw)):
         rows.append(

@@ -95,11 +95,22 @@ class InstanceCache:
     ordering; per-K partitions are cheap cuts of that ordering.
     """
 
-    def __init__(self, cfg: ExperimentConfig):
+    def __init__(self, cfg: ExperimentConfig, *, tracer=None):
         self.cfg = cfg
+        #: optional repro.obs tracer; pipeline steps get wall-clock
+        #: spans on the "host" track
+        self.tracer = tracer
+        self._obs = tracer if (tracer is not None and tracer.enabled) else None
         self._entries: dict[tuple, _CacheEntry] = {}
         self._patterns: dict[tuple, CommPattern] = {}
         self._partitions: dict[tuple, Partition] = {}
+
+    def _span(self, step: str, **labels):
+        if self._obs is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self._obs.span(f"harness.{step}", track="host", cat="harness", **labels)
 
     def _entry(self, name: str, K: int) -> _CacheEntry:
         s = effective_spec(name, K, self.cfg)
@@ -108,15 +119,16 @@ class InstanceCache:
             seed = self.cfg.seed * 7919 + sum(
                 ord(c) * 131**i for i, c in enumerate(name)
             ) % (2**31)
-            A = generate_matrix(
-                s.n,
-                s.nnz,
-                s.max_degree,
-                s.cv,
-                locality=s.locality,
-                dense_rows=s.dense_rows,
-                seed=seed % (2**31),
-            )
+            with self._span("generate", instance=s.name, n=s.n, nnz=s.nnz):
+                A = generate_matrix(
+                    s.n,
+                    s.nnz,
+                    s.max_degree,
+                    s.cv,
+                    locality=s.locality,
+                    dense_rows=s.dense_rows,
+                    seed=seed % (2**31),
+                )
             self._entries[key] = _CacheEntry(spec=s, matrix=A)
         return self._entries[key]
 
@@ -136,19 +148,20 @@ class InstanceCache:
             return self._partitions[pkey]
         A = entry.matrix
         kind = self.cfg.partitioner
-        if kind == "rcm":
-            if entry.order is None:
-                entry.order = rcm_order(A)
-            weights = np.maximum(np.diff(A.indptr).astype(np.float64), 1.0)
-            part = balanced_blocks_from_order(entry.order, K, weights)
-        elif kind == "block":
-            part = block_partition(A.shape[0], K)
-        elif kind == "random":
-            part = random_partition(A.shape[0], K, seed=self.cfg.seed)
-        else:
-            from ..spmv.driver import partition_matrix
+        with self._span("partition", instance=name, K=K, partitioner=kind):
+            if kind == "rcm":
+                if entry.order is None:
+                    entry.order = rcm_order(A)
+                weights = np.maximum(np.diff(A.indptr).astype(np.float64), 1.0)
+                part = balanced_blocks_from_order(entry.order, K, weights)
+            elif kind == "block":
+                part = block_partition(A.shape[0], K)
+            elif kind == "random":
+                part = random_partition(A.shape[0], K, seed=self.cfg.seed)
+            else:
+                from ..spmv.driver import partition_matrix
 
-            part = partition_matrix(A, K, partitioner=kind, seed=self.cfg.seed)
+                part = partition_matrix(A, K, partitioner=kind, seed=self.cfg.seed)
         self._partitions[pkey] = part
         return part
 
@@ -157,7 +170,10 @@ class InstanceCache:
         entry = self._entry(name, K)
         key = (entry.spec.name, entry.spec.n, entry.spec.nnz, K, self.cfg.partitioner)
         if key not in self._patterns:
-            self._patterns[key] = spmv_pattern(entry.matrix, self.partition(name, K))
+            with self._span("pattern", instance=name, K=K):
+                self._patterns[key] = spmv_pattern(
+                    entry.matrix, self.partition(name, K)
+                )
         return self._patterns[key]
 
     def cell(
@@ -168,16 +184,17 @@ class InstanceCache:
         dims=None,
     ) -> SpMVExperiment:
         """Run all schemes of one (matrix, K, machine) experiment cell."""
-        return run_spmv_schemes(
-            self.matrix(name, K),
-            K,
-            machine,
-            dims=dims,
-            name=name,
-            contention=self.cfg.contention,
-            partition=self.partition(name, K),
-            pattern=self.pattern(name, K),
-        )
+        with self._span("cell", instance=name, K=K, machine=machine.name):
+            return run_spmv_schemes(
+                self.matrix(name, K),
+                K,
+                machine,
+                dims=dims,
+                name=name,
+                contention=self.cfg.contention,
+                partition=self.partition(name, K),
+                pattern=self.pattern(name, K),
+            )
 
 
 def paper_dim_selection(K: int) -> list[int]:

@@ -80,8 +80,13 @@ def run(
     machine: Machine = BGQ,
     iterations: int = ITERATIONS,
     checkpoint_interval: int = CHECKPOINT_INTERVAL,
+    tracer=None,
 ) -> RecoverResult:
-    """Run the BL-vs-STFW recovery sweep; deterministic in ``cfg.seed``."""
+    """Run the BL-vs-STFW recovery sweep; deterministic in ``cfg.seed``.
+
+    An optional :class:`repro.obs.Tracer` collects checkpoint, rollback
+    and replay spans from every scenario's run.
+    """
     cfg = cfg or default_config()
     A = _operator(_N_ROWS, cfg.seed)
 
@@ -95,6 +100,7 @@ def run(
             partitioner=cfg.partitioner,
             seed=cfg.seed,
             checkpoint_interval=checkpoint_interval,
+            tracer=tracer,
         )
         base = run_iterative_with_recovery(A, K, **kwargs)
         rows.append(("fault-free", recovery_stats(base)))

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.plan import CommPlan
+from ..errors import MetricsError
 
 __all__ = ["CommStats", "collect_stats", "WORD_BYTES"]
 
@@ -64,6 +65,23 @@ def scheme_name(n_dims: int) -> str:
     return "BL" if n_dims == 1 else f"STFW{n_dims}"
 
 
+def _check_scheme(scheme: str) -> None:
+    """Reject row labels that are not canonical scheme names.
+
+    Valid labels are exactly what :func:`scheme_name` produces: ``BL``
+    or ``STFWn`` with an integral dimension ``n >= 2``.  A typo here
+    used to propagate silently into report tables and plot legends.
+    """
+    if scheme == "BL":
+        return
+    if scheme.startswith("STFW") and scheme[4:].isdigit() and int(scheme[4:]) >= 2:
+        return
+    raise MetricsError(
+        f"unknown scheme label {scheme!r}: expected 'BL' or 'STFWn' with "
+        "n >= 2 (see scheme_name())"
+    )
+
+
 def collect_stats(plan: CommPlan, scheme: str | None = None) -> CommStats:
     """Extract the machine-independent metrics from a plan.
 
@@ -73,8 +91,11 @@ def collect_stats(plan: CommPlan, scheme: str | None = None) -> CommStats:
         A built :class:`~repro.core.plan.CommPlan` (BL or STFW).
     scheme:
         Row label; defaults to the paper's name derived from the plan's
-        VPT dimension.
+        VPT dimension.  Must be a canonical name (``BL`` / ``STFWn``) —
+        anything else raises :class:`~repro.errors.MetricsError`.
     """
+    if scheme is not None:
+        _check_scheme(scheme)
     sent_counts = plan.sent_counts()
     sent_words = plan.sent_words()
     return CommStats(

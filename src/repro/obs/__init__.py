@@ -1,0 +1,39 @@
+"""Observability: session-scoped tracing with pluggable exporters.
+
+Usage sketch::
+
+    from repro.obs import Tracer, chrome_trace, summary_table
+
+    tracer = Tracer("figure8")
+    result = run_exchange(pattern, vpt, machine=BGQ, tracer=tracer)
+    open("out.trace.json", "w").write(chrome_trace(tracer, run=result.run))
+    print(summary_table(tracer))
+
+Everything defaults to :data:`NULL_TRACER` (a no-op with
+``enabled = False``), so untraced runs pay nothing.
+"""
+
+from .tracer import (
+    NULL_TRACER,
+    CounterSample,
+    InstantRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    wall_clock_us,
+)
+from .export import chrome_trace, jsonl_events, summary_table, validate_chrome_trace
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "InstantRecord",
+    "CounterSample",
+    "wall_clock_us",
+    "chrome_trace",
+    "jsonl_events",
+    "summary_table",
+    "validate_chrome_trace",
+]

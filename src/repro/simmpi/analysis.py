@@ -11,7 +11,6 @@ module turns those records into things a performance engineer can use:
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -91,46 +90,11 @@ def to_chrome_trace(result: RunResult, *, name: str = "simmpi run") -> str:
     trace format's native unit — and ``displayTimeUnit`` is ``"ms"``
     (the format only allows ``"ms"`` or ``"ns"``; declaring ``"ns"``
     would make Perfetto render every duration 1000x too long).
+
+    This is the message-only view; :func:`repro.obs.chrome_trace` is
+    the full exporter (it also renders tracer spans/counters and is
+    what this function delegates to).
     """
-    events: list[dict] = []
-    ranks = set()
-    for rec in result.trace:
-        ranks.add(rec.source)
-        ranks.add(rec.dest)
-    for r in sorted(ranks):
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 0,
-                "tid": r,
-                "args": {"name": f"rank {r}"},
-            }
-        )
-    for i, rec in enumerate(result.trace):
-        dur = max(rec.arrive_time - rec.send_time, 0.001)
-        common = {
-            "cat": "message",
-            "pid": 0,
-            "args": {"words": rec.words, "tag": rec.tag, "dest": rec.dest},
-        }
-        events.append(
-            {
-                "name": f"msg tag={rec.tag}",
-                "ph": "X",
-                "tid": rec.source,
-                "ts": rec.send_time,
-                "dur": dur,
-                **common,
-            }
-        )
-        events.append(
-            {"name": "flow", "ph": "s", "id": i, "tid": rec.source,
-             "ts": rec.send_time, "cat": "message", "pid": 0}
-        )
-        events.append(
-            {"name": "flow", "ph": "f", "id": i, "tid": rec.dest,
-             "ts": rec.arrive_time, "cat": "message", "pid": 0, "bp": "e"}
-        )
-    doc = {"traceEvents": events, "displayTimeUnit": "ms", "otherData": {"name": name}}
-    return json.dumps(doc)
+    from ..obs.export import chrome_trace
+
+    return chrome_trace(run=result, name=name)

@@ -91,9 +91,11 @@ class CheckpointStore:
     contributed — a partial checkpoint is never restored from.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, tracer=None) -> None:
         #: iteration -> (expected savers, {saver: RankCheckpoint})
         self._cps: dict[int, tuple[frozenset[int], dict[int, RankCheckpoint]]] = {}
+        #: optional repro.obs tracer counting save/discard/complete events
+        self._obs = tracer if (tracer is not None and tracer.enabled) else None
 
     def save(
         self, saver: int, cp: RankCheckpoint, expected_savers: tuple[int, ...] | frozenset[int]
@@ -120,10 +122,16 @@ class CheckpointStore:
                 )
             if prev_expected != expected:
                 entry = None  # stale partial checkpoint from before a crash
+                if self._obs is not None:
+                    self._obs.count("checkpoint.discarded_partials", 1)
         if entry is None:
             entry = (expected, {})
             self._cps[cp.iteration] = entry
         entry[1][saver] = cp
+        if self._obs is not None:
+            self._obs.count("checkpoint.saves", 1, track=saver)
+            if entry[0] == entry[1].keys():
+                self._obs.count("checkpoint.completed", 1)
 
     def savers(self, iteration: int) -> frozenset[int]:
         """Ranks that have saved toward ``iteration`` so far."""
@@ -203,4 +211,13 @@ def heartbeat_round(
             break
         waiting.discard(got[0])
     suspected.update(waiting)
+    obs = rc._obs
+    if obs is not None:
+        obs.count("heartbeat.rounds", 1, track=rc.rank)
+        if suspected:
+            obs.count("heartbeat.suspicions", len(suspected), track=rc.rank)
+            obs.instant(
+                "heartbeat.suspect", rc.comm.time, track=rc.rank,
+                cat="fault", suspected=sorted(suspected),
+            )
     return sorted(suspected)

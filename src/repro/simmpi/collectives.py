@@ -14,8 +14,12 @@ bcast          ``ceil(lg K) * (alpha + beta * words)``
 allgather      ``ceil(lg K) * alpha + beta * total_words``
 reduce         ``ceil(lg K) * (alpha + beta * words)``
 allreduce      ``2 * ceil(lg K) * (alpha + beta * words)``
-alltoall       ``(K - 1) * (alpha + beta * words_per_peer)``
+alltoall       ``(K - 1) * (alpha + beta * words)``
 =============  =====================================================
+
+``words`` always means the per-unit message size in 8-byte words (per
+peer for ``alltoall``, per contribution elsewhere); see
+:class:`repro.simmpi.runtime.Comm` for the convention.
 """
 
 from __future__ import annotations
@@ -102,17 +106,22 @@ class ReduceOp:
 
 
 class AllToAllOp:
-    """Each rank contributes a length-K list; resumes with its column."""
+    """Each rank contributes a length-K list; resumes with its column.
 
-    __slots__ = ("values", "words_per_peer")
+    ``words`` is the charged size of each per-peer value (the old
+    ``words_per_peer`` spelling survives only as the deprecated
+    ``Comm.alltoall`` keyword).
+    """
 
-    def __init__(self, values: list, words_per_peer: int):
+    __slots__ = ("values", "words")
+
+    def __init__(self, values: list, words: int):
         self.values = values
-        self.words_per_peer = words_per_peer
+        self.words = words
 
     def describe(self) -> str:
         """Human-readable form for deadlock state dumps."""
-        return f"alltoall(words_per_peer={self.words_per_peer})"
+        return f"alltoall(words={self.words})"
 
 
 class BcastOp:

@@ -88,6 +88,9 @@ class ReliableComm:
         (bounded exponential backoff).
     header_words:
         Extra words charged per ``DATA`` frame for its framing.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; retry/ack/dedup activity is
+        mirrored into ``reliable.*`` counters on this rank's track.
     """
 
     def __init__(
@@ -98,6 +101,7 @@ class ReliableComm:
         max_retries: int = 3,
         backoff: float = 2.0,
         header_words: int = 2,
+        tracer=None,
     ):
         if timeout_us <= 0:
             raise SimMPIError("reliable timeout_us must be positive")
@@ -115,6 +119,7 @@ class ReliableComm:
         #: peers that exhausted a retry budget (suspected crashed)
         self.dead: set[int] = set()
         self.stats = ReliableStats()
+        self._obs = tracer if (tracer is not None and tracer.enabled) else None
         self._next_seq = 0
         #: delivered (source -> seqs) for duplicate suppression
         self._seen: dict[int, set[int]] = {}
@@ -151,31 +156,48 @@ class ReliableComm:
         self._next_seq += 1
         frame = (_DATA, seq, tag, payload)
         wire_words = int(words) + self.header_words
+        obs = self._obs
         for attempt in range(self.max_retries + 1):
             self.comm.send(dest, frame, tag=WIRE_TAG, words=wire_words)
             self.stats.sent += 1
+            if obs is not None:
+                obs.count("reliable.sent", 1, track=self.comm.rank)
             if attempt:
                 self.stats.retries += 1
+                if obs is not None:
+                    obs.count("reliable.retries", 1, track=self.comm.rank)
             deadline = self.comm.time + self.timeout_us * (self.backoff**attempt)
             while True:
                 remaining = deadline - self.comm.time
                 if remaining <= 0:
                     self.stats.timeouts += 1
+                    if obs is not None:
+                        obs.count("reliable.timeouts", 1, track=self.comm.rank)
                     break
                 got = yield self.comm.recv(tag=WIRE_TAG, timeout_us=remaining)
                 if got is TIMEOUT:
                     self.stats.timeouts += 1
+                    if obs is not None:
+                        obs.count("reliable.timeouts", 1, track=self.comm.rank)
                     break
                 src, _, fr = got
                 if fr[0] == _ACK:
                     if src == dest and fr[1] == seq:
                         self.stats.acked += 1
+                        if obs is not None:
+                            obs.count("reliable.acked", 1, track=self.comm.rank)
                         return True
                     # an ack for an older (retransmitted) transfer: ignore
                 else:
                     self._accept_data(src, fr)
         self.dead.add(dest)
         self.stats.presumed_dead.append(dest)
+        if obs is not None:
+            obs.count("reliable.presumed_dead", 1, track=self.comm.rank)
+            obs.instant(
+                "reliable.give_up", self.comm.time, track=self.comm.rank,
+                cat="fault", dest=dest, tag=tag,
+            )
         return False
 
     def send(
@@ -249,11 +271,16 @@ class ReliableComm:
         _, seq, ltag, payload = frame
         self.comm.send(src, (_ACK, seq), tag=WIRE_TAG, words=ACK_WORDS)
         seen = self._seen.setdefault(src, set())
+        obs = self._obs
         if seq in seen:
             self.stats.duplicates_suppressed += 1
+            if obs is not None:
+                obs.count("reliable.duplicates_suppressed", 1, track=self.comm.rank)
             return
         seen.add(seq)
         self.stats.delivered += 1
+        if obs is not None:
+            obs.count("reliable.delivered", 1, track=self.comm.rank)
         for i, item in enumerate(self._stash):
             if item[0] == src and item[3] > seq:
                 self._stash.insert(i, (src, ltag, payload, seq))

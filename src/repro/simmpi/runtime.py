@@ -90,6 +90,7 @@ of its inputs (including the fault plan's seed).
 from __future__ import annotations
 
 import math
+import warnings
 from collections import deque
 from typing import Any, Callable, Generator, Sequence
 
@@ -158,6 +159,17 @@ class Comm:
             comm.send(1 - comm.rank, b"hi", words=1)
             src, tag, payload = yield comm.recv()
             return payload
+
+    Size-keyword convention
+    -----------------------
+    Every operation that charges message volume takes the same keyword,
+    ``words``: the per-unit size in 8-byte words.  "Per unit" means per
+    message for ``send``/``isend``/``sendrecv``, per rank contribution
+    for ``allgather``/``allreduce``/``reduce``/``bcast``, and per peer
+    value for ``alltoall`` (whose old ``words_per_peer`` spelling is a
+    deprecated alias).  ``words`` must be a non-negative integer; the
+    check happens eagerly at the call site and the error names the rank
+    and the offending argument.
     """
 
     __slots__ = ("_engine", "rank", "size")
@@ -219,13 +231,30 @@ class Comm:
             raise SimMPIError(f"rank {self.rank}: timeout_us must be positive")
         return _RecvOp(source, tag, timeout_us)
 
+    def _check_words(self, op_name: str, words: Any) -> int:
+        """Eagerly validate a collective's ``words=`` argument.
+
+        Errors name the rank and the argument (``words``) so a typo'd
+        size fails at the call site, not deep inside the cost model.
+        """
+        if isinstance(words, bool) or not isinstance(words, (int, np.integer)):
+            raise SimMPIError(
+                f"rank {self.rank}: {op_name} words= must be an int, "
+                f"got {type(words).__name__}"
+            )
+        if words < 0:
+            raise SimMPIError(
+                f"rank {self.rank}: {op_name} words= must be non-negative, got {words}"
+            )
+        return int(words)
+
     def barrier(self) -> _BarrierOp:
         """Blocking barrier; yield it (resumes with ``None``)."""
         return _BarrierOp()
 
     def allgather(self, value: Any, *, words: int = 1) -> AllGatherOp:
         """Blocking allgather; yield it to obtain the list of all values."""
-        return AllGatherOp(value, words)
+        return AllGatherOp(value, self._check_words("allgather", words))
 
     def isend(
         self, dest: int, payload: Any, *, tag: int = 0, words: int | None = None
@@ -256,7 +285,7 @@ class Comm:
         """Blocking allreduce; yield it to obtain the reduced value."""
         if op not in REDUCTIONS:
             raise SimMPIError(f"unknown reduction {op!r}; known: {', '.join(REDUCTIONS)}")
-        return AllReduceOp(value, words, op)
+        return AllReduceOp(value, self._check_words("allreduce", words), op)
 
     def reduce(
         self, value: Any, *, root: int = 0, op: str = "sum", words: int = 1
@@ -266,16 +295,30 @@ class Comm:
             raise SimMPIError(f"unknown reduction {op!r}; known: {', '.join(REDUCTIONS)}")
         if not 0 <= root < self.size:
             raise SimMPIError(f"root {root} outside [0, {self.size})")
-        return ReduceOp(value, words, op, root)
+        return ReduceOp(value, self._check_words("reduce", words), op, root)
 
-    def alltoall(self, values: list, *, words_per_peer: int = 1) -> AllToAllOp:
+    def alltoall(
+        self, values: list, *, words: int = 1, words_per_peer: int | None = None
+    ) -> AllToAllOp:
         """Blocking all-to-all; ``values[j]`` goes to rank ``j``; yields
-        the list of values addressed to this rank."""
+        the list of values addressed to this rank.
+
+        ``words`` is the charged size of each per-peer value (the
+        standard size keyword — ``words_per_peer`` is a deprecated
+        alias kept for one release).
+        """
+        if words_per_peer is not None:
+            warnings.warn(
+                "alltoall(words_per_peer=...) is deprecated; use words=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            words = words_per_peer
         if len(values) != self.size:
             raise SimMPIError(
                 f"alltoall needs one value per rank ({self.size}), got {len(values)}"
             )
-        return AllToAllOp(list(values), words_per_peer)
+        return AllToAllOp(list(values), self._check_words("alltoall", words))
 
     def shrink(self) -> ShrinkOp:
         """Blocking revoke-and-agree shrink; yield it to obtain the
@@ -294,7 +337,7 @@ class Comm:
         """Blocking broadcast from ``root``; yields the root's value."""
         if not 0 <= root < self.size:
             raise SimMPIError(f"root {root} outside [0, {self.size})")
-        return BcastOp(value, words, root)
+        return BcastOp(value, self._check_words("bcast", words), root)
 
     def waitall(self, requests: list) -> Generator:
         """Complete a list of requests; yields once per pending receive.
@@ -352,6 +395,7 @@ class SimMPI:
         jitter_seed: int = 0,
         rendezvous_threshold_words: int | None = None,
         fault_plan: FaultPlan | None = None,
+        tracer=None,
     ):
         if K < 1:
             raise SimMPIError(f"K={K} must be positive")
@@ -377,6 +421,11 @@ class SimMPI:
         self._trace_enabled = trace
         self.trace: list[TraceRecord] = []
         self._seq = 0
+        #: injected observability tracer (see :mod:`repro.obs`); kept as
+        #: None when absent or disabled so hot paths pay one identity
+        #: check and nothing else
+        self.tracer = tracer
+        self._obs = tracer if (tracer is not None and tracer.enabled) else None
         if machine is not None:
             self._topology = machine.topology(K)
             if mapping is None:
@@ -450,12 +499,18 @@ class SimMPI:
                 # the send starts at or after the rank's crash time: the
                 # rank dies here instead of sending (unwound in _drive)
                 raise _RankCrashed(source)
+        obs = self._obs
         start = sender.clock
         sender.clock += self._send_cost(source, dest, words)
         duplicate = False
         if fs is not None:
             fate = fs.outcome(source, dest, tag, words, start)
             if fate == "drop":
+                if obs is not None:
+                    obs.instant(
+                        "fault.drop", start, track=source, cat="fault",
+                        dest=dest, tag=tag, words=words,
+                    )
                 return  # the sender paid the cost; the message is gone
             duplicate = fate == "duplicate"
         env = Envelope(
@@ -484,6 +539,14 @@ class SimMPI:
             )
             self._seq += 1
             dest_state.mailbox.post(twin)
+        if obs is not None:
+            obs.count("engine.sends", 1, track=source)
+            obs.count("engine.sent_words", words, track=source)
+            if duplicate:
+                obs.instant(
+                    "fault.duplicate", start, track=source, cat="fault",
+                    dest=dest, tag=tag,
+                )
         # wait-map lookup: wake the receiver iff it posted a matching
         # (source, tag) interest — no other rank is ever inspected
         op = dest_state.blocked_on
@@ -513,6 +576,10 @@ class SimMPI:
                     arrive_time=env.arrive_time,
                 )
             )
+        obs = self._obs
+        if obs is not None:
+            obs.count("engine.recvs", 1, track=rank)
+            obs.count("engine.recv_words", env.words, track=rank)
         return (env.source, env.tag, env.payload)
 
     # ------------------------------------------------------------------
@@ -662,6 +729,8 @@ class SimMPI:
             state.clock = max(state.clock, t)
             state.blocked_on = None
             state.resume_value = TIMEOUT
+            if self._obs is not None:
+                self._obs.instant("engine.recv_timeout", state.clock, track=r, cat="timer")
             self._wake(r)
         return True
 
@@ -684,6 +753,9 @@ class SimMPI:
         state.retval = None
         self._num_finished += 1
         self._faults.record_crash(rank, state.clock)
+        if self._obs is not None:
+            self._obs.instant("fault.crash", state.clock, track=rank, cat="fault")
+            self._obs.count("engine.crashes", 1)
 
     def _complete_shrink(self) -> None:
         """Resolve a shrink: agree on the dead set, revoke in-flight mail.
@@ -702,13 +774,18 @@ class SimMPI:
         lg = math.ceil(math.log2(max(len(waiting), 2)))
         cost = (1 + 2 * lg) * alpha
         t = max(self._procs[r].clock for r in waiting) + cost
+        obs = self._obs
         for r in waiting:
             p = self._procs[r]
+            if obs is not None:
+                obs.add_span("shrink", p.clock, t, track=r, cat="collective", dead=len(dead))
             p.clock = t
             p.blocked_on = None
             p.mailbox.purge()
             p.resume_value = dead
             self._wake(r)
+        if obs is not None:
+            obs.count("engine.shrinks", 1)
         self._coll_blocked = 0
         self._coll_kinds.clear()
 
@@ -752,7 +829,7 @@ class SimMPI:
                 acc = ops[r].value if acc is None else fn(acc, ops[r].value)
             results = {r: (acc if r == root else None) for r in waiting}
         elif kind is AllToAllOp:
-            words = max(op.words_per_peer for op in ops.values())
+            words = max(op.words for op in ops.values())
             cost = (P - 1) * (alpha + beta * words)
             results = {r: [ops[q].values[r] for q in waiting] for r in waiting}
         elif kind is BcastOp:
@@ -767,12 +844,18 @@ class SimMPI:
             raise SimMPIError(f"unknown collective {kind!r}")
 
         t = max(self._procs[r].clock for r in waiting) + cost
+        obs = self._obs
+        cname = kind.__name__.removesuffix("Op").lower() if obs is not None else ""
         for r in waiting:
             p = self._procs[r]
+            if obs is not None:
+                obs.add_span(cname, p.clock, t, track=r, cat="collective")
             p.clock = t
             p.blocked_on = None
             p.resume_value = results[r]
             self._wake(r)
+        if obs is not None:
+            obs.count("engine.collectives", 1, kind=cname)
         self._coll_blocked = 0
         self._coll_kinds.clear()
 
@@ -875,6 +958,7 @@ def run_spmd(
     jitter_seed: int = 0,
     rendezvous_threshold_words: int | None = None,
     fault_plan: FaultPlan | None = None,
+    tracer=None,
 ) -> RunResult:
     """Convenience wrapper: run ``fn(comm, *args)`` on every rank.
 
@@ -882,7 +966,8 @@ def run_spmd(
     return values, final clocks and (optionally) the message trace.
     ``jitter``/``rendezvous_threshold_words``/``fault_plan`` forward to
     :class:`SimMPI` (straggler noise, the MPI protocol switch, and
-    fault injection).
+    fault injection); ``tracer`` is an optional :class:`repro.obs.Tracer`
+    receiving engine spans/counters in virtual time.
     """
     engine = SimMPI(
         K,
@@ -893,5 +978,6 @@ def run_spmd(
         jitter_seed=jitter_seed,
         rendezvous_threshold_words=rendezvous_threshold_words,
         fault_plan=fault_plan,
+        tracer=tracer,
     )
     return engine.run(lambda comm: fn(comm, *args))

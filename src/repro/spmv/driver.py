@@ -252,11 +252,15 @@ class _RunContext:
     this models the job's stable storage plus the host-side telemetry
     sink."""
 
-    def __init__(self, A: sp.csr_matrix, partition: Partition, n_dims: int):
+    def __init__(
+        self, A: sp.csr_matrix, partition: Partition, n_dims: int, *, tracer=None
+    ):
         self.A = A
         self.base_partition = partition
         self.n_dims = int(n_dims)
-        self.store = CheckpointStore()
+        self.tracer = tracer
+        self._obs = tracer if (tracer is not None and tracer.enabled) else None
+        self.store = CheckpointStore(tracer=tracer)
         self.epochs: dict[tuple[int, ...], _EpochState] = {}
         self.events: list[RecoveryEvent] = []
         self.suspected: set[int] = set()
@@ -349,7 +353,8 @@ def _recovery_rank(
     suspicion can never fork the survivors' views.
     """
     rank = comm.rank
-    rc = ReliableComm(comm, timeout_us=rc_timeout_us, max_retries=2)
+    obs = ctx._obs
+    rc = ReliableComm(comm, timeout_us=rc_timeout_us, max_retries=2, tracer=ctx.tracer)
     dead: tuple[int, ...] = ()
     epoch = ctx.epoch_for(dead)
     vid = epoch.vid_by_rank[rank]
@@ -357,9 +362,12 @@ def _recovery_rank(
     it = 0
     epoch_no = 0
     spurious = 0
+    #: (resume iteration, detected iteration, resume clock) of an
+    #: in-progress replay — closed into a span when it catches up
+    replay: tuple[int, int, float] | None = None
 
     def recover(agreed: tuple[int, ...], detected_at: float) -> None:
-        nonlocal dead, epoch, vid, x_full, it, epoch_no, spurious
+        nonlocal dead, epoch, vid, x_full, it, epoch_no, spurious, replay
         agreed = tuple(sorted(agreed))
         grew = agreed != dead
         c = ctx.store.latest_complete()
@@ -398,11 +406,20 @@ def _recovery_rank(
                 )
         vid = epoch.vid_by_rank[rank]
         x_full = ctx.store.restore_vector(c, n)
+        if obs is not None:
+            obs.add_span(
+                "spmv.rollback", detected_at, comm.time, track=rank,
+                cat="recovery", to_iteration=c, detected_iteration=it,
+                epoch=epoch_no,
+            )
+            obs.count("spmv.rollbacks", 1, track=rank)
+            replay = (c, it, comm.time)
         it = c
 
     while True:
         at_end = it >= iterations
         if at_end or it % interval == 0:
+            cp_t0 = comm.time
             if not ctx.store.is_complete(it):
                 rows = epoch.rows[vid]
                 ctx.store.save(
@@ -422,6 +439,11 @@ def _recovery_rank(
                 ctx.suspected.update(sus)
             t_detect = comm.time
             agreed = yield comm.shrink()
+            if obs is not None:
+                obs.add_span(
+                    "spmv.checkpoint", cp_t0, comm.time, track=rank,
+                    cat="checkpoint", iteration=it,
+                )
             if tuple(agreed) != dead:
                 recover(agreed, t_detect)
                 continue
@@ -440,6 +462,12 @@ def _recovery_rank(
         q = np.random.default_rng((seed, it)).standard_normal(n)
         x_full[rows] = scale * (epoch.A_local[vid] @ x_full) + noise_scale * q[rows]
         it += 1
+        if replay is not None and it >= replay[1]:
+            obs.add_span(
+                "spmv.replay", replay[2], comm.time, track=rank,
+                cat="recovery", from_iteration=replay[0], to_iteration=replay[1],
+            )
+            replay = None
 
     return (epoch.rows[vid], x_full[epoch.rows[vid]])
 
@@ -496,6 +524,7 @@ def run_iterative_with_recovery(
     rc_timeout_us: float = 150.0,
     max_retry_rounds: int = 2,
     x0: np.ndarray | None = None,
+    tracer=None,
 ) -> IterativeRecoveryResult:
     """Run an iterative SpMV that survives rank crashes by shrinking.
 
@@ -510,6 +539,10 @@ def run_iterative_with_recovery(
     ``n_dims=1`` selects the direct baseline exchange; ``n_dims >= 2``
     the STFW exchange (falling back to direct if a shrink leaves a
     survivor count with too few prime factors).
+
+    An optional :class:`repro.obs.Tracer` records checkpoint, rollback
+    and replay spans plus engine, reliable-layer and checkpoint-store
+    counters for the run.
     """
     A = sp.csr_matrix(A)
     n = A.shape[0]
@@ -526,7 +559,7 @@ def run_iterative_with_recovery(
     x0 = np.asarray(x0, dtype=np.float64)
     scale = 1.0 / max(1.0, _inf_norm(A))
 
-    ctx = _RunContext(A, partition, n_dims)
+    ctx = _RunContext(A, partition, n_dims, tracer=tracer)
     epoch0 = ctx.epoch_for(())
     # pre-seed the epoch-0 checkpoint so a crash in the first interval
     # has a rollback target (= restarting from the initial state)
@@ -558,6 +591,7 @@ def run_iterative_with_recovery(
             ),
             machine=machine,
             fault_plan=fault_plan,
+            tracer=tracer,
         )
     except DeadlockError as exc:
         raise RecoveryError(

@@ -10,7 +10,7 @@ from repro.core import (
     build_direct_plan,
     build_plan,
     make_vpt,
-    run_stfw_exchange,
+    run_exchange,
 )
 from repro.errors import PlanError, TopologyError
 
@@ -27,14 +27,14 @@ class TestTinyK:
         p = CommPattern.from_arrays(2, [0, 1], [1, 0], [5, 3])
         plan = build_direct_plan(p)
         assert plan.max_message_count == 1
-        res = run_stfw_exchange(p, make_vpt(2, 1))
+        res = run_exchange(p, make_vpt(2, 1))
         assert len(res.delivered[0]) == 1 and len(res.delivered[1]) == 1
 
     def test_K4_hypercube(self):
         p = CommPattern.all_to_all(4)
         plan = build_plan(p, make_vpt(4, 2))
         assert plan.max_message_count == 2
-        res = run_stfw_exchange(p, make_vpt(4, 2))
+        res = run_exchange(p, make_vpt(4, 2))
         assert all(len(d) == 3 for d in res.delivered)
 
 

@@ -1,0 +1,104 @@
+"""The four legacy exchange entry points: deprecated but still working.
+
+``run_stfw_exchange`` / ``run_direct_exchange`` / ``run_stfw_ft_exchange``
+/ ``run_direct_ft_exchange`` are shims over :func:`repro.core.run_exchange`.
+Each must emit a ``DeprecationWarning`` and return exactly what the
+consolidated call returns (the emulator is deterministic, so equality is
+exact).  CI runs this module with ``-W error::DeprecationWarning`` to
+prove no in-repo caller still goes through a shim.
+"""
+
+import pytest
+
+from repro.core import CommPattern, make_vpt, run_exchange
+from repro.core.stfw import (
+    ExchangeResult,
+    FTExchangeResult,
+    run_direct_exchange,
+    run_direct_ft_exchange,
+    run_stfw_exchange,
+    run_stfw_ft_exchange,
+)
+from repro.errors import PlanError
+from repro.network import BGQ
+
+FT = dict(timeout_us=50.0, max_retries=2, backoff=2.0)
+
+
+def _canon(delivered):
+    return [[(src, list(p)) for src, p in msgs] for msgs in delivered]
+
+
+@pytest.fixture
+def pattern():
+    return CommPattern.random(16, avg_degree=3, seed=5)
+
+
+@pytest.fixture
+def vpt():
+    return make_vpt(16, 2)
+
+
+class TestShimsWarnAndDelegate:
+    def test_run_stfw_exchange(self, pattern, vpt):
+        new = run_exchange(pattern, vpt, machine=BGQ)
+        with pytest.deprecated_call(match="run_stfw_exchange is deprecated"):
+            old = run_stfw_exchange(pattern, vpt, machine=BGQ)
+        assert old.makespan_us == new.makespan_us
+        assert _canon(old.delivered) == _canon(new.delivered)
+        assert old.plan is not None
+
+    def test_run_direct_exchange(self, pattern):
+        new = run_exchange(pattern, scheme="direct", machine=BGQ)
+        with pytest.deprecated_call(match="run_direct_exchange is deprecated"):
+            old = run_direct_exchange(pattern, machine=BGQ)
+        assert old.makespan_us == new.makespan_us
+        assert _canon(old.delivered) == _canon(new.delivered)
+
+    def test_run_stfw_ft_exchange(self, pattern, vpt):
+        new = run_exchange(pattern, vpt, on_fault="tolerate", machine=BGQ, **FT)
+        with pytest.deprecated_call(match="run_stfw_ft_exchange is deprecated"):
+            old = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, **FT)
+        assert old.makespan_us == new.makespan_us
+        assert _canon(old.delivered) == _canon(new.delivered)
+        assert old.reports is not None and len(old.reports) == pattern.K
+
+    def test_run_direct_ft_exchange(self, pattern):
+        new = run_exchange(
+            pattern, scheme="direct", on_fault="tolerate", machine=BGQ, **FT
+        )
+        with pytest.deprecated_call(match="run_direct_ft_exchange is deprecated"):
+            old = run_direct_ft_exchange(pattern, machine=BGQ, **FT)
+        assert old.makespan_us == new.makespan_us
+        assert _canon(old.delivered) == _canon(new.delivered)
+
+    def test_ft_result_alias(self):
+        # the old FT result type is the merged type, not a copy
+        assert FTExchangeResult is ExchangeResult
+
+
+class TestRunExchangeValidation:
+    def test_needs_a_scheme(self, pattern):
+        with pytest.raises(PlanError, match="vpt, dims=, or scheme="):
+            run_exchange(pattern)
+
+    def test_scheme_string_selects_dims(self, pattern, vpt):
+        via_scheme = run_exchange(pattern, scheme="STFW2", machine=BGQ)
+        via_vpt = run_exchange(pattern, vpt, machine=BGQ)
+        assert via_scheme.makespan_us == via_vpt.makespan_us
+
+    def test_conflicting_dims_rejected(self, pattern, vpt):
+        with pytest.raises(PlanError):
+            run_exchange(pattern, vpt, dims=3)
+
+    def test_unknown_scheme_rejected(self, pattern):
+        with pytest.raises(PlanError, match="STFWx"):
+            run_exchange(pattern, scheme="STFWx")
+
+    def test_ft_knob_needs_tolerate(self, pattern, vpt):
+        with pytest.raises(PlanError, match="max_retries"):
+            run_exchange(pattern, vpt, max_retries=7)
+
+    def test_bad_on_fault_rejected(self, pattern, vpt):
+        with pytest.raises(PlanError):
+            run_exchange(pattern, vpt, on_fault="explode")

@@ -10,7 +10,7 @@ from repro.core import (
     balanced_dim_sizes,
     build_plan,
     make_vpt,
-    run_stfw_exchange,
+    run_exchange,
 )
 from repro.errors import TopologyError
 from repro.matrices import generate_matrix
@@ -40,7 +40,7 @@ class TestNonPowerOfTwoTopologies:
     def test_exchange_delivers(self):
         K = 24
         p = CommPattern.random(K, avg_degree=3, seed=1, words=2)
-        res = run_stfw_exchange(p, make_vpt(K, 3))
+        res = run_exchange(p, make_vpt(K, 3))
         assert sum(len(d) for d in res.delivered) == p.num_messages
 
 

@@ -9,8 +9,7 @@ from repro.core import (
     build_plan,
     make_vpt,
     recv_counts_from_plan,
-    run_direct_exchange,
-    run_stfw_exchange,
+    run_exchange,
 )
 from repro.errors import PlanError
 from repro.network import BGQ
@@ -41,40 +40,40 @@ class TestDeliveryCorrectness:
     @pytest.mark.parametrize("n", [2, 3, 5])
     def test_random_pattern_planned(self, n):
         p = CommPattern.random(32, avg_degree=5, hot_processes=2, seed=n, words=3)
-        res = run_stfw_exchange(p, make_vpt(32, n))
+        res = run_exchange(p, make_vpt(32, n))
         check_delivery(p, res)
 
     @pytest.mark.parametrize("n", [2, 4])
     def test_random_pattern_dynamic(self, n):
         p = CommPattern.random(16, avg_degree=4, seed=n, words=2)
-        res = run_stfw_exchange(p, make_vpt(16, n), mode="dynamic")
+        res = run_exchange(p, make_vpt(16, n), mode="dynamic")
         check_delivery(p, res)
 
     def test_all_to_all(self):
         p = CommPattern.all_to_all(16, words=2)
-        res = run_stfw_exchange(p, make_vpt(16, 2))
+        res = run_exchange(p, make_vpt(16, 2))
         check_delivery(p, res)
         for items in res.delivered:
             assert len(items) == 15
 
     def test_hypercube(self):
         p = CommPattern.random(32, avg_degree=6, seed=1, words=1)
-        res = run_stfw_exchange(p, make_vpt(32, 5))
+        res = run_exchange(p, make_vpt(32, 5))
         check_delivery(p, res)
 
     def test_empty_pattern(self):
         p = CommPattern.from_arrays(8, [], [], [])
-        res = run_stfw_exchange(p, make_vpt(8, 3))
+        res = run_exchange(p, make_vpt(8, 3))
         assert all(items == [] for items in res.delivered)
 
     def test_direct_exchange(self):
         p = CommPattern.random(32, avg_degree=5, hot_processes=1, seed=9, words=4)
-        res = run_direct_exchange(p)
+        res = run_exchange(p, scheme="direct")
         check_delivery(p, res)
 
     def test_nonuniform_vpt(self):
         p = CommPattern.random(64, avg_degree=6, seed=3, words=2)
-        res = run_stfw_exchange(p, VirtualProcessTopology((8, 2, 4)))
+        res = run_exchange(p, VirtualProcessTopology((8, 2, 4)))
         check_delivery(p, res)
 
     def test_payload_objects_pass_through(self):
@@ -83,19 +82,19 @@ class TestDeliveryCorrectness:
         payloads = [dict() for _ in range(8)]
         payloads[0][7] = ["a", "b", "c"]
         payloads[7][1] = ["x", "y"]
-        res = run_stfw_exchange(p, make_vpt(8, 3), payloads=payloads)
+        res = run_exchange(p, make_vpt(8, 3), payloads=payloads)
         assert res.delivered[7] == [(0, ["a", "b", "c"])]
         assert res.delivered[1] == [(7, ["x", "y"])]
 
     def test_mismatched_vpt_rejected(self):
         p = CommPattern.all_to_all(8)
         with pytest.raises(PlanError):
-            run_stfw_exchange(p, make_vpt(16, 2))
+            run_exchange(p, make_vpt(16, 2))
 
     def test_unknown_mode_rejected(self):
         p = CommPattern.all_to_all(8)
         with pytest.raises(PlanError):
-            run_stfw_exchange(p, make_vpt(8, 2), mode="bogus")
+            run_exchange(p, make_vpt(8, 2), mode="bogus")
 
 
 class TestPlanCrossValidation:
@@ -107,7 +106,7 @@ class TestPlanCrossValidation:
         p = CommPattern.random(K, avg_degree=4, hot_processes=2, seed=n + 10, words=2)
         vpt = make_vpt(K, n)
         plan = build_plan(p, vpt)
-        res = run_stfw_exchange(p, vpt, trace=True)
+        res = run_exchange(p, vpt, trace=True)
 
         for d, st in enumerate(plan.stages):
             plan_msgs = {
@@ -133,8 +132,8 @@ class TestPlanCrossValidation:
     def test_dynamic_matches_planned_deliveries(self):
         p = CommPattern.random(16, avg_degree=5, seed=5, words=2)
         vpt = make_vpt(16, 4)
-        a = run_stfw_exchange(p, vpt, mode="planned")
-        b = run_stfw_exchange(p, vpt, mode="dynamic")
+        a = run_exchange(p, vpt, mode="planned")
+        b = run_exchange(p, vpt, mode="dynamic")
         norm = lambda items: sorted((s, tuple(np.asarray(x))) for s, x in items)
         for ra, rb in zip(a.delivered, b.delivered):
             assert norm(ra) == norm(rb)
@@ -143,13 +142,13 @@ class TestPlanCrossValidation:
 class TestTiming:
     def test_stfw_beats_bl_on_hotspot_pattern(self):
         p = CommPattern.random(64, avg_degree=2, hot_processes=3, seed=2, words=2)
-        bl = run_direct_exchange(p, machine=BGQ)
-        stfw = run_stfw_exchange(p, make_vpt(64, 3), machine=BGQ)
+        bl = run_exchange(p, scheme="direct", machine=BGQ)
+        stfw = run_exchange(p, make_vpt(64, 3), machine=BGQ)
         assert stfw.makespan_us < bl.makespan_us
 
     def test_makespan_positive_with_machine(self):
         p = CommPattern.random(16, avg_degree=3, seed=0, words=1)
-        res = run_stfw_exchange(p, make_vpt(16, 2), machine=BGQ)
+        res = run_exchange(p, make_vpt(16, 2), machine=BGQ)
         assert res.makespan_us > 0
 
     def test_self_message_rejected(self):
@@ -158,4 +157,4 @@ class TestTiming:
         payloads = [dict() for _ in range(8)]
         payloads[0] = {0: [1]}  # illegal self message smuggled into payloads
         with pytest.raises(PlanError):
-            run_stfw_exchange(p, vpt, payloads=payloads)
+            run_exchange(p, vpt, payloads=payloads)

@@ -12,9 +12,7 @@ import pytest
 from repro.core import (
     CommPattern,
     make_vpt,
-    run_direct_ft_exchange,
-    run_stfw_exchange,
-    run_stfw_ft_exchange,
+    run_exchange,
 )
 from repro.core.routing import route
 from repro.experiments.faults import busiest_forwarder
@@ -34,7 +32,7 @@ class TestFaultFree:
     def test_ft_stfw_delivers_everything(self):
         pattern = CommPattern.random(16, avg_degree=3, seed=3)
         vpt = make_vpt(16, 2)
-        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, **FT)
+        res = run_exchange(pattern, vpt, on_fault="tolerate", machine=BGQ, **FT)
         assert res.crashed == ()
         assert delivered_pairs(res.delivered) == all_pairs(pattern)
         assert all(r.lost == [] for r in res.reports)
@@ -42,14 +40,14 @@ class TestFaultFree:
 
     def test_ft_direct_delivers_everything(self):
         pattern = CommPattern.random(16, avg_degree=3, seed=3)
-        res = run_direct_ft_exchange(pattern, machine=BGQ, **FT)
+        res = run_exchange(pattern, scheme="direct", on_fault="tolerate", machine=BGQ, **FT)
         assert delivered_pairs(res.delivered) == all_pairs(pattern)
         assert all(r.lost == [] for r in res.reports)
 
     def test_payloads_arrive_intact(self):
         pattern = CommPattern.random(8, avg_degree=2, seed=1)
         vpt = make_vpt(8, 2)
-        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, **FT)
+        res = run_exchange(pattern, vpt, on_fault="tolerate", machine=BGQ, **FT)
         for dst, msgs in enumerate(res.delivered):
             for src, payload in msgs:
                 # synthetic payloads encode (src, dst): src * K + dst
@@ -66,7 +64,7 @@ class TestForwarderCrash:
     def scenario(self):
         pattern = CommPattern.random(self.K, avg_degree=4, seed=self.SEED)
         vpt = make_vpt(self.K, 2)
-        base = run_stfw_exchange(pattern, vpt, machine=BGQ)
+        base = run_exchange(pattern, vpt, machine=BGQ)
         dead = busiest_forwarder(pattern, vpt)
         plan = FaultPlan(crashes={dead: 0.4 * base.makespan_us})
         return pattern, vpt, dead, plan
@@ -82,7 +80,7 @@ class TestForwarderCrash:
 
     def test_ft_stfw_delivers_all_countable_pairs(self, scenario):
         pattern, vpt, dead, plan = scenario
-        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, fault_plan=plan)
+        res = run_exchange(pattern, vpt, on_fault="tolerate", machine=BGQ, fault_plan=plan)
         assert res.crashed == (dead,)
         expected = expected_pairs(pattern, res.crashed)
         assert expected <= delivered_pairs(res.delivered)
@@ -95,7 +93,7 @@ class TestForwarderCrash:
 
     def test_plain_stfw_reports_stranded_pairs(self, scenario):
         pattern, vpt, dead, plan = scenario
-        res = run_stfw_exchange(
+        res = run_exchange(
             pattern, vpt, machine=BGQ, fault_plan=plan, on_fault="partial"
         )
         assert not res.completed
@@ -108,7 +106,7 @@ class TestForwarderCrash:
         pattern, vpt, dead, plan = scenario
 
         def snapshot():
-            res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, fault_plan=plan)
+            res = run_exchange(pattern, vpt, on_fault="tolerate", machine=BGQ, fault_plan=plan)
             return (
                 res.crashed,
                 res.makespan_us,
@@ -132,18 +130,18 @@ class TestLinkDrops:
         pattern = CommPattern.random(16, avg_degree=3, seed=7)
         vpt = make_vpt(16, 2)
         plan = FaultPlan(default_drop=0.1, seed=5)
-        res = run_stfw_ft_exchange(
-            pattern, vpt, machine=BGQ, fault_plan=plan, timeout_us=100.0, max_retries=4
+        res = run_exchange(
+            pattern, vpt, on_fault="tolerate", machine=BGQ, fault_plan=plan, timeout_us=100.0, max_retries=4
         )
         assert delivered_pairs(res.delivered) == all_pairs(pattern)
 
     def test_makespan_inflates_under_drops(self):
         pattern = CommPattern.random(16, avg_degree=3, seed=7)
         vpt = make_vpt(16, 2)
-        clean = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, **FT)
-        noisy = run_stfw_ft_exchange(
+        clean = run_exchange(pattern, vpt, on_fault="tolerate", machine=BGQ, **FT)
+        noisy = run_exchange(
             pattern,
-            vpt,
+            vpt, on_fault="tolerate",
             machine=BGQ,
             fault_plan=FaultPlan(default_drop=0.1, seed=5),
             **FT,
@@ -157,7 +155,7 @@ class TestCrashAtStart:
         pattern = CommPattern.random(16, avg_degree=3, seed=11)
         vpt = make_vpt(16, 2)
         plan = FaultPlan(crashes={2: 0.0})
-        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, fault_plan=plan)
+        res = run_exchange(pattern, vpt, on_fault="tolerate", machine=BGQ, fault_plan=plan)
         assert res.crashed == (2,)
         expected = expected_pairs(pattern, res.crashed)
         assert expected <= delivered_pairs(res.delivered)
@@ -169,7 +167,7 @@ class TestCrashAtStart:
         senders = {int(s) for s, t in zip(pattern.src, pattern.dst) if int(t) == dead}
         assert senders, "seed must produce senders to the dead rank"
         plan = FaultPlan(crashes={dead: 0.0})
-        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, fault_plan=plan)
+        res = run_exchange(pattern, vpt, on_fault="tolerate", machine=BGQ, fault_plan=plan)
         lost_pairs = {p for r in res.reports if r is not None for p in r.lost}
         for s in senders:
             assert (s, dead) in lost_pairs
@@ -190,13 +188,13 @@ class TestNonPowerOfTwoShapes:
             K *= k
         pattern = CommPattern.random(K, avg_degree=3, seed=seed)
         vpt = VirtualProcessTopology(dim_sizes)
-        base = run_stfw_exchange(pattern, vpt, machine=BGQ)
+        base = run_exchange(pattern, vpt, machine=BGQ)
         dead = busiest_forwarder(pattern, vpt)
         plan = FaultPlan(crashes={dead: 0.4 * base.makespan_us})
 
         # the END-receipt quiesce must terminate (no deadlock, bounded
         # virtual time) despite the mixed-radix stage structure
-        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, fault_plan=plan, **FT)
+        res = run_exchange(pattern, vpt, on_fault="tolerate", machine=BGQ, fault_plan=plan, **FT)
         assert res.crashed == (dead,)
 
         # delivered = fault-free pairs minus those touching the corpse
@@ -219,7 +217,7 @@ class TestNonPowerOfTwoShapes:
             K *= k
         pattern = CommPattern.random(K, avg_degree=3, seed=seed)
         vpt = VirtualProcessTopology(dim_sizes)
-        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, **FT)
+        res = run_exchange(pattern, vpt, on_fault="tolerate", machine=BGQ, **FT)
         assert res.crashed == ()
         assert delivered_pairs(res.delivered) == all_pairs(pattern)
 
@@ -228,7 +226,7 @@ class TestExchangeResultShape:
     def test_ft_result_properties(self):
         pattern = CommPattern.random(8, avg_degree=2, seed=1)
         vpt = make_vpt(8, 2)
-        res = run_stfw_ft_exchange(pattern, vpt, machine=BGQ, **FT)
+        res = run_exchange(pattern, vpt, on_fault="tolerate", machine=BGQ, **FT)
         assert len(res.reports) == 8
         assert len(res.delivered) == 8
         assert res.makespan_us == res.run.makespan_us
@@ -240,4 +238,4 @@ class TestExchangeResultShape:
         pattern = CommPattern.random(8, avg_degree=2, seed=1)
         vpt = make_vpt(16, 2)
         with pytest.raises(PlanError, match="pattern K"):
-            run_stfw_ft_exchange(pattern, vpt)
+            run_exchange(pattern, vpt, on_fault="tolerate")

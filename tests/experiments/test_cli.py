@@ -37,6 +37,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table2", "--partitioner", "patoh"])
 
+    def test_parse_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.command == "trace"
+        assert args.target == "exchange"
+        assert args.K == 64 and args.dims == 2
+
+    def test_trace_is_not_an_experiment(self):
+        # `trace` wraps experiments, it is not one itself
+        assert "trace" not in EXPERIMENTS
+
+    def test_trace_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "nonsense"])
+
 
 class TestCommands:
     def test_instances(self, capsys):
@@ -54,6 +68,17 @@ class TestCommands:
         monkeypatch.delenv("REPRO_SCALE", raising=False)
         assert main(["figure1", "--scale", "0.03", "--seed", "1"]) == 0
         assert "sparsine" in capsys.readouterr().out
+
+    def test_trace_exchange(self, tmp_path, capsys):
+        assert main(["trace", "--out", str(tmp_path), "--K", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "traced msgs" in out and "stfw.stage_messages" in out
+
+        from repro.obs import validate_chrome_trace
+
+        doc = validate_chrome_trace((tmp_path / "exchange.trace.json").read_text())
+        assert doc["traceEvents"]
+        assert (tmp_path / "exchange.events.jsonl").read_text().strip()
 
     def test_report_to_file(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.02")

@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.core import CommPattern, build_direct_plan, build_plan, make_vpt
+from repro.errors import MetricsError
 from repro.metrics import CommStats, collect_stats
 from repro.metrics.collect import WORD_BYTES, scheme_name
 
@@ -33,10 +34,16 @@ class TestCollectStats:
         stats = collect_stats(build_plan(p, make_vpt(16, 4)))
         assert stats.scheme == "STFW4"
 
-    def test_custom_label(self):
+    def test_explicit_canonical_label(self):
         p = CommPattern.all_to_all(8)
-        stats = collect_stats(build_direct_plan(p), scheme="custom")
-        assert stats.scheme == "custom"
+        stats = collect_stats(build_direct_plan(p), scheme="STFW3")
+        assert stats.scheme == "STFW3"
+
+    @pytest.mark.parametrize("bad", ["custom", "bl", "STFW", "STFW1", "STFWx", ""])
+    def test_non_canonical_label_rejected(self, bad):
+        p = CommPattern.all_to_all(8)
+        with pytest.raises(MetricsError, match=repr(bad)):
+            collect_stats(build_direct_plan(p), scheme=bad)
 
     def test_times_default_nan(self):
         p = CommPattern.all_to_all(8)

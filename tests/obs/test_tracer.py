@@ -1,0 +1,106 @@
+"""Unit tests for the tracing primitives."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().enabled is False
+
+    def test_all_methods_are_noops(self):
+        nt = NullTracer()
+        nt.add_span("s", 0.0, 1.0, track=3, cat="x", stage=1)
+        nt.instant("i", 0.5)
+        nt.count("c", 2, track=1, stage=0)
+        with nt.span("s2", track="host"):
+            pass
+        assert nt.value("c") == 0.0
+
+    def test_holds_no_state(self):
+        # __slots__ = () — nothing can be attached by accident
+        with pytest.raises(AttributeError):
+            NullTracer().spans = []
+
+
+class TestSpans:
+    def test_add_span_records(self):
+        tr = Tracer("t")
+        tr.add_span("work", 10.0, 30.0, track=2, cat="stage", stage=1)
+        (s,) = tr.spans
+        assert s.name == "work"
+        assert s.dur_us == 20.0
+        assert s.track == 2
+        assert dict(s.args) == {"stage": 1}
+
+    def test_backwards_span_rejected(self):
+        tr = Tracer()
+        with pytest.raises(ObsError, match="work"):
+            tr.add_span("work", 5.0, 1.0)
+
+    def test_span_contextmanager_custom_clock(self):
+        tr = Tracer()
+        t = iter([100.0, 250.0])
+        with tr.span("virt", track=1, clock=lambda: next(t)):
+            pass
+        (s,) = tr.spans
+        assert (s.t0_us, s.t1_us) == (100.0, 250.0)
+
+    def test_span_contextmanager_wall_clock(self):
+        tr = Tracer()
+        with tr.span("wall"):
+            pass
+        (s,) = tr.spans
+        assert s.t1_us >= s.t0_us
+        assert s.track == "host"
+
+
+class TestCounters:
+    def test_accumulate_and_read_back(self):
+        tr = Tracer()
+        tr.count("msgs", 2, stage=0)
+        tr.count("msgs", 3, stage=0)
+        tr.count("msgs", 7, stage=1)
+        assert tr.value("msgs", stage=0) == 5.0
+        assert tr.value("msgs", stage=1) == 7.0
+        assert tr.value("msgs", stage=9) == 0.0
+
+    def test_tracks_are_separate(self):
+        tr = Tracer()
+        tr.count("sent", 1, track=0)
+        tr.count("sent", 1, track=1)
+        assert tr.value("sent", track=0) == 1.0
+        assert tr.value("sent") == 0.0  # track=None is its own key
+
+    def test_counter_rows_sorted(self):
+        tr = Tracer()
+        tr.count("b", 1)
+        tr.count("a", 2, stage=1)
+        rows = tr.counter_rows()
+        assert [r[0] for r in rows] == ["a", "b"]
+        assert rows[0][2] == {"stage": 1}
+
+    def test_timeline_samples_are_cumulative(self):
+        tr = Tracer()
+        tr.count("inflight", 1, ts_us=10.0)
+        tr.count("inflight", 2, ts_us=20.0)
+        assert [s.value for s in tr.samples] == [1.0, 3.0]
+
+    def test_instants(self):
+        tr = Tracer()
+        tr.instant("crash", 42.0, track=3, cat="fault", dest=1)
+        (i,) = tr.instants
+        assert i.ts_us == 42.0 and dict(i.args) == {"dest": 1}
+
+
+class TestTracks:
+    def test_numeric_then_named(self):
+        tr = Tracer()
+        tr.add_span("a", 0, 1, track=2)
+        tr.add_span("b", 0, 1, track=0)
+        tr.instant("c", 0, track="host")
+        tr.count("d", 1, track=1)
+        assert tr.tracks() == [0, 1, 2, "host"]

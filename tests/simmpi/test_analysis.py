@@ -3,7 +3,7 @@
 import json
 import math
 
-from repro.core import CommPattern, make_vpt, run_stfw_exchange
+from repro.core import CommPattern, make_vpt, run_exchange
 from repro.network import BGQ
 from repro.simmpi import rank_summary, run_spmd, stage_breakdown, to_chrome_trace
 
@@ -47,7 +47,7 @@ class TestRankSummary:
     def test_matches_stfw_stats(self):
         p = CommPattern.random(16, avg_degree=4, seed=2, words=3)
         vpt = make_vpt(16, 2)
-        res = run_stfw_exchange(p, vpt, trace=True)
+        res = run_exchange(p, vpt, trace=True)
         summ = rank_summary(res.run, 16)
         sent = sum(s.sent_messages for s in summ)
         assert sent == res.plan.num_physical_messages
@@ -63,7 +63,7 @@ class TestStageBreakdown:
     def test_stfw_stages_match_plan(self):
         p = CommPattern.random(16, avg_degree=4, seed=7, words=2)
         vpt = make_vpt(16, 3)
-        res = run_stfw_exchange(p, vpt, trace=True)
+        res = run_exchange(p, vpt, trace=True)
         by = stage_breakdown(res.run.trace)
         for d, st in enumerate(res.plan.stages):
             if st.num_messages:

@@ -133,7 +133,7 @@ class TestAllToAll:
 
     def test_cost_scales_with_K(self):
         def worker(comm):
-            yield comm.alltoall([0] * comm.size, words_per_peer=10)
+            yield comm.alltoall([0] * comm.size, words=10)
             return None
 
         small = run_spmd(4, worker, machine=BGQ).makespan_us

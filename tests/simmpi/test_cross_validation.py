@@ -21,7 +21,7 @@ future scheduler change that shifts virtual time fails loudly here.
 import numpy as np
 import pytest
 
-from repro.core import CommPattern, make_vpt, run_direct_exchange, run_stfw_exchange
+from repro.core import CommPattern, make_vpt, run_exchange
 from repro.network import BGQ
 
 
@@ -94,8 +94,8 @@ CASES = {
 def run_case(label):
     p = fixed_pattern()
     if label == "direct":
-        return run_direct_exchange(p, machine=BGQ, trace=True)
-    return run_stfw_exchange(p, make_vpt(16, 2), machine=BGQ, mode=label, trace=True)
+        return run_exchange(p, scheme="direct", machine=BGQ, trace=True)
+    return run_exchange(p, make_vpt(16, 2), machine=BGQ, mode=label, trace=True)
 
 
 class TestEngineCrossValidation:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import CommPattern, make_vpt, run_direct_exchange, run_stfw_exchange
+from repro.core import CommPattern, make_vpt, run_exchange
 from repro.errors import SimMPIError
 from repro.network import BGQ
 from repro.simmpi import SimMPI, run_spmd
@@ -41,11 +41,11 @@ class TestJitter:
 
     def test_exchange_correct_under_jitter(self):
         p = CommPattern.random(16, avg_degree=4, seed=0, words=3)
-        res = run_stfw_exchange(p, make_vpt(16, 2))
+        res = run_exchange(p, make_vpt(16, 2))
         # deliveries must be identical with and without noise
         import numpy as np
 
-        noisy = run_stfw_exchange(p, make_vpt(16, 2))
+        noisy = run_exchange(p, make_vpt(16, 2))
         norm = lambda d: [
             sorted((s, tuple(np.asarray(v))) for s, v in items) for items in d
         ]
@@ -74,19 +74,19 @@ class TestRendezvous:
         # above, BL stays eager; just below, every BL send pays the
         # handshake and BL slows down
         p = CommPattern.random(32, avg_degree=2, hot_processes=2, seed=1, words=600)
-        eager = run_direct_exchange(
-            p, machine=BGQ, rendezvous_threshold_words=601
+        eager = run_exchange(
+            p, scheme="direct", machine=BGQ, rendezvous_threshold_words=601
         ).run.makespan_us
-        rdv = run_direct_exchange(
-            p, machine=BGQ, rendezvous_threshold_words=600
+        rdv = run_exchange(
+            p, scheme="direct", machine=BGQ, rendezvous_threshold_words=600
         ).run.makespan_us
         assert rdv > eager
 
     def test_jitter_flows_through_stfw_exchange(self):
         p = CommPattern.random(16, avg_degree=3, seed=4, words=10)
         vpt = make_vpt(16, 2)
-        calm = run_stfw_exchange(p, vpt, machine=BGQ).run.makespan_us
-        noisy = run_stfw_exchange(
+        calm = run_exchange(p, vpt, machine=BGQ).run.makespan_us
+        noisy = run_exchange(
             p, vpt, machine=BGQ, jitter=0.4, jitter_seed=2
         ).run.makespan_us
         assert noisy > calm

@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import CommPattern, make_vpt, run_direct_exchange, run_stfw_exchange
+from repro.core import CommPattern, make_vpt, run_exchange
 
 
 @st.composite
@@ -45,7 +45,7 @@ class TestExchangeProperties:
     def test_stfw_delivers_exactly_the_pattern(self, pattern, data):
         lg = pattern.K.bit_length() - 1
         n = data.draw(st.integers(2, lg))
-        res = run_stfw_exchange(pattern, make_vpt(pattern.K, n))
+        res = run_exchange(pattern, make_vpt(pattern.K, n))
         want = {
             (int(s), int(d), int(w), int(s) * pattern.K + int(d))
             for s, d, w in zip(pattern.src, pattern.dst, pattern.size)
@@ -55,8 +55,8 @@ class TestExchangeProperties:
     @given(small_patterns())
     @settings(max_examples=20, deadline=None)
     def test_direct_equals_stfw_deliveries(self, pattern):
-        direct = run_direct_exchange(pattern)
-        stfw = run_stfw_exchange(pattern, make_vpt(pattern.K, 2))
+        direct = run_exchange(pattern, scheme="direct")
+        stfw = run_exchange(pattern, make_vpt(pattern.K, 2))
         assert delivered_set(direct, pattern.K) == delivered_set(stfw, pattern.K)
 
     @given(small_patterns(), st.data())
@@ -65,7 +65,7 @@ class TestExchangeProperties:
         lg = pattern.K.bit_length() - 1
         n = data.draw(st.integers(2, lg))
         vpt = make_vpt(pattern.K, n)
-        res = run_stfw_exchange(pattern, vpt, trace=True)
+        res = run_exchange(pattern, vpt, trace=True)
         sent = {}
         for rec in res.run.trace:
             sent.setdefault((rec.tag, rec.source), 0)

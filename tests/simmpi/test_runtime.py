@@ -251,13 +251,13 @@ class TestDeadlockDetection:
             if comm.rank == 0:
                 yield comm.reduce(1, root=0, op="sum", words=1)
             else:
-                yield comm.alltoall([0, 0], words_per_peer=4)
+                yield comm.alltoall([0, 0], words=4)
 
         with pytest.raises(DeadlockError) as err:
             run_spmd(2, worker)
         text = str(err.value)
         assert "reduce(op=sum, root=0, words=1)" in text
-        assert "alltoall(words_per_peer=4)" in text
+        assert "alltoall(words=4)" in text
 
     def test_deadlock_dump_recv_shows_wildcards(self):
         def worker(comm):
