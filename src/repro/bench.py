@@ -1,0 +1,329 @@
+"""``repro bench`` — pinned performance benchmark of the repro stack.
+
+Measures three things on a fixed, config-independent sweep:
+
+* **cell throughput** — end-to-end experiment cells per second, timed
+  twice: a *serial cold* pass (``jobs=1``, empty artifact cache) and a
+  *parallel warm* pass (``jobs=N``, cache populated by the first pass).
+  Their ratio is the headline speedup of this PR's executor + cache.
+* **engine event rate** — raw SimMPI event-loop throughput on a
+  synthetic STFW exchange (sends + receives per second of host time).
+* **cache effectiveness** — artifact hits/misses of the warm pass.
+
+The sweep is pinned to explicit :class:`ExperimentConfig` defaults —
+``$REPRO_SCALE`` is deliberately ignored so numbers are comparable
+across checkouts.  Results are written as a ``repro-bench-v1`` JSON
+document; ``BENCH_baseline.json`` in the repo root maps sweep name
+(``full``/``quick``) to the reference document, and ``--check`` fails
+when the current run regresses more than a tolerance below it.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+from typing import Any
+
+from . import __version__
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "FULL_SWEEP",
+    "QUICK_SWEEP",
+    "run_bench",
+    "validate_bench_json",
+    "compare_bench",
+    "merge_baseline",
+    "load_baseline",
+    "format_result",
+]
+
+#: schema tag of a single bench result document
+BENCH_SCHEMA = "repro-bench-v1"
+
+#: the pinned full sweep — artifact-heavy cells (large matrices at a
+#: modest K) where generation, partitioning and planning dominate the
+#: uncached exchange simulation, so the warm cache shows through
+FULL_SWEEP: tuple[tuple[str, int], ...] = (
+    ("coPapersCiteseer", 128),
+    ("F1", 128),
+    ("bundle_adj", 128),
+    ("nd24k", 128),
+    ("human_gene2", 128),
+    ("Ga41As41H72", 128),
+)
+
+#: the CI smoke sweep — same shape, fewer cells
+QUICK_SWEEP: tuple[tuple[str, int], ...] = (
+    ("human_gene2", 128),
+    ("crankseg_2", 128),
+    ("mip1", 128),
+)
+
+#: process count and degree of the engine microbenchmark
+_ENGINE_K = 256
+_ENGINE_DEGREE = 8
+
+#: metrics compared against the baseline (higher is better)
+_COMPARE_KEYS: tuple[str, ...] = ("cells_per_sec", "engine_events_per_sec", "speedup")
+
+
+def _metric(doc: dict[str, Any], key: str) -> float:
+    """Fetch a comparison metric from a result document."""
+    if key == "engine_events_per_sec":
+        return float(doc["engine"]["events_per_sec"])
+    return float(doc[key])
+
+
+def _bench_cells(sweep, jobs: int, cache_root: str, tracer=None) -> float:
+    """Time one pass of the sweep with a fresh in-memory harness."""
+    from .cache import ArtifactCache
+    from .experiments.config import ExperimentConfig
+    from .experiments.harness import InstanceCache
+    from .network.machines import BGQ
+
+    cfg = ExperimentConfig()  # pinned defaults; $REPRO_SCALE ignored
+    cache = InstanceCache(
+        cfg, tracer=tracer, artifacts=ArtifactCache(cache_root, tracer=tracer)
+    )
+    requests = [(name, K, BGQ) for name, K in sweep]
+    t0 = time.perf_counter()
+    cache.cells(requests, jobs=jobs)
+    return time.perf_counter() - t0
+
+
+def _cold_pass(args) -> float:
+    """Pool(1) entry point: the serial cold pass, timed in the child."""
+    sweep, cache_root = args
+    return _bench_cells(sweep, jobs=1, cache_root=cache_root)
+
+
+def _run_cold_isolated(sweep, cache_root: str) -> float:
+    """Run the cold pass in a child process.
+
+    The cold pass materializes every artifact on the heap; doing it in
+    a throwaway child keeps this process small, so the warm pass that
+    follows forks its workers off a clean parent (copy-on-write of a
+    heap full of dead matrices is exactly the overhead the executor
+    avoids).  It also matches real usage — cache-populating and
+    cache-consuming runs are separate CLI invocations.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        return pool.apply(_cold_pass, ((sweep, cache_root),))
+
+
+def _bench_engine() -> dict[str, float]:
+    """Raw event-loop throughput on a synthetic 2-D STFW exchange."""
+    from .core.pattern import CommPattern
+    from .core.stfw import run_exchange
+    from .network.machines import BGQ
+    from .obs import Tracer
+
+    pattern = CommPattern.random(_ENGINE_K, avg_degree=_ENGINE_DEGREE, seed=1, words=16)
+    # best-of-N tames scheduler noise on a sub-100ms microbenchmark
+    elapsed = float("inf")
+    for _ in range(3):
+        tracer = Tracer("bench.engine")
+        t0 = time.perf_counter()
+        run_exchange(pattern, dims=2, machine=BGQ, tracer=tracer)
+        elapsed = min(elapsed, time.perf_counter() - t0)
+    events = sum(
+        value
+        for name, _track, _labels, value in tracer.counter_rows()
+        if name in ("engine.sends", "engine.recvs")
+    )
+    return {
+        "events": int(events),
+        "elapsed_s": elapsed,
+        "events_per_sec": events / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    jobs: int = 4,
+    cache_root: str | None = None,
+) -> dict[str, Any]:
+    """Run the benchmark and return the ``repro-bench-v1`` document.
+
+    With ``cache_root=None`` a temporary directory is used and removed
+    afterwards; pass a path to inspect the populated cache.
+    """
+    from .obs import Tracer
+
+    sweep = QUICK_SWEEP if quick else FULL_SWEEP
+    root = cache_root or tempfile.mkdtemp(prefix="repro-bench-")
+    try:
+        if os.path.isdir(root):
+            shutil.rmtree(root)
+
+        serial_cold = _run_cold_isolated(sweep, root)
+
+        tracer = Tracer("bench.warm")
+        parallel_warm = _bench_cells(sweep, jobs=jobs, cache_root=root, tracer=tracer)
+
+        hits = sum(
+            value
+            for name, _t, _l, value in tracer.counter_rows()
+            if name == "cache.hits"
+        )
+        misses = sum(
+            value
+            for name, _t, _l, value in tracer.counter_rows()
+            if name == "cache.misses"
+        )
+    finally:
+        if cache_root is None:
+            shutil.rmtree(root, ignore_errors=True)
+
+    engine = _bench_engine()
+    lookups = hits + misses
+    return {
+        "schema": BENCH_SCHEMA,
+        "version": __version__,
+        "sweep": "quick" if quick else "full",
+        "quick": quick,
+        "n_cells": len(sweep),
+        "jobs": jobs,
+        "serial_cold_s": serial_cold,
+        "parallel_warm_s": parallel_warm,
+        "speedup": serial_cold / parallel_warm if parallel_warm > 0 else 0.0,
+        "cells_per_sec": len(sweep) / parallel_warm if parallel_warm > 0 else 0.0,
+        "engine": engine,
+        "cache": {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": hits / lookups if lookups else 0.0,
+        },
+    }
+
+
+def validate_bench_json(doc: Any) -> list[str]:
+    """Structural problems of one result document (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, not an object"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+    for key, typ in (
+        ("version", str),
+        ("sweep", str),
+        ("quick", bool),
+        ("n_cells", int),
+        ("jobs", int),
+        ("serial_cold_s", (int, float)),
+        ("parallel_warm_s", (int, float)),
+        ("speedup", (int, float)),
+        ("cells_per_sec", (int, float)),
+        ("engine", dict),
+        ("cache", dict),
+    ):
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(doc[key], typ):
+            problems.append(f"{key!r} is {type(doc[key]).__name__}")
+    if isinstance(doc.get("engine"), dict):
+        for key in ("events", "elapsed_s", "events_per_sec"):
+            if not isinstance(doc["engine"].get(key), (int, float)):
+                problems.append(f"engine.{key!r} missing or non-numeric")
+    if isinstance(doc.get("cache"), dict):
+        for key in ("hits", "misses", "hit_rate"):
+            if not isinstance(doc["cache"].get(key), (int, float)):
+                problems.append(f"cache.{key!r} missing or non-numeric")
+    if isinstance(doc.get("sweep"), str) and doc["sweep"] not in ("full", "quick"):
+        problems.append(f"sweep is {doc['sweep']!r}, expected 'full' or 'quick'")
+    return problems
+
+
+def compare_bench(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    tolerance: float = 0.2,
+) -> list[str]:
+    """Regressions of ``current`` vs a same-sweep ``baseline`` document.
+
+    A metric regresses when it falls more than ``tolerance`` (fraction)
+    below the baseline; improvements never fail.  Returns one line per
+    regression (empty = pass).
+    """
+    regressions: list[str] = []
+    if current.get("sweep") != baseline.get("sweep"):
+        return [
+            f"sweep mismatch: current {current.get('sweep')!r} "
+            f"vs baseline {baseline.get('sweep')!r}"
+        ]
+    for key in _COMPARE_KEYS:
+        cur, base = _metric(current, key), _metric(baseline, key)
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            regressions.append(
+                f"{key}: {cur:.2f} is {100.0 * (1.0 - cur / base):.0f}% below "
+                f"baseline {base:.2f} (tolerance {100.0 * tolerance:.0f}%)"
+            )
+    return regressions
+
+
+def merge_baseline(path: str, doc: dict[str, Any]) -> dict[str, Any]:
+    """Insert ``doc`` into the baseline file at ``path`` under its sweep.
+
+    The baseline file maps sweep name to result document, so full and
+    quick runs coexist; returns the merged mapping after writing it.
+    """
+    merged: dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+            if isinstance(existing, dict):
+                merged = {k: v for k, v in existing.items() if k in ("full", "quick")}
+        except (OSError, ValueError):
+            merged = {}
+    merged[doc["sweep"]] = doc
+    with open(path, "w") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return merged
+
+
+def load_baseline(path: str, sweep: str) -> dict[str, Any]:
+    """The baseline document for one sweep, or raise ``ValueError``."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if isinstance(data, dict) and data.get("schema") == BENCH_SCHEMA:
+        doc = data  # a bare result document is accepted as its own sweep
+    elif isinstance(data, dict) and sweep in data:
+        doc = data[sweep]
+    else:
+        raise ValueError(f"{path} has no baseline for sweep {sweep!r}")
+    problems = validate_bench_json(doc)
+    if problems:
+        raise ValueError(f"{path} [{sweep}]: " + "; ".join(problems))
+    return doc
+
+
+def format_result(doc: dict[str, Any]) -> str:
+    """Human-readable summary of one result document."""
+    lines = [
+        f"repro bench — sweep={doc['sweep']}, {doc['n_cells']} cells, "
+        f"jobs={doc['jobs']}",
+        f"  serial cold   : {doc['serial_cold_s']:.2f}s",
+        f"  parallel warm : {doc['parallel_warm_s']:.2f}s",
+        f"  speedup       : {doc['speedup']:.2f}x",
+        f"  cell rate     : {doc['cells_per_sec']:.2f} cells/s (warm)",
+        f"  engine        : {doc['engine']['events_per_sec']:.0f} events/s "
+        f"({doc['engine']['events']} events in {doc['engine']['elapsed_s']:.2f}s)",
+        f"  cache         : {doc['cache']['hits']} hits / "
+        f"{doc['cache']['misses']} misses "
+        f"(hit rate {100.0 * doc['cache']['hit_rate']:.0f}%)",
+    ]
+    return "\n".join(lines)

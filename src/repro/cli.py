@@ -4,11 +4,18 @@ Examples::
 
     python -m repro table2                 # Table 2 at the default scale
     python -m repro figure8 --scale 0.5    # bigger matrices
+    python -m repro table3 -j 4 --cache    # 4 workers + on-disk artifacts
+    python -m repro run figure9 -j 2       # generic experiment runner
+    python -m repro cache stats            # inspect the artifact cache
+    python -m repro bench --quick          # performance smoke benchmark
     python -m repro instances              # list the Table 1 registry
     python -m repro report -o results.md   # run everything, write markdown
 
 Process counts are always the paper's; ``--scale`` resizes only the
 synthetic matrices (communication-preserving, see DESIGN.md).
+``-j/--jobs`` fans independent experiment cells over worker processes
+and ``--cache`` persists generated artifacts (matrices, partitions,
+patterns, plans) across runs; both leave results byte-identical.
 """
 
 from __future__ import annotations
@@ -72,9 +79,51 @@ def build_parser() -> argparse.ArgumentParser:
             help="also write SVG chart(s) into DIR (figure1/8/9/10 only)",
         )
 
+    p = sub.add_parser("run", help="run one experiment by name (generic runner)")
+    p.add_argument(
+        "experiment", choices=tuple(EXPERIMENTS), help="which experiment to run"
+    )
+    _add_config_args(p)
+
     p = sub.add_parser("report", help="run every experiment, write a markdown report")
     _add_config_args(p)
     p.add_argument("-o", "--output", default="-", help="output file ('-' = stdout)")
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk artifact cache")
+    p.add_argument("action", choices=("stats", "clear"), help="what to do")
+    p.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default $REPRO_CACHE_DIR or .repro-cache)",
+    )
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned performance benchmark and write its JSON document",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="run the small CI smoke sweep"
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes of the warm pass (default 4)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_baseline.json",
+        help="baseline file to merge the result into ('-' = print only)",
+    )
+    p.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="fail (exit 1) when >20%% below this baseline's same-sweep entry",
+    )
 
     p = sub.add_parser(
         "trace",
@@ -117,6 +166,47 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
         help="row partitioner (default rcm)",
     )
     p.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent cells (0/-1 = all cores)",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        nargs="?",
+        const="",
+        default=None,
+        help="persist artifacts in DIR (no DIR: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+
+
+def _artifact_cache(args: argparse.Namespace):
+    """The CLI-selected :class:`ArtifactCache`, or ``None``."""
+    flag = getattr(args, "cache", None)
+    if flag is None:
+        return None
+    from .cache import ArtifactCache, default_cache_root
+
+    return ArtifactCache(flag or default_cache_root())
+
+
+def _run_experiment(
+    name: str, cfg: ExperimentConfig, *, args: argparse.Namespace
+):
+    """Run one experiment honoring ``-j``/``--cache``; returns (result, fmt)."""
+    run_fn, fmt = EXPERIMENTS[name]
+    jobs = getattr(args, "jobs", 1)
+    if name in ("faults", "recover"):
+        result = run_fn(cfg, jobs=jobs)
+    else:
+        from .experiments.harness import InstanceCache
+
+        cache = InstanceCache(cfg, artifacts=_artifact_cache(args))
+        result = run_fn(cfg, cache=cache, jobs=jobs)
+    return result, fmt
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -146,6 +236,65 @@ def _cmd_instances() -> str:
     for s in SUITE.values():
         t.add_row(s.name, s.kind, s.n, s.nnz, s.max_degree, s.cv, s.maxdr)
     return t.render(float_fmt="{:.3f}")
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache stats|clear`` — artifact-cache maintenance."""
+    from .cache import ArtifactCache, default_cache_root
+    from .metrics import Table
+
+    cache = ArtifactCache(args.dir or default_cache_root())
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached artifact(s) from {cache.root}")
+        return 0
+    stats = cache.stats()
+    t = Table(
+        columns=("kind", "entries", "bytes"),
+        title=f"artifact cache — {stats.root} (schema {stats.version})",
+    )
+    for kind, (count, size) in sorted(stats.entries.items()):
+        t.add_row(kind, count, size)
+    t.add_row("total", stats.total_entries, stats.total_bytes)
+    print(t.render())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench`` — run, report, persist and optionally gate."""
+    from .bench import (
+        compare_bench,
+        format_result,
+        load_baseline,
+        merge_baseline,
+        run_bench,
+        validate_bench_json,
+    )
+
+    doc = run_bench(quick=args.quick, jobs=args.jobs)
+    problems = validate_bench_json(doc)
+    if problems:  # pragma: no cover - guards bench.py itself
+        print("invalid bench document: " + "; ".join(problems), file=sys.stderr)
+        return 1
+    print(format_result(doc))
+
+    if args.output != "-":
+        merge_baseline(args.output, doc)
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.check:
+        try:
+            baseline = load_baseline(args.check, doc["sweep"])
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 1
+        regressions = compare_bench(doc, baseline)
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check}", file=sys.stderr)
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace, cfg: ExperimentConfig) -> int:
@@ -211,14 +360,20 @@ def _cmd_trace(args: argparse.Namespace, cfg: ExperimentConfig) -> int:
     return 0
 
 
-def run_report(cfg: ExperimentConfig) -> str:
+def run_report(cfg: ExperimentConfig, *, jobs: int | None = 1, artifacts=None) -> str:
     """Run every experiment and render one markdown document.
 
     Opens with a Table 1 fidelity section (how close the synthetics are
     to the published statistics), then one section per paper artifact.
+    One :class:`InstanceCache` is shared across every cell experiment,
+    so each (matrix, K) pair is generated once for the whole report;
+    ``jobs`` fans independent cells over worker processes and
+    ``artifacts`` additionally persists them on disk.
     """
+    from .experiments.harness import InstanceCache
     from .matrices.calibration import calibrate_suite, format_calibration
 
+    cache = InstanceCache(cfg, artifacts=artifacts)
     lines = [
         "# Reproduction run",
         "",
@@ -236,7 +391,10 @@ def run_report(cfg: ExperimentConfig) -> str:
     ]
     for name, (run, fmt) in EXPERIMENTS.items():
         t0 = time.time()
-        result = run(cfg)
+        if name in ("faults", "recover"):
+            result = run(cfg, jobs=jobs)
+        else:
+            result = run(cfg, cache=cache, jobs=jobs)
         elapsed = time.time() - t0
         lines.append(f"## {name}  ({elapsed:.1f}s)")
         lines.append("")
@@ -255,13 +413,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_cmd_instances())
         return 0
 
+    if args.command == "cache":
+        return _cmd_cache(args)
+
+    if args.command == "bench":
+        return _cmd_bench(args)
+
     cfg = _config_from(args)
 
     if args.command == "trace":
         return _cmd_trace(args, cfg)
 
     if args.command == "report":
-        text = run_report(cfg)
+        text = run_report(cfg, jobs=args.jobs, artifacts=_artifact_cache(args))
         if args.output == "-":
             print(text)
         else:
@@ -270,8 +434,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"wrote {args.output}", file=sys.stderr)
         return 0
 
-    run, fmt = EXPERIMENTS[args.command]
-    result = run(cfg)
+    if args.command == "run":
+        result, fmt = _run_experiment(args.experiment, cfg, args=args)
+        print(fmt(result))
+        return 0
+
+    result, fmt = _run_experiment(args.command, cfg, args=args)
     print(fmt(result))
     if getattr(args, "svg", None):
         from .viz import experiment_svgs

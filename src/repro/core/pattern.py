@@ -59,7 +59,7 @@ class CommPattern:
         :meth:`from_arrays`'s ``merge=True``).
     """
 
-    __slots__ = ("_K", "_src", "_dst", "_size")
+    __slots__ = ("_K", "_src", "_dst", "_size", "_sendset_csr")
 
     def __init__(
         self,
@@ -92,6 +92,8 @@ class CommPattern:
         self._src = src
         self._dst = dst
         self._size = size
+        # lazily-built CSR view grouping messages by sender (sendset())
+        self._sendset_csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -252,13 +254,27 @@ class CommPattern:
     # ------------------------------------------------------------------
 
     def sendset(self, rank: int) -> dict[int, int]:
-        """``SendSet(P_rank)`` as a ``{dst: words}`` mapping."""
+        """``SendSet(P_rank)`` as a ``{dst: words}`` mapping.
+
+        Backed by a lazily-built CSR view that groups the message
+        arrays by sender once; every call after the first is a pair of
+        slices instead of a full-array scan.  The stable grouping sort
+        preserves each rank's original message order, so the returned
+        dict iterates exactly as the uncached implementation did.
+        """
         if not 0 <= rank < self._K:
             raise PlanError(f"rank {rank} outside [0, {self._K})")
-        mask = self._src == rank
-        return {
-            int(j): int(w) for j, w in zip(self._dst[mask], self._size[mask])
-        }
+        csr = self._sendset_csr
+        if csr is None:
+            order = np.argsort(self._src, kind="stable")
+            counts = np.bincount(self._src, minlength=self._K)
+            indptr = np.zeros(self._K + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            csr = (indptr, self._dst[order], self._size[order])
+            self._sendset_csr = csr
+        indptr, dst, size = csr
+        lo, hi = indptr[rank], indptr[rank + 1]
+        return {int(j): int(w) for j, w in zip(dst[lo:hi], size[lo:hi])}
 
     def sent_counts(self) -> np.ndarray:
         """Messages sent per process under direct (BL) communication."""

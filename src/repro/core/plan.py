@@ -24,12 +24,12 @@ import numpy as np
 
 from ..errors import PlanError
 from .pattern import CommPattern
-from .routing import holder_after_stage_array
 from .vpt import VirtualProcessTopology
 
 __all__ = [
     "StageSchedule",
     "CommPlan",
+    "PlanBuilder",
     "build_plan",
     "build_direct_plan",
     "plans_for_dimensions",
@@ -220,6 +220,143 @@ class CommPlan:
         return rows
 
 
+class PlanBuilder:
+    """Builds plans for one pattern, memoizing shared routing state.
+
+    Under dimension-ordered routing the holder of a submessage after
+    stage ``d`` is ``src - src % w + dst % w`` with ``w`` the VPT's
+    ``weights[d + 1]`` — a function of the *weight* alone, not of the
+    dimensionality it came from.  A stage's physical messages likewise
+    depend only on the weight pair ``(w_d, w_{d+1})``, and the
+    forward-buffer occupancy after the stage only on ``w_{d+1}``.  This
+    builder caches all three by those keys, so building plans for many
+    dimensionalities of one pattern (``plans_for_dimensions``, the SpMV
+    scheme sweep) recomputes nothing two topologies share.
+
+    Plans produced by one builder are identical — stage arrays, totals
+    and occupancy — to independent :func:`build_plan` calls; the test
+    suite pins this.
+    """
+
+    def __init__(self, pattern: CommPattern):
+        self.pattern = pattern
+        #: weight -> holder array after any stage with that weight
+        self._holders: dict[int, np.ndarray] = {}
+        #: (w_d, w_{d+1}, coalesce) -> (sender, receiver, nsub, payload)
+        self._stages: dict[tuple[int, int, bool], tuple] = {}
+        #: w_{d+1} -> per-process in-transit words after the stage
+        self._occupancy: dict[int, np.ndarray] = {}
+
+    def _holder(self, w: int) -> np.ndarray:
+        arr = self._holders.get(w)
+        if arr is None:
+            src = self.pattern.src
+            if w == 1:
+                arr = src
+            else:
+                arr = src - src % w + self.pattern.dst % w
+            self._holders[w] = arr
+        return arr
+
+    def _stage_arrays(self, w0: int, w1: int, coalesce: bool) -> tuple:
+        key = (w0, w1, coalesce)
+        cached = self._stages.get(key)
+        if cached is not None:
+            return cached
+        K = self.pattern.K
+        holder = self._holder(w0)
+        nxt = self._holder(w1)
+        moved = holder != nxt
+        senders = holder[moved]
+        receivers = nxt[moved]
+        sizes = self.pattern.size[moved]
+
+        if senders.size and not coalesce:
+            order = np.argsort(senders * np.int64(K) + receivers, kind="stable")
+            msg_sender = senders[order]
+            msg_receiver = receivers[order]
+            payload = sizes[order]
+            nsub = np.ones(senders.size, dtype=np.int64)
+        elif senders.size:
+            mkey = senders * np.int64(K) + receivers
+            order = np.argsort(mkey, kind="stable")
+            key_sorted = mkey[order]
+            uniq = np.unique(key_sorted)
+            inv = np.empty(mkey.size, dtype=np.int64)
+            inv[order] = np.searchsorted(uniq, key_sorted)
+            nsub = np.bincount(inv, minlength=uniq.size).astype(np.int64)
+            payload = np.bincount(inv, weights=sizes, minlength=uniq.size).astype(np.int64)
+            msg_sender = (uniq // K).astype(np.int64)
+            msg_receiver = (uniq % K).astype(np.int64)
+        else:
+            nsub = np.empty(0, dtype=np.int64)
+            payload = np.empty(0, dtype=np.int64)
+            msg_sender = np.empty(0, dtype=np.int64)
+            msg_receiver = np.empty(0, dtype=np.int64)
+
+        cached = (msg_sender, msg_receiver, nsub, payload)
+        self._stages[key] = cached
+        return cached
+
+    def _occupancy_row(self, w1: int) -> np.ndarray:
+        row = self._occupancy.get(w1)
+        if row is None:
+            K = self.pattern.K
+            holder = self._holder(w1)
+            dst = self.pattern.dst
+            in_transit = holder != dst
+            if in_transit.any():
+                row = np.bincount(
+                    holder[in_transit],
+                    weights=self.pattern.size[in_transit],
+                    minlength=K,
+                ).astype(np.int64)
+            else:
+                row = np.zeros(K, dtype=np.int64)
+            self._occupancy[w1] = row
+        return row
+
+    def plan(
+        self,
+        vpt: VirtualProcessTopology,
+        *,
+        header_words: int = 0,
+        coalesce: bool = True,
+    ) -> CommPlan:
+        """Build the plan for one topology (see :func:`build_plan`)."""
+        if vpt.K != self.pattern.K:
+            raise PlanError(f"pattern has K={self.pattern.K} but VPT has K={vpt.K}")
+        if header_words < 0:
+            raise PlanError("header_words must be non-negative")
+
+        stages: list[StageSchedule] = []
+        occupancy = np.zeros((vpt.n, vpt.K), dtype=np.int64)
+        weights = vpt.weights
+        for d in range(vpt.n):
+            sender, receiver, nsub, payload = self._stage_arrays(
+                weights[d], weights[d + 1], coalesce
+            )
+            stages.append(
+                StageSchedule(
+                    stage=d,
+                    sender=sender,
+                    receiver=receiver,
+                    nsub=nsub,
+                    payload_words=payload,
+                    total_words=payload + header_words * nsub,
+                )
+            )
+            occupancy[d] = self._occupancy_row(weights[d + 1])
+
+        return CommPlan(
+            vpt=vpt,
+            pattern=self.pattern,
+            stages=stages,
+            header_words=header_words,
+            forward_occupancy=occupancy,
+        )
+
+
 def build_plan(
     pattern: CommPattern,
     vpt: VirtualProcessTopology,
@@ -251,79 +388,13 @@ def build_plan(
     -------
     CommPlan
         Stage-by-stage physical message schedule plus occupancy.
+
+    Callers building plans for several topologies of the *same*
+    pattern should use one :class:`PlanBuilder` (as
+    :func:`plans_for_dimensions` and the SpMV driver do) to share the
+    routing intermediates between topologies.
     """
-    if vpt.K != pattern.K:
-        raise PlanError(f"pattern has K={pattern.K} but VPT has K={vpt.K}")
-    if header_words < 0:
-        raise PlanError("header_words must be non-negative")
-
-    K = vpt.K
-    src = pattern.src
-    dst = pattern.dst
-    size = pattern.size
-
-    stages: list[StageSchedule] = []
-    occupancy = np.zeros((vpt.n, K), dtype=np.int64)
-
-    holder = src.copy()
-    for d in range(vpt.n):
-        nxt = holder_after_stage_array(vpt, src, dst, d)
-        moved = holder != nxt
-        senders = holder[moved]
-        receivers = nxt[moved]
-        sizes = size[moved]
-
-        if senders.size and not coalesce:
-            order = np.argsort(senders * np.int64(K) + receivers, kind="stable")
-            msg_sender = senders[order]
-            msg_receiver = receivers[order]
-            payload = sizes[order]
-            nsub = np.ones(senders.size, dtype=np.int64)
-        elif senders.size:
-            key = senders * np.int64(K) + receivers
-            order = np.argsort(key, kind="stable")
-            key_sorted = key[order]
-            uniq, start = np.unique(key_sorted, return_index=True)
-            inv = np.empty(key.size, dtype=np.int64)
-            inv[order] = np.searchsorted(uniq, key_sorted)
-            nsub = np.bincount(inv, minlength=uniq.size).astype(np.int64)
-            payload = np.bincount(inv, weights=sizes, minlength=uniq.size).astype(np.int64)
-            msg_sender = (uniq // K).astype(np.int64)
-            msg_receiver = (uniq % K).astype(np.int64)
-        else:
-            nsub = np.empty(0, dtype=np.int64)
-            payload = np.empty(0, dtype=np.int64)
-            msg_sender = np.empty(0, dtype=np.int64)
-            msg_receiver = np.empty(0, dtype=np.int64)
-
-        stages.append(
-            StageSchedule(
-                stage=d,
-                sender=msg_sender,
-                receiver=msg_receiver,
-                nsub=nsub,
-                payload_words=payload,
-                total_words=payload + header_words * nsub,
-            )
-        )
-
-        holder = nxt
-        in_transit = holder != dst
-        if in_transit.any():
-            occupancy[d] = np.bincount(
-                holder[in_transit], weights=size[in_transit], minlength=K
-            ).astype(np.int64)
-
-    if not np.array_equal(holder, dst):  # pragma: no cover - defensive
-        raise PlanError("plan simulation did not deliver every submessage")
-
-    return CommPlan(
-        vpt=vpt,
-        pattern=pattern,
-        stages=stages,
-        header_words=header_words,
-        forward_occupancy=occupancy,
-    )
+    return PlanBuilder(pattern).plan(vpt, header_words=header_words, coalesce=coalesce)
 
 
 def build_direct_plan(pattern: CommPattern, *, header_words: int = 0) -> CommPlan:
@@ -369,7 +440,8 @@ def plans_for_dimensions(
     """
     from .dimensioning import make_vpt
 
+    builder = PlanBuilder(pattern)
     out: dict[int, CommPlan] = {}
     for n in dimensions:
-        out[n] = build_plan(pattern, make_vpt(pattern.K, n), header_words=header_words)
+        out[n] = builder.plan(make_vpt(pattern.K, n), header_words=header_words)
     return out

@@ -211,58 +211,99 @@ def stfw_process(
     rank = comm.rank
     n = vpt.n
     obs = tracer if (tracer is not None and tracer.enabled) else None
+    weights = vpt.weights
+    dim_sizes = vpt.dim_sizes
 
     # fwbuf[d][digit] = submessages to forward in stage d to the
-    # neighbor whose dimension-d coordinate is `digit`
-    fwbuf: list[dict[int, list[tuple[int, int, Any]]]] = [{} for _ in range(n)]
+    # neighbor whose dimension-d coordinate is `digit`; slots are
+    # preallocated per digit (None while empty) so the stage loop does
+    # no per-payload dict churn and needs no sort to walk digits in
+    # ascending order
+    fwbuf: list[list[list[tuple[int, int, Any]] | None]] = [
+        [None] * dim_sizes[d] for d in range(n)
+    ]
     delivered: list[tuple[int, Any]] = [] if out is None else out
 
-    # Algorithm 1 lines 4-6: bucket my own SendSet
+    # Algorithm 1 lines 4-6: bucket my own SendSet; the routing digit
+    # math is inlined (first_diff_dim + digit) — this loop runs once per
+    # origin payload on every rank
     for dst, payload in send_data.items():
         if dst == rank:
             raise PlanError(f"rank {rank} has a self message in its SendSet")
-        d = vpt.first_diff_dim(rank, dst)
-        fwbuf[d].setdefault(vpt.digit(dst, d), []).append((dst, rank, payload))
+        delta = rank - dst
+        d = 0
+        while delta % weights[d + 1] == 0:
+            d += 1
+        digit = (dst // weights[d]) % dim_sizes[d]
+        bucket = fwbuf[d][digit]
+        if bucket is None:
+            bucket = fwbuf[d][digit] = []
+        bucket.append((dst, rank, payload))
 
     # Algorithm 1 lines 7-17: the stage loop
     for d in range(n):
         stage_t0 = comm.time
+        stage_buf = fwbuf[d]
         if recv_counts is None:
-            expect = yield from _exchange_counts(comm, vpt, d, fwbuf[d])
+            expect = yield from _exchange_counts(comm, vpt, d, stage_buf)
         else:
             expect = int(recv_counts[d])
 
         # send one coalesced message per non-empty buffer (lines 9-12)
-        for digit, subs in sorted(fwbuf[d].items()):
-            dst_rank = _neighbor_with_digit(vpt, rank, d, digit)
-            words = sum(_payload_words(p) for _, _, p in subs) + header_words * len(subs)
-            comm.send(dst_rank, list(subs), tag=d, words=words)
+        w = weights[d]
+        w_next = weights[d + 1]
+        own_base = rank - ((rank // w) % dim_sizes[d]) * w
+        for digit in range(dim_sizes[d]):
+            subs = stage_buf[digit]
+            if not subs:
+                continue
+            stage_buf[digit] = None
+            try:
+                words = sum(len(p) for _, _, p in subs)
+            except TypeError as exc:
+                raise PlanError(
+                    "payloads must be sized (len()-able) objects"
+                ) from exc
+            if header_words:
+                words += header_words * len(subs)
+            comm.send(own_base + digit * w, subs, tag=d, words=words)
             if obs is not None:
                 obs.count("stfw.stage_messages", 1, stage=d)
                 obs.count("stfw.stage_words", words, stage=d)
                 for _, src, payload in subs:
-                    pw = _payload_words(payload)
+                    pw = len(payload)
                     if src == rank:
                         obs.count("stfw.origin_words", pw, track=rank)
                     else:
                         obs.count("stfw.forwarded_words", pw, track=rank)
-        fwbuf[d].clear()
 
         # receive and scatter (lines 13-17); the wildcard-source recv
-        # delivers stage-d messages in virtual arrival order
+        # delivers stage-d messages in virtual arrival order.  Received
+        # submessage tuples are rebucketed as-is, never rebuilt.
         for _ in range(expect):
             _, _, subs = yield comm.recv(tag=d)
-            for dst, src, payload in subs:
+            for sub in subs:
+                dst = sub[0]
                 if dst == rank:
-                    delivered.append((src, payload))
-                else:
-                    c = vpt.first_diff_dim(rank, dst)
-                    if c <= d:  # pragma: no cover - routing invariant
-                        raise PlanError(
-                            f"rank {rank} received a stage-{d} submessage "
-                            f"needing earlier stage {c}"
-                        )
-                    fwbuf[c].setdefault(vpt.digit(dst, c), []).append((dst, src, payload))
+                    delivered.append((sub[1], sub[2]))
+                    continue
+                delta = rank - dst
+                if delta % w_next:  # pragma: no cover - routing invariant
+                    c = 0
+                    while delta % weights[c + 1] == 0:
+                        c += 1
+                    raise PlanError(
+                        f"rank {rank} received a stage-{d} submessage "
+                        f"needing earlier stage {c}"
+                    )
+                c = d + 1
+                while delta % weights[c + 1] == 0:
+                    c += 1
+                digit = (dst // weights[c]) % dim_sizes[c]
+                bucket = fwbuf[c][digit]
+                if bucket is None:
+                    bucket = fwbuf[c][digit] = []
+                bucket.append(sub)
         if obs is not None:
             obs.add_span(
                 f"stfw.stage{d}", stage_t0, comm.time, track=rank,
@@ -283,13 +324,13 @@ def _exchange_counts(
     comm: Comm,
     vpt: VirtualProcessTopology,
     d: int,
-    stage_buf: dict[int, list],
+    stage_buf: Sequence[list | None],
 ) -> Generator:
     """Dynamic mode: tell every dimension-``d`` neighbor whether to expect data."""
     rank = comm.rank
     for nb in vpt.neighbors(rank, d):
         digit = vpt.digit(nb, d)
-        has_data = 1 if stage_buf.get(digit) else 0
+        has_data = 1 if stage_buf[digit] else 0
         comm.send(nb, has_data, tag=_COUNT_TAG_BASE + d, words=1)
     expect = 0
     for _ in vpt.neighbors(rank, d):

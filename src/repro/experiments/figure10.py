@@ -49,14 +49,15 @@ def run(
     K: int = K_PROCESSES,
     machine: Machine = CRAY_XK7,
     cache: InstanceCache | None = None,
+    jobs: int | None = 1,
 ) -> list[Figure10Row]:
-    """Compute the Figure 10 rows."""
+    """Compute the Figure 10 rows (``jobs`` fans cells over processes)."""
     cfg = cfg or default_config()
     cache = cache or InstanceCache(cfg)
     dims = [1] + paper_dim_selection(K)
+    exps = cache.cells([(name, K, machine, dims) for name in matrices], jobs=jobs)
     rows = []
-    for name in matrices:
-        exp = cache.cell(name, K, machine, dims=dims)
+    for name, exp in zip(matrices, exps):
         stfw = {
             s: r.stats.comm_time_us for s, r in exp.results.items() if s != "BL"
         }

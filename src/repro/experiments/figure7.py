@@ -47,11 +47,13 @@ def run(
     K: int = K_PROCESSES,
     machine: Machine = BGQ,
     cache: InstanceCache | None = None,
+    jobs: int | None = 1,
 ) -> list[Figure7Panel]:
     """Compute the four Figure 7 panels."""
     cfg = cfg or default_config()
     cache = cache or InstanceCache(cfg)
-    exps = {name: cache.cell(name, K, machine) for name in MATRICES}
+    results = cache.cells([(name, K, machine) for name in MATRICES], jobs=jobs)
+    exps = dict(zip(MATRICES, results))
     schemes = exps[MATRICES[0]].schemes
     panels = []
     for key in PANEL_KEYS:

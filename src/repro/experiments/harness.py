@@ -15,11 +15,13 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from ..cache import ArtifactCache
 from ..core.pattern import CommPattern
 from ..errors import ExperimentError
 from ..matrices.generators import generate_matrix
 from ..matrices.suite import SUITE, MatrixSpec
 from ..network.machines import Machine
+from ..parallel import parallel_map, resolve_jobs, worker_state
 from ..partition.base import Partition
 from ..partition.rcm import rcm_order
 from ..partition.simple import balanced_blocks_from_order, block_partition, random_partition
@@ -95,15 +97,39 @@ class InstanceCache:
     ordering; per-K partitions are cheap cuts of that ordering.
     """
 
-    def __init__(self, cfg: ExperimentConfig, *, tracer=None):
+    def __init__(
+        self,
+        cfg: ExperimentConfig,
+        *,
+        tracer=None,
+        artifacts: ArtifactCache | None = None,
+    ):
         self.cfg = cfg
         #: optional repro.obs tracer; pipeline steps get wall-clock
         #: spans on the "host" track
         self.tracer = tracer
         self._obs = tracer if (tracer is not None and tracer.enabled) else None
+        #: optional on-disk artifact cache; when present, matrices,
+        #: partitions, patterns and plans are fetched by content key
+        #: before being rebuilt
+        self.artifacts = artifacts
+        if artifacts is not None and artifacts.tracer is None:
+            artifacts.tracer = tracer
         self._entries: dict[tuple, _CacheEntry] = {}
         self._patterns: dict[tuple, CommPattern] = {}
         self._partitions: dict[tuple, Partition] = {}
+
+    def set_tracer(self, tracer) -> None:
+        """Rebind the tracer (and the artifact cache's) for later calls.
+
+        Parallel workers memoize one :class:`InstanceCache` per process
+        (:func:`repro.parallel.worker_state`) but receive a fresh
+        snapshot tracer per task; they rebind it here before each task.
+        """
+        self.tracer = tracer
+        self._obs = tracer if (tracer is not None and tracer.enabled) else None
+        if self.artifacts is not None:
+            self.artifacts.tracer = tracer
 
     def _span(self, step: str, **labels):
         if self._obs is None:
@@ -112,23 +138,48 @@ class InstanceCache:
             return nullcontext()
         return self._obs.span(f"harness.{step}", track="host", cat="harness", **labels)
 
+    def _matrix_inputs(self, s: MatrixSpec, seed: int) -> dict:
+        """Artifact-cache key inputs that fully determine a generated
+        matrix (and, with K/partitioner appended, everything downstream)."""
+        return {
+            "name": s.name,
+            "n": s.n,
+            "nnz": s.nnz,
+            "max_degree": s.max_degree,
+            "cv": s.cv,
+            "locality": s.locality,
+            "dense_rows": s.dense_rows,
+            "seed": seed,
+        }
+
+    def _gen_seed(self, name: str) -> int:
+        seed = self.cfg.seed * 7919 + sum(
+            ord(c) * 131**i for i, c in enumerate(name)
+        ) % (2**31)
+        return seed % (2**31)
+
     def _entry(self, name: str, K: int) -> _CacheEntry:
         s = effective_spec(name, K, self.cfg)
         key = (s.name, s.n, s.nnz, s.max_degree)
         if key not in self._entries:
-            seed = self.cfg.seed * 7919 + sum(
-                ord(c) * 131**i for i, c in enumerate(name)
-            ) % (2**31)
-            with self._span("generate", instance=s.name, n=s.n, nnz=s.nnz):
-                A = generate_matrix(
-                    s.n,
-                    s.nnz,
-                    s.max_degree,
-                    s.cv,
-                    locality=s.locality,
-                    dense_rows=s.dense_rows,
-                    seed=seed % (2**31),
-                )
+            seed = self._gen_seed(name)
+
+            def build() -> sp.csr_matrix:
+                with self._span("generate", instance=s.name, n=s.n, nnz=s.nnz):
+                    return generate_matrix(
+                        s.n,
+                        s.nnz,
+                        s.max_degree,
+                        s.cv,
+                        locality=s.locality,
+                        dense_rows=s.dense_rows,
+                        seed=seed,
+                    )
+
+            if self.artifacts is not None:
+                A = self.artifacts.matrix(self._matrix_inputs(s, seed), build)
+            else:
+                A = build()
             self._entries[key] = _CacheEntry(spec=s, matrix=A)
         return self._entries[key]
 
@@ -148,32 +199,52 @@ class InstanceCache:
             return self._partitions[pkey]
         A = entry.matrix
         kind = self.cfg.partitioner
-        with self._span("partition", instance=name, K=K, partitioner=kind):
-            if kind == "rcm":
-                if entry.order is None:
-                    entry.order = rcm_order(A)
-                weights = np.maximum(np.diff(A.indptr).astype(np.float64), 1.0)
-                part = balanced_blocks_from_order(entry.order, K, weights)
-            elif kind == "block":
-                part = block_partition(A.shape[0], K)
-            elif kind == "random":
-                part = random_partition(A.shape[0], K, seed=self.cfg.seed)
-            else:
+
+        def build() -> Partition:
+            with self._span("partition", instance=name, K=K, partitioner=kind):
+                if kind == "rcm":
+                    if entry.order is None:
+                        entry.order = rcm_order(A)
+                    weights = np.maximum(np.diff(A.indptr).astype(np.float64), 1.0)
+                    return balanced_blocks_from_order(entry.order, K, weights)
+                if kind == "block":
+                    return block_partition(A.shape[0], K)
+                if kind == "random":
+                    return random_partition(A.shape[0], K, seed=self.cfg.seed)
                 from ..spmv.driver import partition_matrix
 
-                part = partition_matrix(A, K, partitioner=kind, seed=self.cfg.seed)
+                return partition_matrix(A, K, partitioner=kind, seed=self.cfg.seed)
+
+        if self.artifacts is not None:
+            part = self.artifacts.partition(self._stage_inputs(entry, name, K), build)
+        else:
+            part = build()
         self._partitions[pkey] = part
         return part
+
+    def _stage_inputs(self, entry: _CacheEntry, name: str, K: int) -> dict:
+        """Key inputs of the per-(matrix, K) pipeline stages."""
+        inputs = self._matrix_inputs(entry.spec, self._gen_seed(name))
+        inputs["K"] = K
+        inputs["partitioner"] = self.cfg.partitioner
+        inputs["part_seed"] = self.cfg.seed
+        return inputs
 
     def pattern(self, name: str, K: int) -> CommPattern:
         """SpMV communication pattern for a (name, K) cell."""
         entry = self._entry(name, K)
         key = (entry.spec.name, entry.spec.n, entry.spec.nnz, K, self.cfg.partitioner)
         if key not in self._patterns:
-            with self._span("pattern", instance=name, K=K):
-                self._patterns[key] = spmv_pattern(
-                    entry.matrix, self.partition(name, K)
-                )
+
+            def build() -> CommPattern:
+                with self._span("pattern", instance=name, K=K):
+                    return spmv_pattern(entry.matrix, self.partition(name, K))
+
+            if self.artifacts is not None:
+                pat = self.artifacts.pattern(self._stage_inputs(entry, name, K), build)
+            else:
+                pat = build()
+            self._patterns[key] = pat
         return self._patterns[key]
 
     def cell(
@@ -194,7 +265,86 @@ class InstanceCache:
                 contention=self.cfg.contention,
                 partition=self.partition(name, K),
                 pattern=self.pattern(name, K),
+                artifacts=self.artifacts,
             )
+
+    # ------------------------------------------------------------------
+    # Parallel fan-out
+    # ------------------------------------------------------------------
+
+    def cells(
+        self,
+        requests: "list[tuple]",
+        *,
+        jobs: int | None = 1,
+    ) -> list[SpMVExperiment]:
+        """Run many experiment cells, optionally across worker processes.
+
+        ``requests`` is a list of ``(name, K, machine)`` or
+        ``(name, K, machine, dims)`` tuples; the result list is in
+        request order and byte-identical to running each cell serially
+        (see :mod:`repro.parallel` for the determinism rules).
+        """
+        reqs = [self._normalize_request(r) for r in requests]
+        if resolve_jobs(jobs) <= 1 or len(reqs) <= 1:
+            return [
+                self.cell(name, K, machine, dims=dims)
+                for name, K, machine, dims in reqs
+            ]
+        root = None if self.artifacts is None else self.artifacts.root
+        tasks = [(self.cfg, root) + req for req in reqs]
+        return parallel_map(_cell_task, tasks, jobs=jobs, tracer=self.tracer)
+
+    def patterns(
+        self,
+        requests: "list[tuple]",
+        *,
+        jobs: int | None = 1,
+    ) -> list[CommPattern]:
+        """Build many (name, K) patterns, optionally in parallel."""
+        reqs = [(str(name), int(K)) for name, K in requests]
+        if resolve_jobs(jobs) <= 1 or len(reqs) <= 1:
+            return [self.pattern(name, K) for name, K in reqs]
+        root = None if self.artifacts is None else self.artifacts.root
+        tasks = [(self.cfg, root) + req for req in reqs]
+        return parallel_map(_pattern_task, tasks, jobs=jobs, tracer=self.tracer)
+
+    @staticmethod
+    def _normalize_request(req: tuple) -> tuple:
+        if len(req) == 3:
+            name, K, machine = req
+            dims = None
+        else:
+            name, K, machine, dims = req
+        if dims is not None:
+            dims = tuple(int(d) for d in dims)
+        return (str(name), int(K), machine, dims)
+
+
+def _worker_cache(cfg: ExperimentConfig, root: str | None) -> InstanceCache:
+    """One memoized :class:`InstanceCache` per (worker process, config)."""
+    return worker_state(
+        ("harness", cfg, root),
+        lambda: InstanceCache(
+            cfg, artifacts=None if root is None else ArtifactCache(root)
+        ),
+    )
+
+
+def _cell_task(task: tuple, tracer) -> SpMVExperiment:
+    """Worker task: run one experiment cell (see :meth:`InstanceCache.cells`)."""
+    cfg, root, name, K, machine, dims = task
+    cache = _worker_cache(cfg, root)
+    cache.set_tracer(tracer)
+    return cache.cell(name, K, machine, dims=dims)
+
+
+def _pattern_task(task: tuple, tracer) -> CommPattern:
+    """Worker task: build one (name, K) pattern."""
+    cfg, root, name, K = task
+    cache = _worker_cache(cfg, root)
+    cache.set_tracer(tracer)
+    return cache.pattern(name, K)
 
 
 def paper_dim_selection(K: int) -> list[int]:

@@ -60,16 +60,22 @@ def run(
     matrices: tuple[str, ...] = BOTTOM10,
     runs: tuple[tuple[Machine, int], ...] = LARGE_RUNS,
     cache: InstanceCache | None = None,
+    jobs: int | None = 1,
 ) -> list[Table3Block]:
-    """Compute the Table 3 blocks."""
+    """Compute the Table 3 blocks (``jobs`` fans cells over processes)."""
     cfg = cfg or default_config()
     cache = cache or InstanceCache(cfg)
+    requests = [
+        (name, K, machine, [1] + paper_dim_selection(K))
+        for machine, K in runs
+        for name in matrices
+    ]
+    exps = iter(cache.cells(requests, jobs=jobs))
     blocks = []
     for machine, K in runs:
-        dims = [1] + paper_dim_selection(K)
         per_scheme: dict[str, list[dict[str, float]]] = {}
         for name in matrices:
-            exp = cache.cell(name, K, machine, dims=dims)
+            exp = next(exps)
             for scheme, res in exp.results.items():
                 per_scheme.setdefault(scheme, []).append(res.as_dict())
         rows = {

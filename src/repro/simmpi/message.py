@@ -98,7 +98,7 @@ class Mailbox:
     kept current by subsequent posts.
     """
 
-    __slots__ = ("_by_key", "_src_heaps", "_tag_heaps", "_any_heap", "_len")
+    __slots__ = ("_by_key", "_src_heaps", "_tag_heaps", "_any_heap", "_wild", "_len")
 
     def __init__(self) -> None:
         self._by_key: dict[tuple[int, int], deque[Envelope]] = {}
@@ -107,6 +107,9 @@ class Mailbox:
         self._src_heaps: dict[int, list[tuple[float, int, Envelope]]] = {}
         self._tag_heaps: dict[int, list[tuple[float, int, Envelope]]] = {}
         self._any_heap: list[tuple[float, int, Envelope]] | None = None
+        #: True once any wildcard index is active — one flag check in
+        #: post() instead of three container probes
+        self._wild = False
         self._len = 0
 
     def __len__(self) -> int:
@@ -119,7 +122,7 @@ class Mailbox:
         if q is None:
             q = self._by_key[key] = deque()
         q.append(env)
-        if self._src_heaps or self._tag_heaps or self._any_heap is not None:
+        if self._wild:
             entry = (env.arrive_time, env.seq, env)
             heap = self._src_heaps.get(env.source)
             if heap is not None:
@@ -162,6 +165,7 @@ class Mailbox:
 
     def _build_heap(self, want) -> list[tuple[float, int, Envelope]]:
         """Activate a wildcard index: backfill from the live deques."""
+        self._wild = True
         heap = [
             (env.arrive_time, env.seq, env)
             for (s, t), q in self._by_key.items()
@@ -189,6 +193,7 @@ class Mailbox:
         self._src_heaps.clear()
         self._tag_heaps.clear()
         self._any_heap = None
+        self._wild = False
         self._len = 0
         return dropped
 

@@ -194,12 +194,6 @@ class Comm:
         tag names the offending rank instead of failing deep inside the
         engine.
         """
-        if not 0 <= dest < self.size:
-            raise SimMPIError(
-                f"rank {self.rank}: send to rank {dest} outside [0, {self.size})"
-            )
-        if tag < 0:
-            raise SimMPIError(f"rank {self.rank}: send with negative tag {tag}")
         if words is None:
             try:
                 words = len(payload)
@@ -207,11 +201,20 @@ class Comm:
                 raise SimMPIError(
                     f"rank {self.rank}: payload has no len(); pass words= explicitly"
                 ) from exc
-        if words < 0:
+        # fast path: one combined range check covers the overwhelmingly
+        # common valid call; the specific errors live on the cold path
+        if 0 <= dest < self.size and tag >= 0 and words >= 0:
+            self._engine._post_send(self.rank, dest, tag, payload, int(words))
+            return
+        if not 0 <= dest < self.size:
             raise SimMPIError(
-                f"rank {self.rank}: message words must be non-negative, got {words}"
+                f"rank {self.rank}: send to rank {dest} outside [0, {self.size})"
             )
-        self._engine._post_send(self.rank, dest, tag, payload, int(words))
+        if tag < 0:
+            raise SimMPIError(f"rank {self.rank}: send with negative tag {tag}")
+        raise SimMPIError(
+            f"rank {self.rank}: message words must be non-negative, got {words}"
+        )
 
     def recv(
         self,
@@ -431,11 +434,19 @@ class SimMPI:
             if mapping is None:
                 mapping = block_mapping(K, machine.cores_per_node)
             self._mapping = validate_mapping(mapping, K, self._topology.num_nodes)
+            #: rank -> node as plain ints (skips per-send numpy scalar
+            #: boxing) and a (src_node, dst_node) -> hops memo: the hop
+            #: count is pure in the node pair, and real patterns send
+            #: along few distinct pairs many times
+            self._map_list: list[int] = [int(x) for x in self._mapping]
+            self._hops_cache: dict[tuple[int, int], float] = {}
         else:
             if mapping is not None:
                 raise SimMPIError("mapping given without a machine")
             self._topology = None
             self._mapping = None
+            self._map_list = []
+            self._hops_cache = {}
         self._procs: list[_ProcState] = []
         self._ready: deque[int] = deque()
         self._num_finished = 0
@@ -456,7 +467,10 @@ class SimMPI:
         if self.machine is None:
             return 0.0
         m = self.machine
-        hops = self._topology.hops(int(self._mapping[source]), int(self._mapping[dest]))
+        pair = (self._map_list[source], self._map_list[dest])
+        hops = self._hops_cache.get(pair)
+        if hops is None:
+            hops = self._hops_cache[pair] = self._topology.hops(*pair)
         cost = m.alpha_us + m.alpha_hop_us * hops + m.beta_us_per_word * words
         if (
             self.rendezvous_threshold_words is not None

@@ -20,7 +20,7 @@ import scipy.sparse as sp
 
 from ..core.dimensioning import make_vpt
 from ..core.pattern import CommPattern
-from ..core.plan import CommPlan, build_direct_plan, build_plan
+from ..core.plan import CommPlan, PlanBuilder, build_direct_plan, build_plan
 from ..core.recovery import RecoveryPlan, build_recovery
 from ..core.stfw import recv_counts_from_plan
 from ..errors import DeadlockError, ExperimentError, RecoveryError, format_pending
@@ -116,6 +116,7 @@ def run_spmv_schemes(
     header_words: int = 0,
     partition: Partition | None = None,
     pattern: CommPattern | None = None,
+    artifacts=None,
 ) -> SpMVExperiment:
     """Run BL + STFW schemes for one matrix at one process count.
 
@@ -135,6 +136,10 @@ def run_spmv_schemes(
     partition, pattern:
         Precomputed partition / pattern, letting callers amortize the
         expensive steps across machines and dimension sets.
+    artifacts:
+        Optional :class:`repro.cache.ArtifactCache`; per-dimension
+        plans are then fetched by content key (pattern digest + VPT
+        shape + header words) before being rebuilt.
     """
     A = sp.csr_matrix(A)
     if partition is None:
@@ -150,10 +155,29 @@ def run_spmv_schemes(
     nnz_loads = nnz_per_part(A, partition)
     compute_us = spmv_compute_time(nnz_loads, machine)
 
+    # one builder across the dimension sweep: the routing intermediates
+    # (holders, stage coalescing, occupancy) are shared between VPTs
+    builder = PlanBuilder(pattern)
+    digest = None
+    if artifacts is not None:
+        from ..cache import pattern_digest
+
+        digest = pattern_digest(pattern)
+
     results: dict[str, SchemeResult] = {}
     for n_dims in dims:
         vpt = make_vpt(K, int(n_dims))
-        plan = build_plan(pattern, vpt, header_words=header_words)
+        if artifacts is not None:
+            plan = artifacts.plan(
+                {
+                    "pattern": digest,
+                    "dim_sizes": vpt.dim_sizes,
+                    "header_words": header_words,
+                },
+                lambda: builder.plan(vpt, header_words=header_words),
+            )
+        else:
+            plan = builder.plan(vpt, header_words=header_words)
         stats = collect_stats(plan)
         timing = time_plan(plan, machine, contention=contention)
         stats.comm_time_us = timing.total_us

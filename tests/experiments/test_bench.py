@@ -1,0 +1,113 @@
+"""repro.bench — schema validation, baseline comparison, quick run."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    compare_bench,
+    format_result,
+    load_baseline,
+    merge_baseline,
+    run_bench,
+    validate_bench_json,
+)
+
+
+def sample_doc(**overrides):
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "version": "1.0.0",
+        "sweep": "quick",
+        "quick": True,
+        "n_cells": 2,
+        "jobs": 4,
+        "serial_cold_s": 2.0,
+        "parallel_warm_s": 0.5,
+        "speedup": 4.0,
+        "cells_per_sec": 4.0,
+        "engine": {"events": 6000, "elapsed_s": 0.1, "events_per_sec": 60000.0},
+        "cache": {"hits": 20, "misses": 0, "hit_rate": 1.0},
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestValidate:
+    def test_valid(self):
+        assert validate_bench_json(sample_doc()) == []
+
+    def test_missing_and_wrong_types(self):
+        doc = sample_doc()
+        del doc["speedup"]
+        doc["n_cells"] = "two"
+        problems = validate_bench_json(doc)
+        assert any("speedup" in p for p in problems)
+        assert any("n_cells" in p for p in problems)
+
+    def test_wrong_schema_and_sweep(self):
+        assert validate_bench_json(sample_doc(schema="nope"))
+        assert validate_bench_json(sample_doc(sweep="hourly"))
+        assert validate_bench_json([1, 2, 3])
+
+
+class TestCompare:
+    def test_no_regression(self):
+        assert compare_bench(sample_doc(), sample_doc()) == []
+
+    def test_improvement_passes(self):
+        cur = sample_doc(speedup=8.0, cells_per_sec=9.0)
+        assert compare_bench(cur, sample_doc()) == []
+
+    def test_small_dip_within_tolerance(self):
+        cur = sample_doc(speedup=3.5)
+        assert compare_bench(cur, sample_doc()) == []
+
+    def test_large_regression_fails(self):
+        cur = sample_doc(speedup=2.0)
+        lines = compare_bench(cur, sample_doc())
+        assert len(lines) == 1 and "speedup" in lines[0]
+
+    def test_engine_regression_fails(self):
+        cur = sample_doc(
+            engine={"events": 6000, "elapsed_s": 1.0, "events_per_sec": 6000.0}
+        )
+        assert any("engine" in l for l in compare_bench(cur, sample_doc()))
+
+    def test_sweep_mismatch_is_an_error(self):
+        assert compare_bench(sample_doc(sweep="full"), sample_doc())
+
+
+class TestBaselineFile:
+    def test_merge_and_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_baseline.json")
+        merge_baseline(path, sample_doc())
+        merge_baseline(path, sample_doc(sweep="full", quick=False))
+        with open(path) as fh:
+            merged = json.load(fh)
+        assert sorted(merged) == ["full", "quick"]
+        assert load_baseline(path, "quick")["sweep"] == "quick"
+        assert load_baseline(path, "full")["sweep"] == "full"
+
+    def test_load_missing_sweep(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        merge_baseline(path, sample_doc())
+        with pytest.raises(ValueError):
+            load_baseline(path, "full")
+
+    def test_bare_document_accepted(self, tmp_path):
+        path = str(tmp_path / "bare.json")
+        with open(path, "w") as fh:
+            json.dump(sample_doc(), fh)
+        assert load_baseline(path, "quick")["schema"] == BENCH_SCHEMA
+
+
+class TestQuickRun:
+    def test_quick_bench_produces_valid_document(self, tmp_path):
+        doc = run_bench(quick=True, jobs=2, cache_root=str(tmp_path / "c"))
+        assert validate_bench_json(doc) == []
+        assert doc["sweep"] == "quick"
+        assert doc["cache"]["hit_rate"] == 1.0  # warm pass served from disk
+        assert doc["speedup"] > 1.0  # warm cache must beat cold build
+        assert "cells/s" in format_result(doc)

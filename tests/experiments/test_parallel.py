@@ -1,0 +1,76 @@
+"""repro.parallel — executor semantics: order, errors, tracer merging."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.obs import Tracer
+from repro.parallel import parallel_map, resolve_jobs, worker_state
+
+
+def _square(task, tracer=None):
+    if tracer is not None:
+        tracer.count("squared", 1)
+    return task * task
+
+
+def _traced(task, tracer=None):
+    tracer.count("calls", 1, parity=task % 2)
+    with tracer.span(f"task.{task}", track="host"):
+        pass
+    return task
+
+
+class TestResolveJobs:
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(1) == 1
+
+    def test_all_cores_sentinels(self):
+        for sentinel in (None, 0, -1):
+            assert resolve_jobs(sentinel) >= 1
+
+    def test_invalid(self):
+        with pytest.raises(ExperimentError):
+            resolve_jobs(-2)
+
+
+class TestParallelMap:
+    def test_preserves_order_serial_and_parallel(self):
+        tasks = list(range(10))
+        want = [t * t for t in tasks]
+        assert parallel_map(_square, tasks) == want
+        assert parallel_map(_square, tasks, jobs=3) == want
+
+    def test_empty_and_singleton(self):
+        assert parallel_map(_square, []) == []
+        assert parallel_map(_square, [4], jobs=8) == [16]
+
+    def test_tracer_counters_merge_without_double_counting(self):
+        serial = Tracer("serial")
+        parallel_map(_traced, list(range(6)), jobs=1, tracer=serial)
+        merged = Tracer("merged")
+        parallel_map(_traced, list(range(6)), jobs=3, tracer=merged)
+        assert serial.counter_rows() == merged.counter_rows()
+        assert merged.value("calls", parity=0) == 3.0
+        assert merged.value("calls", parity=1) == 3.0
+
+    def test_tracer_spans_merge_in_task_order(self):
+        merged = Tracer("merged")
+        parallel_map(_traced, list(range(6)), jobs=2, tracer=merged)
+        assert [s.name for s in merged.spans] == [f"task.{i}" for i in range(6)]
+
+
+class TestWorkerState:
+    def test_memoizes_by_key(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return object()
+
+        a = worker_state(("t", 1), factory)
+        b = worker_state(("t", 1), factory)
+        c = worker_state(("t", 2), factory)
+        assert a is b
+        assert a is not c
+        assert len(calls) == 2

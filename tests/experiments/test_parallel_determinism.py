@@ -1,0 +1,73 @@
+"""Serial vs parallel experiment execution must be byte-identical.
+
+The executor's contract (ISSUE: parallel determinism) is that ``jobs``
+is invisible in every output: scheme metrics, rendered tables, fault
+rows under an injected :class:`FaultPlan`, and merged tracer counters.
+"""
+
+import dataclasses
+
+from repro.experiments import faults, recover, table2
+from repro.experiments.config import quick_config
+from repro.experiments.harness import InstanceCache
+from repro.network.machines import BGQ
+from repro.obs import Tracer
+
+MATRICES = ("cbuckle", "nd3k")
+K = 32
+
+
+def cell_rows(exp):
+    """One cell's collect_stats-backed metric table, fully expanded."""
+    return {s: exp.results[s].as_dict() for s in exp.schemes}
+
+
+class TestCellDeterminism:
+    def test_serial_vs_parallel_cells(self):
+        cfg = quick_config()
+        requests = [(name, K, BGQ) for name in MATRICES]
+        serial = InstanceCache(cfg).cells(requests, jobs=1)
+        parallel = InstanceCache(cfg).cells(requests, jobs=4)
+        assert [e.name for e in parallel] == [e.name for e in serial]
+        for a, b in zip(serial, parallel):
+            assert cell_rows(a) == cell_rows(b)
+
+    def test_table2_rendering_identical(self):
+        cfg = quick_config()
+        serial = table2.run(cfg, matrices=MATRICES, k_values=(K,), jobs=1)
+        parallel = table2.run(cfg, matrices=MATRICES, k_values=(K,), jobs=4)
+        assert table2.format_result(parallel) == table2.format_result(serial)
+
+
+class TestFaultDeterminism:
+    def test_faults_rows_identical_under_fault_plans(self):
+        cfg = quick_config()
+        serial = faults.run(cfg)
+        parallel = faults.run(cfg, jobs=4)
+        assert serial.crash_rank == parallel.crash_rank
+        assert serial.crash_time_us == parallel.crash_time_us
+        assert [
+            (s, dataclasses.astuple(r)) for s, r in serial.rows
+        ] == [(s, dataclasses.astuple(r)) for s, r in parallel.rows]
+        assert faults.format_result(serial) == faults.format_result(parallel)
+
+    def test_recover_rows_identical(self):
+        cfg = quick_config()
+        kwargs = dict(iterations=8, checkpoint_interval=4)
+        serial = recover.run(cfg, **kwargs)
+        parallel = recover.run(cfg, jobs=4, **kwargs)
+        assert recover.format_result(serial) == recover.format_result(parallel)
+        assert serial.plans == parallel.plans
+
+
+class TestTracedCounterEquality:
+    def test_faults_counters_merge_exactly(self):
+        # every engine/stfw/reliable counter accumulated by the workers
+        # must merge to exactly the serial totals — no double counting,
+        # no lost increments
+        cfg = quick_config()
+        t_serial = Tracer("serial")
+        faults.run(cfg, tracer=t_serial)
+        t_parallel = Tracer("parallel")
+        faults.run(cfg, jobs=2, tracer=t_parallel)
+        assert t_serial.counter_rows() == t_parallel.counter_rows()
