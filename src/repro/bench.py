@@ -14,8 +14,9 @@ The sweep is pinned to explicit :class:`ExperimentConfig` defaults —
 ``$REPRO_SCALE`` is deliberately ignored so numbers are comparable
 across checkouts.  Results are written as a ``repro-bench-v1`` JSON
 document; ``BENCH_baseline.json`` in the repo root maps sweep name
-(``full``/``quick``) to the reference document, and ``--check`` fails
-when the current run regresses more than a tolerance below it.
+(``full``/``quick``, plus ``drift`` from ``repro drift``) to the
+reference document, and ``--check`` fails when the current run
+regresses more than a tolerance below it.
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ from . import __version__
 
 __all__ = [
     "BENCH_SCHEMA",
+    "DRIFT_SCHEMA",
     "FULL_SWEEP",
     "QUICK_SWEEP",
     "run_bench",
@@ -44,6 +46,13 @@ __all__ = [
 
 #: schema tag of a single bench result document
 BENCH_SCHEMA = "repro-bench-v1"
+
+#: schema tag of a drift (repair-vs-rebuild) result document; produced
+#: by ``repro drift -o`` and stored under the ``"drift"`` sweep key
+DRIFT_SCHEMA = "repro-drift-bench-v1"
+
+#: sweep names allowed to coexist in ``BENCH_baseline.json``
+_BASELINE_SWEEPS = ("full", "quick", "drift")
 
 #: the pinned full sweep — artifact-heavy cells (large matrices at a
 #: modest K) where generation, partitioning and planning dominate the
@@ -207,11 +216,43 @@ def run_bench(
     }
 
 
+def _validate_drift_json(doc: dict[str, Any]) -> list[str]:
+    """Structural problems of a ``repro-drift-bench-v1`` document."""
+    problems: list[str] = []
+    for key, typ in (
+        ("version", str),
+        ("K", int),
+        ("num_messages", int),
+        ("dims", int),
+        ("epochs", int),
+        ("validated", bool),
+        ("rows", list),
+        ("median_speedup_le_10pct", (int, float)),
+    ):
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(doc[key], typ):
+            problems.append(f"{key!r} is {type(doc[key]).__name__}")
+    if doc.get("sweep") != "drift":
+        problems.append(f"sweep is {doc.get('sweep')!r}, expected 'drift'")
+    if isinstance(doc.get("rows"), list):
+        for i, row in enumerate(doc["rows"]):
+            if not isinstance(row, dict):
+                problems.append(f"rows[{i}] is not an object")
+                continue
+            for key in ("rate", "repair_ms", "rebuild_ms", "speedup"):
+                if not isinstance(row.get(key), (int, float)):
+                    problems.append(f"rows[{i}].{key!r} missing or non-numeric")
+    return problems
+
+
 def validate_bench_json(doc: Any) -> list[str]:
     """Structural problems of one result document (empty = valid)."""
     problems: list[str] = []
     if not isinstance(doc, dict):
         return [f"document is {type(doc).__name__}, not an object"]
+    if doc.get("schema") == DRIFT_SCHEMA:
+        return _validate_drift_json(doc)
     if doc.get("schema") != BENCH_SCHEMA:
         problems.append(f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}")
     for key, typ in (
@@ -262,6 +303,17 @@ def compare_bench(
             f"sweep mismatch: current {current.get('sweep')!r} "
             f"vs baseline {baseline.get('sweep')!r}"
         ]
+    if current.get("schema") == DRIFT_SCHEMA:
+        cur = float(current.get("median_speedup_le_10pct", 0.0))
+        base = float(baseline.get("median_speedup_le_10pct", 0.0))
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            regressions.append(
+                f"median_speedup_le_10pct: {cur:.2f} is "
+                f"{100.0 * (1.0 - cur / base):.0f}% below baseline {base:.2f} "
+                f"(tolerance {100.0 * tolerance:.0f}%)"
+            )
+        return regressions
     for key in _COMPARE_KEYS:
         cur, base = _metric(current, key), _metric(baseline, key)
         floor = base * (1.0 - tolerance)
@@ -285,7 +337,7 @@ def merge_baseline(path: str, doc: dict[str, Any]) -> dict[str, Any]:
             with open(path) as fh:
                 existing = json.load(fh)
             if isinstance(existing, dict):
-                merged = {k: v for k, v in existing.items() if k in ("full", "quick")}
+                merged = {k: v for k, v in existing.items() if k in _BASELINE_SWEEPS}
         except (OSError, ValueError):
             merged = {}
     merged[doc["sweep"]] = doc
@@ -299,7 +351,7 @@ def load_baseline(path: str, sweep: str) -> dict[str, Any]:
     """The baseline document for one sweep, or raise ``ValueError``."""
     with open(path) as fh:
         data = json.load(fh)
-    if isinstance(data, dict) and data.get("schema") == BENCH_SCHEMA:
+    if isinstance(data, dict) and data.get("schema") in (BENCH_SCHEMA, DRIFT_SCHEMA):
         doc = data  # a bare result document is accepted as its own sweep
     elif isinstance(data, dict) and sweep in data:
         doc = data[sweep]

@@ -44,7 +44,13 @@ from .core.plan import CommPlan
 from .core.serialize import load_pattern, load_plan, save_pattern, save_plan
 from .partition.base import Partition
 
-__all__ = ["ArtifactCache", "CacheStats", "default_cache_root", "pattern_digest"]
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "default_cache_root",
+    "delta_digest",
+    "pattern_digest",
+]
 
 #: bump to invalidate every existing cache entry on a format change
 _SCHEMA = "repro-cache-v1"
@@ -62,19 +68,67 @@ def default_cache_root() -> str:
     return os.environ.get("REPRO_CACHE_DIR") or ".repro-cache"
 
 
+def _hash_array(h, arr: np.ndarray) -> None:
+    """Fold one array into a digest with dtype and length framing.
+
+    Raw ``tobytes()`` concatenation is ambiguous: an ``int32`` array
+    has the same byte stream as a half-length ``int64`` one, and
+    without a length prefix the boundary between consecutive arrays
+    can shift while the concatenation stays identical.  Tagging each
+    array with its dtype and byte length makes the encoding injective,
+    so two patterns collide only if they are the same pattern.
+    """
+    a = np.ascontiguousarray(arr)
+    tag = a.dtype.str.encode()
+    h.update(len(tag).to_bytes(8, "little"))
+    h.update(tag)
+    h.update(a.nbytes.to_bytes(8, "little"))
+    h.update(a.tobytes())
+
+
 def pattern_digest(pattern: CommPattern) -> str:
     """Content hash of a pattern, for keying artifacts derived from it.
 
     Plans depend on the pattern's exact messages, not on how the
     pattern was produced — hashing the arrays keeps plan keys correct
-    regardless of provenance (generated, loaded, or handed in by a
-    caller).
+    regardless of provenance (generated, loaded, drifted via
+    :meth:`~repro.core.pattern.CommPattern.apply_delta`, or handed in
+    by a caller).  The pattern's full identity goes into the hash:
+    ``K``, and the ``src``/``dst``/``size`` (edge-weight) arrays each
+    with dtype + length framing (see :func:`_hash_array`).
     """
     h = hashlib.sha256()
-    h.update(str(pattern.K).encode())
-    h.update(pattern.src.tobytes())
-    h.update(pattern.dst.tobytes())
-    h.update(pattern.size.tobytes())
+    h.update(b"repro-pattern-digest-v2\0")
+    h.update(int(pattern.K).to_bytes(8, "little"))
+    _hash_array(h, pattern.src)
+    _hash_array(h, pattern.dst)
+    _hash_array(h, pattern.size)
+    return h.hexdigest()
+
+
+def delta_digest(delta) -> str:
+    """Content hash of a :class:`~repro.core.pattern.PatternDelta`.
+
+    Lets a drift driver key *repaired* plans by
+    ``(base pattern digest, delta digest)`` instead of re-digesting the
+    drifted pattern's full arrays each epoch — the delta is usually
+    orders of magnitude smaller than the pattern it mutates.  Framed
+    exactly like :func:`pattern_digest`.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-delta-digest-v1\0")
+    h.update(int(delta.K).to_bytes(8, "little"))
+    for arr in (
+        delta.remove_src,
+        delta.remove_dst,
+        delta.add_src,
+        delta.add_dst,
+        delta.add_size,
+        delta.reweight_src,
+        delta.reweight_dst,
+        delta.reweight_size,
+    ):
+        _hash_array(h, arr)
     return h.hexdigest()
 
 

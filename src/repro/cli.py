@@ -8,6 +8,7 @@ Examples::
     python -m repro run figure9 -j 2       # generic experiment runner
     python -m repro cache stats            # inspect the artifact cache
     python -m repro bench --quick          # performance smoke benchmark
+    python -m repro drift --cache          # plan-repair drift benchmark
     python -m repro instances              # list the Table 1 registry
     python -m repro report -o results.md   # run everything, write markdown
 
@@ -123,6 +124,68 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BASELINE",
         default=None,
         help="fail (exit 1) when >20%% below this baseline's same-sweep entry",
+    )
+
+    p = sub.add_parser(
+        "drift",
+        help="dynamic-exchange drift benchmark: incremental plan repair vs "
+        "full rebuild, plus an NBX-discovery service smoke",
+    )
+    p.add_argument(
+        "--K", type=int, default=None, help="process count of the timing sweep"
+    )
+    p.add_argument(
+        "--degree", type=float, default=None, help="mean messages per process"
+    )
+    p.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        metavar="R",
+        default=None,
+        help="drift rates as fractions (default 0.01 0.05 0.1 0.25 0.5)",
+    )
+    p.add_argument(
+        "--epochs", type=int, default=3, help="drift epochs chained per rate"
+    )
+    p.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan per-rate chains over workers (timing runs should stay at 1)",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        nargs="?",
+        const="",
+        default=None,
+        help="delta-keyed plan reuse in DIR (no DIR: $REPRO_CACHE_DIR or "
+        ".repro-cache)",
+    )
+    p.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip byte-identity cross-checks (timing only)",
+    )
+    p.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the end-to-end NBX-discovery service phase",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default="-",
+        help="baseline file to merge the drift document into ('-' = print only)",
+    )
+    p.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="fail (exit 1) when >20%% below this baseline's drift entry",
     )
 
     p = sub.add_parser(
@@ -297,6 +360,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_drift(args: argparse.Namespace) -> int:
+    """``repro drift`` — run, report, persist and optionally gate."""
+    from .bench import compare_bench, load_baseline, merge_baseline
+    from .experiments import drift
+
+    kwargs = {}
+    if args.K is not None:
+        kwargs["K"] = args.K
+    if args.degree is not None:
+        kwargs["degree"] = args.degree
+    if args.rates is not None:
+        kwargs["rates"] = tuple(args.rates)
+    cfg = default_config()
+    if args.seed is not None:
+        from dataclasses import replace
+
+        cfg = replace(cfg, seed=args.seed)
+    result = drift.run(
+        cfg,
+        epochs=args.epochs,
+        artifacts=_artifact_cache(args),
+        validate=not args.no_validate,
+        service=not args.no_service,
+        jobs=args.jobs,
+        **kwargs,
+    )
+    print(drift.format_result(result))
+
+    doc = drift.to_bench_doc(result)
+    if args.output != "-":
+        merge_baseline(args.output, doc)
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.check:
+        try:
+            baseline = load_baseline(args.check, "drift")
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 1
+        regressions = compare_bench(doc, baseline)
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check}", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace, cfg: ExperimentConfig) -> int:
     """Run the trace target with a live tracer and export the timeline.
 
@@ -418,6 +529,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "bench":
         return _cmd_bench(args)
+
+    if args.command == "drift":
+        return _cmd_drift(args)
 
     cfg = _config_from(args)
 

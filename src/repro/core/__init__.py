@@ -35,10 +35,18 @@ from .mapping import (
     refine_vpt_mapping,
     weighted_hop_volume,
 )
-from .pattern import CommPattern, PatternStats
+from .pattern import CommPattern, PatternDelta, PatternStats
 from .recovery import RecoveryPlan, build_recovery, shrink_dim_sizes
 from .regularizer import Regularizer
-from .plan import CommPlan, StageSchedule, build_direct_plan, build_plan, plans_for_dimensions
+from .plan import (
+    CommPlan,
+    PlanBuilder,
+    StageSchedule,
+    build_direct_plan,
+    build_plan,
+    plans_for_dimensions,
+    repair_plan,
+)
 from .serialize import load_pattern, load_plan, save_pattern, save_plan
 from .routing import Hop, holder_after_stage, holder_after_stage_array, route, route_length
 from .stfw import (
@@ -62,10 +70,13 @@ from .vpt import VirtualProcessTopology
 __all__ = [
     "VirtualProcessTopology",
     "CommPattern",
+    "PatternDelta",
     "PatternStats",
     "CommPlan",
+    "PlanBuilder",
     "Regularizer",
     "StageSchedule",
+    "repair_plan",
     "Hop",
     "build_plan",
     "build_direct_plan",

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..errors import PlanError
 
-__all__ = ["CommPattern", "PatternStats"]
+__all__ = ["CommPattern", "PatternDelta", "PatternStats"]
 
 
 @dataclass(frozen=True)
@@ -59,7 +59,7 @@ class CommPattern:
         :meth:`from_arrays`'s ``merge=True``).
     """
 
-    __slots__ = ("_K", "_src", "_dst", "_size", "_sendset_csr")
+    __slots__ = ("_K", "_src", "_dst", "_size", "_sendset_csr", "_edge_index")
 
     def __init__(
         self,
@@ -94,6 +94,30 @@ class CommPattern:
         self._size = size
         # lazily-built CSR view grouping messages by sender (sendset())
         self._sendset_csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        # lazily-built sorted (src*K + dst) key index (edge_rows())
+        self._edge_index: tuple[np.ndarray, np.ndarray] | None = None
+
+    @classmethod
+    def _trusted(
+        cls, K: int, src: np.ndarray, dst: np.ndarray, size: np.ndarray
+    ) -> "CommPattern":
+        """Construct without re-validation (internal).
+
+        Only for arrays whose invariants are already guaranteed — e.g.
+        the output of :meth:`apply_delta`, where survivors were valid
+        and additions were checked against the survivor key set.  The
+        public constructor's ``np.unique`` duplicate scan is the single
+        most expensive step of an incremental plan repair, and it would
+        re-prove what the delta validation already established.
+        """
+        obj = cls.__new__(cls)
+        obj._K = K
+        obj._src = src
+        obj._dst = dst
+        obj._size = size
+        obj._sendset_csr = None
+        obj._edge_index = None
+        return obj
 
     # ------------------------------------------------------------------
     # Constructors
@@ -276,6 +300,41 @@ class CommPattern:
         lo, hi = indptr[rank], indptr[rank + 1]
         return {int(j): int(w) for j, w in zip(dst[lo:hi], size[lo:hi])}
 
+    def edge_rows(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Row indices of the given ``(src, dst)`` pairs.
+
+        Raises :class:`~repro.errors.PlanError` if any queried pair is
+        not a message of this pattern.  Pairs are unique per pattern,
+        so the result is a plain index array aligned with the query.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        want = src * np.int64(self._K) + dst
+        if want.size == 0:
+            return np.empty(0, dtype=np.int64)
+        skeys, order = self._edges()
+        pos = np.searchsorted(skeys, want)
+        if skeys.size:
+            bad = skeys[np.minimum(pos, skeys.size - 1)] != want
+        else:
+            bad = np.ones(want.shape, dtype=bool)
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            raise PlanError(
+                f"edge ({int(src[i])} -> {int(dst[i])}) is not in the pattern"
+            )
+        return order[pos]
+
+    def _edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """The lazily-built edge index: (sorted keys, their row indices)."""
+        idx = self._edge_index
+        if idx is None:
+            keys = self._src * np.int64(self._K) + self._dst
+            order = np.argsort(keys, kind="stable")
+            idx = (keys[order], order)
+            self._edge_index = idx
+        return idx
+
     def sent_counts(self) -> np.ndarray:
         """Messages sent per process under direct (BL) communication."""
         return np.bincount(self._src, minlength=self._K)
@@ -312,3 +371,338 @@ class CommPattern:
             raise PlanError("scale factor must be non-negative")
         size = np.maximum((self._size * factor).astype(np.int64), 0)
         return CommPattern(self._K, self._src.copy(), self._dst.copy(), size)
+
+    # ------------------------------------------------------------------
+    # Mutation (dynamic exchange)
+    # ------------------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        """Drop derived caches after an in-place mutation.
+
+        Every mutation path must route through here: the lazily-built
+        CSR sendset index and sorted edge index (and any future derived
+        cache) would silently serve the pre-mutation pattern otherwise.
+        """
+        self._sendset_csr = None
+        self._edge_index = None
+
+    def apply_delta(
+        self,
+        delta: "PatternDelta",
+        *,
+        inplace: bool = False,
+        _rows: "tuple[np.ndarray, np.ndarray] | None" = None,
+    ) -> "CommPattern":
+        """Apply one epoch of drift; returns the drifted pattern.
+
+        Removals are applied first, then reweights (which must hit
+        surviving edges), then additions (which must not duplicate a
+        surviving edge — re-adding a pair removed by the same delta is
+        a rewire and is allowed).  The result's row order is canonical:
+        surviving rows keep their original order and added rows are
+        appended in delta order, so an incremental plan repair and a
+        from-scratch rebuild see literally the same pattern arrays.
+
+        With ``inplace=True`` this pattern's own arrays are replaced
+        and its derived caches (the CSR sendset index) invalidated;
+        otherwise a new :class:`CommPattern` is returned and ``self``
+        is untouched.
+        """
+        if delta.K != self._K:
+            raise PlanError(f"delta K={delta.K} does not match pattern K={self._K}")
+        K = np.int64(self._K)
+        if _rows is not None:
+            # caller (the plan-repair path) already resolved the delta's
+            # edges against this exact pattern; skip the second lookup
+            rem_rows, rw_rows = _rows
+        else:
+            rem_rows = self.edge_rows(delta.remove_src, delta.remove_dst)
+            rw_rows = None
+        keep = np.ones(self._src.size, dtype=bool)
+        keep[rem_rows] = False
+        size = self._size.copy()
+        if delta.reweight_src.size:
+            rows = (
+                rw_rows
+                if rw_rows is not None
+                else self.edge_rows(delta.reweight_src, delta.reweight_dst)
+            )
+            if not keep[rows].all():
+                i = int(np.flatnonzero(~keep[rows])[0])
+                raise PlanError(
+                    f"delta reweights edge ({int(delta.reweight_src[i])} -> "
+                    f"{int(delta.reweight_dst[i])}) that it also removes"
+                )
+            size[rows] = delta.reweight_size
+        # survivors stay sorted-key indexed; check additions against
+        # them here so the result can skip the constructor's full
+        # duplicate scan (the delta already proved everything else)
+        skeys, order = self._edges()
+        skeep = keep[order]
+        surv_keys = skeys[skeep]
+        add_keys = delta.add_src * K + delta.add_dst
+        if add_keys.size and surv_keys.size:
+            pos = np.searchsorted(surv_keys, add_keys)
+            dup = surv_keys[np.minimum(pos, surv_keys.size - 1)] == add_keys
+            if dup.any():
+                i = int(np.flatnonzero(dup)[0])
+                raise PlanError(
+                    f"delta adds edge ({int(delta.add_src[i])} -> "
+                    f"{int(delta.add_dst[i])}) that the pattern already has"
+                )
+        out_src = np.concatenate([self._src[keep], delta.add_src])
+        out_dst = np.concatenate([self._dst[keep], delta.add_dst])
+        out_size = np.concatenate([size[keep], delta.add_size])
+        result = CommPattern._trusted(self._K, out_src, out_dst, out_size)
+        # seed the drifted pattern's edge index incrementally: delete
+        # removed keys, renumber surviving rows, splice additions — a
+        # drift stream then never re-sorts the full key array
+        n_surv = out_src.size - delta.add_src.size
+        surv_rows = order[skeep]
+        if rem_rows.size:
+            renumber = np.cumsum(keep) - 1
+            surv_rows = renumber[surv_rows]
+        if add_keys.size:
+            aorder = np.argsort(add_keys, kind="stable")
+            ins = np.searchsorted(surv_keys, add_keys[aorder])
+            slot = np.zeros(surv_keys.size + add_keys.size, dtype=bool)
+            slot[ins + np.arange(add_keys.size)] = True
+            new_skeys = np.empty(slot.size, dtype=np.int64)
+            new_order = np.empty(slot.size, dtype=np.int64)
+            new_skeys[slot] = add_keys[aorder]
+            new_skeys[~slot] = surv_keys
+            new_order[slot] = n_surv + aorder
+            new_order[~slot] = surv_rows
+        else:
+            new_skeys = surv_keys
+            new_order = surv_rows
+        result._edge_index = (new_skeys, new_order)
+        if not inplace:
+            return result
+        self._src = result._src
+        self._dst = result._dst
+        self._size = result._size
+        self._invalidate()
+        self._edge_index = result._edge_index
+        return self
+
+
+class PatternDelta:
+    """One epoch of communication-graph drift against a ``K``-process pattern.
+
+    Three edge lists, all optional and applied in this order by
+    :meth:`CommPattern.apply_delta`:
+
+    * ``remove_src/remove_dst`` — existing edges to delete;
+    * ``reweight_src/reweight_dst/reweight_size`` — new absolute sizes
+      for existing (surviving) edges;
+    * ``add_src/add_dst/add_size`` — new edges to append.
+
+    Deltas are plain data: they carry no reference to the pattern they
+    were derived from, only its ``K``, so one delta can drive both the
+    incremental plan repair and the from-scratch cross-check.
+    """
+
+    __slots__ = (
+        "_K",
+        "_remove_src",
+        "_remove_dst",
+        "_add_src",
+        "_add_dst",
+        "_add_size",
+        "_reweight_src",
+        "_reweight_dst",
+        "_reweight_size",
+    )
+
+    def __init__(
+        self,
+        K: int,
+        *,
+        remove_src=(),
+        remove_dst=(),
+        add_src=(),
+        add_dst=(),
+        add_size=(),
+        reweight_src=(),
+        reweight_dst=(),
+        reweight_size=(),
+    ):
+        if K < 1:
+            raise PlanError(f"K={K} must be positive")
+        self._K = int(K)
+
+        def _pairs(name: str, s, d) -> tuple[np.ndarray, np.ndarray]:
+            s = np.ascontiguousarray(s, dtype=np.int64)
+            d = np.ascontiguousarray(d, dtype=np.int64)
+            if s.shape != d.shape or s.ndim != 1:
+                raise PlanError(f"{name} src/dst must be 1-D arrays of equal length")
+            if s.size:
+                if s.min() < 0 or s.max() >= K or d.min() < 0 or d.max() >= K:
+                    raise PlanError(f"{name} edges contain ranks outside [0, {K})")
+                if (s == d).any():
+                    raise PlanError(f"{name} edges contain self messages (src == dst)")
+                key = s * np.int64(K) + d
+                if np.unique(key).size != key.size:
+                    raise PlanError(f"{name} edges contain duplicate (src, dst) pairs")
+            return s, d
+
+        def _sizes(name: str, w, n: int) -> np.ndarray:
+            w = np.ascontiguousarray(w, dtype=np.int64)
+            if w.ndim != 1 or w.size != n:
+                raise PlanError(f"{name} sizes must align with its (src, dst) pairs")
+            if w.size and w.min() < 0:
+                raise PlanError(f"{name} sizes must be non-negative")
+            return w
+
+        self._remove_src, self._remove_dst = _pairs("remove", remove_src, remove_dst)
+        self._add_src, self._add_dst = _pairs("add", add_src, add_dst)
+        self._add_size = _sizes("add", add_size, self._add_src.size)
+        self._reweight_src, self._reweight_dst = _pairs(
+            "reweight", reweight_src, reweight_dst
+        )
+        self._reweight_size = _sizes("reweight", reweight_size, self._reweight_src.size)
+
+    # read-only views, mirroring CommPattern's accessor convention
+    def _view(self, a: np.ndarray) -> np.ndarray:
+        v = a.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def K(self) -> int:
+        """Number of processes of the pattern this delta applies to."""
+        return self._K
+
+    @property
+    def remove_src(self) -> np.ndarray:
+        """Source ranks of removed edges (read-only view)."""
+        return self._view(self._remove_src)
+
+    @property
+    def remove_dst(self) -> np.ndarray:
+        """Destination ranks of removed edges (read-only view)."""
+        return self._view(self._remove_dst)
+
+    @property
+    def add_src(self) -> np.ndarray:
+        """Source ranks of added edges (read-only view)."""
+        return self._view(self._add_src)
+
+    @property
+    def add_dst(self) -> np.ndarray:
+        """Destination ranks of added edges (read-only view)."""
+        return self._view(self._add_dst)
+
+    @property
+    def add_size(self) -> np.ndarray:
+        """Sizes in words of added edges (read-only view)."""
+        return self._view(self._add_size)
+
+    @property
+    def reweight_src(self) -> np.ndarray:
+        """Source ranks of reweighted edges (read-only view)."""
+        return self._view(self._reweight_src)
+
+    @property
+    def reweight_dst(self) -> np.ndarray:
+        """Destination ranks of reweighted edges (read-only view)."""
+        return self._view(self._reweight_dst)
+
+    @property
+    def reweight_size(self) -> np.ndarray:
+        """New sizes in words of reweighted edges (read-only view)."""
+        return self._view(self._reweight_size)
+
+    @property
+    def num_changes(self) -> int:
+        """Total edge changes described by this delta."""
+        return int(
+            self._remove_src.size + self._add_src.size + self._reweight_src.size
+        )
+
+    def __len__(self) -> int:
+        return self.num_changes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PatternDelta(K={self._K}, remove={self._remove_src.size}, "
+            f"add={self._add_src.size}, reweight={self._reweight_src.size})"
+        )
+
+    @classmethod
+    def random(
+        cls,
+        pattern: "CommPattern",
+        rate: float,
+        *,
+        seed: int | None = None,
+    ) -> "PatternDelta":
+        """Seeded drift step touching ``~rate`` of the pattern's edges.
+
+        Changes split roughly one third each into removals, additions
+        and reweights, with removal and addition counts balanced so a
+        stream of these deltas keeps the edge count stationary.  Added
+        edges sample sizes from the pattern's existing size
+        distribution; reweights scale an edge by a factor in
+        ``[0.5, 2)``.  Deterministic for a given ``(pattern, rate,
+        seed)``.
+        """
+        if not 0.0 < rate <= 1.0:
+            raise PlanError(f"drift rate {rate} outside (0, 1]")
+        K = pattern.K
+        M = pattern.num_messages
+        if M == 0:
+            raise PlanError("cannot drift an empty pattern")
+        rng = np.random.default_rng(seed)
+        n = max(1, int(round(rate * M)))
+        n_rw = n // 3
+        n_rem = (n - n_rw) // 2
+        n_add = n - n_rw - n_rem
+        # removals + reweights are drawn disjointly from existing edges
+        n_touch = min(n_rem + n_rw, M)
+        touch = rng.choice(M, size=n_touch, replace=False)
+        rem_rows = touch[:n_rem]
+        rw_rows = touch[n_rem:]
+        src, dst, size = pattern.src, pattern.dst, pattern.size
+        # additions: sample pairs absent from the pattern (self pairs
+        # excluded); re-adding a just-removed pair is a legal rewire,
+        # so only the *surviving* key set is off limits
+        keys = src * np.int64(K) + dst
+        alive = np.delete(keys, rem_rows)
+        if K * K <= 4_000_000:
+            universe = np.arange(K * K, dtype=np.int64)
+            universe = universe[universe // K != universe % K]
+            free = np.setdiff1d(universe, alive, assume_unique=False)
+            n_add = min(n_add, free.size)
+            new_keys = rng.choice(free, size=n_add, replace=False)
+        else:  # pragma: no cover - large-K fallback
+            taken = set(int(k) for k in alive)
+            new_keys = []
+            while len(new_keys) < n_add:
+                s = int(rng.integers(K))
+                d = int(rng.integers(K))
+                k = s * K + d
+                if s == d or k in taken:
+                    continue
+                taken.add(k)
+                new_keys.append(k)
+            new_keys = np.asarray(new_keys, dtype=np.int64)
+        add_size = (
+            rng.choice(size, size=new_keys.size)
+            if size.size
+            else np.ones(new_keys.size, dtype=np.int64)
+        )
+        rw_factor = rng.uniform(0.5, 2.0, size=rw_rows.size)
+        rw_size = np.maximum((size[rw_rows] * rw_factor).astype(np.int64), 1)
+        return cls(
+            K,
+            remove_src=src[rem_rows],
+            remove_dst=dst[rem_rows],
+            add_src=new_keys // K,
+            add_dst=new_keys % K,
+            add_size=add_size,
+            reweight_src=src[rw_rows],
+            reweight_dst=dst[rw_rows],
+            reweight_size=rw_size,
+        )

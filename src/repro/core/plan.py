@@ -23,7 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import PlanError
-from .pattern import CommPattern
+from .pattern import CommPattern, PatternDelta
 from .vpt import VirtualProcessTopology
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "build_plan",
     "build_direct_plan",
     "plans_for_dimensions",
+    "repair_plan",
 ]
 
 
@@ -44,6 +45,13 @@ class StageSchedule:
     number of submessages coalesced inside the message; ``payload_words``
     their total payload; ``total_words`` payload plus per-submessage
     header (destination id etc.) if the plan was built with one.
+
+    ``route_key`` optionally carries the strictly increasing
+    ``sender * K + receiver`` array of a coalesced build (the
+    ``np.unique`` output the stage was aggregated on).  It is derived
+    data — not serialized, not compared — kept so the incremental
+    repair path can skip recomputing and re-verifying the canonical
+    key order on every drift step.
     """
 
     stage: int
@@ -52,6 +60,7 @@ class StageSchedule:
     nsub: np.ndarray
     payload_words: np.ndarray
     total_words: np.ndarray
+    route_key: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @property
     def num_messages(self) -> int:
@@ -220,6 +229,180 @@ class CommPlan:
         return rows
 
 
+def _holder_of(src: np.ndarray, dst: np.ndarray, w: int) -> np.ndarray:
+    """Vectorized dimension-ordered holder after a stage of weight ``w``."""
+    if w == 1:
+        return src
+    return src - src % w + dst % w
+
+
+class _DeltaRows:
+    """One drift step resolved against a concrete pattern.
+
+    Splits a :class:`~repro.core.pattern.PatternDelta` into the three
+    per-row contribution groups every memoized intermediate needs:
+    removed rows with their old sizes, reweighted rows with their size
+    *change*, and added rows.  ``keep`` is the survivor mask over the
+    old pattern's rows (the delete half of the canonical row order).
+    """
+
+    __slots__ = (
+        "rem_src", "rem_dst", "rem_size", "rem_rows",
+        "rw_src", "rw_dst", "rw_dsize", "rw_rows",
+        "add_src", "add_dst", "add_size",
+        "keep",
+    )
+
+    def __init__(self, pattern: CommPattern, delta: PatternDelta):
+        if delta.K != pattern.K:
+            raise PlanError(f"delta K={delta.K} does not match pattern K={pattern.K}")
+        size = pattern.size
+        rem_rows = pattern.edge_rows(delta.remove_src, delta.remove_dst)
+        self.rem_src = delta.remove_src
+        self.rem_dst = delta.remove_dst
+        self.rem_size = size[rem_rows]
+        self.rem_rows = rem_rows
+        rw_rows = pattern.edge_rows(delta.reweight_src, delta.reweight_dst)
+        self.rw_src = delta.reweight_src
+        self.rw_dst = delta.reweight_dst
+        self.rw_dsize = delta.reweight_size - size[rw_rows]
+        self.rw_rows = rw_rows
+        self.add_src = delta.add_src
+        self.add_dst = delta.add_dst
+        self.add_size = delta.add_size
+        self.keep = np.ones(size.size, dtype=bool)
+        self.keep[rem_rows] = False
+
+    def stage_delta(
+        self, K: int, w0: int, w1: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Aggregate (key, d_nsub, d_payload) for the stage ``w0 -> w1``.
+
+        Only rows whose holder actually moves in the stage contribute;
+        keys come back sorted and unique, matching the key order of the
+        coalesced stage arrays.
+        """
+        keys: list[np.ndarray] = []
+        dns: list[np.ndarray] = []
+        dps: list[np.ndarray] = []
+        for s, d, weight, dn_unit in (
+            (self.rem_src, self.rem_dst, -self.rem_size, -1),
+            (self.rw_src, self.rw_dst, self.rw_dsize, 0),
+            (self.add_src, self.add_dst, self.add_size, 1),
+        ):
+            if s.size == 0:
+                continue
+            h0 = _holder_of(s, d, w0)
+            h1 = _holder_of(s, d, w1)
+            moved = h0 != h1
+            if not moved.any():
+                continue
+            keys.append(h0[moved] * np.int64(K) + h1[moved])
+            dns.append(np.full(int(moved.sum()), dn_unit, dtype=np.int64))
+            dps.append(weight[moved])
+        if not keys:
+            e = np.empty(0, dtype=np.int64)
+            return e, e.copy(), e.copy()
+        key = np.concatenate(keys)
+        dn = np.concatenate(dns)
+        dp = np.concatenate(dps)
+        uniq, inv = np.unique(key, return_inverse=True)
+        dn_agg = np.zeros(uniq.size, dtype=np.int64)
+        dp_agg = np.zeros(uniq.size, dtype=np.int64)
+        np.add.at(dn_agg, inv, dn)
+        np.add.at(dp_agg, inv, dp)
+        live = (dn_agg != 0) | (dp_agg != 0)
+        return uniq[live], dn_agg[live], dp_agg[live]
+
+    def occupancy_delta(self, K: int, w1: int) -> np.ndarray:
+        """Per-process change of in-transit words after a stage of weight ``w1``."""
+        adj = np.zeros(K, dtype=np.int64)
+        for s, d, weight in (
+            (self.rem_src, self.rem_dst, -self.rem_size),
+            (self.rw_src, self.rw_dst, self.rw_dsize),
+            (self.add_src, self.add_dst, self.add_size),
+        ):
+            if s.size == 0:
+                continue
+            h1 = _holder_of(s, d, w1)
+            transit = h1 != d
+            if transit.any():
+                np.add.at(adj, h1[transit], weight[transit])
+        return adj
+
+
+def _merge_stage_arrays(
+    K: int,
+    key: np.ndarray,
+    sender: np.ndarray,
+    receiver: np.ndarray,
+    nsub: np.ndarray,
+    payload: np.ndarray,
+    dkey: np.ndarray,
+    dn: np.ndarray,
+    dp: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fold an aggregated stage delta into coalesced stage arrays.
+
+    ``key`` is the stage's ``sender * K + receiver`` array, which must
+    be strictly increasing — canonical coalesced form, exactly what
+    ``np.unique`` produces in the full build — so the merged result is
+    byte-identical to rebuilding the stage from the drifted pattern.
+    Returns ``(sender, receiver, nsub, payload, key)`` with the merged
+    key array kept for the next repair round.
+    """
+    if dkey.size == 0:
+        return sender, receiver, nsub, payload, key
+    if key.size:
+        pos = np.searchsorted(key, dkey)
+        present = key[np.minimum(pos, key.size - 1)] == dkey
+    else:
+        pos = np.zeros(dkey.size, dtype=np.int64)
+        present = np.zeros(dkey.size, dtype=bool)
+    nsub2 = nsub.copy()
+    payload2 = payload.copy()
+    idx = pos[present]
+    nsub2[idx] += dn[present]
+    payload2[idx] += dp[present]
+    if nsub2.size and (nsub2.min(initial=0) < 0 or payload2.min(initial=0) < 0):
+        raise PlanError("stage repair drove a message negative; delta is inconsistent")
+    keep = nsub2 > 0
+    all_kept = bool(keep.all())
+    if not all_kept and payload2[~keep].any():
+        raise PlanError("stage repair left payload on an empty message; delta is inconsistent")
+    new_key = dkey[~present]
+    new_dn = dn[~present]
+    if (new_dn <= 0).any():
+        raise PlanError("stage repair removes a message the stage never had")
+    if new_key.size == 0:
+        if all_kept:
+            return sender, receiver, nsub2, payload2, key
+        return sender[keep], receiver[keep], nsub2[keep], payload2[keep], key[keep]
+    # linear merge of two sorted runs (new keys are never present in
+    # the base, so tie handling does not arise); sender/receiver are
+    # merged directly so only the small inserted run pays a divmod
+    base_key = key if all_kept else key[keep]
+    ins = np.searchsorted(base_key, new_key)
+    slot = np.zeros(base_key.size + new_key.size, dtype=bool)
+    slot[ins + np.arange(new_key.size)] = True
+    out_key = np.empty(slot.size, dtype=np.int64)
+    out_sender = np.empty(slot.size, dtype=np.int64)
+    out_receiver = np.empty(slot.size, dtype=np.int64)
+    out_nsub = np.empty(slot.size, dtype=np.int64)
+    out_payload = np.empty(slot.size, dtype=np.int64)
+    out_key[slot] = new_key
+    out_key[~slot] = base_key
+    out_sender[slot] = new_key // K
+    out_sender[~slot] = sender if all_kept else sender[keep]
+    out_receiver[slot] = new_key % K
+    out_receiver[~slot] = receiver if all_kept else receiver[keep]
+    out_nsub[slot] = new_dn
+    out_nsub[~slot] = nsub2 if all_kept else nsub2[keep]
+    out_payload[slot] = dp[~present]
+    out_payload[~slot] = payload2 if all_kept else payload2[keep]
+    return out_sender, out_receiver, out_nsub, out_payload, out_key
+
+
 class PlanBuilder:
     """Builds plans for one pattern, memoizing shared routing state.
 
@@ -277,6 +460,7 @@ class PlanBuilder:
             msg_receiver = receivers[order]
             payload = sizes[order]
             nsub = np.ones(senders.size, dtype=np.int64)
+            route_key = None  # duplicate routes: not repairable in place
         elif senders.size:
             mkey = senders * np.int64(K) + receivers
             order = np.argsort(mkey, kind="stable")
@@ -288,13 +472,15 @@ class PlanBuilder:
             payload = np.bincount(inv, weights=sizes, minlength=uniq.size).astype(np.int64)
             msg_sender = (uniq // K).astype(np.int64)
             msg_receiver = (uniq % K).astype(np.int64)
+            route_key = uniq
         else:
             nsub = np.empty(0, dtype=np.int64)
             payload = np.empty(0, dtype=np.int64)
             msg_sender = np.empty(0, dtype=np.int64)
             msg_receiver = np.empty(0, dtype=np.int64)
+            route_key = np.empty(0, dtype=np.int64) if coalesce else None
 
-        cached = (msg_sender, msg_receiver, nsub, payload)
+        cached = (msg_sender, msg_receiver, nsub, payload, route_key)
         self._stages[key] = cached
         return cached
 
@@ -333,7 +519,7 @@ class PlanBuilder:
         occupancy = np.zeros((vpt.n, vpt.K), dtype=np.int64)
         weights = vpt.weights
         for d in range(vpt.n):
-            sender, receiver, nsub, payload = self._stage_arrays(
+            sender, receiver, nsub, payload, route_key = self._stage_arrays(
                 weights[d], weights[d + 1], coalesce
             )
             stages.append(
@@ -344,6 +530,7 @@ class PlanBuilder:
                     nsub=nsub,
                     payload_words=payload,
                     total_words=payload + header_words * nsub,
+                    route_key=route_key,
                 )
             )
             occupancy[d] = self._occupancy_row(weights[d + 1])
@@ -355,6 +542,112 @@ class PlanBuilder:
             header_words=header_words,
             forward_occupancy=occupancy,
         )
+
+    def apply_delta(self, delta: PatternDelta) -> CommPattern:
+        """Advance the builder to the drifted pattern, repairing memos.
+
+        Every cached holder array, coalesced stage-array entry and
+        occupancy row is updated in place of a recompute: stage repair
+        touches only the routes the delta's edges travel, so a
+        subsequent :meth:`plan` call pays O(changes) per already-warm
+        topology instead of the full sort-and-unique build.  Entries
+        for ``coalesce=False`` plans are dropped (the per-submessage
+        ablation arrays are order-dependent and rebuilt lazily).
+
+        Returns the drifted pattern, which is byte-identical to
+        ``self.pattern.apply_delta(delta)``.
+        """
+        rows = _DeltaRows(self.pattern, delta)
+        K = self.pattern.K
+        new_pattern = self.pattern.apply_delta(delta, _rows=(rows.rem_rows, rows.rw_rows))
+        keep = rows.keep
+        self._holders = {
+            w: np.concatenate([arr[keep], _holder_of(rows.add_src, rows.add_dst, w)])
+            for w, arr in self._holders.items()
+        }
+        stages: dict[tuple[int, int, bool], tuple] = {}
+        for (w0, w1, coalesce), arrays in self._stages.items():
+            if not coalesce:
+                continue
+            sender, receiver, nsub, payload, route_key = arrays
+            if route_key is None:
+                route_key = sender * np.int64(K) + receiver
+            dkey, dn, dp = rows.stage_delta(K, w0, w1)
+            stages[(w0, w1, True)] = _merge_stage_arrays(
+                K, route_key, sender, receiver, nsub, payload, dkey, dn, dp
+            )
+        self._stages = stages
+        self._occupancy = {
+            w1: row + rows.occupancy_delta(K, w1)
+            for w1, row in self._occupancy.items()
+        }
+        self.pattern = new_pattern
+        return new_pattern
+
+
+def repair_plan(plan: CommPlan, delta: PatternDelta) -> CommPlan:
+    """Incrementally repair a coalesced plan for one drift step.
+
+    A coalesced plan's stage arrays are already the canonical
+    key-sorted aggregation the full build produces, so the repair works
+    directly from the plan: it computes holder routes for the
+    *changed* edges only, folds their contributions into each stage's
+    arrays, and adjusts the forward-occupancy rows — O(changes * n)
+    work plus array copies, with none of the full build's
+    sort-and-unique over every message.  The result is byte-identical
+    to ``build_plan(plan.pattern.apply_delta(delta), plan.vpt,
+    header_words=plan.header_words)`` (the test suite and the drift
+    driver's ``--validate`` cross-check pin this).
+
+    Raises :class:`~repro.errors.PlanError` for plans built with
+    ``coalesce=False`` (their per-submessage row order cannot be
+    repaired in place — rebuild instead) and for deltas that do not
+    apply to the plan's pattern.
+    """
+    vpt = plan.vpt
+    K = vpt.K
+    rows = _DeltaRows(plan.pattern, delta)
+    new_pattern = plan.pattern.apply_delta(delta, _rows=(rows.rem_rows, rows.rw_rows))
+    weights = vpt.weights
+    header = plan.header_words
+    stages: list[StageSchedule] = []
+    for d, st in enumerate(plan.stages):
+        key = st.route_key
+        if key is None:
+            # deserialized or hand-built plan: derive and vet the route
+            # keys once; the repaired stages carry them forward so the
+            # next repair round skips this.
+            key = st.sender * np.int64(K) + st.receiver
+            if key.size > 1 and not (key[1:] > key[:-1]).all():
+                raise PlanError(
+                    "repair_plan requires a coalesced plan; "
+                    "this plan repeats a (sender, receiver) route within a stage"
+                )
+        dkey, dn, dp = rows.stage_delta(K, weights[d], weights[d + 1])
+        sender, receiver, nsub, payload, out_key = _merge_stage_arrays(
+            K, key, st.sender, st.receiver, st.nsub, st.payload_words, dkey, dn, dp
+        )
+        stages.append(
+            StageSchedule(
+                stage=d,
+                sender=sender,
+                receiver=receiver,
+                nsub=nsub,
+                payload_words=payload,
+                total_words=payload if header == 0 else payload + header * nsub,
+                route_key=out_key,
+            )
+        )
+    occupancy = plan.forward_occupancy.copy()
+    for d in range(vpt.n):
+        occupancy[d] += rows.occupancy_delta(K, weights[d + 1])
+    return CommPlan(
+        vpt=vpt,
+        pattern=new_pattern,
+        stages=stages,
+        header_words=header,
+        forward_occupancy=occupancy,
+    )
 
 
 def build_plan(

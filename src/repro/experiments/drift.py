@@ -1,0 +1,421 @@
+"""``repro drift`` — a long-lived exchange service under pattern drift.
+
+Not a paper artifact: the paper plans one static pattern and amortizes
+the plan over many identical exchanges.  This experiment measures what
+the STFW machinery costs when that assumption is dropped — the pattern
+*drifts* between exchanges (edges appear, disappear, change weight), as
+it does in adaptive-mesh, particle and graph workloads — and pins the
+two mechanisms that make drift affordable:
+
+* **incremental plan repair** — per drift rate, a seeded
+  :class:`~repro.core.pattern.PatternDelta` stream is applied for
+  several epochs and each epoch's
+  :func:`~repro.core.plan.repair_plan` is timed against a full
+  ``apply_delta`` + ``build_plan`` rebuild.  With ``validate=True``
+  (the default) every repaired plan is cross-checked **byte-identical**
+  against the rebuild — same values, same dtypes, every stage array —
+  so the latency table can never be bought with a wrong plan.
+* **NBX pattern discovery** — a small emulated service rides the same
+  delta stream end to end: each epoch the ranks learn their new
+  recv-sets from send-sets alone
+  (:func:`~repro.simmpi.discovery.nbx_discover`), the repaired plan's
+  exchange runs on the engine, and its message trace is compared
+  against an exchange driven by the from-scratch rebuild (the golden
+  traces must match).
+
+With an :class:`~repro.cache.ArtifactCache` attached, repaired plans
+are additionally stored/fetched under **delta-keyed** content keys —
+``(base pattern digest, chain of delta digests, topology, header)`` —
+so a service restarted on the same drift history replays plans from
+disk instead of repairing again.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.dimensioning import make_vpt
+from ..core.pattern import CommPattern, PatternDelta
+from ..core.plan import CommPlan, build_plan, repair_plan
+from ..core.stfw import run_exchange
+from ..errors import ExperimentError
+from ..metrics import Table
+from ..network.machines import BGQ, Machine
+from ..parallel import parallel_map, worker_state
+from ..simmpi import DiscoveryStats, nbx_discover, run_spmd
+from .config import ExperimentConfig, default_config
+
+__all__ = [
+    "DRIFT_RATES",
+    "DriftRateRow",
+    "DriftResult",
+    "ServiceSummary",
+    "plans_identical",
+    "run",
+    "format_result",
+    "to_bench_doc",
+]
+
+#: fraction of edges touched per epoch, swept from mild to violent drift
+DRIFT_RATES = (0.01, 0.05, 0.10, 0.25, 0.50)
+
+#: default process count / mean degree of the timing sweep
+K_PROCESSES = 1024
+AVG_DEGREE = 96
+
+#: process count of the end-to-end emulated service
+SERVICE_K = 32
+
+
+def plans_identical(p: CommPlan, q: CommPlan) -> bool:
+    """True iff two plans are byte-identical (values **and** dtypes).
+
+    Covers every schedule array of every stage, the forward-occupancy
+    matrix and the pattern arrays; ``route_key`` is derived metadata
+    (absent on deserialized plans) and is deliberately ignored.
+    """
+
+    def same(a: np.ndarray, b: np.ndarray) -> bool:
+        return a.dtype == b.dtype and a.shape == b.shape and bool((a == b).all())
+
+    if p.vpt.dim_sizes != q.vpt.dim_sizes or p.header_words != q.header_words:
+        return False
+    if len(p.stages) != len(q.stages):
+        return False
+    if not same(p.forward_occupancy, q.forward_occupancy):
+        return False
+    for a, b in zip(p.stages, q.stages):
+        for name in ("sender", "receiver", "nsub", "payload_words", "total_words"):
+            if not same(getattr(a, name), getattr(b, name)):
+                return False
+    return (
+        same(p.pattern.src, q.pattern.src)
+        and same(p.pattern.dst, q.pattern.dst)
+        and same(p.pattern.size, q.pattern.size)
+    )
+
+
+@dataclass
+class DriftRateRow:
+    """Repair-vs-rebuild latency at one drift rate."""
+
+    rate: float
+    epochs: int
+    repair_ms: float  # median per-epoch repair latency
+    rebuild_ms: float  # median per-epoch drift + full-rebuild latency
+    speedup: float
+    validated: int  # byte-identity cross-checks passed
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass
+class ServiceSummary:
+    """What the end-to-end emulated service observed."""
+
+    K: int
+    epochs: int
+    discovery_frames: int
+    discovery_rounds: int
+    traces_matched: int  # epochs whose exchange traces were identical
+    makespan_us: float  # last epoch's exchange makespan
+
+
+@dataclass
+class DriftResult:
+    """Latency rows plus the service run, for the report header."""
+
+    K: int
+    num_messages: int
+    dims: int
+    epochs: int
+    rows: list[DriftRateRow]
+    service: ServiceSummary | None = None
+    validated: bool = True
+
+
+def _base_pattern(K: int, degree: float, seed: int) -> CommPattern:
+    """Per-process memo of the sweep's base pattern (worker reuse)."""
+    return worker_state(
+        ("drift", K, degree, seed),
+        lambda: CommPattern.random(K, avg_degree=degree, seed=seed),
+    )
+
+
+def _rate_task(task: tuple, tracer=None) -> DriftRateRow:
+    """Chain one drift rate's epochs; returns the timing row."""
+    K, degree, seed, dims, header, rate, epochs, validate, cache_root = task
+    pattern = _base_pattern(K, degree, seed)
+    vpt = make_vpt(K, dims)
+    artifacts = None
+    base_digest = None
+    chain: list[str] = []
+    if cache_root is not None:
+        from ..cache import ArtifactCache, pattern_digest
+
+        artifacts = ArtifactCache(cache_root, tracer=tracer)
+        base_digest = pattern_digest(pattern)
+
+    plan = build_plan(pattern, vpt, header_words=header)
+    repairs: list[float] = []
+    rebuilds: list[float] = []
+    validated = 0
+    for epoch in range(epochs):
+        delta = PatternDelta.random(
+            plan.pattern, rate, seed=seed + 7919 * epoch + int(rate * 10_000)
+        )
+        t0 = time.perf_counter()
+        repaired = repair_plan(plan, delta)
+        t1 = time.perf_counter()
+        drifted = plan.pattern.apply_delta(delta)
+        rebuilt = build_plan(drifted, vpt, header_words=header)
+        t2 = time.perf_counter()
+        repairs.append(t1 - t0)
+        rebuilds.append(t2 - t1)
+        if validate:
+            if not plans_identical(repaired, rebuilt):
+                raise ExperimentError(
+                    f"repair_plan diverged from full rebuild at rate="
+                    f"{rate:g}, epoch={epoch} (K={K}, dims={dims})"
+                )
+            validated += 1
+        if artifacts is not None:
+            from ..cache import delta_digest
+
+            chain.append(delta_digest(delta))
+            cached = artifacts.plan(
+                {
+                    "base_pattern": base_digest,
+                    "delta_chain": list(chain),
+                    "dim_sizes": vpt.dim_sizes,
+                    "header_words": header,
+                    "repair": True,
+                },
+                lambda: repaired,
+            )
+            if validate and not plans_identical(cached, repaired):
+                raise ExperimentError(
+                    f"delta-keyed cache returned a different plan at rate="
+                    f"{rate:g}, epoch={epoch}"
+                )
+        plan = repaired
+        if tracer is not None and getattr(tracer, "enabled", False):
+            tracer.count("drift.epochs", 1)
+    rep_ms = float(np.median(repairs)) * 1e3
+    reb_ms = float(np.median(rebuilds)) * 1e3
+    return DriftRateRow(
+        rate=rate,
+        epochs=epochs,
+        repair_ms=rep_ms,
+        rebuild_ms=reb_ms,
+        speedup=reb_ms / rep_ms if rep_ms > 0 else 0.0,
+        validated=validated,
+        cache_hits=0 if artifacts is None else sum(artifacts.hits.values()),
+        cache_misses=0 if artifacts is None else sum(artifacts.misses.values()),
+    )
+
+
+def _run_service(
+    *,
+    K: int,
+    seed: int,
+    epochs: int,
+    machine: Machine,
+    validate: bool,
+    tracer=None,
+) -> ServiceSummary:
+    """Drive the emulated exchange service along one delta stream."""
+    pattern = CommPattern.random(K, avg_degree=4, seed=seed)
+    vpt = make_vpt(K, 2)
+    plan = build_plan(pattern, vpt)
+    frames = rounds = matched = 0
+    makespan = 0.0
+    for epoch in range(epochs):
+        delta = PatternDelta.random(plan.pattern, 0.10, seed=seed + 31 * epoch)
+        repaired = repair_plan(plan, delta)
+        drifted = plan.pattern.apply_delta(delta)
+        rebuilt = build_plan(drifted, vpt)
+        if validate and not plans_identical(repaired, rebuilt):
+            raise ExperimentError(f"service repair diverged at epoch {epoch}")
+
+        # the ranks re-learn their recv-sets from send-sets alone
+        pat = repaired.pattern
+        stats = [DiscoveryStats() for _ in range(K)]
+
+        def worker(comm):
+            recvset = yield from nbx_discover(
+                comm, pat.sendset(comm.rank), tracer=tracer, stats=stats[comm.rank]
+            )
+            return recvset
+
+        res = run_spmd(K, worker, machine=machine)
+        src, dst, size = pat.src, pat.dst, pat.size
+        for r in range(K):
+            want = {
+                int(s): int(w) for s, w in zip(src[dst == r], size[dst == r])
+            }
+            if res.returns[r] != want:
+                raise ExperimentError(
+                    f"NBX discovery at epoch {epoch} gave rank {r} recv-set "
+                    f"{res.returns[r]!r}, expected {want!r}"
+                )
+        frames += sum(st.frames_received for st in stats)
+        rounds += max(st.rounds for st in stats)
+
+        # golden traces: the exchange over the repair-maintained pattern
+        # must equal the exchange over the from-scratch rebuild
+        rep_run = run_exchange(repaired.pattern, vpt, machine=machine, trace=True)
+        ref_run = run_exchange(rebuilt.pattern, vpt, machine=machine, trace=True)
+        if rep_run.run.trace == ref_run.run.trace:
+            matched += 1
+        elif validate:
+            raise ExperimentError(
+                f"exchange trace diverged between repair and rebuild at "
+                f"epoch {epoch}"
+            )
+        makespan = rep_run.run.makespan_us
+        plan = repaired
+    return ServiceSummary(
+        K=K,
+        epochs=epochs,
+        discovery_frames=frames,
+        discovery_rounds=rounds,
+        traces_matched=matched,
+        makespan_us=makespan,
+    )
+
+
+def run(
+    cfg: ExperimentConfig | None = None,
+    *,
+    K: int = K_PROCESSES,
+    degree: float = AVG_DEGREE,
+    rates: tuple[float, ...] = DRIFT_RATES,
+    epochs: int = 3,
+    dims: int = 2,
+    header_words: int = 0,
+    machine: Machine = BGQ,
+    artifacts=None,
+    validate: bool = True,
+    service: bool = True,
+    service_K: int = SERVICE_K,
+    service_epochs: int = 3,
+    tracer=None,
+    jobs: int | None = 1,
+) -> DriftResult:
+    """Run the drift sweep (and service); deterministic in ``cfg.seed``.
+
+    ``jobs`` fans the independent per-rate epoch chains over worker
+    processes; with ``jobs>1`` the latency medians absorb scheduler
+    noise from co-running chains, so benchmark-grade numbers should use
+    the default serial pass.  ``artifacts`` (an
+    :class:`~repro.cache.ArtifactCache`) turns on delta-keyed plan
+    reuse.  ``validate=False`` skips the byte-identity cross-checks
+    (timing-only runs).
+    """
+    cfg = cfg or default_config()
+    cache_root = None if artifacts is None else artifacts.root
+    tasks = [
+        (K, degree, cfg.seed, dims, header_words, rate, epochs, validate, cache_root)
+        for rate in rates
+    ]
+    rows = parallel_map(_rate_task, tasks, jobs=jobs, tracer=tracer)
+    pattern = _base_pattern(K, degree, cfg.seed)
+    summary = None
+    if service:
+        summary = _run_service(
+            K=service_K,
+            seed=cfg.seed,
+            epochs=service_epochs,
+            machine=machine,
+            validate=validate,
+            tracer=tracer,
+        )
+    return DriftResult(
+        K=K,
+        num_messages=pattern.num_messages,
+        dims=dims,
+        epochs=epochs,
+        rows=list(rows),
+        service=summary,
+        validated=validate,
+    )
+
+
+def format_result(result: DriftResult) -> str:
+    """Render the latency table plus the service summary."""
+    check = (
+        "repair validated byte-identical vs full rebuild"
+        if result.validated
+        else "timing only"
+    )
+    title = (
+        f"Dynamic exchange under drift — K={result.K}, "
+        f"{result.num_messages} messages, T_{result.dims}, "
+        f"{result.epochs} epoch(s)/rate, {check}"
+    )
+    t = Table(
+        columns=("drift", "repair ms", "rebuild ms", "speedup", "checks"),
+        title=title,
+    )
+    for row in result.rows:
+        t.add_row(
+            f"{100.0 * row.rate:g}%",
+            f"{row.repair_ms:.2f}",
+            f"{row.rebuild_ms:.2f}",
+            f"{row.speedup:.1f}x",
+            row.validated,
+        )
+    lines = [t.render()]
+    s = result.service
+    if s is not None:
+        lines.append(
+            f"service: K={s.K}, {s.epochs} epoch(s), NBX discovery "
+            f"{s.discovery_frames} frames / {s.discovery_rounds} round(s), "
+            f"{s.traces_matched}/{s.epochs} golden traces matched, "
+            f"last makespan {s.makespan_us:.1f}us"
+        )
+    return "\n".join(lines)
+
+
+def to_bench_doc(result: DriftResult) -> dict:
+    """The ``repro-drift-bench-v1`` document for ``BENCH_baseline.json``.
+
+    ``median_speedup_le_10pct`` — the median repair-vs-rebuild speedup
+    over the rates at or below 10% drift — is the gated headline metric.
+    """
+    from .. import __version__
+    from ..bench import DRIFT_SCHEMA
+
+    low = [r.speedup for r in result.rows if r.rate <= 0.10]
+    return {
+        "schema": DRIFT_SCHEMA,
+        "version": __version__,
+        "sweep": "drift",
+        "K": result.K,
+        "num_messages": result.num_messages,
+        "dims": result.dims,
+        "epochs": result.epochs,
+        "validated": bool(result.validated),
+        "rows": [
+            {
+                "rate": r.rate,
+                "repair_ms": r.repair_ms,
+                "rebuild_ms": r.rebuild_ms,
+                "speedup": r.speedup,
+            }
+            for r in result.rows
+        ],
+        "median_speedup_le_10pct": float(np.median(low)) if low else 0.0,
+    }
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(format_result(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -14,6 +14,7 @@ from .collectives import (
 )
 from .checkpoint import HEARTBEAT_TAG, CheckpointStore, RankCheckpoint, heartbeat_round
 from .collectives import ShrinkOp
+from .discovery import DISCOVERY_TAG, DiscoveryStats, nbx_discover
 from .faults import FaultEvent, FaultPlan, LinkOutage
 from .message import ANY_SOURCE, ANY_TAG, TIMEOUT, Envelope, RunResult, TraceRecord
 from .reliable import ReliableComm, ReliableStats
@@ -35,6 +36,9 @@ __all__ = [
     "LinkOutage",
     "ReliableComm",
     "ReliableStats",
+    "DISCOVERY_TAG",
+    "DiscoveryStats",
+    "nbx_discover",
     "REDUCTIONS",
     "BarrierOp",
     "AllGatherOp",

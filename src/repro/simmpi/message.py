@@ -134,30 +134,38 @@ class Mailbox:
                 heappush(self._any_heap, entry)
         self._len += 1
 
-    def match(self, source: int, tag: int) -> Envelope | None:
+    def match(self, source: int, tag: int, before: float | None = None) -> Envelope | None:
         """Pop the envelope a ``recv(source, tag)`` should receive.
 
         Fully-specified receives are FIFO per (source, tag); wildcard
         receives take the earliest ``arrive_time`` among the matching
         envelopes, ties broken by posting order.  Returns ``None`` when
         nothing matches.
+
+        ``before`` bounds the match by virtual arrival time: an
+        envelope with ``arrive_time > before`` is *left in place* and
+        ``None`` is returned, so a timed receive whose deadline has
+        passed cannot consume a message that had not yet arrived — it
+        stays matchable by a later receive.  Candidates are
+        arrival-ordered in every index, so checking only the head is
+        exact.
         """
         if source != ANY_SOURCE and tag != ANY_TAG:
-            env = self._pop_deque(self._by_key.get((source, tag)))
+            env = self._pop_deque(self._by_key.get((source, tag)), before)
         elif source == ANY_SOURCE and tag == ANY_TAG:
             if self._any_heap is None:
                 self._any_heap = self._build_heap(lambda s, t: True)
-            env = self._pop_heap(self._any_heap)
+            env = self._pop_heap(self._any_heap, before)
         elif source == ANY_SOURCE:
             heap = self._tag_heaps.get(tag)
             if heap is None:
                 heap = self._tag_heaps[tag] = self._build_heap(lambda s, t: t == tag)
-            env = self._pop_heap(heap)
+            env = self._pop_heap(heap, before)
         else:
             heap = self._src_heaps.get(source)
             if heap is None:
                 heap = self._src_heaps[source] = self._build_heap(lambda s, t: s == source)
-            env = self._pop_heap(heap)
+            env = self._pop_heap(heap, before)
         if env is not None:
             env.consumed = True
             self._len -= 1
@@ -198,19 +206,31 @@ class Mailbox:
         return dropped
 
     @staticmethod
-    def _pop_deque(q: deque[Envelope] | None) -> Envelope | None:
+    def _pop_deque(q: deque[Envelope] | None, before: float | None = None) -> Envelope | None:
         while q:
-            env = q.popleft()
-            if not env.consumed:
-                return env
+            env = q[0]
+            if env.consumed:
+                q.popleft()
+                continue
+            if before is not None and env.arrive_time > before:
+                return None
+            q.popleft()
+            return env
         return None
 
     @staticmethod
-    def _pop_heap(heap: list[tuple[float, int, Envelope]] | None) -> Envelope | None:
+    def _pop_heap(
+        heap: list[tuple[float, int, Envelope]] | None, before: float | None = None
+    ) -> Envelope | None:
         while heap:
-            env = heappop(heap)[2]
-            if not env.consumed:
-                return env
+            env = heap[0][2]
+            if env.consumed:
+                heappop(heap)
+                continue
+            if before is not None and env.arrive_time > before:
+                return None
+            heappop(heap)
+            return env
         return None
 
 

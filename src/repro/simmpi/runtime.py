@@ -562,12 +562,16 @@ class SimMPI:
                     dest=dest, tag=tag,
                 )
         # wait-map lookup: wake the receiver iff it posted a matching
-        # (source, tag) interest — no other rank is ever inspected
+        # (source, tag) interest — no other rank is ever inspected.  A
+        # timed receive is only woken by envelopes arriving within its
+        # deadline; a later arrival belongs to some future receive and
+        # the pending one resolves via its timer.
         op = dest_state.blocked_on
         if (
             isinstance(op, _RecvOp)
             and (op.source == ANY_SOURCE or op.source == source)
             and (op.tag == ANY_TAG or op.tag == tag)
+            and (op.deadline is None or env.arrive_time <= op.deadline)
         ):
             self._wake(dest)
 
@@ -642,7 +646,7 @@ class SimMPI:
                 if op is not None:
                     if not isinstance(op, _RecvOp):
                         continue  # collectives resume via _complete_collective
-                    env = state.mailbox.match(op.source, op.tag)
+                    env = state.mailbox.match(op.source, op.tag, op.deadline)
                     if env is None:
                         continue  # stale wake; stay blocked
                     state.blocked_on = None
@@ -901,13 +905,17 @@ class SimMPI:
                 self._kill_rank(rank, state, at=state.clock)
                 return
             if isinstance(op, _RecvOp):
-                env = state.mailbox.match(op.source, op.tag)
+                # fix the deadline before matching: a message already
+                # queued but arriving (virtually) after the deadline
+                # must not satisfy this receive — it stays in the
+                # mailbox for a later one and this receive times out
+                if op.timeout_us is not None:
+                    op.deadline = state.clock + op.timeout_us
+                env = state.mailbox.match(op.source, op.tag, op.deadline)
                 if env is not None:
                     state.resume_value = self._deliver(rank, state, env)
                     continue
                 state.blocked_on = op
-                if op.timeout_us is not None:
-                    op.deadline = state.clock + op.timeout_us
                 return
             if isinstance(op, _COLLECTIVE_OPS):
                 state.blocked_on = op

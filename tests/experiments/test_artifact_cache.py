@@ -135,6 +135,134 @@ class TestPatternDigest:
             CommPattern.random(16, avg_degree=4, seed=1)
         )
 
+    def test_edge_weights_are_part_of_identity(self):
+        """Same edges, different sizes -> different digests."""
+        a = CommPattern.from_arrays(4, [0, 1], [1, 2], [10, 20])
+        b = CommPattern.from_arrays(4, [0, 1], [1, 2], [10, 21])
+        assert pattern_digest(a) != pattern_digest(b)
+
+    def test_dtype_is_part_of_identity(self):
+        """Collision regression: an int32 array is byte-identical to a
+        half-length int64 array; the digest frames each array with its
+        dtype so the two patterns cannot share a key.  The public
+        constructor normalizes to int64, but ``_trusted`` (the repair
+        hot path) skips that."""
+        src64 = np.array([0, 1], dtype=np.int64)
+        dst64 = np.array([1, 2], dtype=np.int64)
+        a = CommPattern._trusted(4, src64, dst64, np.array([3, 5], dtype=np.int64))
+        b = CommPattern._trusted(4, src64, dst64, np.array([3, 0, 5, 0], dtype=np.int32))
+        assert a.size.tobytes() == b.size.tobytes()  # the raw-bytes alias
+        assert pattern_digest(a) != pattern_digest(b)
+
+    def test_boundary_shift_cannot_collide(self):
+        """Collision regression: the digest length-frames each array, so
+        moving an element across the src/dst boundary changes the key
+        even though the concatenated bytes are identical."""
+        a = CommPattern._trusted(
+            8,
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([3, 4], dtype=np.int64),
+            np.array([1, 1], dtype=np.int64),
+        )
+        b = CommPattern._trusted(
+            8,
+            np.array([0, 1], dtype=np.int64),
+            np.array([2, 3, 4], dtype=np.int64),
+            np.array([1, 1], dtype=np.int64),
+        )
+        joined_a = a.src.tobytes() + a.dst.tobytes()
+        joined_b = b.src.tobytes() + b.dst.tobytes()
+        assert joined_a == joined_b  # the concatenation alias
+        assert pattern_digest(a) != pattern_digest(b)
+
+    def test_noncontiguous_arrays_digest_like_contiguous(self):
+        strided = np.arange(8, dtype=np.int64)[::2]
+        a = CommPattern._trusted(
+            16, strided, strided + 1, np.ones(4, dtype=np.int64)
+        )
+        b = CommPattern._trusted(
+            16,
+            np.ascontiguousarray(strided),
+            np.ascontiguousarray(strided + 1),
+            np.ones(4, dtype=np.int64),
+        )
+        assert pattern_digest(a) == pattern_digest(b)
+
+
+class TestDeltaDigest:
+    def test_distinguishes_deltas(self):
+        from repro.cache import delta_digest
+        from repro.core import PatternDelta
+
+        p = CommPattern.random(16, avg_degree=4, seed=0)
+        a = PatternDelta.random(p, 0.2, seed=1)
+        b = PatternDelta.random(p, 0.2, seed=2)
+        assert delta_digest(a) != delta_digest(b)
+        assert delta_digest(a) == delta_digest(PatternDelta.random(p, 0.2, seed=1))
+
+    def test_reweight_only_deltas_differ(self):
+        from repro.cache import delta_digest
+        from repro.core import PatternDelta
+
+        a = PatternDelta(8, reweight_src=[0], reweight_dst=[1], reweight_size=[5])
+        b = PatternDelta(8, reweight_src=[0], reweight_dst=[1], reweight_size=[6])
+        assert delta_digest(a) != delta_digest(b)
+
+    def test_section_boundaries_framed(self):
+        """An edge listed as a removal vs an addition must not collide."""
+        from repro.cache import delta_digest
+        from repro.core import PatternDelta
+
+        a = PatternDelta(8, remove_src=[0], remove_dst=[1])
+        b = PatternDelta(8, add_src=[0], add_dst=[1], add_size=[0])
+        assert delta_digest(a) != delta_digest(b)
+
+
+class TestDeltaKeyedPlans:
+    def test_repair_chain_replays_from_cache(self, tmp_path):
+        """The drift driver's delta-keyed plan reuse: a second run over
+        the same (base pattern, delta chain) must hit for every epoch and
+        return byte-identical plans."""
+        from repro.cache import delta_digest
+        from repro.core import PatternDelta, repair_plan
+
+        pattern = CommPattern.random(16, avg_degree=4, seed=3)
+        vpt = make_vpt(16, 2)
+        base = pattern_digest(pattern)
+
+        def chain(cache):
+            plan = build_plan(pattern, vpt)
+            digests = []
+            out = []
+            for epoch in range(3):
+                delta = PatternDelta.random(plan.pattern, 0.25, seed=epoch)
+                digests.append(delta_digest(delta))
+                repaired = repair_plan(plan, delta)
+                got = cache.plan(
+                    {
+                        "base_pattern": base,
+                        "delta_chain": list(digests),
+                        "dim_sizes": vpt.dim_sizes,
+                    },
+                    lambda: repaired,
+                )
+                out.append(got)
+                plan = repaired
+            return out
+
+        cold = ArtifactCache(tmp_path)
+        first = chain(cold)
+        assert sum(cold.misses.values()) == 3
+
+        warm = ArtifactCache(tmp_path)
+        second = chain(warm)
+        assert sum(warm.misses.values()) == 0
+        assert sum(warm.hits.values()) == 3
+        for p, q in zip(first, second):
+            for a, b in zip(p.stages, q.stages):
+                np.testing.assert_array_equal(a.sender, b.sender)
+                np.testing.assert_array_equal(a.total_words, b.total_words)
+
 
 class TestHarnessIntegration:
     def test_cached_cell_equals_fresh(self, tmp_path):

@@ -1,0 +1,176 @@
+"""Tests for the dynamic-exchange drift experiment and its bench doc."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    DRIFT_SCHEMA,
+    compare_bench,
+    load_baseline,
+    merge_baseline,
+    validate_bench_json,
+)
+from repro.cache import ArtifactCache
+from repro.core import CommPattern, PatternDelta, build_plan, make_vpt, repair_plan
+from repro.errors import ExperimentError
+from repro.experiments import drift
+
+
+def tiny_run(**overrides):
+    kwargs = dict(
+        K=32,
+        degree=4,
+        rates=(0.1, 0.25),
+        epochs=2,
+        service=False,
+    )
+    kwargs.update(overrides)
+    return drift.run(**kwargs)
+
+
+class TestPlansIdentical:
+    def test_equal_plans(self):
+        p = CommPattern.random(16, avg_degree=3, seed=0)
+        vpt = make_vpt(16, 2)
+        assert drift.plans_identical(build_plan(p, vpt), build_plan(p, vpt))
+
+    def test_detects_value_difference(self):
+        vpt = make_vpt(16, 2)
+        a = build_plan(CommPattern.random(16, avg_degree=3, seed=0), vpt)
+        b = build_plan(CommPattern.random(16, avg_degree=3, seed=1), vpt)
+        assert not drift.plans_identical(a, b)
+
+    def test_detects_header_difference(self):
+        p = CommPattern.random(16, avg_degree=3, seed=0)
+        vpt = make_vpt(16, 2)
+        a = build_plan(p, vpt)
+        b = build_plan(p, vpt, header_words=2)
+        assert not drift.plans_identical(a, b)
+
+
+class TestRun:
+    def test_rows_and_validation(self):
+        r = tiny_run()
+        assert [row.rate for row in r.rows] == [0.1, 0.25]
+        for row in r.rows:
+            assert row.epochs == 2
+            assert row.validated == 2  # every epoch cross-checked
+            assert row.repair_ms > 0 and row.rebuild_ms > 0
+
+    def test_deterministic_structure(self):
+        a = tiny_run()
+        b = tiny_run()
+        assert a.num_messages == b.num_messages
+        for ra, rb in zip(a.rows, b.rows):
+            assert ra.validated == rb.validated
+
+    def test_service_phase(self):
+        r = drift.run(
+            K=32,
+            degree=4,
+            rates=(0.1,),
+            epochs=1,
+            service=True,
+            service_K=16,
+            service_epochs=2,
+        )
+        s = r.service
+        assert s is not None
+        assert s.K == 16
+        assert s.traces_matched == s.epochs == 2
+        assert s.discovery_frames > 0
+        assert s.makespan_us > 0
+
+    def test_cache_reuse(self, tmp_path):
+        first = tiny_run(artifacts=ArtifactCache(tmp_path))
+        assert all(row.cache_misses > 0 for row in first.rows)
+        second = tiny_run(artifacts=ArtifactCache(tmp_path))
+        for row in second.rows:
+            assert row.cache_misses == 0
+            assert row.cache_hits == row.epochs
+
+    def test_format_result(self):
+        text = drift.format_result(tiny_run())
+        assert "drift" in text
+        assert "10%" in text and "25%" in text
+
+
+class TestBenchDoc:
+    def test_doc_validates(self):
+        doc = drift.to_bench_doc(tiny_run())
+        assert doc["schema"] == DRIFT_SCHEMA
+        assert doc["sweep"] == "drift"
+        assert validate_bench_json(doc) == []
+
+    def test_headline_metric_is_low_rate_median(self):
+        r = tiny_run(rates=(0.05, 0.1, 0.5))
+        doc = drift.to_bench_doc(r)
+        low = [row.speedup for row in r.rows if row.rate <= 0.10]
+        assert doc["median_speedup_le_10pct"] == pytest.approx(float(np.median(low)))
+
+    def test_validate_catches_missing_rows(self):
+        doc = drift.to_bench_doc(tiny_run())
+        del doc["rows"]
+        assert any("rows" in p for p in validate_bench_json(doc))
+
+    def test_validate_catches_wrong_sweep(self):
+        doc = drift.to_bench_doc(tiny_run())
+        doc["sweep"] = "full"
+        assert any("sweep" in p for p in validate_bench_json(doc))
+
+    def test_compare_gates_on_headline_metric(self):
+        doc = drift.to_bench_doc(tiny_run())
+        baseline = dict(doc)
+        baseline["median_speedup_le_10pct"] = doc["median_speedup_le_10pct"] * 10
+        regressions = compare_bench(doc, baseline)
+        assert regressions and "median_speedup_le_10pct" in regressions[0]
+        assert compare_bench(doc, doc) == []
+
+    def test_merge_coexists_with_bench_sweeps(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        other = {"full": {"sweep": "full"}, "quick": {"sweep": "quick"}}
+        with open(path, "w") as fh:
+            json.dump(other, fh)
+        doc = drift.to_bench_doc(tiny_run())
+        merged = merge_baseline(path, doc)
+        assert sorted(merged) == ["drift", "full", "quick"]
+        assert load_baseline(path, "drift")["schema"] == DRIFT_SCHEMA
+
+
+class TestValidationFailure:
+    def test_divergence_raises(self, monkeypatch):
+        """A repair that disagrees with the rebuild must abort the run."""
+
+        def bad_repair(plan, delta, **kwargs):
+            rebuilt = build_plan(
+                plan.pattern.apply_delta(delta),
+                plan.vpt,
+                header_words=plan.header_words + 1,  # wrong on purpose
+            )
+            return rebuilt
+
+        monkeypatch.setattr(drift, "repair_plan", bad_repair)
+        with pytest.raises(ExperimentError):
+            tiny_run(rates=(0.1,), epochs=1)
+
+
+class TestRepairSpeedupDirection:
+    def test_repair_beats_rebuild_at_scale(self):
+        """At a bench-like size, low-rate repair must be faster than the
+        full rebuild (the BENCH gate asserts >=5x at K=4096; here a
+        smaller, CI-friendly instance just pins the direction)."""
+        import time
+
+        pattern = CommPattern.random(512, avg_degree=24, seed=0)
+        vpt = make_vpt(512, 2)
+        plan = build_plan(pattern, vpt)
+        delta = PatternDelta.random(pattern, 0.02, seed=1)
+        t0 = time.perf_counter()
+        repair_plan(plan, delta)
+        t_repair = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        build_plan(pattern.apply_delta(delta), vpt)
+        t_rebuild = time.perf_counter() - t0
+        assert t_repair < t_rebuild

@@ -1,0 +1,108 @@
+"""Unit tests for NBX-style sparse pattern discovery."""
+
+import pytest
+
+from repro.core import CommPattern
+from repro.errors import SimMPIError
+from repro.network import BGQ
+from repro.simmpi import DiscoveryStats, FaultPlan, nbx_discover, run_spmd
+
+
+def expected_recvsets(pattern):
+    """Per-rank {source: words} derived directly from the pattern."""
+    out = [dict() for _ in range(pattern.K)]
+    for s, d, w in zip(pattern.src, pattern.dst, pattern.size):
+        out[int(d)][int(s)] = int(w)
+    return out
+
+
+def discover_all(pattern, *, fault_plan=None, stats=None):
+    def worker(comm):
+        st = stats[comm.rank] if stats is not None else None
+        recvset = yield from nbx_discover(
+            comm, pattern.sendset(comm.rank), stats=st
+        )
+        return recvset
+
+    return run_spmd(pattern.K, worker, machine=BGQ, fault_plan=fault_plan)
+
+
+class TestDiscovery:
+    def test_recvsets_match_pattern(self):
+        pattern = CommPattern.random(8, avg_degree=3, seed=0)
+        res = discover_all(pattern)
+        assert res.returns == expected_recvsets(pattern)
+
+    def test_larger_pattern(self):
+        pattern = CommPattern.random(24, avg_degree=5, seed=3)
+        res = discover_all(pattern)
+        assert res.returns == expected_recvsets(pattern)
+
+    def test_empty_sendsets(self):
+        """Ranks with nothing to send still join the consensus."""
+        pattern = CommPattern.from_arrays(6, [0], [1], [4])
+        res = discover_all(pattern)
+        assert res.returns == expected_recvsets(pattern)
+
+    def test_stats_counters(self):
+        pattern = CommPattern.random(8, avg_degree=3, seed=1)
+        stats = [DiscoveryStats() for _ in range(8)]
+        discover_all(pattern, stats=stats)
+        sent = sum(st.frames_sent for st in stats)
+        received = sum(st.frames_received for st in stats)
+        assert sent == pattern.num_messages
+        assert received == pattern.num_messages
+        assert all(st.rounds >= 1 for st in stats)
+        assert all(st.duplicates_suppressed == 0 for st in stats)
+
+    def test_duplicate_frames_suppressed(self):
+        """Under duplicate-everything fault injection the recv-sets are
+        unchanged and the consensus still terminates."""
+        pattern = CommPattern.random(8, avg_degree=3, seed=2)
+        stats = [DiscoveryStats() for _ in range(8)]
+        res = discover_all(
+            pattern, fault_plan=FaultPlan(default_duplicate=1.0, seed=7), stats=stats
+        )
+        assert res.returns == expected_recvsets(pattern)
+        assert sum(st.duplicates_suppressed for st in stats) > 0
+
+    def test_deterministic(self):
+        pattern = CommPattern.random(12, avg_degree=4, seed=5)
+        a = discover_all(pattern)
+        b = discover_all(pattern)
+        assert a.returns == b.returns
+        assert a.makespan_us == b.makespan_us
+
+    def test_back_to_back_epochs_do_not_bleed(self):
+        """Two discovery epochs in one run: each must see only its own
+        frames (the consensus drains every frame before anyone exits)."""
+        p1 = CommPattern.random(8, avg_degree=3, seed=10)
+        p2 = CommPattern.random(8, avg_degree=3, seed=11)
+
+        def worker(comm):
+            r1 = yield from nbx_discover(comm, p1.sendset(comm.rank))
+            r2 = yield from nbx_discover(comm, p2.sendset(comm.rank))
+            return (r1, r2)
+
+        res = run_spmd(8, worker, machine=BGQ)
+        e1 = expected_recvsets(p1)
+        e2 = expected_recvsets(p2)
+        for r in range(8):
+            assert res.returns[r] == (e1[r], e2[r])
+
+    def test_rejects_bad_timeout(self):
+        def worker(comm):
+            recvset = yield from nbx_discover(comm, {}, probe_timeout_us=0.0)
+            return recvset
+
+        with pytest.raises(SimMPIError):
+            run_spmd(2, worker, machine=BGQ)
+
+    def test_rejects_negative_words(self):
+        def worker(comm):
+            sendset = {1 - comm.rank: -1}
+            recvset = yield from nbx_discover(comm, sendset)
+            return recvset
+
+        with pytest.raises(SimMPIError):
+            run_spmd(2, worker, machine=BGQ)

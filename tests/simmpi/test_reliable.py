@@ -271,3 +271,123 @@ class TestStashOrdering:
         for src, i in res.returns[2]:
             per_src[src].append(i)
         assert per_src == {0: [0, 1, 2], 1: [0, 1, 2]}
+
+
+class TestStashInterleavings:
+    """Regressions: stash handling under duplicate delivery + timed recv.
+
+    Each scenario interleaves duplicated or delayed DATA frames with
+    tagged/wildcard/timed receives; the stash must deliver every frame
+    exactly once, in per-source seq order, with its correct tag.
+    """
+
+    def test_duplicate_stashed_during_wrong_tag_timeout(self):
+        """A duplicated tag-5 frame arrives during a timed recv for tag 9:
+        the tag-9 recv times out, the stashed frame is delivered exactly
+        once to a later tag-5 recv, and a second tag-5 recv times out."""
+
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=200.0)
+            if comm.rank == 0:
+                ok = yield from rc.try_send(1, "payload-A", tag=5, words=4)
+                return ok
+            got_b = yield from rc.recv(tag=9, timeout_us=100.0)
+            got_a1 = yield from rc.recv(tag=5, timeout_us=500.0)
+            got_a2 = yield from rc.recv(tag=5, timeout_us=100.0)
+            return (got_b, got_a1, got_a2, rc.stats.duplicates_suppressed)
+
+        plan = FaultPlan(default_duplicate=1.0, seed=3)
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        got_b, got_a1, got_a2, dups = res.returns[1]
+        assert got_b is TIMEOUT
+        assert got_a1 == (0, 5, "payload-A")
+        assert got_a2 is TIMEOUT  # the duplicate must not deliver twice
+        assert dups >= 1
+
+    def test_wildcard_pops_stashed_frame_once(self):
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=200.0)
+            if comm.rank == 0:
+                ok = yield from rc.try_send(1, "X", tag=7, words=2)
+                return ok
+            t1 = yield from rc.recv(tag=3, timeout_us=120.0)  # wrong tag: stash
+            wild = yield from rc.recv(timeout_us=300.0)  # wildcard pops it
+            t2 = yield from rc.recv(timeout_us=80.0)  # nothing left
+            return (t1, wild, t2)
+
+        plan = FaultPlan(default_duplicate=1.0, seed=11)
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        t1, wild, t2 = res.returns[1]
+        assert t1 is TIMEOUT
+        assert wild == (0, 7, "X")
+        assert t2 is TIMEOUT
+
+    def test_out_of_order_tags_with_interleaved_timeout(self):
+        """Tagged receives out of send order, with duplication and an
+        interleaved timeout, must preserve per-tag payload order."""
+
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=200.0)
+            if comm.rank == 0:
+                yield from rc.send(1, "first", tag=1, words=2)
+                yield from rc.send(1, "second", tag=2, words=2)
+                yield from rc.send(1, "third", tag=1, words=2)
+                return True
+            g2 = yield from rc.recv(tag=2, timeout_us=800.0)
+            t = yield from rc.recv(tag=9, timeout_us=60.0)
+            g1a = yield from rc.recv(tag=1, timeout_us=800.0)
+            g1b = yield from rc.recv(tag=1, timeout_us=800.0)
+            return (g2, t, g1a, g1b)
+
+        plan = FaultPlan(default_duplicate=1.0, seed=5)
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        g2, t, g1a, g1b = res.returns[1]
+        assert g2 == (0, 2, "second")
+        assert t is TIMEOUT
+        assert g1a == (0, 1, "first")
+        assert g1b == (0, 1, "third")
+
+    def test_retransmit_after_outage_keeps_seq_order(self):
+        """Drop-then-retransmit while a later frame is already stashed:
+        the retry lands after 'late' on the wire, but delivery must
+        still follow per-source seq order."""
+        from repro.simmpi import LinkOutage
+
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=50.0, max_retries=4)
+            if comm.rank == 0:
+                yield from rc.send(1, "early", tag=1, words=2)
+                yield from rc.send(1, "late", tag=1, words=2)
+                return True
+            t = yield from rc.recv(tag=9, timeout_us=300.0)  # stashes both
+            g1 = yield from rc.recv(tag=1, timeout_us=800.0)
+            g2 = yield from rc.recv(tag=1, timeout_us=800.0)
+            return (t, g1, g2)
+
+        plan = FaultPlan(outages=[LinkOutage(src=0, dst=1, start_us=0.0, end_us=4.0)])
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        t, g1, g2 = res.returns[1]
+        assert t is TIMEOUT
+        assert g1 == (0, 1, "early")
+        assert g2 == (0, 1, "late")
+
+    def test_late_arrival_stays_queued_for_reliable_layer(self):
+        """A frame whose virtual arrival is beyond the recv deadline must
+        not be consumed by that recv: the first timed recv returns
+        TIMEOUT at its own deadline and a later recv gets the frame."""
+
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=50_000.0)
+            if comm.rank == 0:
+                ok = yield from rc.try_send(1, "big", tag=7, words=10_000_000)
+                return ok
+            got = yield from rc.recv(tag=7, timeout_us=5.0)
+            t_first = comm.time
+            late = yield from rc.recv(tag=7, timeout_us=1e9)
+            return (got, t_first, late[2])
+
+        res = run_spmd(2, worker, machine=BGQ)
+        got, t_first, late = res.returns[1]
+        assert got is TIMEOUT
+        assert t_first < 100.0  # timed out at its own deadline, not arrival
+        assert late == "big"

@@ -423,3 +423,83 @@ class TestDeterminism:
         assert a.returns == b.returns
         assert a.clocks == b.clocks
         assert a.trace == b.trace
+
+
+class TestRecvDeadline:
+    """Regressions: a timed recv must not deliver past its deadline.
+
+    A message whose virtual arrival time lies beyond the receiver's
+    deadline is not arrivable within the wait — the recv must return
+    TIMEOUT *at the deadline* and leave the envelope queued for a later
+    receive.
+    """
+
+    def test_late_arrival_times_out_and_stays_queued(self):
+        from repro.simmpi import TIMEOUT
+
+        def worker(comm):
+            if comm.rank == 0:
+                # huge message -> arrival far beyond the 5us deadline
+                comm.send(1, "big", tag=1, words=10_000_000)
+                return True
+            got = yield comm.recv(tag=1, timeout_us=5.0)
+            t_timeout = comm.time
+            src, tag, late = yield comm.recv(tag=1)
+            return (got, t_timeout, late, comm.time)
+
+        res = run_spmd(2, worker, machine=BGQ)
+        got, t_timeout, late, t_deliver = res.returns[1]
+        assert got is TIMEOUT
+        assert t_timeout == pytest.approx(5.0)  # woke at the deadline
+        assert late == "big"
+        assert t_deliver > t_timeout
+
+    def test_message_inside_deadline_still_delivers(self):
+        from repro.simmpi import TIMEOUT
+
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "small", tag=1, words=1)
+                return True
+            got = yield comm.recv(tag=1, timeout_us=1e6)
+            return got
+
+        res = run_spmd(2, worker, machine=BGQ)
+        assert res.returns[1][2] == "small"
+
+    def test_deadline_respected_for_already_queued_message(self):
+        """The bound applies on the posting path too: a frame already in
+        the mailbox but arriving after the deadline must not match."""
+        from repro.simmpi import TIMEOUT
+
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "slow", tag=3, words=10_000_000)
+                return True
+            # long idle first, so the envelope is queued (not in flight)
+            # when the timed recv is posted — still not arrivable
+            yield comm.recv(tag=99, timeout_us=1.0)
+            got = yield comm.recv(tag=3, timeout_us=2.0)
+            src, tag, late = yield comm.recv(tag=3)
+            return (got, late)
+
+        res = run_spmd(2, worker, machine=BGQ)
+        got, late = res.returns[1]
+        assert got is TIMEOUT
+        assert late == "slow"
+
+    def test_wildcard_timed_recv_honors_deadline(self):
+        from repro.simmpi import TIMEOUT
+
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "bulk", words=10_000_000)
+                return True
+            got = yield comm.recv(source=ANY_SOURCE, tag=ANY_TAG, timeout_us=4.0)
+            src, tag, late = yield comm.recv()
+            return (got, late)
+
+        res = run_spmd(2, worker, machine=BGQ)
+        got, late = res.returns[1]
+        assert got is TIMEOUT
+        assert late == "bulk"
