@@ -14,9 +14,9 @@ The sweep is pinned to explicit :class:`ExperimentConfig` defaults —
 ``$REPRO_SCALE`` is deliberately ignored so numbers are comparable
 across checkouts.  Results are written as a ``repro-bench-v1`` JSON
 document; ``BENCH_baseline.json`` in the repo root maps sweep name
-(``full``/``quick``, plus ``drift`` from ``repro drift``) to the
-reference document, and ``--check`` fails when the current run
-regresses more than a tolerance below it.
+(``full``/``quick``, plus ``drift`` from ``repro drift`` and ``chaos``
+from ``repro chaos``) to the reference document, and ``--check`` fails
+when the current run regresses more than a tolerance below it.
 """
 
 from __future__ import annotations
@@ -34,6 +34,7 @@ from . import __version__
 __all__ = [
     "BENCH_SCHEMA",
     "DRIFT_SCHEMA",
+    "CHAOS_SCHEMA",
     "FULL_SWEEP",
     "QUICK_SWEEP",
     "run_bench",
@@ -51,8 +52,12 @@ BENCH_SCHEMA = "repro-bench-v1"
 #: by ``repro drift -o`` and stored under the ``"drift"`` sweep key
 DRIFT_SCHEMA = "repro-drift-bench-v1"
 
+#: schema tag of a chaos-soak result document; produced by
+#: ``repro chaos -o`` and stored under the ``"chaos"`` sweep key
+CHAOS_SCHEMA = "repro-chaos-bench-v1"
+
 #: sweep names allowed to coexist in ``BENCH_baseline.json``
-_BASELINE_SWEEPS = ("full", "quick", "drift")
+_BASELINE_SWEEPS = ("full", "quick", "drift", "chaos")
 
 #: the pinned full sweep — artifact-heavy cells (large matrices at a
 #: modest K) where generation, partitioning and planning dominate the
@@ -246,6 +251,48 @@ def _validate_drift_json(doc: dict[str, Any]) -> list[str]:
     return problems
 
 
+def _validate_chaos_json(doc: dict[str, Any]) -> list[str]:
+    """Structural problems of a ``repro-chaos-bench-v1`` document."""
+    problems: list[str] = []
+    for key, typ in (
+        ("version", str),
+        ("K", int),
+        ("dims", int),
+        ("epochs", int),
+        ("drift_rate", (int, float)),
+        ("seed", int),
+        ("tail", int),
+        ("mean_completion_rate", (int, float)),
+        ("min_completion_rate", (int, float)),
+        ("faulty_epochs", int),
+        ("degraded_epochs", int),
+        ("mean_makespan_inflation", (int, float)),
+        ("actions", dict),
+        ("repairs", int),
+        ("full_rebuilds", int),
+        ("side_table_checks", int),
+        ("shrink_replans", int),
+        ("payload_checks", int),
+        ("dead", list),
+        ("converged", bool),
+    ):
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(doc[key], typ):
+            problems.append(f"{key!r} is {type(doc[key]).__name__}")
+    if doc.get("sweep") != "chaos":
+        problems.append(f"sweep is {doc.get('sweep')!r}, expected 'chaos'")
+    for key in ("mean_completion_rate", "min_completion_rate"):
+        val = doc.get(key)
+        if isinstance(val, (int, float)) and not 0.0 <= val <= 1.0:
+            problems.append(f"{key!r}={val} outside [0, 1]")
+    if isinstance(doc.get("actions"), dict):
+        for action, count in doc["actions"].items():
+            if not isinstance(action, str) or not isinstance(count, int):
+                problems.append(f"actions[{action!r}] is not a str -> int entry")
+    return problems
+
+
 def validate_bench_json(doc: Any) -> list[str]:
     """Structural problems of one result document (empty = valid)."""
     problems: list[str] = []
@@ -253,6 +300,8 @@ def validate_bench_json(doc: Any) -> list[str]:
         return [f"document is {type(doc).__name__}, not an object"]
     if doc.get("schema") == DRIFT_SCHEMA:
         return _validate_drift_json(doc)
+    if doc.get("schema") == CHAOS_SCHEMA:
+        return _validate_chaos_json(doc)
     if doc.get("schema") != BENCH_SCHEMA:
         problems.append(f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}")
     for key, typ in (
@@ -314,6 +363,30 @@ def compare_bench(
                 f"(tolerance {100.0 * tolerance:.0f}%)"
             )
         return regressions
+    if current.get("schema") == CHAOS_SCHEMA:
+        # resilience gates: completion holds the tolerance; convergence
+        # and zero-rebuild are absolute — no tolerance buys back a soak
+        # that stopped converging or fell off the incremental path
+        cur = float(current.get("mean_completion_rate", 0.0))
+        base = float(baseline.get("mean_completion_rate", 0.0))
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            regressions.append(
+                f"mean_completion_rate: {cur:.4f} is "
+                f"{100.0 * (1.0 - cur / base):.0f}% below baseline {base:.4f} "
+                f"(tolerance {100.0 * tolerance:.0f}%)"
+            )
+        if baseline.get("converged") and not current.get("converged"):
+            regressions.append(
+                "converged: baseline soak converged, current did not"
+            )
+        rebuilds = int(current.get("full_rebuilds", 0))
+        if rebuilds > 0:
+            regressions.append(
+                f"full_rebuilds: {rebuilds} full plan rebuild(s), expected 0 "
+                f"(the soak must stay on the incremental repair path)"
+            )
+        return regressions
     for key in _COMPARE_KEYS:
         cur, base = _metric(current, key), _metric(baseline, key)
         floor = base * (1.0 - tolerance)
@@ -351,7 +424,11 @@ def load_baseline(path: str, sweep: str) -> dict[str, Any]:
     """The baseline document for one sweep, or raise ``ValueError``."""
     with open(path) as fh:
         data = json.load(fh)
-    if isinstance(data, dict) and data.get("schema") in (BENCH_SCHEMA, DRIFT_SCHEMA):
+    if isinstance(data, dict) and data.get("schema") in (
+        BENCH_SCHEMA,
+        DRIFT_SCHEMA,
+        CHAOS_SCHEMA,
+    ):
         doc = data  # a bare result document is accepted as its own sweep
     elif isinstance(data, dict) and sweep in data:
         doc = data[sweep]

@@ -9,6 +9,7 @@ Examples::
     python -m repro cache stats            # inspect the artifact cache
     python -m repro bench --quick          # performance smoke benchmark
     python -m repro drift --cache          # plan-repair drift benchmark
+    python -m repro chaos --epochs 60      # self-healing service soak
     python -m repro instances              # list the Table 1 registry
     python -m repro report -o results.md   # run everything, write markdown
 
@@ -186,6 +187,61 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BASELINE",
         default=None,
         help="fail (exit 1) when >20%% below this baseline's drift entry",
+    )
+
+    p = sub.add_parser(
+        "chaos",
+        help="chaos soak: the self-healing persistent exchange service "
+        "under combined drift and fault streams",
+    )
+    p.add_argument(
+        "--K", type=int, default=None, help="process count of the soak"
+    )
+    p.add_argument(
+        "--degree", type=float, default=None, help="mean messages per process"
+    )
+    p.add_argument(
+        "--epochs", type=int, default=None, help="soak length (default 200)"
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="drift fraction per epoch, at most 0.10 (default 0.08)",
+    )
+    p.add_argument(
+        "--tail",
+        type=int,
+        default=None,
+        help="quiet fault- and drift-free epochs ending the soak",
+    )
+    p.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        nargs="?",
+        const="",
+        default=None,
+        help="delta-keyed plan reuse in DIR (no DIR: $REPRO_CACHE_DIR or "
+        ".repro-cache)",
+    )
+    p.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip per-repair byte-identity cross-checks (timing only)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default="-",
+        help="baseline file to merge the chaos document into ('-' = print only)",
+    )
+    p.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="fail (exit 1) on completion-rate regression, lost convergence "
+        "or any full plan rebuild vs this baseline's chaos entry",
     )
 
     p = sub.add_parser(
@@ -408,6 +464,55 @@ def _cmd_drift(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos`` — run the soak, report, persist, optionally gate."""
+    from .bench import compare_bench, load_baseline, merge_baseline
+    from .experiments import chaos
+
+    kwargs = {}
+    if args.K is not None:
+        kwargs["K"] = args.K
+    if args.degree is not None:
+        kwargs["degree"] = args.degree
+    if args.epochs is not None:
+        kwargs["epochs"] = args.epochs
+    if args.rate is not None:
+        kwargs["drift_rate"] = args.rate
+    if args.tail is not None:
+        kwargs["tail"] = args.tail
+    cfg = default_config()
+    if args.seed is not None:
+        from dataclasses import replace
+
+        cfg = replace(cfg, seed=args.seed)
+    result = chaos.run(
+        cfg,
+        artifacts=_artifact_cache(args),
+        validate=not args.no_validate,
+        **kwargs,
+    )
+    print(chaos.format_result(result))
+
+    doc = chaos.to_bench_doc(result)
+    if args.output != "-":
+        merge_baseline(args.output, doc)
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.check:
+        try:
+            baseline = load_baseline(args.check, "chaos")
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 1
+        regressions = compare_bench(doc, baseline)
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check}", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace, cfg: ExperimentConfig) -> int:
     """Run the trace target with a live tracer and export the timeline.
 
@@ -532,6 +637,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "drift":
         return _cmd_drift(args)
+
+    if args.command == "chaos":
+        return _cmd_chaos(args)
 
     cfg = _config_from(args)
 

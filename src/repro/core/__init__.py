@@ -56,11 +56,14 @@ from .stfw import (
     direct_ft_process,
     direct_process,
     recv_counts_from_plan,
+    repair_side_tables,
     run_direct_exchange,
     run_direct_ft_exchange,
     run_exchange,
     run_stfw_exchange,
     run_stfw_ft_exchange,
+    side_tables_from_plan,
+    SideTables,
     stfw_ft_process,
     stfw_process,
 )
@@ -100,6 +103,9 @@ __all__ = [
     "stfw_ft_process",
     "direct_ft_process",
     "recv_counts_from_plan",
+    "SideTables",
+    "side_tables_from_plan",
+    "repair_side_tables",
     "run_exchange",
     "run_stfw_exchange",
     "run_direct_exchange",

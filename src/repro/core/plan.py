@@ -33,6 +33,7 @@ __all__ = [
     "build_plan",
     "build_direct_plan",
     "plans_for_dimensions",
+    "plans_identical",
     "repair_plan",
 ]
 
@@ -738,3 +739,33 @@ def plans_for_dimensions(
     for n in dimensions:
         out[n] = builder.plan(make_vpt(pattern.K, n), header_words=header_words)
     return out
+
+
+def plans_identical(p: CommPlan, q: CommPlan) -> bool:
+    """True iff two plans are byte-identical (values **and** dtypes).
+
+    Covers every schedule array of every stage, the forward-occupancy
+    matrix and the pattern arrays; ``route_key`` is derived metadata
+    (absent on deserialized plans) and is deliberately ignored.  The
+    canonical cross-check used wherever an incrementally repaired plan
+    is validated against a from-scratch rebuild.
+    """
+
+    def same(a: np.ndarray, b: np.ndarray) -> bool:
+        return a.dtype == b.dtype and a.shape == b.shape and bool((a == b).all())
+
+    if p.vpt.dim_sizes != q.vpt.dim_sizes or p.header_words != q.header_words:
+        return False
+    if len(p.stages) != len(q.stages):
+        return False
+    if not same(p.forward_occupancy, q.forward_occupancy):
+        return False
+    for a, b in zip(p.stages, q.stages):
+        for name in ("sender", "receiver", "nsub", "payload_words", "total_words"):
+            if not same(getattr(a, name), getattr(b, name)):
+                return False
+    return (
+        same(p.pattern.src, q.pattern.src)
+        and same(p.pattern.dst, q.pattern.dst)
+        and same(p.pattern.size, q.pattern.size)
+    )

@@ -74,7 +74,7 @@ from ..simmpi.faults import FaultPlan
 from ..simmpi.message import TIMEOUT, RunResult
 from ..simmpi.reliable import ReliableComm
 from ..simmpi.runtime import Comm, run_spmd
-from .pattern import CommPattern
+from .pattern import CommPattern, PatternDelta
 from .plan import CommPlan, build_plan
 from .vpt import VirtualProcessTopology
 
@@ -84,6 +84,9 @@ __all__ = [
     "stfw_ft_process",
     "direct_ft_process",
     "recv_counts_from_plan",
+    "SideTables",
+    "side_tables_from_plan",
+    "repair_side_tables",
     "run_exchange",
     "run_stfw_exchange",
     "run_direct_exchange",
@@ -166,6 +169,132 @@ def recv_counts_from_plan(plan: CommPlan) -> np.ndarray:
     for d, st in enumerate(plan.stages):
         out[d] = st.recv_counts(plan.K)
     return out
+
+
+@dataclass
+class SideTables:
+    """The persistent exchange's amortized per-pattern lookup tables.
+
+    ``recv_counts`` is the planned-mode table of
+    :func:`recv_counts_from_plan` (shape ``(n_stages, K)``): physical
+    messages each rank must receive per stage.  ``origin_counts`` is
+    the fault-tolerance accounting table (shape ``(K,)``): how many
+    end-to-end payloads each rank expects — what the degraded-mode
+    accounting of the self-healing service measures delivery against.
+
+    Both are maintained *incrementally* across pattern drift by
+    :func:`repair_side_tables`, byte-identical to recomputation.
+    """
+
+    recv_counts: np.ndarray
+    origin_counts: np.ndarray
+
+    def copy(self) -> "SideTables":
+        """An independent copy (repair never mutates its input)."""
+        return SideTables(self.recv_counts.copy(), self.origin_counts.copy())
+
+
+def side_tables_from_plan(plan: CommPlan) -> SideTables:
+    """Build the side tables of a plan from scratch (the cold path)."""
+    return SideTables(
+        recv_counts=recv_counts_from_plan(plan),
+        origin_counts=np.bincount(
+            plan.pattern.dst, minlength=plan.K
+        ).astype(np.int64),
+    )
+
+
+def _stage_route_key(st, K: int) -> np.ndarray:
+    """A stage's strictly-increasing ``sender * K + receiver`` key array.
+
+    Derives (and vets) the key for deserialized or hand-built stages
+    that do not carry ``route_key``, mirroring :func:`repro.core.plan.repair_plan`.
+    """
+    key = st.route_key
+    if key is None:
+        key = st.sender * np.int64(K) + st.receiver
+        if key.size > 1 and not (key[1:] > key[:-1]).all():
+            raise PlanError(
+                "side-table repair requires a coalesced plan; this plan "
+                "repeats a (sender, receiver) route within a stage"
+            )
+    return key
+
+
+def _sorted_only_in(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elements of sorted-unique ``a`` absent from sorted-unique ``b``."""
+    if a.size == 0:
+        return a
+    if b.size == 0:
+        return a
+    pos = np.minimum(np.searchsorted(b, a), b.size - 1)
+    return a[b[pos] != a]
+
+
+def repair_side_tables(
+    tables: SideTables,
+    plan: CommPlan,
+    repaired: CommPlan,
+    delta: PatternDelta,
+) -> SideTables:
+    """Incrementally repair the side tables across one drift step.
+
+    ``plan`` is the pre-drift plan, ``repaired`` its
+    :func:`~repro.core.plan.repair_plan` output for ``delta``, and
+    ``tables`` the pre-drift side tables.  Only the *routes the delta
+    actually touched* are reconciled: per stage, the route keys that
+    appeared or disappeared between the two plans adjust the affected
+    receivers' counts, and the delta's removed/added edges adjust the
+    end-to-end origin counts.  The result is byte-identical — values
+    and dtypes — to ``side_tables_from_plan(repaired)`` (the chaos
+    driver cross-checks this every epoch).
+
+    Raises :class:`~repro.errors.PlanError` when the inputs do not
+    belong together (shape/K/stage-count mismatch) or a count would go
+    negative (the delta does not apply to this plan).
+    """
+    K = plan.K
+    if repaired.K != K or delta.K != K:
+        raise PlanError(
+            f"side-table repair needs matching K: plan {K}, "
+            f"repaired {repaired.K}, delta {delta.K}"
+        )
+    if len(repaired.stages) != len(plan.stages):
+        raise PlanError(
+            f"repaired plan has {len(repaired.stages)} stages, "
+            f"original has {len(plan.stages)}"
+        )
+    if tables.recv_counts.shape != (len(plan.stages), K):
+        raise PlanError(
+            f"recv_counts shape {tables.recv_counts.shape} does not match "
+            f"plan ({len(plan.stages)}, {K})"
+        )
+    if tables.origin_counts.shape != (K,):
+        raise PlanError(
+            f"origin_counts shape {tables.origin_counts.shape} does not "
+            f"match K={K}"
+        )
+    recv = tables.recv_counts.copy()
+    for d, (old_st, new_st) in enumerate(zip(plan.stages, repaired.stages)):
+        old_key = _stage_route_key(old_st, K)
+        new_key = _stage_route_key(new_st, K)
+        gone = _sorted_only_in(old_key, new_key)
+        born = _sorted_only_in(new_key, old_key)
+        if gone.size:
+            recv[d] -= np.bincount(gone % K, minlength=K)
+        if born.size:
+            recv[d] += np.bincount(born % K, minlength=K)
+    origin = tables.origin_counts.copy()
+    if delta.remove_dst.size:
+        np.subtract.at(origin, delta.remove_dst, 1)
+    if delta.add_dst.size:
+        np.add.at(origin, delta.add_dst, 1)
+    if (recv.min(initial=0) < 0) or (origin.min(initial=0) < 0):
+        raise PlanError(
+            "side-table repair drove a receive count negative; "
+            "the delta does not apply to this plan"
+        )
+    return SideTables(recv_counts=recv, origin_counts=origin)
 
 
 def stfw_process(
@@ -479,6 +608,9 @@ def stfw_ft_process(
     timeout_us: float = 150.0,
     max_retries: int = 3,
     backoff: float = 2.0,
+    retry_jitter: float = 0.0,
+    retry_seed: int = 0,
+    suspected: Sequence[int] = (),
     quiesce_us: float | None = None,
     end_wait_us: float | None = None,
     max_recovery_rounds: int = 2,
@@ -512,8 +644,14 @@ def stfw_ft_process(
     obs = tracer if (tracer is not None and tracer.enabled) else None
     rc = ReliableComm(
         comm, timeout_us=timeout_us, max_retries=max_retries, backoff=backoff,
-        tracer=tracer,
+        jitter=retry_jitter, seed=retry_seed, tracer=tracer,
     )
+    # peers already suspected dead (by the escalation policy of a
+    # long-lived service, say) are detoured around from hop one instead
+    # of being rediscovered through a full retry cycle each
+    for peer in suspected:
+        if peer != rank:
+            rc.dead.add(int(peer))
     retry_cycle = timeout_us * sum(backoff**k for k in range(max_retries + 1))
     if quiesce_us is None:
         quiesce_us = 3.0 * retry_cycle
@@ -612,6 +750,9 @@ def direct_ft_process(
     timeout_us: float = 150.0,
     max_retries: int = 3,
     backoff: float = 2.0,
+    retry_jitter: float = 0.0,
+    retry_seed: int = 0,
+    suspected: Sequence[int] = (),
     quiesce_us: float | None = None,
     tracer=None,
 ) -> Generator:
@@ -624,8 +765,11 @@ def direct_ft_process(
     rank = comm.rank
     rc = ReliableComm(
         comm, timeout_us=timeout_us, max_retries=max_retries, backoff=backoff,
-        tracer=tracer,
+        jitter=retry_jitter, seed=retry_seed, tracer=tracer,
     )
+    for peer in suspected:
+        if peer != rank:
+            rc.dead.add(int(peer))
     if quiesce_us is None:
         retry_cycle = timeout_us * sum(backoff**k for k in range(max_retries + 1))
         quiesce_us = 3.0 * retry_cycle
@@ -720,6 +864,9 @@ _FT_DEFAULTS = {
     "timeout_us": 150.0,
     "max_retries": 3,
     "backoff": 2.0,
+    "retry_jitter": 0.0,
+    "retry_seed": 0,
+    "suspected": (),
     "quiesce_us": None,
     "end_wait_us": None,
     "max_recovery_rounds": 2,
@@ -790,6 +937,9 @@ def run_exchange(
     timeout_us: float = 150.0,
     max_retries: int = 3,
     backoff: float = 2.0,
+    retry_jitter: float = 0.0,
+    retry_seed: int = 0,
+    suspected: Sequence[int] = (),
     quiesce_us: float | None = None,
     end_wait_us: float | None = None,
     max_recovery_rounds: int = 2,
@@ -817,7 +967,8 @@ def run_exchange(
     from the plan; the amortized-setup path the paper times) or
     ``"dynamic"`` (per-stage count exchange; no global knowledge) —
     STFW only, as is ``header_words``.  The FT knobs (``timeout_us``,
-    ``max_retries``, ``backoff``, ``quiesce_us``, ``end_wait_us``,
+    ``max_retries``, ``backoff``, ``retry_jitter``, ``retry_seed``,
+    ``suspected``, ``quiesce_us``, ``end_wait_us``,
     ``max_recovery_rounds``) apply only with ``on_fault="tolerate"``;
     passing a non-default value otherwise is an error naming the knob.
     ``tracer`` is an optional :class:`repro.obs.Tracer` receiving
@@ -836,6 +987,9 @@ def run_exchange(
         "timeout_us": timeout_us,
         "max_retries": max_retries,
         "backoff": backoff,
+        "retry_jitter": retry_jitter,
+        "retry_seed": retry_seed,
+        "suspected": tuple(sorted(int(r) for r in suspected)),
         "quiesce_us": quiesce_us,
         "end_wait_us": end_wait_us,
         "max_recovery_rounds": max_recovery_rounds,

@@ -15,7 +15,8 @@ figure10  per-instance comm times at 16K on the XK7 torus
 
 ``faults`` and ``recover`` (not paper artifacts) measure BL vs STFW
 resilience and shrink-recovery cost under the emulator's
-fault-injection subsystem.
+fault-injection subsystem; ``chaos`` soaks the self-healing persistent
+exchange service under combined drift and fault streams.
 """
 
 from . import (

@@ -39,7 +39,7 @@ import numpy as np
 
 from ..core.dimensioning import make_vpt
 from ..core.pattern import CommPattern, PatternDelta
-from ..core.plan import CommPlan, build_plan, repair_plan
+from ..core.plan import build_plan, plans_identical, repair_plan
 from ..core.stfw import run_exchange
 from ..errors import ExperimentError
 from ..metrics import Table
@@ -70,34 +70,6 @@ AVG_DEGREE = 96
 SERVICE_K = 32
 
 
-def plans_identical(p: CommPlan, q: CommPlan) -> bool:
-    """True iff two plans are byte-identical (values **and** dtypes).
-
-    Covers every schedule array of every stage, the forward-occupancy
-    matrix and the pattern arrays; ``route_key`` is derived metadata
-    (absent on deserialized plans) and is deliberately ignored.
-    """
-
-    def same(a: np.ndarray, b: np.ndarray) -> bool:
-        return a.dtype == b.dtype and a.shape == b.shape and bool((a == b).all())
-
-    if p.vpt.dim_sizes != q.vpt.dim_sizes or p.header_words != q.header_words:
-        return False
-    if len(p.stages) != len(q.stages):
-        return False
-    if not same(p.forward_occupancy, q.forward_occupancy):
-        return False
-    for a, b in zip(p.stages, q.stages):
-        for name in ("sender", "receiver", "nsub", "payload_words", "total_words"):
-            if not same(getattr(a, name), getattr(b, name)):
-                return False
-    return (
-        same(p.pattern.src, q.pattern.src)
-        and same(p.pattern.dst, q.pattern.dst)
-        and same(p.pattern.size, q.pattern.size)
-    )
-
-
 @dataclass
 class DriftRateRow:
     """Repair-vs-rebuild latency at one drift rate."""
@@ -122,6 +94,9 @@ class ServiceSummary:
     discovery_rounds: int
     traces_matched: int  # epochs whose exchange traces were identical
     makespan_us: float  # last epoch's exchange makespan
+    repairs: int = 0  # incremental plan+side-table repairs applied
+    full_rebuilds: int = 0  # from-scratch fallbacks (target: 0)
+    side_table_checks: int = 0  # byte-identity validations passed
 
 
 @dataclass
@@ -227,22 +202,41 @@ def _run_service(
     validate: bool,
     tracer=None,
 ) -> ServiceSummary:
-    """Drive the emulated exchange service along one delta stream."""
+    """Drive one delta stream through the *persistent* exchange service.
+
+    The service (:class:`~repro.spmv.persistent.PersistentExchangeService`)
+    owns the plan and side tables across epochs — repairing, never
+    rebuilding — and each epoch's exchange runs through its planned
+    fast path rather than a fresh ``run_exchange`` setup.  This
+    function keeps the two external cross-checks the service cannot
+    perform on itself: NBX rediscovery of every epoch's recv-sets, and
+    the golden-trace equality of the repair-maintained exchange against
+    one driven by a from-scratch rebuild.
+    """
+    from ..spmv.persistent import PersistentExchangeService
+
     pattern = CommPattern.random(K, avg_degree=4, seed=seed)
     vpt = make_vpt(K, 2)
-    plan = build_plan(pattern, vpt)
+    service = PersistentExchangeService(
+        pattern, vpt, machine=machine, validate=validate, tracer=tracer
+    )
     frames = rounds = matched = 0
     makespan = 0.0
     for epoch in range(epochs):
-        delta = PatternDelta.random(plan.pattern, 0.10, seed=seed + 31 * epoch)
-        repaired = repair_plan(plan, delta)
-        drifted = plan.pattern.apply_delta(delta)
-        rebuilt = build_plan(drifted, vpt)
-        if validate and not plans_identical(repaired, rebuilt):
+        delta = PatternDelta.random(service.pattern, 0.10, seed=seed + 31 * epoch)
+        rebuilt = build_plan(service.pattern.apply_delta(delta), vpt)
+
+        report = service.run_epoch(delta, trace=True)
+        if report.action != "healthy" or report.missing:
+            raise ExperimentError(
+                f"fault-free service epoch {epoch} escalated to "
+                f"{report.action!r} ({len(report.missing)} pairs missing)"
+            )
+        if validate and not plans_identical(service.plan, rebuilt):
             raise ExperimentError(f"service repair diverged at epoch {epoch}")
 
         # the ranks re-learn their recv-sets from send-sets alone
-        pat = repaired.pattern
+        pat = service.pattern
         stats = [DiscoveryStats() for _ in range(K)]
 
         def worker(comm):
@@ -265,19 +259,17 @@ def _run_service(
         frames += sum(st.frames_received for st in stats)
         rounds += max(st.rounds for st in stats)
 
-        # golden traces: the exchange over the repair-maintained pattern
-        # must equal the exchange over the from-scratch rebuild
-        rep_run = run_exchange(repaired.pattern, vpt, machine=machine, trace=True)
+        # golden traces: the service's repair-maintained exchange must
+        # equal an exchange driven by the from-scratch rebuild
         ref_run = run_exchange(rebuilt.pattern, vpt, machine=machine, trace=True)
-        if rep_run.run.trace == ref_run.run.trace:
+        if report.result.run.trace == ref_run.run.trace:
             matched += 1
         elif validate:
             raise ExperimentError(
                 f"exchange trace diverged between repair and rebuild at "
                 f"epoch {epoch}"
             )
-        makespan = rep_run.run.makespan_us
-        plan = repaired
+        makespan = report.makespan_us
     return ServiceSummary(
         K=K,
         epochs=epochs,
@@ -285,6 +277,9 @@ def _run_service(
         discovery_rounds=rounds,
         traces_matched=matched,
         makespan_us=makespan,
+        repairs=service.repairs,
+        full_rebuilds=service.full_rebuilds,
+        side_table_checks=service.side_table_checks,
     )
 
 
@@ -373,7 +368,9 @@ def format_result(result: DriftResult) -> str:
     s = result.service
     if s is not None:
         lines.append(
-            f"service: K={s.K}, {s.epochs} epoch(s), NBX discovery "
+            f"service: K={s.K}, {s.epochs} epoch(s), {s.repairs} repair(s) / "
+            f"{s.full_rebuilds} rebuild(s) / {s.side_table_checks} side-table "
+            f"check(s), NBX discovery "
             f"{s.discovery_frames} frames / {s.discovery_rounds} round(s), "
             f"{s.traces_matched}/{s.epochs} golden traces matched, "
             f"last makespan {s.makespan_us:.1f}us"

@@ -3,9 +3,12 @@
 from .collect import CommStats, collect_stats
 from .report import Table, format_table, geometric_mean, geometric_mean_rows, normalize_to
 from .resilience import (
+    DegradationStats,
     RecoveryEvent,
     RecoveryStats,
     ResilienceStats,
+    degradation_stats,
+    degradation_table,
     delivered_pairs,
     expected_pairs,
     recovery_stats,
@@ -31,4 +34,7 @@ __all__ = [
     "RecoveryStats",
     "recovery_stats",
     "recovery_table",
+    "DegradationStats",
+    "degradation_stats",
+    "degradation_table",
 ]

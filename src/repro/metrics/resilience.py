@@ -27,6 +27,9 @@ __all__ = [
     "RecoveryStats",
     "recovery_stats",
     "recovery_table",
+    "DegradationStats",
+    "degradation_stats",
+    "degradation_table",
 ]
 
 
@@ -80,11 +83,13 @@ def delivered_pairs(
 
     ``delivered[i]`` holds rank ``i``'s received ``(source, payload)``
     pairs — the shape of both ``ExchangeResult.delivered`` and
-    ``FTExchangeResult.delivered``.
+    ``FTExchangeResult.delivered``.  A crashed rank's entry may be
+    ``None`` (it returned nothing); that counts as no deliveries.
     """
     return {
         (int(src), dst)
         for dst, msgs in enumerate(delivered)
+        if msgs
         for src, _ in msgs
     }
 
@@ -241,6 +246,123 @@ def recovery_table(
             f"{s.message_delta:.2f}x",
             f"{s.volume_delta:.2f}x",
             f"<={s.message_bound}" if s.bound_ok else f"VIOLATED({s.message_bound})",
+        )
+    return t.render()
+
+
+@dataclass(frozen=True)
+class DegradationStats:
+    """Aggregate degradation accounting of one long-lived service soak.
+
+    Summarizes a stream of per-epoch reports (anything with the
+    :class:`~repro.spmv.persistent.EpochReport` fields — this module
+    does not import the service).  ``mean_completion_rate`` averages
+    the per-epoch countable-pair completion; ``worst_epoch`` names the
+    epoch with the lowest rate.  ``mean_makespan_inflation`` compares
+    faulty-epoch makespans against the mean makespan of the healthy
+    epochs (1.0 when either side is empty).  ``actions`` histograms
+    the escalation rungs the soak visited.
+    """
+
+    epochs: int
+    faulty_epochs: int
+    degraded_epochs: int
+    mean_completion_rate: float
+    min_completion_rate: float
+    worst_epoch: int
+    missing_pairs: int
+    mean_makespan_inflation: float
+    actions: tuple[tuple[str, int], ...]
+
+    @property
+    def actions_dict(self) -> dict[str, int]:
+        """The ``actions`` histogram as a plain dict."""
+        return dict(self.actions)
+
+
+def degradation_stats(reports: Sequence[Any]) -> DegradationStats:
+    """Fold a soak's per-epoch reports into one degradation summary."""
+    if not reports:
+        return DegradationStats(
+            epochs=0,
+            faulty_epochs=0,
+            degraded_epochs=0,
+            mean_completion_rate=1.0,
+            min_completion_rate=1.0,
+            worst_epoch=0,
+            missing_pairs=0,
+            mean_makespan_inflation=1.0,
+            actions=(),
+        )
+    actions: dict[str, int] = {}
+    rates = []
+    healthy_spans = []
+    faulty_spans = []
+    worst_epoch = reports[0].epoch
+    worst_rate = 1.0
+    missing = 0
+    degraded = 0
+    for r in reports:
+        actions[r.action] = actions.get(r.action, 0) + 1
+        rate = r.completion_rate
+        rates.append(rate)
+        if rate < worst_rate:
+            worst_rate = rate
+            worst_epoch = r.epoch
+        missing += len(r.missing)
+        if r.action == "degraded":
+            degraded += 1
+        if r.action == "healthy":
+            healthy_spans.append(r.makespan_us)
+        else:
+            faulty_spans.append(r.makespan_us)
+    if healthy_spans and faulty_spans:
+        base = sum(healthy_spans) / len(healthy_spans)
+        inflation = (sum(faulty_spans) / len(faulty_spans)) / base if base else 1.0
+    else:
+        inflation = 1.0
+    return DegradationStats(
+        epochs=len(reports),
+        faulty_epochs=sum(n for a, n in actions.items() if a != "healthy"),
+        degraded_epochs=degraded,
+        mean_completion_rate=sum(rates) / len(rates),
+        min_completion_rate=min(rates),
+        worst_epoch=worst_epoch,
+        missing_pairs=missing,
+        mean_makespan_inflation=inflation,
+        actions=tuple(sorted(actions.items())),
+    )
+
+
+def degradation_table(
+    rows: Sequence[tuple[str, DegradationStats]],
+    *,
+    title: str = "Service degradation under chaos",
+) -> str:
+    """Render soak-phase rows as a paper-style fixed-width text table."""
+    t = Table(
+        columns=(
+            "phase",
+            "epochs",
+            "faulty",
+            "degraded",
+            "completion",
+            "min",
+            "inflation",
+            "actions",
+        ),
+        title=title,
+    )
+    for phase, s in rows:
+        t.add_row(
+            phase,
+            s.epochs,
+            s.faulty_epochs,
+            s.degraded_epochs,
+            f"{100.0 * s.mean_completion_rate:.2f}%",
+            f"{100.0 * s.min_completion_rate:.2f}%",
+            f"{s.mean_makespan_inflation:.2f}x",
+            " ".join(f"{a}:{n}" for a, n in s.actions),
         )
     return t.render()
 

@@ -17,7 +17,8 @@ from .collectives import ShrinkOp
 from .discovery import DISCOVERY_TAG, DiscoveryStats, nbx_discover
 from .faults import FaultEvent, FaultPlan, LinkOutage
 from .message import ANY_SOURCE, ANY_TAG, TIMEOUT, Envelope, RunResult, TraceRecord
-from .reliable import ReliableComm, ReliableStats
+from .policy import ESCALATION_LADDER, CircuitBreaker, EscalationPolicy, PolicyConfig
+from .reliable import ReliableComm, ReliableStats, retry_jitter
 from .runtime import RECV_ALPHA_FRACTION, Comm, SimMPI, run_spmd
 
 __all__ = [
@@ -36,6 +37,11 @@ __all__ = [
     "LinkOutage",
     "ReliableComm",
     "ReliableStats",
+    "retry_jitter",
+    "ESCALATION_LADDER",
+    "PolicyConfig",
+    "CircuitBreaker",
+    "EscalationPolicy",
     "DISCOVERY_TAG",
     "DiscoveryStats",
     "nbx_discover",

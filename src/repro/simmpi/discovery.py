@@ -36,7 +36,7 @@ are always sent after the earlier epoch's were consumed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import Collection, Generator
 
 from ..errors import SimMPIError
 from .message import TIMEOUT
@@ -60,6 +60,10 @@ class DiscoveryStats:
     frames_received: int = 0
     duplicates_suppressed: int = 0
     rounds: int = 0
+    #: sendset entries masked because their destination is known dead
+    frames_skipped_dead: int = 0
+    #: speculative frames from a now-dead source, dropped not trusted
+    frames_ignored_dead: int = 0
 
 
 def nbx_discover(
@@ -68,6 +72,7 @@ def nbx_discover(
     *,
     tag: int = DISCOVERY_TAG,
     probe_timeout_us: float = 50.0,
+    dead: Collection[int] = (),
     tracer=None,
     stats: DiscoveryStats | None = None,
 ) -> Generator[object, object, dict[int, int]]:
@@ -93,6 +98,16 @@ def nbx_discover(
         Virtual time a drain receive waits before declaring the round's
         mailbox dry.  Smaller values poll the consensus counter more
         often; correctness does not depend on the choice.
+    dead:
+        Ranks every caller agrees are crashed (e.g. the result of
+        ``yield comm.shrink()``).  Sendset entries addressed to them
+        are masked out of the speculative sends *and* the consensus
+        accounting — a frame to a dead rank is dropped by the engine
+        and would otherwise keep the outstanding count positive
+        forever, wedging the consensus.  Speculative frames *from* a
+        dead rank (sent before it crashed) are likewise ignored rather
+        than trusted, so the returned recv-set names only live
+        sources.  All callers must pass the same set.
     tracer:
         Optional :class:`repro.obs.Tracer`; activity is mirrored into
         ``discovery.*`` counters on this rank's track.
@@ -104,15 +119,27 @@ def nbx_discover(
     st = stats if stats is not None else DiscoveryStats()
     obs = tracer if (tracer is not None and tracer.enabled) else None
     rank = comm.rank
+    gone = frozenset(dead)
+    if rank in gone:
+        raise SimMPIError(f"rank {rank}: cannot discover as a dead rank")
+    live = 0
     for dest, words in sendset.items():
         if words < 0:
             raise SimMPIError(
                 f"rank {rank}: discovery sendset words must be non-negative"
             )
+        if dest in gone:
+            st.frames_skipped_dead += 1
+            continue
         comm.send(dest, (rank, int(words)), tag=tag, words=FRAME_WORDS)
-    st.frames_sent = len(sendset)
+        live += 1
+    st.frames_sent = live
     if obs is not None:
-        obs.count("discovery.frames_sent", len(sendset), track=rank)
+        obs.count("discovery.frames_sent", live, track=rank)
+        if st.frames_skipped_dead:
+            obs.count(
+                "discovery.frames_skipped_dead", st.frames_skipped_dead, track=rank
+            )
 
     recvset: dict[int, int] = {}
     delivered = 0
@@ -125,6 +152,13 @@ def nbx_discover(
                 break
             src, _tag, frame = got
             fsrc, words = frame
+            if fsrc in gone:
+                # a speculative frame the source fired before crashing:
+                # rediscovered state must not trust the dead
+                st.frames_ignored_dead += 1
+                if obs is not None:
+                    obs.count("discovery.frames_ignored_dead", 1, track=rank)
+                continue
             if fsrc in recvset:
                 st.duplicates_suppressed += 1
                 if obs is not None:
@@ -135,10 +169,10 @@ def nbx_discover(
             st.frames_received += 1
             if obs is not None:
                 obs.count("discovery.frames_received", 1, track=rank)
-        # the consensus counter: globally, frames sent minus unique
-        # frames delivered.  Zero means no frame is still in flight
-        # anywhere, so every rank's recvset is complete.
-        outstanding = yield comm.allreduce(len(sendset) - delivered, op="sum", words=1)
+        # the consensus counter: globally, live frames sent minus
+        # unique frames delivered.  Zero means no frame is still in
+        # flight anywhere, so every rank's recvset is complete.
+        outstanding = yield comm.allreduce(st.frames_sent - delivered, op="sum", words=1)
         if outstanding <= 0:
             break
     if obs is not None:

@@ -1,0 +1,295 @@
+"""Fault-escalation policy for a long-lived exchange service.
+
+A persistent exchange that survives a hostile machine needs more than
+mechanisms — the repo already has bounded retry (`ReliableComm`),
+e-cube detours (`stfw_ft_process`), agreement on the dead
+(`Comm.shrink`) and rediscovery (`nbx_discover`).  What it lacks is the
+*policy* that decides which mechanism an epoch gets.  This module is
+that decision layer, deliberately free of any engine dependency so it
+can be unit-tested as a pure state machine and replayed
+deterministically: every decision is a function of the configured
+budgets, the per-peer fault history, and the jitter seed — never of
+wall-clock time or shared RNG state.
+
+The escalation ladder (:data:`ESCALATION_LADDER`) orders the responses
+by cost:
+
+``healthy``
+    The planned fast path — precomputed receive counts, no reliable
+    layer.  Where every epoch should live.
+``retry``
+    Bounded retransmission with seed-deterministic jittered backoff
+    (the :func:`~repro.simmpi.reliable.retry_jitter` schedule) — for
+    transient drops that a second attempt absorbs.
+``reroute``
+    The fault-tolerant exchange with *pre-suspected* peers: e-cube
+    detours route around them from hop one instead of burning a full
+    retry cycle per hop rediscovering the same dead forwarder.
+``shrink``
+    The suspicion hardened into agreement: ``Comm.shrink()`` over the
+    survivors, recv-sets rediscovered (not trusted) via NBX, and the
+    plan repaired incrementally with a crash-mask delta.
+``degraded``
+    Partial results with explicit accounting — the service keeps
+    serving the survivor rows and reports exactly which pairs are
+    missing, rather than stalling the world.
+
+:class:`CircuitBreaker` handles the distinct failure shape of a
+*flapping* link: a peer that alternates faulty/clean would otherwise
+oscillate between rungs forever.  After ``threshold`` consecutive
+faulty epochs the peer's circuit opens and the service pre-suspects it
+unconditionally; after ``cooldown`` epochs the circuit goes half-open
+and one clean probe epoch closes it again (a faulty probe re-opens it
+for another full cooldown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Collection, Iterable
+
+from ..errors import SimMPIError
+
+__all__ = [
+    "ESCALATION_LADDER",
+    "PolicyConfig",
+    "CircuitBreaker",
+    "EscalationPolicy",
+]
+
+#: the escalation rungs, cheapest first; epoch reports are labelled
+#: with exactly one of these
+ESCALATION_LADDER = ("healthy", "retry", "reroute", "shrink", "degraded")
+
+#: circuit states
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Budgets and thresholds of one service's escalation policy.
+
+    ``timeout_us``/``max_retries``/``backoff`` bound each reliable
+    transfer; ``jitter``/``seed`` parameterize the deterministic
+    backoff stretch (see :func:`~repro.simmpi.reliable.retry_jitter`).
+    ``suspect_after`` consecutive faulty epochs promote a peer from
+    transient (retry rung) to suspected (reroute rung);
+    ``shrink_after`` consecutive faulty epochs harden the suspicion
+    into a shrink.  ``breaker_threshold``/``breaker_cooldown``
+    configure the flapping-link :class:`CircuitBreaker`.
+    """
+
+    timeout_us: float = 150.0
+    max_retries: int = 3
+    backoff: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    suspect_after: int = 1
+    shrink_after: int = 2
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 2
+
+    def __post_init__(self) -> None:
+        if self.timeout_us <= 0:
+            raise SimMPIError("policy timeout_us must be positive")
+        if self.max_retries < 0:
+            raise SimMPIError("policy max_retries must be non-negative")
+        if self.backoff < 1.0:
+            raise SimMPIError("policy backoff must be >= 1")
+        if self.jitter < 0.0:
+            raise SimMPIError("policy jitter must be non-negative")
+        if self.seed < 0:
+            raise SimMPIError("policy seed must be non-negative")
+        if self.suspect_after < 1:
+            raise SimMPIError("policy suspect_after must be >= 1")
+        if self.shrink_after < self.suspect_after:
+            raise SimMPIError(
+                "policy shrink_after must be >= suspect_after "
+                f"(got {self.shrink_after} < {self.suspect_after})"
+            )
+        if self.breaker_threshold < 1:
+            raise SimMPIError("policy breaker_threshold must be >= 1")
+        if self.breaker_cooldown < 1:
+            raise SimMPIError("policy breaker_cooldown must be >= 1")
+
+    def ft_knobs(self, *, suspected: Collection[int] = ()) -> dict:
+        """Keyword arguments for a tolerant ``run_exchange`` call."""
+        return {
+            "timeout_us": self.timeout_us,
+            "max_retries": self.max_retries,
+            "backoff": self.backoff,
+            "retry_jitter": self.jitter,
+            "retry_seed": self.seed,
+            "suspected": tuple(sorted(int(r) for r in suspected)),
+        }
+
+
+class CircuitBreaker:
+    """Per-peer three-state circuit breaker for flapping links.
+
+    ``closed`` (healthy traffic) → ``open`` after ``threshold``
+    consecutive faulty epochs (the peer is pre-suspected
+    unconditionally) → ``half_open`` after ``cooldown`` ticks (one
+    probe epoch decides: clean closes, faulty re-opens).  Advance
+    virtual time with :meth:`tick` once per epoch, then feed the
+    epoch's per-peer outcomes to :meth:`record`.
+    """
+
+    def __init__(self, *, threshold: int = 3, cooldown: int = 2):
+        if threshold < 1:
+            raise SimMPIError("breaker threshold must be >= 1")
+        if cooldown < 1:
+            raise SimMPIError("breaker cooldown must be >= 1")
+        self.threshold = int(threshold)
+        self.cooldown = int(cooldown)
+        self._streak: dict[int, int] = {}
+        self._state: dict[int, str] = {}
+        self._cooling: dict[int, int] = {}
+        #: lifetime counters, for obs
+        self.trips = 0
+        self.reopens = 0
+        self.resets = 0
+
+    def tick(self) -> None:
+        """Advance one epoch: open circuits cool toward half-open."""
+        for peer, left in list(self._cooling.items()):
+            if left <= 1:
+                del self._cooling[peer]
+                self._state[peer] = _HALF_OPEN
+            else:
+                self._cooling[peer] = left - 1
+
+    def record(self, peer: int, faulty: bool) -> str:
+        """Record one epoch's outcome for ``peer``; returns its state."""
+        peer = int(peer)
+        state = self._state.get(peer, _CLOSED)
+        if state == _OPEN:
+            # an open circuit carries no traffic; outcomes are not
+            # observations, only tick() moves it
+            return _OPEN
+        if faulty:
+            if state == _HALF_OPEN:
+                # the probe failed: re-open for a full cooldown
+                self.reopens += 1
+                self._state[peer] = _OPEN
+                self._cooling[peer] = self.cooldown
+                self._streak[peer] = 0
+                return _OPEN
+            streak = self._streak.get(peer, 0) + 1
+            self._streak[peer] = streak
+            if streak >= self.threshold:
+                self.trips += 1
+                self._state[peer] = _OPEN
+                self._cooling[peer] = self.cooldown
+                self._streak[peer] = 0
+                return _OPEN
+            return _CLOSED
+        if state == _HALF_OPEN:
+            self.resets += 1
+        self._state[peer] = _CLOSED
+        self._streak[peer] = 0
+        return _CLOSED
+
+    def state(self, peer: int) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"``."""
+        return self._state.get(int(peer), _CLOSED)
+
+    def open_peers(self) -> tuple[int, ...]:
+        """Peers whose circuit is open (pre-suspected), ascending."""
+        return tuple(sorted(p for p, s in self._state.items() if s == _OPEN))
+
+    def all_closed(self) -> bool:
+        """True when no circuit is open or half-open."""
+        return all(s == _CLOSED for s in self._state.values())
+
+    def forget(self, peer: int) -> None:
+        """Drop all state for ``peer`` (it was declared dead)."""
+        peer = int(peer)
+        self._streak.pop(peer, None)
+        self._state.pop(peer, None)
+        self._cooling.pop(peer, None)
+
+
+class EscalationPolicy:
+    """The decision layer of a self-healing persistent exchange.
+
+    Tracks per-peer consecutive-fault streaks and the flapping-link
+    breaker, and answers the two questions the service asks each
+    epoch: *which peers should the next exchange pre-suspect?*
+    (:meth:`suspects`) and *which suspicions are now hard enough to
+    shrink on?* (:meth:`to_shrink`).  Feed each epoch's observations
+    with :meth:`note_epoch`; seal a shrink with :meth:`declare_dead`.
+    """
+
+    def __init__(self, config: PolicyConfig | None = None):
+        self.config = config if config is not None else PolicyConfig()
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
+        self._streak: dict[int, int] = {}
+        #: peers declared permanently dead via the shrink rung
+        self.dead: set[int] = set()
+        #: epochs observed, for obs labelling
+        self.epochs = 0
+
+    def note_epoch(
+        self,
+        faulty_peers: Iterable[int] = (),
+        clean_peers: Iterable[int] = (),
+    ) -> None:
+        """Record one epoch: who misbehaved, who answered cleanly.
+
+        A peer in both collections counts as faulty (a partial epoch
+        is still a faulty epoch).  Dead peers are ignored.
+        """
+        self.epochs += 1
+        self.breaker.tick()
+        faulty = {int(p) for p in faulty_peers} - self.dead
+        clean = {int(p) for p in clean_peers} - self.dead - faulty
+        for peer in sorted(faulty):
+            self._streak[peer] = self._streak.get(peer, 0) + 1
+            self.breaker.record(peer, True)
+        for peer in sorted(clean):
+            self._streak.pop(peer, None)
+            self.breaker.record(peer, False)
+
+    def suspects(self) -> tuple[int, ...]:
+        """Peers the next exchange should pre-suspect, ascending.
+
+        The union of peers whose fault streak reached
+        ``suspect_after`` and peers with an open breaker circuit —
+        but never the declared dead (those are gone, not suspected).
+        """
+        cfg = self.config
+        streaked = {
+            p for p, n in self._streak.items() if n >= cfg.suspect_after
+        }
+        return tuple(
+            sorted((streaked | set(self.breaker.open_peers())) - self.dead)
+        )
+
+    def to_shrink(self) -> tuple[int, ...]:
+        """Peers whose streak hardened past ``shrink_after``, ascending."""
+        cfg = self.config
+        return tuple(
+            sorted(
+                p
+                for p, n in self._streak.items()
+                if n >= cfg.shrink_after and p not in self.dead
+            )
+        )
+
+    def declare_dead(self, peers: Iterable[int]) -> None:
+        """Seal a shrink: ``peers`` are agreed crashed, not suspected."""
+        for peer in peers:
+            peer = int(peer)
+            self.dead.add(peer)
+            self._streak.pop(peer, None)
+            self.breaker.forget(peer)
+
+    def ft_knobs(self) -> dict:
+        """Tolerant-exchange kwargs with the current suspicion set."""
+        return self.config.ft_knobs(suspected=self.suspects())

@@ -41,11 +41,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Generator
 
+import numpy as np
+
 from ..errors import FaultError, SimMPIError
 from .message import TIMEOUT
 from .runtime import Comm
 
-__all__ = ["ReliableComm", "ReliableStats", "WIRE_TAG", "ACK_WORDS"]
+__all__ = ["ReliableComm", "ReliableStats", "WIRE_TAG", "ACK_WORDS", "retry_jitter"]
 
 #: the engine tag every reliable-layer frame travels on
 WIRE_TAG = 1 << 24
@@ -56,6 +58,19 @@ ACK_WORDS = 1
 #: frame kind markers (index 0 of every frame tuple)
 _DATA = 0
 _ACK = 1
+
+
+def retry_jitter(seed: int, rank: int, dest: int, seq: int, attempt: int) -> float:
+    """Deterministic jitter fraction in ``[0, 1)`` for one retransmission.
+
+    A pure function of the identifying tuple — no shared RNG state, so
+    the draw a retransmission sees cannot depend on what order *other*
+    ranks (or other in-flight transfers on the same rank) drew theirs.
+    Two runs with the same ``seed`` therefore produce identical retry
+    timelines regardless of event interleaving.
+    """
+    ss = np.random.SeedSequence((int(seed), int(rank), int(dest), int(seq), int(attempt)))
+    return float(ss.generate_state(1)[0]) / 2.0**32
 
 
 @dataclass
@@ -69,6 +84,10 @@ class ReliableStats:
     duplicates_suppressed: int = 0
     timeouts: int = 0
     presumed_dead: list[int] = field(default_factory=list)
+    #: ``(dest, seq, attempt, virtual_time_us)`` per retransmission, in
+    #: the order they went out — the reproducibility witness: two runs
+    #: with the same jitter seed must produce identical schedules
+    retry_schedule: list[tuple[int, int, int, float]] = field(default_factory=list)
 
 
 class ReliableComm:
@@ -86,6 +105,16 @@ class ReliableComm:
     backoff:
         Multiplier on the ack timeout after each failed attempt
         (bounded exponential backoff).
+    jitter:
+        Maximum *fractional* stretch applied to each per-attempt ack
+        timeout: attempt ``a`` waits ``timeout_us * backoff**a *
+        (1 + jitter * u)`` with ``u = retry_jitter(seed, rank, dest,
+        seq, a)`` in ``[0, 1)``.  Desynchronizes retry storms after a
+        shared fault without sacrificing determinism; ``0.0`` (the
+        default) reproduces the unjittered schedule bit-for-bit.
+    seed:
+        Seed for :func:`retry_jitter`; only meaningful with
+        ``jitter > 0``.
     header_words:
         Extra words charged per ``DATA`` frame for its framing.
     tracer:
@@ -100,6 +129,8 @@ class ReliableComm:
         timeout_us: float = 100.0,
         max_retries: int = 3,
         backoff: float = 2.0,
+        jitter: float = 0.0,
+        seed: int = 0,
         header_words: int = 2,
         tracer=None,
     ):
@@ -109,12 +140,18 @@ class ReliableComm:
             raise SimMPIError("max_retries must be non-negative")
         if backoff < 1.0:
             raise SimMPIError("backoff must be >= 1")
+        if jitter < 0.0:
+            raise SimMPIError("jitter must be non-negative")
+        if seed < 0:
+            raise SimMPIError("jitter seed must be non-negative")
         if header_words < 0:
             raise SimMPIError("header_words must be non-negative")
         self.comm = comm
         self.timeout_us = float(timeout_us)
         self.max_retries = int(max_retries)
         self.backoff = float(backoff)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
         self.header_words = int(header_words)
         #: peers that exhausted a retry budget (suspected crashed)
         self.dead: set[int] = set()
@@ -164,9 +201,17 @@ class ReliableComm:
                 obs.count("reliable.sent", 1, track=self.comm.rank)
             if attempt:
                 self.stats.retries += 1
+                self.stats.retry_schedule.append(
+                    (dest, seq, attempt, self.comm.time)
+                )
                 if obs is not None:
                     obs.count("reliable.retries", 1, track=self.comm.rank)
-            deadline = self.comm.time + self.timeout_us * (self.backoff**attempt)
+            wait = self.timeout_us * (self.backoff**attempt)
+            if self.jitter:
+                wait *= 1.0 + self.jitter * retry_jitter(
+                    self.seed, self.comm.rank, dest, seq, attempt
+                )
+            deadline = self.comm.time + wait
             while True:
                 remaining = deadline - self.comm.time
                 if remaining <= 0:

@@ -12,7 +12,7 @@ from .driver import (
     run_spmv_schemes,
 )
 from .local import LocalBlock, local_spmv, split_matrix
-from .persistent import PersistentSpMV
+from .persistent import EpochReport, PersistentExchangeService, PersistentSpMV
 from .pattern import nnz_per_part, spmv_needed_entries, spmv_pattern
 
 __all__ = [
@@ -29,6 +29,8 @@ __all__ = [
     "SpMVExperiment",
     "SchemeResult",
     "PersistentSpMV",
+    "PersistentExchangeService",
+    "EpochReport",
     "columnparallel_pattern",
     "distributed_spmv_colparallel",
     "ColSpMVResult",

@@ -8,24 +8,516 @@ structure: construction does all amortizable work; :meth:`multiply`
 runs one verified iteration on the emulator; :meth:`average_time_us`
 reports the mean virtual time over several iterations (deterministic,
 but exercised through the full emulator path each time).
+
+:class:`PersistentExchangeService` generalizes the amortized state into
+a **self-healing long-lived service**: the paper's static-pattern,
+healthy-machine assumptions are both dropped.  Pattern drift is
+absorbed through incremental plan repair
+(:func:`~repro.core.plan.repair_plan`) with the ``recv_counts`` and
+fault-tolerance side tables repaired alongside
+(:func:`~repro.core.stfw.repair_side_tables`) — never a full rebuild —
+and injected faults are answered by walking the
+:data:`~repro.simmpi.policy.ESCALATION_LADDER`: planned fast path →
+jittered retry → e-cube detour reroute with pre-suspected peers →
+``Comm.shrink()`` agreement + NBX recv-set rediscovery + crash-mask
+repair → degraded partial results with explicit per-pair accounting.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace as _dc_replace
+
 import numpy as np
 import scipy.sparse as sp
 
-from ..core.pattern import CommPattern
-from ..core.plan import CommPlan, build_plan
-from ..core.stfw import recv_counts_from_plan, stfw_process
+from ..core.pattern import CommPattern, PatternDelta
+from ..core.plan import CommPlan, build_plan, plans_identical, repair_plan
+from ..core.stfw import (
+    ExchangeResult,
+    SideTables,
+    _default_payloads,
+    repair_side_tables,
+    run_exchange,
+    side_tables_from_plan,
+    stfw_process,
+)
 from ..core.vpt import VirtualProcessTopology
 from ..errors import PlanError
+from ..metrics.resilience import delivered_pairs, expected_pairs
 from ..partition.base import Partition
+from ..simmpi.discovery import DiscoveryStats, nbx_discover
+from ..simmpi.faults import FaultPlan
+from ..simmpi.policy import EscalationPolicy, PolicyConfig
 from ..simmpi.runtime import run_spmd
 from .local import local_spmv, split_matrix
 from .pattern import spmv_needed_entries, spmv_pattern
 
-__all__ = ["PersistentSpMV"]
+__all__ = ["EpochReport", "PersistentExchangeService", "PersistentSpMV"]
+
+
+@dataclass
+class EpochReport:
+    """What one service epoch did and what it cost.
+
+    ``action`` is the highest escalation rung the epoch reached (one of
+    :data:`~repro.simmpi.policy.ESCALATION_LADDER`).  ``expected`` /
+    ``delivered`` count the epoch's countable ``(src, dst)`` pairs —
+    pairs touching a crashed rank are uncountable, not failed — and
+    ``missing`` names the countable pairs that did not arrive (the
+    degraded-mode explicit accounting; empty unless ``action`` is
+    ``"degraded"``).  ``dead`` is the permanently-dead set *after* the
+    epoch; ``crashed`` the engine crashes observed *during* it.
+    """
+
+    epoch: int
+    action: str
+    expected: int
+    delivered: int
+    missing: tuple[tuple[int, int], ...]
+    makespan_us: float
+    dead: tuple[int, ...]
+    crashed: tuple[int, ...]
+    suspects: tuple[int, ...]
+    repaired: bool
+    result: ExchangeResult | None = None
+
+    @property
+    def completion_rate(self) -> float:
+        """Delivered fraction of countable pairs (1.0 when none)."""
+        if self.expected == 0:
+            return 1.0
+        return self.delivered / self.expected
+
+
+class PersistentExchangeService:
+    """A long-lived, self-healing persistent exchange over one pattern.
+
+    Construction is the only from-scratch plan build the service ever
+    performs; everything after is incremental.  Each
+    :meth:`run_epoch` optionally absorbs a
+    :class:`~repro.core.pattern.PatternDelta` (plan **and** side tables
+    repaired, byte-identical to recomputation when ``validate`` is on),
+    executes one exchange under the caller's
+    :class:`~repro.simmpi.faults.FaultPlan`, and escalates through the
+    policy ladder exactly as far as the faults force it.
+
+    Parameters
+    ----------
+    pattern:
+        The initial communication pattern.
+    vpt:
+        Store-and-forward topology (the service is STFW-only: the
+        planned fast path *is* the thing being kept alive).
+    machine:
+        Optional machine model for virtual timing.
+    config:
+        Escalation budgets; defaults to :class:`PolicyConfig()
+        <repro.simmpi.policy.PolicyConfig>`.
+    validate:
+        Cross-check every repair byte-identical against a from-scratch
+        rebuild (plans via :func:`~repro.core.plan.plans_identical`,
+        side tables via :func:`~repro.core.stfw.side_tables_from_plan`).
+        The rebuild is a *check*, not the service's plan — it never
+        feeds back, so ``full_rebuilds`` stays 0 either way.
+    artifacts:
+        Optional :class:`~repro.cache.ArtifactCache`; repaired plans
+        are stored/fetched under delta-keyed content keys so a service
+        restarted on the same drift history replays from disk.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; epochs are mirrored into
+        policy-labelled ``service.*`` counters.
+    """
+
+    def __init__(
+        self,
+        pattern: CommPattern,
+        vpt: VirtualProcessTopology,
+        *,
+        machine=None,
+        config: PolicyConfig | None = None,
+        validate: bool = True,
+        artifacts=None,
+        tracer=None,
+    ):
+        if vpt.K != pattern.K:
+            raise PlanError(f"pattern K={pattern.K} != vpt K={vpt.K}")
+        self.pattern = pattern
+        self.vpt = vpt
+        self.machine = machine
+        self.validate = bool(validate)
+        self.policy = EscalationPolicy(config)
+        self.tracer = tracer
+        self._obs = tracer if (tracer is not None and tracer.enabled) else None
+        self.plan: CommPlan = build_plan(pattern, vpt)
+        self.tables: SideTables = side_tables_from_plan(self.plan)
+        self.epoch = 0
+        #: incremental repairs applied (drift and crash-mask alike)
+        self.repairs = 0
+        #: from-scratch rebuilds the service fell back to (target: 0)
+        self.full_rebuilds = 0
+        #: shrink + rediscovery + crash-mask-repair episodes
+        self.shrink_replans = 0
+        #: epochs whose repair was validated byte-identical vs rebuild
+        self.side_table_checks = 0
+        self.degraded_epochs = 0
+        self._artifacts = artifacts
+        self._base_digest: str | None = None
+        self._chain: list[str] = []
+        if artifacts is not None:
+            from ..cache import pattern_digest
+
+            self._base_digest = pattern_digest(pattern)
+        #: dead ∩ stage participants memo; None = recompute
+        self._blocked: bool | None = False
+
+    @property
+    def K(self) -> int:
+        """Number of processes (fixed for the service's lifetime)."""
+        return self.vpt.K
+
+    @property
+    def dead(self) -> frozenset[int]:
+        """Ranks agreed permanently dead via the shrink rung."""
+        return frozenset(self.policy.dead)
+
+    # ------------------------------------------------------------------
+    # Drift absorption
+    # ------------------------------------------------------------------
+
+    def _mask_delta(self, delta: PatternDelta) -> PatternDelta:
+        """Drop delta edges that touch a dead rank.
+
+        The live pattern carries no dead edges (the shrink's crash-mask
+        removed them), so only *added* edges can reach into the dead
+        set; removes/reweights are filtered defensively all the same.
+        """
+        dead = self.policy.dead
+        if not dead:
+            return delta
+        gone = np.zeros(self.K, dtype=bool)
+        gone[list(dead)] = True
+
+        def live(s: np.ndarray, d: np.ndarray) -> np.ndarray:
+            return ~(gone[s] | gone[d])
+
+        ka = live(delta.add_src, delta.add_dst)
+        kr = live(delta.remove_src, delta.remove_dst)
+        kw = live(delta.reweight_src, delta.reweight_dst)
+        if ka.all() and kr.all() and kw.all():
+            return delta
+        return PatternDelta(
+            self.K,
+            remove_src=delta.remove_src[kr],
+            remove_dst=delta.remove_dst[kr],
+            add_src=delta.add_src[ka],
+            add_dst=delta.add_dst[ka],
+            add_size=delta.add_size[ka],
+            reweight_src=delta.reweight_src[kw],
+            reweight_dst=delta.reweight_dst[kw],
+            reweight_size=delta.reweight_size[kw],
+        )
+
+    def apply_drift(self, delta: PatternDelta) -> bool:
+        """Absorb one drift step incrementally; True if anything changed.
+
+        Repairs the plan and both side tables in lockstep; with
+        ``validate`` on, both are cross-checked byte-identical against
+        a from-scratch rebuild of the drifted pattern.  A repair that
+        cannot apply (foreign delta) falls back to the rebuild and is
+        counted in ``full_rebuilds`` — the counter the chaos gate pins
+        at zero.
+        """
+        delta = self._mask_delta(delta)
+        if delta.num_changes == 0:
+            return False
+        try:
+            repaired = repair_plan(self.plan, delta)
+            tables = repair_side_tables(self.tables, self.plan, repaired, delta)
+            self.repairs += 1
+        except PlanError:
+            drifted = self.pattern.apply_delta(delta)
+            repaired = build_plan(drifted, self.vpt)
+            tables = side_tables_from_plan(repaired)
+            self.full_rebuilds += 1
+        if self.validate:
+            rebuilt = build_plan(self.pattern.apply_delta(delta), self.vpt)
+            if not plans_identical(repaired, rebuilt):
+                raise PlanError(
+                    f"service plan repair diverged from full rebuild at "
+                    f"epoch {self.epoch}"
+                )
+            ref = side_tables_from_plan(repaired)
+            if (
+                tables.recv_counts.tobytes() != ref.recv_counts.tobytes()
+                or tables.recv_counts.dtype != ref.recv_counts.dtype
+                or tables.origin_counts.tobytes() != ref.origin_counts.tobytes()
+                or tables.origin_counts.dtype != ref.origin_counts.dtype
+            ):
+                raise PlanError(
+                    f"service side-table repair diverged from "
+                    f"recv_counts_from_plan recomputation at epoch {self.epoch}"
+                )
+            self.side_table_checks += 1
+        if self._artifacts is not None:
+            from ..cache import delta_digest
+
+            self._chain.append(delta_digest(delta))
+            cached = self._artifacts.plan(
+                {
+                    "base_pattern": self._base_digest,
+                    "delta_chain": list(self._chain),
+                    "dim_sizes": self.vpt.dim_sizes,
+                    "header_words": 0,
+                    "repair": True,
+                },
+                lambda: repaired,
+            )
+            if self.validate and not plans_identical(cached, repaired):
+                raise PlanError(
+                    f"delta-keyed cache returned a different plan at "
+                    f"epoch {self.epoch}"
+                )
+        self.plan = repaired
+        self.tables = tables
+        self.pattern = repaired.pattern
+        self._blocked = None
+        if self._obs is not None:
+            self._obs.count("service.repairs", 1)
+        return True
+
+    # ------------------------------------------------------------------
+    # Fault escalation
+    # ------------------------------------------------------------------
+
+    def _planned_blocked(self) -> bool:
+        """True when a dead rank still participates in a planned stage.
+
+        Dead *endpoints* left the pattern with the crash-mask, but a
+        dead rank can remain a planned *forwarder* for live pairs —
+        dimension-ordered holders are structural, not rebuilt away —
+        in which case the planned fast path would strand those pairs
+        and the service stays on the tolerant (detouring) rung.
+        """
+        if self._blocked is None:
+            dead = np.array(sorted(self.policy.dead), dtype=np.int64)
+            blocked = False
+            if dead.size:
+                for st in self.plan.stages:
+                    if (
+                        np.isin(st.sender, dead).any()
+                        or np.isin(st.receiver, dead).any()
+                    ):
+                        blocked = True
+                        break
+            self._blocked = blocked
+        return self._blocked
+
+    def _with_dead(self, fault_plan: FaultPlan | None) -> FaultPlan | None:
+        """The caller's fault plan with the agreed dead crashed at t=0.
+
+        The engine would otherwise happily run a rank the service
+        already shrank away — it must stay dead across every later
+        epoch, whatever faults the caller injects on top.
+        """
+        dead = self.policy.dead
+        if not dead:
+            return fault_plan
+        crashes = {int(r): 0.0 for r in dead}
+        if fault_plan is None:
+            return FaultPlan(crashes=crashes)
+        merged = dict(fault_plan.crashes)
+        merged.update(crashes)
+        return _dc_replace(fault_plan, crashes=merged)
+
+    def run_epoch(
+        self,
+        delta: PatternDelta | None = None,
+        *,
+        fault_plan: FaultPlan | None = None,
+        trace: bool = False,
+    ) -> EpochReport:
+        """Absorb ``delta`` (if any), run one exchange, escalate as needed.
+
+        The epoch starts on the cheapest viable rung: the planned fast
+        path (precomputed ``tables.recv_counts``) whenever no peer is
+        suspected and no dead rank blocks a planned route.  A fault
+        escalates *within the same epoch* to the tolerant exchange —
+        jittered retries, e-cube detours around (pre-)suspected peers —
+        and suspicion that hardens past the policy's ``shrink_after``
+        budget triggers the shrink rung: crash agreement, NBX recv-set
+        rediscovery over the survivors, crash-mask repair.  Countable
+        pairs still missing after all that put the epoch in degraded
+        mode with the missing pairs named in the report.
+        """
+        self.epoch += 1
+        repaired = False
+        if delta is not None:
+            repaired = self.apply_drift(delta)
+        pat = self.pattern
+        payloads = _default_payloads(pat)
+        suspects = self.policy.suspects()
+        dead_before = tuple(sorted(self.policy.dead))
+        fp = self._with_dead(fault_plan)
+
+        action = "healthy"
+        result: ExchangeResult | None = None
+        if not suspects and not self._planned_blocked():
+            result = run_exchange(
+                pat,
+                self.vpt,
+                payloads=payloads,
+                machine=self.machine,
+                fault_plan=fp,
+                on_fault="partial",
+                trace=trace,
+                tracer=self.tracer,
+            )
+            new_crashes = set(int(r) for r in result.crashed) - set(dead_before)
+            if not result.completed or new_crashes:
+                result = None  # escalate within the epoch
+        faulty: set[int] = set()
+        if result is None:
+            pre = tuple(
+                sorted(
+                    set(self.policy.breaker.open_peers()) | set(dead_before)
+                )
+            )
+            knobs = self.policy.config.ft_knobs(suspected=pre)
+            result = run_exchange(
+                pat,
+                self.vpt,
+                payloads=payloads,
+                machine=self.machine,
+                fault_plan=fp,
+                on_fault="tolerate",
+                trace=trace,
+                tracer=self.tracer,
+                **knobs,
+            )
+            crashed_now = set(int(r) for r in result.crashed) - set(dead_before)
+            reported = set()
+            if result.reports:
+                for rep in result.reports:
+                    if rep is not None:
+                        reported.update(rep.dead_peers)
+            reported -= set(pre)
+            faulty = crashed_now | reported
+            action = "reroute" if (faulty or suspects or pre) else "retry"
+
+        # observations drive the ladder for the *next* epochs
+        clean = set(range(self.K)) - set(dead_before) - faulty
+        self.policy.note_epoch(faulty, clean)
+
+        if self.policy.to_shrink():
+            self._shrink_replan(self.policy.to_shrink())
+            action = "shrink"
+
+        crashed_now = tuple(
+            sorted(set(int(r) for r in result.crashed) - set(dead_before))
+        )
+        uncountable = set(dead_before) | set(crashed_now) | self.policy.dead
+        expected = expected_pairs(pat, uncountable)
+        got = delivered_pairs(result.delivered)
+        missing = tuple(sorted(expected - got))
+        if missing:
+            action = "degraded"
+            self.degraded_epochs += 1
+        report = EpochReport(
+            epoch=self.epoch,
+            action=action,
+            expected=len(expected),
+            delivered=len(expected & got),
+            missing=missing,
+            makespan_us=result.run.makespan_us,
+            dead=tuple(sorted(self.policy.dead)),
+            crashed=crashed_now,
+            suspects=suspects,
+            repaired=repaired,
+            result=result,
+        )
+        if self._obs is not None:
+            self._obs.count("service.epochs", 1, action=action)
+            if missing:
+                self._obs.count("service.missing_pairs", len(missing))
+        return report
+
+    def _shrink_replan(self, peers: tuple[int, ...]) -> None:
+        """The shrink rung: agree, rediscover, crash-mask repair.
+
+        Runs an emulated agreement round over the machine — survivors
+        ``shrink()`` to fix the dead set, then rediscover their
+        recv-sets from send-sets alone (``nbx_discover`` with the
+        agreed dead masked) rather than trusting pre-crash state —
+        and only then repairs the plan with a delta removing every
+        edge touching the newly dead.  No rebuild: the crash mask goes
+        through the same incremental path as ordinary drift.
+        """
+        newly = tuple(sorted(set(int(p) for p in peers) - self.policy.dead))
+        if not newly:
+            return
+        all_dead = tuple(sorted(set(newly) | self.policy.dead))
+        pat = self.pattern
+        stats = [DiscoveryStats() for _ in range(self.K)]
+        tracer = self.tracer
+
+        def worker(comm):
+            agreed = yield comm.shrink()
+            recvset = yield from nbx_discover(
+                comm,
+                pat.sendset(comm.rank),
+                dead=set(agreed),
+                tracer=tracer,
+                stats=stats[comm.rank],
+            )
+            return (agreed, recvset)
+
+        res = run_spmd(
+            self.K,
+            worker,
+            machine=self.machine,
+            fault_plan=FaultPlan(crashes={r: 0.0 for r in all_dead}),
+            tracer=tracer,
+        )
+        gone = set(all_dead)
+        src, dst, size = pat.src, pat.dst, pat.size
+        for r in range(self.K):
+            if r in gone:
+                continue
+            agreed, recvset = res.returns[r]
+            if tuple(agreed) != all_dead:
+                raise PlanError(
+                    f"shrink agreement at epoch {self.epoch} gave rank {r} "
+                    f"dead set {tuple(agreed)!r}, expected {all_dead!r}"
+                )
+            want = {
+                int(s): int(w)
+                for s, w in zip(src[dst == r], size[dst == r])
+                if int(s) not in gone
+            }
+            if recvset != want:
+                raise PlanError(
+                    f"post-shrink NBX rediscovery at epoch {self.epoch} gave "
+                    f"rank {r} recv-set {recvset!r}, expected {want!r}"
+                )
+        # crash-mask repair BEFORE declaring the peers dead: once they
+        # are in the dead set, _mask_delta would filter the mask itself
+        key = np.array(newly, dtype=np.int64)
+        mask = np.isin(src, key) | np.isin(dst, key)
+        if mask.any():
+            self.apply_drift(
+                PatternDelta(
+                    self.K, remove_src=src[mask], remove_dst=dst[mask]
+                )
+            )
+        self.policy.declare_dead(newly)
+        self._blocked = None
+        self.shrink_replans += 1
+        if self._obs is not None:
+            self._obs.count("service.shrink_replans", 1)
+            self._obs.count(
+                "service.discovery_frames",
+                sum(st.frames_received for st in stats),
+            )
 
 
 class PersistentSpMV:
@@ -76,9 +568,15 @@ class PersistentSpMV:
         self._rows = [partition.rows_of(p) for p in range(partition.K)]
         self.plan: CommPlan | None = None
         self._counts = None
+        #: the amortized state lives in a persistent exchange service —
+        #: the drift/fault-capable keeper of plan + side tables
+        self.service: PersistentExchangeService | None = None
         if vpt is not None:
-            self.plan = build_plan(self.pattern, vpt)
-            self._counts = recv_counts_from_plan(self.plan)
+            self.service = PersistentExchangeService(
+                self.pattern, vpt, machine=machine, validate=False
+            )
+            self.plan = self.service.plan
+            self._counts = self.service.tables.recv_counts
 
     @property
     def K(self) -> int:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.bench import (
     BENCH_SCHEMA,
+    CHAOS_SCHEMA,
     compare_bench,
     format_result,
     load_baseline,
@@ -79,16 +80,101 @@ class TestCompare:
         assert compare_bench(sample_doc(sweep="full"), sample_doc())
 
 
+def chaos_doc(**overrides):
+    doc = {
+        "schema": CHAOS_SCHEMA,
+        "version": "1.0.0",
+        "sweep": "chaos",
+        "K": 64,
+        "dims": 2,
+        "degree": 4.0,
+        "epochs": 40,
+        "drift_rate": 0.08,
+        "seed": 5,
+        "warmup": 3,
+        "tail": 5,
+        "mean_completion_rate": 0.999,
+        "min_completion_rate": 0.94,
+        "faulty_epochs": 20,
+        "degraded_epochs": 2,
+        "mean_makespan_inflation": 12.0,
+        "actions": {"healthy": 18, "reroute": 19, "shrink": 1, "degraded": 2},
+        "repairs": 38,
+        "full_rebuilds": 0,
+        "side_table_checks": 38,
+        "shrink_replans": 1,
+        "payload_checks": 9000,
+        "dead": [46],
+        "breaker_trips": 3,
+        "converged": True,
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestValidateChaos:
+    def test_valid(self):
+        assert validate_bench_json(chaos_doc()) == []
+
+    def test_missing_and_wrong_types(self):
+        doc = chaos_doc()
+        del doc["full_rebuilds"]
+        doc["converged"] = "yes"
+        problems = validate_bench_json(doc)
+        assert any("full_rebuilds" in p for p in problems)
+        assert any("converged" in p for p in problems)
+
+    def test_wrong_sweep(self):
+        assert validate_bench_json(chaos_doc(sweep="drift"))
+
+    def test_completion_rates_bounded(self):
+        assert validate_bench_json(chaos_doc(mean_completion_rate=1.5))
+        assert validate_bench_json(chaos_doc(min_completion_rate=-0.1))
+
+    def test_actions_must_map_str_to_int(self):
+        assert validate_bench_json(chaos_doc(actions={"healthy": 1.5}))
+
+
+class TestCompareChaos:
+    def test_identical_passes(self):
+        assert compare_bench(chaos_doc(), chaos_doc()) == []
+
+    def test_improvement_passes(self):
+        cur = chaos_doc(mean_completion_rate=1.0, degraded_epochs=0)
+        assert compare_bench(cur, chaos_doc()) == []
+
+    def test_completion_regression_fails(self):
+        cur = chaos_doc(mean_completion_rate=0.5)
+        lines = compare_bench(cur, chaos_doc())
+        assert any("mean_completion_rate" in l for l in lines)
+
+    def test_lost_convergence_is_absolute(self):
+        """No tolerance buys back a soak that stopped converging."""
+        cur = chaos_doc(converged=False)
+        lines = compare_bench(cur, chaos_doc())
+        assert any("converged" in l for l in lines)
+
+    def test_any_full_rebuild_fails(self):
+        cur = chaos_doc(full_rebuilds=1)
+        lines = compare_bench(cur, chaos_doc())
+        assert any("full_rebuilds" in l for l in lines)
+
+    def test_sweep_mismatch_is_an_error(self):
+        assert compare_bench(chaos_doc(sweep="drift"), chaos_doc())
+
+
 class TestBaselineFile:
     def test_merge_and_load_roundtrip(self, tmp_path):
         path = str(tmp_path / "BENCH_baseline.json")
         merge_baseline(path, sample_doc())
         merge_baseline(path, sample_doc(sweep="full", quick=False))
+        merge_baseline(path, chaos_doc())
         with open(path) as fh:
             merged = json.load(fh)
-        assert sorted(merged) == ["full", "quick"]
+        assert sorted(merged) == ["chaos", "full", "quick"]
         assert load_baseline(path, "quick")["sweep"] == "quick"
         assert load_baseline(path, "full")["sweep"] == "full"
+        assert load_baseline(path, "chaos")["schema"] == CHAOS_SCHEMA
 
     def test_load_missing_sweep(self, tmp_path):
         path = str(tmp_path / "b.json")

@@ -1,0 +1,98 @@
+"""Tests for the chaos soak harness (``repro.experiments.chaos``)."""
+
+import pytest
+
+from repro.bench import validate_bench_json
+from repro.errors import ExperimentError
+from repro.experiments import chaos
+
+
+@pytest.fixture(scope="module")
+def soak():
+    """One small soak with the full fault script (shrink + breaker
+    episodes both fit inside the 30-epoch turbulence window)."""
+    return chaos.run(K=32, epochs=30, degree=3.0, seed=9)
+
+
+class TestSoak:
+    def test_converges_with_zero_rebuilds(self, soak):
+        assert soak.converged
+        assert soak.reference_identical
+        assert soak.full_rebuilds == 0
+        assert soak.repairs > 0
+
+    def test_ladder_was_exercised(self, soak):
+        actions = soak.overall.actions_dict
+        assert actions.get("shrink", 0) >= 1
+        assert soak.shrink_replans >= 1
+        assert len(soak.dead) >= 1
+
+    def test_every_repair_validated(self, soak):
+        assert soak.side_table_checks == soak.repairs
+        assert soak.payload_checks > 0
+
+    def test_reports_cover_every_epoch(self, soak):
+        assert len(soak.reports) == soak.epochs
+        assert len(soak.labels) == soak.epochs
+        assert [r.epoch for r in soak.reports] == list(
+            range(1, soak.epochs + 1)
+        )
+        # exchange results are stripped to keep the record small
+        assert all(r.result is None for r in soak.reports)
+
+    def test_tail_is_fault_free_and_complete(self, soak):
+        tail = soak.reports[soak.epochs - soak.tail :]
+        assert all(r.missing == () for r in tail)
+        assert all(
+            lbl == "" for lbl in soak.labels[soak.epochs - soak.tail :]
+        )
+
+    def test_phases_partition_the_epochs(self, soak):
+        names = [name for name, _ in soak.phases]
+        assert names == ["warmup", "turbulence", "tail"]
+        assert sum(st.epochs for _, st in soak.phases) == soak.epochs
+        assert soak.overall.epochs == soak.epochs
+
+    def test_bench_doc_validates(self, soak):
+        doc = chaos.to_bench_doc(soak)
+        validate_bench_json(doc)
+        assert doc["sweep"] == "chaos"
+        assert doc["converged"] is True
+        assert doc["full_rebuilds"] == 0
+
+    def test_format_result_mentions_the_verdict(self, soak):
+        text = chaos.format_result(soak)
+        assert "converged: yes" in text
+        assert "full rebuilds: 0" in text
+        assert "side-table" in text
+
+
+class TestDeterminism:
+    def test_same_seed_same_record(self):
+        a = chaos.run(K=16, epochs=16, degree=3.0, seed=4)
+        b = chaos.run(K=16, epochs=16, degree=3.0, seed=4)
+        assert chaos.to_bench_doc(a) == chaos.to_bench_doc(b)
+        assert [r.action for r in a.reports] == [
+            r.action for r in b.reports
+        ]
+        assert a.makespan_us == b.makespan_us
+
+    def test_different_seed_differs(self):
+        a = chaos.run(K=16, epochs=16, degree=3.0, seed=4)
+        b = chaos.run(K=16, epochs=16, degree=3.0, seed=5)
+        assert chaos.to_bench_doc(a) != chaos.to_bench_doc(b)
+
+
+class TestValidation:
+    def test_too_few_epochs_rejected(self):
+        with pytest.raises(ExperimentError, match="epochs"):
+            chaos.run(K=16, epochs=9)
+
+    @pytest.mark.parametrize("rate", [0.0, -0.01, 0.11, 0.5])
+    def test_drift_rate_bounds(self, rate):
+        with pytest.raises(ExperimentError, match="drift_rate"):
+            chaos.run(K=16, epochs=16, drift_rate=rate)
+
+    def test_tail_must_leave_room(self):
+        with pytest.raises(ExperimentError, match="too short"):
+            chaos.run(K=16, epochs=12, tail=10)

@@ -1,0 +1,105 @@
+"""Tests for the degradation accounting (``repro.metrics.resilience``)."""
+
+from dataclasses import dataclass, field
+
+from repro.metrics import (
+    DegradationStats,
+    degradation_stats,
+    degradation_table,
+)
+
+
+@dataclass
+class FakeReport:
+    """Duck-typed stand-in for a service EpochReport."""
+
+    epoch: int
+    action: str
+    completion_rate: float
+    makespan_us: float
+    missing: tuple = field(default_factory=tuple)
+
+
+class TestDegradationStats:
+    def test_empty_is_neutral(self):
+        st = degradation_stats([])
+        assert st.epochs == 0
+        assert st.mean_completion_rate == 1.0
+        assert st.min_completion_rate == 1.0
+        assert st.mean_makespan_inflation == 1.0
+        assert st.actions == ()
+
+    def test_all_healthy(self):
+        reports = [
+            FakeReport(e, "healthy", 1.0, 50.0) for e in range(1, 4)
+        ]
+        st = degradation_stats(reports)
+        assert st.epochs == 3
+        assert st.faulty_epochs == 0
+        assert st.degraded_epochs == 0
+        assert st.mean_completion_rate == 1.0
+        assert st.actions_dict == {"healthy": 3}
+        # no faulty epochs -> inflation has no numerator
+        assert st.mean_makespan_inflation == 1.0
+
+    def test_mixed_ladder_accounting(self):
+        reports = [
+            FakeReport(1, "healthy", 1.0, 50.0),
+            FakeReport(2, "reroute", 1.0, 150.0),
+            FakeReport(3, "degraded", 0.8, 250.0, missing=((0, 1), (2, 3))),
+            FakeReport(4, "shrink", 1.0, 200.0),
+        ]
+        st = degradation_stats(reports)
+        assert st.epochs == 4
+        assert st.faulty_epochs == 3  # everything but healthy
+        assert st.degraded_epochs == 1
+        assert st.missing_pairs == 2
+        assert st.min_completion_rate == 0.8
+        assert st.worst_epoch == 3
+        assert st.mean_completion_rate == (1.0 + 1.0 + 0.8 + 1.0) / 4
+        # faulty mean 200 over healthy mean 50
+        assert st.mean_makespan_inflation == 4.0
+        assert st.actions_dict == {
+            "healthy": 1,
+            "reroute": 1,
+            "degraded": 1,
+            "shrink": 1,
+        }
+
+    def test_worst_epoch_is_the_first_minimum(self):
+        reports = [
+            FakeReport(1, "degraded", 0.7, 10.0, missing=((0, 1),)),
+            FakeReport(2, "degraded", 0.7, 10.0, missing=((0, 1),)),
+        ]
+        assert degradation_stats(reports).worst_epoch == 1
+
+
+class TestDegradationTable:
+    def rows(self):
+        st = degradation_stats(
+            [
+                FakeReport(1, "healthy", 1.0, 50.0),
+                FakeReport(2, "degraded", 0.9, 100.0, missing=((4, 7),)),
+            ]
+        )
+        return [("warmup", st), ("overall", st)]
+
+    def test_renders_phases_and_headline_columns(self):
+        text = degradation_table(self.rows())
+        assert "warmup" in text and "overall" in text
+        assert "completion" in text
+        assert "degraded:1" in text and "healthy:1" in text
+        assert "95.00%" in text  # mean of 1.0 and 0.9
+
+    def test_custom_title(self):
+        text = degradation_table(self.rows(), title="soak phases")
+        assert "soak phases" in text
+
+    def test_stats_are_frozen(self):
+        st = degradation_stats([])
+        assert isinstance(st, DegradationStats)
+        try:
+            st.epochs = 5
+        except AttributeError:
+            return
+        raise AssertionError("DegradationStats must be immutable")

@@ -6,6 +6,7 @@ from repro.core import CommPattern
 from repro.errors import SimMPIError
 from repro.network import BGQ
 from repro.simmpi import DiscoveryStats, FaultPlan, nbx_discover, run_spmd
+from repro.simmpi.discovery import DISCOVERY_TAG, FRAME_WORDS
 
 
 def expected_recvsets(pattern):
@@ -106,3 +107,108 @@ class TestDiscovery:
 
         with pytest.raises(SimMPIError):
             run_spmd(2, worker, machine=BGQ)
+
+
+def discover_survivors(pattern, dead, *, stats=None):
+    """Post-shrink rediscovery, exactly as the persistent service runs
+    it: the dead crash at t=0, survivors ``shrink()`` to agree on them,
+    then rediscover with the agreed set masked.  The shrink is what
+    lets the consensus ``allreduce`` complete over the survivors."""
+    gone = set(dead)
+
+    def worker(comm):
+        agreed = yield comm.shrink()
+        st = stats[comm.rank] if stats is not None else None
+        recvset = yield from nbx_discover(
+            comm, pattern.sendset(comm.rank), dead=set(agreed), stats=st
+        )
+        return recvset
+
+    fault_plan = FaultPlan(crashes={r: 0.0 for r in gone})
+    return run_spmd(pattern.K, worker, machine=BGQ, fault_plan=fault_plan)
+
+
+class TestDiscoveryWithDeadRanks:
+    """Post-shrink rediscovery: the agreed dead are masked, not trusted."""
+
+    def test_survivor_consensus_terminates_and_excludes_dead(self):
+        """Sendsets still name dead destinations; the mask keeps the
+        consensus sum from wedging on frames that can never be acked."""
+        pattern = CommPattern.random(12, avg_degree=4, seed=7)
+        dead = {3, 8}
+        res = discover_survivors(pattern, dead)
+        expected = expected_recvsets(pattern)
+        for r in range(12):
+            if r in dead:
+                continue
+            want = {s: w for s, w in expected[r].items() if s not in dead}
+            assert res.returns[r] == want
+
+    def test_skipped_dead_destinations_are_counted(self):
+        pattern = CommPattern.random(12, avg_degree=4, seed=7)
+        dead = {3, 8}
+        stats = [DiscoveryStats() for _ in range(12)]
+        discover_survivors(pattern, dead, stats=stats)
+        sends_to_dead = sum(
+            1
+            for s, d in zip(pattern.src, pattern.dst)
+            if int(s) not in dead and int(d) in dead
+        )
+        assert (
+            sum(st.frames_skipped_dead for st in stats) == sends_to_dead
+        )
+        # skipped frames are not part of the consensus accounting
+        for r, st in enumerate(stats):
+            if r not in dead:
+                assert st.frames_sent == len(
+                    {
+                        d
+                        for s, d in zip(pattern.src, pattern.dst)
+                        if int(s) == r and int(d) not in dead
+                    }
+                )
+
+    def test_frames_from_dead_sources_are_ignored(self):
+        """A speculative frame a source got out before dying must not
+        be trusted.  The shrink purges in-flight mail, so the only way
+        such a frame reaches a survivor is a post-purge replay — rank 1
+        replays one here — and discovery must drop it rather than let a
+        dead rank into the rediscovered recv-set."""
+        K = 4
+        stats = [DiscoveryStats() for _ in range(K)]
+        sendsets = {2: {0: 5}}
+
+        def worker(comm):
+            agreed = yield comm.shrink()
+            if comm.rank == 1:
+                # frame rank 3 fired before it crashed, replayed late
+                comm.send(0, (3, 9), tag=DISCOVERY_TAG, words=FRAME_WORDS)
+            recvset = yield from nbx_discover(
+                comm,
+                sendsets.get(comm.rank, {}),
+                dead=set(agreed),
+                stats=stats[comm.rank],
+            )
+            return recvset
+
+        res = run_spmd(
+            K, worker, machine=BGQ, fault_plan=FaultPlan(crashes={3: 0.0})
+        )
+        assert res.returns[0] == {2: 5}  # live source kept, dead dropped
+        assert stats[0].frames_ignored_dead == 1
+        assert stats[0].frames_received == 1
+
+    def test_dead_rank_calling_discover_is_an_error(self):
+        def worker(comm):
+            recvset = yield from nbx_discover(comm, {}, dead={comm.rank})
+            return recvset
+
+        with pytest.raises(SimMPIError):
+            run_spmd(2, worker, machine=BGQ)
+
+    def test_empty_dead_set_matches_plain_discovery(self):
+        """With nobody crashed the shrink agrees on an empty dead set
+        and rediscovery degenerates to the plain protocol."""
+        pattern = CommPattern.random(8, avg_degree=3, seed=0)
+        res = discover_survivors(pattern, set())
+        assert res.returns == expected_recvsets(pattern)

@@ -391,3 +391,84 @@ class TestStashInterleavings:
         assert got is TIMEOUT
         assert t_first < 100.0  # timed out at its own deadline, not arrival
         assert late == "big"
+
+
+class TestJitterDeterminism:
+    """Seed-deterministic retry jitter and the recorded retry schedule."""
+
+    def _retry_run(self, *, jitter, seed):
+        """One send whose first two DATA frames are eaten by an outage."""
+
+        def worker(comm):
+            rc = ReliableComm(
+                comm, timeout_us=50.0, max_retries=4, jitter=jitter, seed=seed
+            )
+            if comm.rank == 0:
+                ok = yield from rc.try_send(1, "payload", words=2)
+                return (ok, list(rc.stats.retry_schedule))
+            got = yield from rc.recv(timeout_us=5000.0)
+            return got[2]
+
+        from repro.simmpi import LinkOutage
+
+        plan = FaultPlan(outages=(LinkOutage(0, 1, 0.0, 120.0),))
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        return res.returns
+
+    def test_retry_schedule_is_recorded(self):
+        (ok, schedule), payload = self._retry_run(jitter=0.25, seed=3)
+        assert ok is True
+        assert payload == "payload"
+        assert len(schedule) >= 1
+        for dest, seq, attempt, t in schedule:
+            assert dest == 1
+            assert attempt >= 1
+            assert t > 0.0
+        attempts = [a for _, _, a, _ in schedule]
+        assert attempts == sorted(attempts)
+
+    def test_same_seed_same_retry_timeline(self):
+        a = self._retry_run(jitter=0.25, seed=3)
+        b = self._retry_run(jitter=0.25, seed=3)
+        assert a == b  # byte-for-byte identical timelines
+
+    def test_different_seed_different_timeline(self):
+        (_, sched_a), _ = self._retry_run(jitter=0.25, seed=3)
+        (_, sched_b), _ = self._retry_run(jitter=0.25, seed=4)
+        assert [t for *_, t in sched_a] != [t for *_, t in sched_b]
+
+    def test_zero_jitter_matches_plain_backoff(self):
+        """jitter=0 must reproduce the unjittered deadline arithmetic."""
+        (_, sched_plain), _ = self._retry_run(jitter=0.0, seed=3)
+
+        def worker(comm):
+            rc = ReliableComm(comm, timeout_us=50.0, max_retries=4)
+            if comm.rank == 0:
+                ok = yield from rc.try_send(1, "payload", words=2)
+                return (ok, list(rc.stats.retry_schedule))
+            got = yield from rc.recv(timeout_us=5000.0)
+            return got[2]
+
+        from repro.simmpi import LinkOutage
+
+        plan = FaultPlan(outages=(LinkOutage(0, 1, 0.0, 120.0),))
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        assert res.returns[0][1] == sched_plain
+
+    def test_jitter_function_is_pure_and_bounded(self):
+        from repro.simmpi import retry_jitter
+
+        vals = [retry_jitter(5, 0, 1, 2, a) for a in range(1, 6)]
+        assert vals == [retry_jitter(5, 0, 1, 2, a) for a in range(1, 6)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+        assert len(set(vals)) > 1  # attempts decorrelated
+        assert retry_jitter(5, 0, 1, 2, 1) != retry_jitter(6, 0, 1, 2, 1)
+
+    def test_negative_jitter_rejected(self):
+        def worker(comm):
+            ReliableComm(comm, jitter=-0.5)
+            return None
+            yield
+
+        with pytest.raises(SimMPIError):
+            run_spmd(1, worker, machine=BGQ)
