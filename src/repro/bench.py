@@ -14,8 +14,9 @@ The sweep is pinned to explicit :class:`ExperimentConfig` defaults —
 ``$REPRO_SCALE`` is deliberately ignored so numbers are comparable
 across checkouts.  Results are written as a ``repro-bench-v1`` JSON
 document; ``BENCH_baseline.json`` in the repo root maps sweep name
-(``full``/``quick``, plus ``drift`` from ``repro drift`` and ``chaos``
-from ``repro chaos``) to the reference document, and ``--check`` fails
+(``full``/``quick``, plus ``drift`` from ``repro drift``, ``chaos``
+from ``repro chaos`` and ``corruption`` from ``repro corrupt``)
+to the reference document, and ``--check`` fails
 when the current run regresses more than a tolerance below it.
 """
 
@@ -35,6 +36,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "DRIFT_SCHEMA",
     "CHAOS_SCHEMA",
+    "CORRUPT_SCHEMA",
     "FULL_SWEEP",
     "QUICK_SWEEP",
     "run_bench",
@@ -56,8 +58,12 @@ DRIFT_SCHEMA = "repro-drift-bench-v1"
 #: ``repro chaos -o`` and stored under the ``"chaos"`` sweep key
 CHAOS_SCHEMA = "repro-chaos-bench-v1"
 
+#: schema tag of a silent-data-corruption sweep document; produced by
+#: ``repro corrupt -o`` and stored under the ``"corruption"`` sweep key
+CORRUPT_SCHEMA = "repro-corrupt-bench-v1"
+
 #: sweep names allowed to coexist in ``BENCH_baseline.json``
-_BASELINE_SWEEPS = ("full", "quick", "drift", "chaos")
+_BASELINE_SWEEPS = ("full", "quick", "drift", "chaos", "corruption")
 
 #: the pinned full sweep — artifact-heavy cells (large matrices at a
 #: modest K) where generation, partitioning and planning dominate the
@@ -290,6 +296,58 @@ def _validate_chaos_json(doc: dict[str, Any]) -> list[str]:
         for action, count in doc["actions"].items():
             if not isinstance(action, str) or not isinstance(count, int):
                 problems.append(f"actions[{action!r}] is not a str -> int entry")
+    # corruption keys are optional: pre-integrity baselines omit them
+    for key, typ in (
+        ("corruption", bool),
+        ("detected_corruptions", int),
+        ("quarantine_epochs", int),
+        ("quarantined_peers", list),
+    ):
+        if key in doc and not isinstance(doc[key], typ):
+            problems.append(f"{key!r} is {type(doc[key]).__name__}")
+    return problems
+
+
+def _validate_corrupt_json(doc: dict[str, Any]) -> list[str]:
+    """Structural problems of a ``repro-corrupt-bench-v1`` document."""
+    problems: list[str] = []
+    for key, typ in (
+        ("version", str),
+        ("K", int),
+        ("dims", int),
+        ("epochs", int),
+        ("seed", int),
+        ("detected_total", int),
+        ("undetected_total", int),
+        ("payload_checks", int),
+        ("quarantined", list),
+        ("detection_latency", int),
+        ("quarantine_latency", int),
+        ("abft_injected", int),
+        ("abft_caught", int),
+        ("converged", bool),
+        ("episodes", dict),
+    ):
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(doc[key], typ):
+            problems.append(f"{key!r} is {type(doc[key]).__name__}")
+    if doc.get("sweep") != "corruption":
+        problems.append(f"sweep is {doc.get('sweep')!r}, expected 'corruption'")
+    if isinstance(doc.get("episodes"), dict):
+        for name, ep in doc["episodes"].items():
+            if not isinstance(ep, dict):
+                problems.append(f"episodes[{name!r}] is not an object")
+                continue
+            for key in ("detected", "undetected", "unrecovered_pairs"):
+                if not isinstance(ep.get(key), int):
+                    problems.append(
+                        f"episodes[{name!r}].{key!r} missing or non-integer"
+                    )
+            if not isinstance(ep.get("recovered"), bool):
+                problems.append(
+                    f"episodes[{name!r}].'recovered' missing or non-boolean"
+                )
     return problems
 
 
@@ -302,6 +360,8 @@ def validate_bench_json(doc: Any) -> list[str]:
         return _validate_drift_json(doc)
     if doc.get("schema") == CHAOS_SCHEMA:
         return _validate_chaos_json(doc)
+    if doc.get("schema") == CORRUPT_SCHEMA:
+        return _validate_corrupt_json(doc)
     if doc.get("schema") != BENCH_SCHEMA:
         problems.append(f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}")
     for key, typ in (
@@ -387,6 +447,34 @@ def compare_bench(
                 f"(the soak must stay on the incremental repair path)"
             )
         return regressions
+    if current.get("schema") == CORRUPT_SCHEMA:
+        # integrity gates are absolute: one undetected corruption, one
+        # ABFT miss, or a sweep that stopped recovering is a failure
+        # no tolerance buys back
+        undetected = int(current.get("undetected_total", 0))
+        if undetected > 0:
+            regressions.append(
+                f"undetected_total: {undetected} corruption(s) reached a "
+                f"consumer with no check firing, expected 0"
+            )
+        injected = int(current.get("abft_injected", 0))
+        caught = int(current.get("abft_caught", 0))
+        if caught < injected:
+            regressions.append(
+                f"abft: caught {caught} of {injected} injected compute "
+                f"flips, expected all"
+            )
+        if baseline.get("converged") and not current.get("converged"):
+            regressions.append(
+                "converged: baseline sweep recovered every episode, "
+                "current did not"
+            )
+        if baseline.get("quarantined") and not current.get("quarantined"):
+            regressions.append(
+                "quarantined: baseline quarantined the corrupt forwarder, "
+                "current never reached the quarantine rung"
+            )
+        return regressions
     for key in _COMPARE_KEYS:
         cur, base = _metric(current, key), _metric(baseline, key)
         floor = base * (1.0 - tolerance)
@@ -428,6 +516,7 @@ def load_baseline(path: str, sweep: str) -> dict[str, Any]:
         BENCH_SCHEMA,
         DRIFT_SCHEMA,
         CHAOS_SCHEMA,
+        CORRUPT_SCHEMA,
     ):
         doc = data  # a bare result document is accepted as its own sweep
     elif isinstance(data, dict) and sweep in data:

@@ -10,6 +10,7 @@ Examples::
     python -m repro bench --quick          # performance smoke benchmark
     python -m repro drift --cache          # plan-repair drift benchmark
     python -m repro chaos --epochs 60      # self-healing service soak
+    python -m repro corrupt --check BENCH_baseline.json  # SDC gates
     python -m repro instances              # list the Table 1 registry
     python -m repro report -o results.md   # run everything, write markdown
 
@@ -231,6 +232,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip per-repair byte-identity cross-checks (timing only)",
     )
     p.add_argument(
+        "--corruption",
+        action="store_true",
+        help="add silent-data-corruption chaos: transient bit flips plus a "
+        "persistent corrupt forwarder the policy must quarantine",
+    )
+    p.add_argument(
         "-o",
         "--output",
         default="-",
@@ -242,6 +249,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fail (exit 1) on completion-rate regression, lost convergence "
         "or any full plan rebuild vs this baseline's chaos entry",
+    )
+
+    p = sub.add_parser(
+        "corrupt",
+        help="silent-data-corruption sweep: transient flips, a persistent "
+        "corrupt forwarder and ABFT-checked compute flips; reports "
+        "detection latency and the undetected-corruption rate",
+    )
+    p.add_argument(
+        "--K", type=int, default=None, help="process count per episode"
+    )
+    p.add_argument(
+        "--degree", type=float, default=None, help="mean messages per process"
+    )
+    p.add_argument(
+        "--epochs", type=int, default=None, help="epochs per episode (default 16)"
+    )
+    p.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    p.add_argument(
+        "-o",
+        "--output",
+        default="-",
+        help="baseline file to merge the corruption document into "
+        "('-' = print only)",
+    )
+    p.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="fail (exit 1) on any undetected corruption, any ABFT miss, "
+        "lost recovery or a never-reached quarantine rung vs this "
+        "baseline's corruption entry",
     )
 
     p = sub.add_parser(
@@ -480,6 +519,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         kwargs["drift_rate"] = args.rate
     if args.tail is not None:
         kwargs["tail"] = args.tail
+    if args.corruption:
+        kwargs["corruption"] = True
     cfg = default_config()
     if args.seed is not None:
         from dataclasses import replace
@@ -510,6 +551,48 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 print(f"REGRESSION {line}", file=sys.stderr)
             return 1
         print(f"no regression vs {args.check}", file=sys.stderr)
+    return 0
+
+
+def _cmd_corrupt(args: argparse.Namespace) -> int:
+    """``repro corrupt`` — run the SDC sweep, report, persist, gate."""
+    from .bench import compare_bench, load_baseline, merge_baseline
+    from .experiments import corrupt
+
+    kwargs = {}
+    if args.K is not None:
+        kwargs["K"] = args.K
+    if args.degree is not None:
+        kwargs["degree"] = args.degree
+    if args.epochs is not None:
+        kwargs["epochs"] = args.epochs
+    cfg = default_config()
+    if args.seed is not None:
+        from dataclasses import replace
+
+        cfg = replace(cfg, seed=args.seed)
+    result = corrupt.run(cfg, **kwargs)
+    print(corrupt.format_result(result))
+
+    doc = corrupt.to_bench_doc(result)
+    if args.output != "-":
+        merge_baseline(args.output, doc)
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.check:
+        try:
+            baseline = load_baseline(args.check, "corruption")
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 1
+        regressions = compare_bench(doc, baseline)
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check}", file=sys.stderr)
+    if result.undetected_total > 0 or not result.converged:
+        return 1
     return 0
 
 
@@ -640,6 +723,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "corrupt":
+        return _cmd_corrupt(args)
 
     cfg = _config_from(args)
 

@@ -71,6 +71,7 @@ import numpy as np
 
 from ..errors import DeadlockError, PendingOp, PlanError
 from ..simmpi.faults import FaultPlan
+from ..simmpi.integrity import corrupt_draw, flip_payload, payload_checksum
 from ..simmpi.message import TIMEOUT, RunResult
 from ..simmpi.reliable import ReliableComm
 from ..simmpi.runtime import Comm, run_spmd
@@ -305,6 +306,8 @@ def stfw_process(
     *,
     header_words: int = 0,
     out: list | None = None,
+    corrupt_forwarders: Mapping[int, float] | None = None,
+    flip_seed: int = 0,
     tracer=None,
 ) -> Generator:
     """Algorithm 1 for one rank; run under :func:`repro.simmpi.run_spmd`.
@@ -327,6 +330,15 @@ def stfw_process(
         Optional external delivery sink.  Deliveries are appended to it
         as they happen, so a caller injecting faults can still read the
         partial deliveries of a run that ends in a deadlock.
+    corrupt_forwarders / flip_seed:
+        Silent-data-corruption injection (from a
+        :class:`~repro.simmpi.faults.FaultPlan`): when this rank's
+        entry fires — a pure :func:`~repro.simmpi.integrity.corrupt_draw`
+        keyed by ``flip_seed`` — a submessage it *relays* is forwarded
+        with one bit flipped.  The plain exchange carries no checksums,
+        so the corruption travels undetected to the destination; only
+        an end-to-end payload verification (the persistent service's)
+        can catch it.
     tracer:
         Optional :class:`repro.obs.Tracer`; records one virtual-time
         span per stage on this rank's track plus ``stfw.*`` counters
@@ -342,6 +354,7 @@ def stfw_process(
     obs = tracer if (tracer is not None and tracer.enabled) else None
     weights = vpt.weights
     dim_sizes = vpt.dim_sizes
+    corrupt_p = (corrupt_forwarders or {}).get(rank, 0.0)
 
     # fwbuf[d][digit] = submessages to forward in stage d to the
     # neighbor whose dimension-d coordinate is `digit`; slots are
@@ -432,6 +445,18 @@ def stfw_process(
                 bucket = fwbuf[c][digit]
                 if bucket is None:
                     bucket = fwbuf[c][digit] = []
+                if corrupt_p > 0.0 and corrupt_draw(
+                    flip_seed, rank, sub[1], dst, d
+                ) < corrupt_p:
+                    # store-and-forward buffer corruption: the relayed
+                    # payload silently loses a bit before re-bucketing
+                    flipped, changed = flip_payload(
+                        sub[2], flip_seed, rank, sub[1], dst, d
+                    )
+                    if changed:
+                        sub = (sub[0], sub[1], flipped)
+                        if obs is not None:
+                            obs.count("integrity.forwarder_flips", 1, track=rank)
                 bucket.append(sub)
         if obs is not None:
             obs.add_span(
@@ -510,11 +535,21 @@ class FTRankReport:
     as a forwarder (destination or every route to it dead, or the hop
     budget exhausted); ``dead_peers`` are ranks this rank's reliable
     layer presumes crashed.
+
+    ``corrupt_dropped`` lists ``(origin, destination)`` pairs this rank
+    discarded because the submessage's origin checksum no longer
+    matched its payload (the origin recovers them via the END-receipt
+    machinery); ``implicated`` names the previous hop of each dropped
+    submessage, one entry per drop — the wire checksum of the reliable
+    layer clears the link itself, so the corruption happened in (or
+    upstream of) that hop's store-and-forward buffer.
     """
 
     delivered: list[tuple[int, Any]] = field(default_factory=list)
     lost: list[tuple[int, int]] = field(default_factory=list)
     dead_peers: list[int] = field(default_factory=list)
+    corrupt_dropped: list[tuple[int, int]] = field(default_factory=list)
+    implicated: list[int] = field(default_factory=list)
 
 
 def _ft_next_hop(
@@ -523,6 +558,7 @@ def _ft_next_hop(
     dst: int,
     skip: tuple[int, ...],
     dead: set[int],
+    avoid: frozenset[int] = frozenset(),
 ) -> tuple[int, tuple[int, ...]] | None:
     """Choose the next hop for a submessage under suspected-dead ranks.
 
@@ -535,6 +571,10 @@ def _ft_next_hop(
     group.  When every alternative is exhausted, fall back to a direct
     send to ``dst``.  Returns ``(next_hop, new_skip)``, or ``None``
     when ``dst`` itself is presumed dead (the submessage is lost).
+
+    ``avoid`` holds *quarantined* ranks: alive — still valid as a final
+    destination — but never chosen as an intermediate forwarder (the
+    corrupt-forwarder containment of the escalation policy).
     """
     diffs = [d for d in range(vpt.n) if vpt.digit(rank, d) != vpt.digit(dst, d)]
     ordered = [d for d in diffs if d not in skip] + [d for d in diffs if d in skip]
@@ -546,13 +586,13 @@ def _ft_next_hop(
             if dst in dead:
                 return None
             return dst, ()
-        if q not in dead:
+        if q not in dead and q not in avoid:
             return q, skip
         # e-cube detour: alternate digit in the same dimension, with
         # the dimension deferred so the detour rank does not bounce the
         # bundle straight back toward the dead forwarder
         for g in vpt.neighbors(rank, d):
-            if g in dead or vpt.digit(g, d) == target_digit:
+            if g in dead or g in avoid or vpt.digit(g, d) == target_digit:
                 continue
             new_skip = skip if d in skip else skip + (d,)
             return g, new_skip
@@ -567,32 +607,36 @@ def _ft_ship(
     rc: ReliableComm,
     vpt: VirtualProcessTopology,
     lost: list[tuple[int, int]],
-    subs: list[tuple[int, int, Any, int, tuple[int, ...]]],
+    subs: list[tuple[int, int, Any, int, tuple[int, ...], int]],
     *,
     header_words: int,
+    avoid: frozenset[int] = frozenset(),
 ) -> Generator:
     """Route and reliably send submessages, re-routing around failures.
 
-    ``subs`` entries are ``(dst, origin, payload, ttl, skip)``.  Bundles
-    are coalesced per chosen next hop; a hop whose ack never arrives
-    marks the peer dead and the affected submessages are re-routed
-    under the updated suspicion set, until everything is shipped or
-    recorded in ``lost``.
+    ``subs`` entries are ``(dst, origin, payload, ttl, skip, checksum)``
+    with ``checksum`` stamped once at the origin.  Bundles are coalesced
+    per chosen next hop; a hop whose ack never arrives marks the peer
+    dead and the affected submessages are re-routed under the updated
+    suspicion set, until everything is shipped or recorded in ``lost``.
+    ``avoid`` ranks (quarantined) are never chosen as forwarders.
     """
     rank = rc.comm.rank
     remaining = list(subs)
     while remaining:
         bundles: dict[int, list] = {}
-        for dst, origin, payload, ttl, skip in remaining:
-            hop = _ft_next_hop(vpt, rank, dst, skip, rc.dead)
+        for dst, origin, payload, ttl, skip, ck in remaining:
+            hop = _ft_next_hop(vpt, rank, dst, skip, rc.dead, avoid)
             if hop is None:
                 lost.append((origin, dst))
                 continue
             nxt, new_skip = hop
-            bundles.setdefault(nxt, []).append((dst, origin, payload, ttl, new_skip))
+            bundles.setdefault(nxt, []).append(
+                (dst, origin, payload, ttl, new_skip, ck)
+            )
         remaining = []
         for nxt, bundle in sorted(bundles.items()):
-            words = sum(_payload_words(p) for _, _, p, _, _ in bundle)
+            words = sum(_payload_words(p) for _, _, p, _, _, _ in bundle)
             words += header_words * len(bundle)
             ok = yield from rc.try_send(nxt, bundle, tag=_FT_BUNDLE_TAG, words=words)
             if not ok:
@@ -611,10 +655,13 @@ def stfw_ft_process(
     retry_jitter: float = 0.0,
     retry_seed: int = 0,
     suspected: Sequence[int] = (),
+    quarantined: Sequence[int] = (),
     quiesce_us: float | None = None,
     end_wait_us: float | None = None,
     max_recovery_rounds: int = 2,
     header_words: int = 0,
+    corrupt_forwarders: Mapping[int, float] | None = None,
+    flip_seed: int = 0,
     tracer=None,
 ) -> Generator:
     """Fault-tolerant Algorithm 1 for one rank.
@@ -638,6 +685,19 @@ def stfw_ft_process(
     re-sends land while their receivers are still inside their own
     quiesce windows.
 
+    **Integrity.**  Every submessage carries a content checksum stamped
+    at its origin and verified at *every* hop.  The reliable layer's
+    wire checksum clears each link, so a mismatch here means the
+    previous hop relayed data its own buffer had corrupted: the
+    submessage is dropped (never forwarded onward, never delivered),
+    the previous hop is recorded in ``implicated``, and the origin's
+    END-receipt machinery re-sends the payload directly — around the
+    poisoner.  ``quarantined`` ranks (persistent corruptors, per the
+    escalation policy) are e-cube-detoured around as forwarders while
+    remaining reachable as destinations.  ``corrupt_forwarders`` /
+    ``flip_seed`` inject that corruption deterministically (from a
+    :class:`~repro.simmpi.faults.FaultPlan`).
+
     Returns an :class:`FTRankReport`.
     """
     rank = comm.rank
@@ -652,6 +712,8 @@ def stfw_ft_process(
     for peer in suspected:
         if peer != rank:
             rc.dead.add(int(peer))
+    avoid = frozenset(int(r) for r in quarantined if r != rank)
+    corrupt_p = (corrupt_forwarders or {}).get(rank, 0.0)
     retry_cycle = timeout_us * sum(backoff**k for k in range(max_retries + 1))
     if quiesce_us is None:
         quiesce_us = 3.0 * retry_cycle
@@ -662,17 +724,22 @@ def stfw_ft_process(
     delivered: list[tuple[int, Any]] = []
     delivered_origins: set[int] = set()
     lost: list[tuple[int, int]] = []
+    corrupt_dropped: list[tuple[int, int]] = []
+    implicated: list[int] = []
     #: payloads this rank originated, keyed by destination, until their
     #: END receipt arrives
     outstanding: dict[int, Any] = {}
+    #: origin checksums of the outstanding payloads (stamped once here)
+    out_ck: dict[int, int] = {}
 
     subs = []
     for dst in sorted(send_data):
         if dst == rank:
             raise PlanError(f"rank {rank} has a self message in its SendSet")
         outstanding[dst] = send_data[dst]
-        subs.append((dst, rank, send_data[dst], ttl0, ()))
-    yield from _ft_ship(rc, vpt, lost, subs, header_words=header_words)
+        out_ck[dst] = payload_checksum(send_data[dst])
+        subs.append((dst, rank, send_data[dst], ttl0, (), out_ck[dst]))
+    yield from _ft_ship(rc, vpt, lost, subs, header_words=header_words, avoid=avoid)
 
     recovery_rounds = 0
     while True:
@@ -699,7 +766,7 @@ def stfw_ft_process(
                 # destination (duplicates are suppressed there)
                 for dst in sorted(outstanding):
                     payload = outstanding[dst]
-                    bundle = [(dst, rank, payload, 1, ())]
+                    bundle = [(dst, rank, payload, 1, (), out_ck[dst])]
                     words = _payload_words(payload) + header_words
                     ok = yield from rc.try_send(
                         dst, bundle, tag=_FT_BUNDLE_TAG, words=words
@@ -719,7 +786,21 @@ def stfw_ft_process(
             outstanding.pop(body, None)
             continue
         forwards = []
-        for dst, origin, payload, ttl, skip in body:
+        for dst, origin, payload, ttl, skip, ck in body:
+            if payload_checksum(payload) != ck:
+                # the wire checksum cleared the link, so this payload
+                # was already corrupt inside the previous hop's buffer:
+                # drop it (the origin's END machinery re-sends direct)
+                # and implicate that hop
+                corrupt_dropped.append((origin, dst))
+                implicated.append(src)
+                if obs is not None:
+                    obs.count("integrity.hop_corrupt", 1, track=rank)
+                    obs.instant(
+                        "integrity.corrupt_sub", comm.time, track=rank,
+                        cat="fault", origin=origin, dest=dst, implicated=src,
+                    )
+                continue
             if dst == rank:
                 if origin not in delivered_origins:
                     delivered_origins.add(origin)
@@ -730,16 +811,38 @@ def stfw_ft_process(
             elif ttl <= 1:
                 lost.append((origin, dst))
             else:
-                forwards.append((dst, origin, payload, ttl - 1, skip))
+                sub = (dst, origin, payload, ttl - 1, skip, ck)
+                if corrupt_p > 0.0 and corrupt_draw(
+                    flip_seed, rank, origin, dst, ttl
+                ) < corrupt_p:
+                    # store-and-forward buffer corruption: the payload
+                    # loses a bit while parked here; the origin checksum
+                    # stays, so the *next* hop catches it
+                    flipped, changed = flip_payload(
+                        payload, flip_seed, rank, origin, dst, ttl
+                    )
+                    if changed:
+                        sub = (dst, origin, flipped, ttl - 1, skip, ck)
+                        if obs is not None:
+                            obs.count(
+                                "integrity.forwarder_flips", 1, track=rank
+                            )
+                forwards.append(sub)
         if forwards:
-            yield from _ft_ship(rc, vpt, lost, forwards, header_words=header_words)
+            yield from _ft_ship(
+                rc, vpt, lost, forwards, header_words=header_words, avoid=avoid
+            )
 
     for dst in sorted(outstanding):
         lost.append((rank, dst))
     # a pair can be recorded twice (once when shipping fails, once when
     # its END receipt never arrives); report each loss exactly once
     return FTRankReport(
-        delivered=delivered, lost=sorted(set(lost)), dead_peers=sorted(rc.dead)
+        delivered=delivered,
+        lost=sorted(set(lost)),
+        dead_peers=sorted(rc.dead),
+        corrupt_dropped=sorted(set(corrupt_dropped)),
+        implicated=sorted(implicated),
     )
 
 
@@ -867,6 +970,7 @@ _FT_DEFAULTS = {
     "retry_jitter": 0.0,
     "retry_seed": 0,
     "suspected": (),
+    "quarantined": (),
     "quiesce_us": None,
     "end_wait_us": None,
     "max_recovery_rounds": 2,
@@ -940,6 +1044,7 @@ def run_exchange(
     retry_jitter: float = 0.0,
     retry_seed: int = 0,
     suspected: Sequence[int] = (),
+    quarantined: Sequence[int] = (),
     quiesce_us: float | None = None,
     end_wait_us: float | None = None,
     max_recovery_rounds: int = 2,
@@ -968,9 +1073,14 @@ def run_exchange(
     ``"dynamic"`` (per-stage count exchange; no global knowledge) —
     STFW only, as is ``header_words``.  The FT knobs (``timeout_us``,
     ``max_retries``, ``backoff``, ``retry_jitter``, ``retry_seed``,
-    ``suspected``, ``quiesce_us``, ``end_wait_us``,
+    ``suspected``, ``quarantined``, ``quiesce_us``, ``end_wait_us``,
     ``max_recovery_rounds``) apply only with ``on_fault="tolerate"``;
     passing a non-default value otherwise is an error naming the knob.
+    ``quarantined`` ranks are routed around as forwarders while staying
+    valid destinations (corrupt-forwarder containment).  A
+    ``fault_plan`` with ``corrupt_forwarders`` entries additionally
+    arms the application-layer store-and-forward corruption in both the
+    plain and the tolerant STFW processes.
     ``tracer`` is an optional :class:`repro.obs.Tracer` receiving
     engine events plus per-stage spans and ``stfw.*`` counters.  Extra
     keyword arguments (``jitter``, ``rendezvous_threshold_words``, ...)
@@ -990,6 +1100,7 @@ def run_exchange(
         "retry_jitter": retry_jitter,
         "retry_seed": retry_seed,
         "suspected": tuple(sorted(int(r) for r in suspected)),
+        "quarantined": tuple(sorted(int(r) for r in quarantined)),
         "quiesce_us": quiesce_us,
         "end_wait_us": end_wait_us,
         "max_recovery_rounds": max_recovery_rounds,
@@ -1003,6 +1114,13 @@ def run_exchange(
                 )
     if payloads is None:
         payloads = _default_payloads(pattern)
+    # application-layer corruption sites travel with the fault plan, not
+    # as user-facing knobs: the exchange consults them via pure draws
+    corrupt_fw = None
+    flip_seed = 0
+    if fault_plan is not None and fault_plan.corrupt_forwarders:
+        corrupt_fw = dict(fault_plan.corrupt_forwarders)
+        flip_seed = fault_plan.seed
 
     if on_fault == "tolerate":
         if kind == "stfw":
@@ -1011,11 +1129,14 @@ def run_exchange(
                 vpt,
                 payloads[comm.rank],
                 header_words=header_words,
+                corrupt_forwarders=corrupt_fw,
+                flip_seed=flip_seed,
                 tracer=tracer,
                 **ft_knobs,
             )
         else:
             del ft_knobs["end_wait_us"], ft_knobs["max_recovery_rounds"]
+            del ft_knobs["quarantined"]
             factory = lambda comm: direct_ft_process(  # noqa: E731
                 comm, payloads[comm.rank], tracer=tracer, **ft_knobs
             )
@@ -1055,6 +1176,8 @@ def run_exchange(
                 rc,
                 header_words=header_words,
                 out=sinks[comm.rank],
+                corrupt_forwarders=corrupt_fw,
+                flip_seed=flip_seed,
                 tracer=tracer,
             )
 

@@ -11,7 +11,11 @@ hundreds of epochs under a seeded, scripted composition of
 * **fault chaos** — transient mid-epoch crashes, a repeated-crash
   episode that hardens into a shrink, a flaky node whose inbound links
   all drop (tripping the circuit breaker), random frame drops, and
-  stragglers.
+  stragglers;
+* **silent data corruption** (``corruption=True``) — transient
+  in-transit bit flips plus one persistent corrupt forwarder that the
+  service must implicate via per-hop checksums and quarantine (routing
+  around it without shrinking it).
 
 Every epoch the delivered payloads are checked **bit-identical**
 against the pure-function reference (``np.full(words, src*K + dst,
@@ -47,6 +51,7 @@ from ..simmpi.faults import FaultPlan
 from ..simmpi.policy import PolicyConfig
 from ..spmv.persistent import EpochReport, PersistentExchangeService
 from .config import ExperimentConfig, default_config
+from .faults import busiest_forwarder
 
 __all__ = [
     "CHAOS_K",
@@ -73,6 +78,11 @@ _DROP_EVERY = 11
 _STRAGGLE_EVERY = 7
 _DROP_RATE = 0.004
 _STRAGGLE_FACTOR = 5.0
+
+#: corruption-schedule knobs (active only with ``corruption=True``)
+_FLIP_EVERY = 9
+_FLIP_RATE = 0.01
+_FORWARDER_FLIP_P = 1.0
 
 
 @dataclass
@@ -104,6 +114,10 @@ class ChaosResult:
     reference_identical: bool
     converged: bool
     makespan_us: float  # final epoch's
+    corruption: bool = False
+    detected_corruptions: int = 0
+    quarantine_epochs: int = 0
+    quarantined_peers: tuple[int, ...] = ()
 
 
 def _schedule(
@@ -114,6 +128,9 @@ def _schedule(
     policy: PolicyConfig,
     makespan_hint: float,
     rng: np.random.Generator,
+    *,
+    corruption: bool = False,
+    forwarder: int | None = None,
 ) -> tuple[list[FaultPlan | None], list[str]]:
     """The seeded chaos script: one optional fault plan per epoch.
 
@@ -126,6 +143,14 @@ def _schedule(
     ``breaker_threshold + 1`` epochs (trips the circuit breaker, then
     recovers through its half-open probe).  Scattered single-epoch
     crashes, drop storms and stragglers fill the space between.
+
+    With ``corruption`` on, a third scripted episode turns ``forwarder``
+    (the pattern's busiest relay) into a persistent corrupt forwarder
+    for ``quarantine_after + breaker_cooldown + 3`` epochs — long enough
+    that per-hop checksums implicate it, the quarantine rung routes
+    around it, and its half-open probe sees it clean again — and
+    scattered transient bit-flip storms join the background noise.  The
+    corruption-off schedule is untouched (same plans, same RNG stream).
     """
     plans: list[FaultPlan | None] = [None] * (epochs + 1)
     labels = [""] * (epochs + 1)
@@ -134,7 +159,9 @@ def _schedule(
         return plans, labels  # too short for episodes: drift-only soak
 
     perm = rng.permutation(K)
-    victim, flaky = int(perm[0]), int(perm[1])
+    avoid = {int(forwarder)} if forwarder is not None else set()
+    picks = [int(r) for r in perm if int(r) not in avoid]
+    victim, flaky = picks[0], picks[1]
     n = hi - lo + 1
 
     s0 = lo + n // 5
@@ -149,6 +176,16 @@ def _schedule(
         plans[e] = FaultPlan(link_drop=inbound, seed=int(rng.integers(2**31)))
         labels[e] = f"flaky({flaky})"
 
+    if corruption and forwarder is not None:
+        span = policy.quarantine_after + policy.breaker_cooldown + 3
+        c0 = lo + (4 * n) // 5
+        for e in range(c0, min(c0 + span, hi + 1)):
+            plans[e] = FaultPlan(
+                corrupt_forwarders={int(forwarder): _FORWARDER_FLIP_P},
+                seed=int(rng.integers(2**31)),
+            )
+            labels[e] = f"corrupt-fw({forwarder})"
+
     for e in range(lo, hi + 1):
         # keep the scripted episodes (and one settle epoch around each)
         # clean of unrelated noise
@@ -159,6 +196,11 @@ def _schedule(
             t = float(rng.uniform(0.25, 0.6)) * makespan_hint
             plans[e] = FaultPlan(crashes={c: t})
             labels[e] = f"crash({c})@{t:.1f}us"
+        elif corruption and e % _FLIP_EVERY == 4:
+            plans[e] = FaultPlan(
+                default_flip=_FLIP_RATE, seed=int(rng.integers(2**31))
+            )
+            labels[e] = f"flip({_FLIP_RATE:g})"
         elif e % _DROP_EVERY == 3:
             plans[e] = FaultPlan(
                 default_drop=_DROP_RATE, seed=int(rng.integers(2**31))
@@ -171,7 +213,12 @@ def _schedule(
     return plans, labels
 
 
-def _verify_payloads(result, K: int, pattern: CommPattern) -> int:
+def _verify_payloads(
+    result,
+    K: int,
+    pattern: CommPattern,
+    known_corrupt: frozenset[tuple[int, int]] = frozenset(),
+) -> int:
     """Check every delivered payload bit-identical to the pure reference.
 
     Payloads are a pure function of ``(src, dst, words)`` — see
@@ -183,6 +230,11 @@ def _verify_payloads(result, K: int, pattern: CommPattern) -> int:
     crash-masked away (uncountable — those get the content-and-dtype
     check at their delivered length).  Returns the number of payloads
     checked; raises on any mismatch.
+
+    ``known_corrupt`` pairs are skipped: the service *detected* them
+    (named in ``EpochReport.corrupt_pairs`` and counted missing), so
+    this oracle — which exists to catch **undetected** corruption —
+    must not fail the soak over them.
     """
     sizes = {
         (int(s), int(d)): int(w)
@@ -194,6 +246,8 @@ def _verify_payloads(result, K: int, pattern: CommPattern) -> int:
             continue
         for src, payload in msgs:
             src = int(src)
+            if (src, dst) in known_corrupt:
+                continue
             got = np.asarray(payload)
             words = sizes.get((src, dst), got.size)
             ref = np.full(words, src * K + dst, dtype=np.int64)
@@ -227,6 +281,7 @@ def run(
     seed: int | None = None,
     machine: Machine = BGQ,
     policy: PolicyConfig | None = None,
+    corruption: bool = False,
     validate: bool = True,
     artifacts=None,
     tracer=None,
@@ -239,6 +294,12 @@ def run(
     ``validate`` on (the default, and the acceptance mode) every
     repair is cross-checked byte-identical against a from-scratch
     rebuild; ``validate=False`` is for timing only.
+
+    ``corruption`` adds silent-data-corruption chaos on top: transient
+    in-transit bit flips plus one persistent corrupt-forwarder episode
+    the policy must quarantine.  Every delivered payload is still
+    checked against the bit-identical reference, so any corruption the
+    integrity machinery fails to detect raises immediately.
     """
     cfg = cfg if cfg is not None else default_config()
     seed = int(cfg.seed if seed is None else seed)
@@ -282,8 +343,17 @@ def run(
         pattern, vpt, payloads=_default_payloads(pattern), machine=machine
     )
     rng = np.random.default_rng(np.random.SeedSequence((seed, 0xC8A05)))
+    forwarder = busiest_forwarder(pattern, vpt) if corruption else None
     plans, labels = _schedule(
-        K, epochs, warmup, tail, policy, probe.run.makespan_us, rng
+        K,
+        epochs,
+        warmup,
+        tail,
+        policy,
+        probe.run.makespan_us,
+        rng,
+        corruption=corruption,
+        forwarder=forwarder,
     )
     drift_rng = np.random.default_rng(np.random.SeedSequence((seed, 0xD81F7)))
 
@@ -297,7 +367,12 @@ def run(
                 service.pattern, drift_rate, seed=int(drift_rng.integers(2**31))
             )
         report = service.run_epoch(delta, fault_plan=plans[e])
-        payload_checks += _verify_payloads(report.result, K, service.pattern)
+        payload_checks += _verify_payloads(
+            report.result,
+            K,
+            service.pattern,
+            frozenset((int(s), int(d)) for s, d in report.corrupt_pairs),
+        )
         final_result = report.result
         report.result = None  # keep the soak's memory flat
         reports.append(report)
@@ -353,6 +428,12 @@ def run(
         reference_identical=reference_identical,
         converged=converged,
         makespan_us=reports[-1].makespan_us,
+        corruption=corruption,
+        detected_corruptions=sum(r.detected_corruptions for r in reports),
+        quarantine_epochs=sum(1 for r in reports if r.quarantined),
+        quarantined_peers=tuple(
+            sorted({int(p) for r in reports for p in r.quarantined})
+        ),
     )
 
 
@@ -397,6 +478,14 @@ def format_result(result: ChaosResult, *, events: int = 24) -> str:
         f"check(s), {result.payload_checks} bit-identical payload(s)",
         f"breaker: {result.breaker_trips} trip(s), "
         f"{result.breaker_reopens} reopen(s), {result.breaker_resets} reset(s)",
+    ]
+    if result.corruption:
+        lines.append(
+            f"integrity: {result.detected_corruptions} detected "
+            f"corruption(s), {result.quarantine_epochs} quarantine "
+            f"epoch(s), quarantined: {result.quarantined_peers or '()'}"
+        )
+    lines += [
         f"dead: {result.dead or '()'}"
         + (" (dead rank still a planned forwarder)" if result.planned_blocked else ""),
         f"converged: {'yes' if result.converged else 'NO'} "
@@ -443,6 +532,10 @@ def to_bench_doc(result: ChaosResult) -> dict:
         "dead": list(result.dead),
         "breaker_trips": result.breaker_trips,
         "converged": bool(result.converged),
+        "corruption": bool(result.corruption),
+        "detected_corruptions": result.detected_corruptions,
+        "quarantine_epochs": result.quarantine_epochs,
+        "quarantined_peers": list(result.quarantined_peers),
     }
 
 

@@ -4,6 +4,7 @@ from .collect import CommStats, collect_stats
 from .report import Table, format_table, geometric_mean, geometric_mean_rows, normalize_to
 from .resilience import (
     DegradationStats,
+    IntegrityStats,
     RecoveryEvent,
     RecoveryStats,
     ResilienceStats,
@@ -11,6 +12,8 @@ from .resilience import (
     degradation_table,
     delivered_pairs,
     expected_pairs,
+    integrity_stats,
+    integrity_table,
     recovery_stats,
     recovery_table,
     resilience_stats,
@@ -37,4 +40,7 @@ __all__ = [
     "DegradationStats",
     "degradation_stats",
     "degradation_table",
+    "IntegrityStats",
+    "integrity_stats",
+    "integrity_table",
 ]

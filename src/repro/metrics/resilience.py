@@ -30,6 +30,9 @@ __all__ = [
     "DegradationStats",
     "degradation_stats",
     "degradation_table",
+    "IntegrityStats",
+    "integrity_stats",
+    "integrity_table",
 ]
 
 
@@ -363,6 +366,121 @@ def degradation_table(
             f"{100.0 * s.min_completion_rate:.2f}%",
             f"{s.mean_makespan_inflation:.2f}x",
             " ".join(f"{a}:{n}" for a, n in s.actions),
+        )
+    return t.render()
+
+
+@dataclass(frozen=True)
+class IntegrityStats:
+    """Silent-data-corruption accounting of one epoch-report stream.
+
+    Folds the integrity fields of
+    :class:`~repro.spmv.persistent.EpochReport` (duck-typed — any
+    object with ``detected_corruptions``/``implicated``/
+    ``quarantined``/``corrupt_pairs`` works).  ``detected`` counts
+    check firings (endpoint verification, per-hop checksums);
+    ``unrecovered_pairs`` counts deliveries still corrupt after all
+    recovery (detected but not repaired — the number that must stay 0
+    for bit-identical convergence).  *Undetected* corruption is by
+    definition invisible to the report stream; only an external oracle
+    (a clean reference run) can count it, so it is a parameter here,
+    not a derived value.  Latencies are in epochs relative to the
+    first epoch of the stream: ``detection_latency`` is how long the
+    first corruption went unnoticed (0 = caught in the epoch it was
+    injected), ``quarantine_latency`` how many epochs of implication
+    evidence the policy needed before routing around the forwarder.
+    """
+
+    epochs: int
+    detected: int
+    undetected: int
+    unrecovered_pairs: int
+    implicated: tuple[int, ...]
+    quarantined: tuple[int, ...]
+    quarantine_epochs: int
+    first_detection_epoch: int  # -1 = never
+    first_quarantine_epoch: int  # -1 = never
+
+    @property
+    def quarantine_latency(self) -> int:
+        """Epochs from first detection to first quarantined exchange
+        (-1 when the stream never reached the quarantine rung)."""
+        if self.first_quarantine_epoch < 0 or self.first_detection_epoch < 0:
+            return -1
+        return self.first_quarantine_epoch - self.first_detection_epoch
+
+
+def integrity_stats(
+    reports: Sequence[Any], *, undetected: int = 0
+) -> IntegrityStats:
+    """Fold a report stream's integrity fields into one summary.
+
+    ``undetected`` is the external oracle's count of corruptions that
+    reached a consumer with no check firing (see
+    :class:`IntegrityStats`); the report stream cannot know it.
+    """
+    detected = 0
+    unrecovered = 0
+    implicated: set[int] = set()
+    quarantined: set[int] = set()
+    quarantine_epochs = 0
+    first_det = -1
+    first_quar = -1
+    for i, r in enumerate(reports):
+        detected += int(r.detected_corruptions)
+        unrecovered += len(r.corrupt_pairs)
+        implicated.update(int(p) for p in r.implicated)
+        if r.quarantined:
+            quarantined.update(int(p) for p in r.quarantined)
+            quarantine_epochs += 1
+            if first_quar < 0:
+                first_quar = i
+        if r.detected_corruptions and first_det < 0:
+            first_det = i
+    return IntegrityStats(
+        epochs=len(reports),
+        detected=detected,
+        undetected=int(undetected),
+        unrecovered_pairs=unrecovered,
+        implicated=tuple(sorted(implicated)),
+        quarantined=tuple(sorted(quarantined)),
+        quarantine_epochs=quarantine_epochs,
+        first_detection_epoch=first_det,
+        first_quarantine_epoch=first_quar,
+    )
+
+
+def integrity_table(
+    rows: Sequence[tuple[str, IntegrityStats]],
+    *,
+    title: str = "Silent-data-corruption detection and recovery",
+) -> str:
+    """Render per-episode integrity rows as a fixed-width text table."""
+    t = Table(
+        columns=(
+            "episode",
+            "epochs",
+            "detected",
+            "undetected",
+            "unrecovered",
+            "det_latency",
+            "quarantine",
+            "quar_latency",
+        ),
+        title=title,
+    )
+    for name, s in rows:
+        t.add_row(
+            name,
+            s.epochs,
+            s.detected,
+            s.undetected,
+            s.unrecovered_pairs,
+            "-"
+            if s.first_detection_epoch < 0
+            else f"{s.first_detection_epoch} ep",
+            ",".join(str(p) for p in s.quarantined) or "-",
+            "-" if s.quarantine_latency < 0 else f"{s.quarantine_latency} ep",
         )
     return t.render()
 

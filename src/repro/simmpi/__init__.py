@@ -16,6 +16,7 @@ from .checkpoint import HEARTBEAT_TAG, CheckpointStore, RankCheckpoint, heartbea
 from .collectives import ShrinkOp
 from .discovery import DISCOVERY_TAG, DiscoveryStats, nbx_discover
 from .faults import FaultEvent, FaultPlan, LinkOutage
+from .integrity import corrupt_draw, flip_array, flip_payload, payload_checksum
 from .message import ANY_SOURCE, ANY_TAG, TIMEOUT, Envelope, RunResult, TraceRecord
 from .policy import ESCALATION_LADDER, CircuitBreaker, EscalationPolicy, PolicyConfig
 from .reliable import ReliableComm, ReliableStats, retry_jitter
@@ -38,6 +39,10 @@ __all__ = [
     "ReliableComm",
     "ReliableStats",
     "retry_jitter",
+    "payload_checksum",
+    "corrupt_draw",
+    "flip_array",
+    "flip_payload",
     "ESCALATION_LADDER",
     "PolicyConfig",
     "CircuitBreaker",

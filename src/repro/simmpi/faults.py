@@ -36,6 +36,20 @@ Semantics
 * **Outage** — a :class:`LinkOutage` drops every message whose send
   *starts* inside ``[start_us, end_us)`` on the matching link
   (``src``/``dst`` of ``-1`` match any rank).
+* **Bit flip (in transit)** — each delivered message rolls against the
+  link's flip probability (``link_flip`` overrides ``default_flip``);
+  on a hit the *receiver* gets a copy of the payload with one bit
+  flipped (the sender's object is never mutated).  The engine delivers
+  the corrupt copy silently — detection belongs to the layers above
+  (checksummed :class:`~repro.simmpi.reliable.ReliableComm` frames,
+  per-hop STFW checksums, ABFT cross-checks).
+* **Corrupt forwarder / compute flip** — ``corrupt_forwarders[r] = p``
+  and ``compute_flips[r] = p`` are *application-layer* corruption
+  sites: the store-and-forward exchange consults the former when rank
+  ``r`` relays a submessage it did not originate, the SpMV kernel the
+  latter per local multiply.  Both draw pure seed-keyed randomness
+  (:func:`~repro.simmpi.integrity.corrupt_draw`), never the engine RNG,
+  so they perturb neither posting order nor engine byte-identity.
 """
 
 from __future__ import annotations
@@ -81,9 +95,10 @@ class LinkOutage:
 class FaultEvent:
     """One fault the engine actually injected during a run.
 
-    ``kind`` is ``"crash"``, ``"drop"`` or ``"duplicate"``; ``reason``
-    refines drops (``"link"``, ``"outage"`` or ``"dest-dead"``).  For a
-    crash only ``rank`` and ``time_us`` are meaningful.
+    ``kind`` is ``"crash"``, ``"drop"``, ``"duplicate"`` or ``"flip"``;
+    ``reason`` refines drops (``"link"``, ``"outage"`` or
+    ``"dest-dead"``).  For a crash only ``rank`` and ``time_us`` are
+    meaningful.
     """
 
     kind: str
@@ -113,8 +128,19 @@ class FaultPlan:
         rank pays (1.0 = nominal; must be positive).
     outages:
         Transient :class:`LinkOutage` windows (deterministic drops).
+    link_flip / default_flip:
+        ``{(src, dst): probability}`` (and the fallback) that a
+        delivered message arrives with one bit silently flipped.
+    corrupt_forwarders:
+        ``{rank: probability}`` that the rank corrupts a submessage it
+        *relays* (store-and-forward buffer corruption) — consulted by
+        the fault-tolerant STFW exchange, not the engine.
+    compute_flips:
+        ``{rank: probability}`` of a silent local-compute corruption
+        per SpMV application — consulted by the ABFT-checked kernel.
     seed:
-        Seed of the single RNG behind the probabilistic faults.
+        Seed of the single RNG behind the probabilistic faults (also
+        keys the pure application-layer corruption draws).
     """
 
     crashes: Mapping[int, float] = field(default_factory=dict)
@@ -124,6 +150,10 @@ class FaultPlan:
     default_duplicate: float = 0.0
     stragglers: Mapping[int, float] = field(default_factory=dict)
     outages: Sequence[LinkOutage] = ()
+    link_flip: Mapping[tuple[int, int], float] = field(default_factory=dict)
+    default_flip: float = 0.0
+    corrupt_forwarders: Mapping[int, float] = field(default_factory=dict)
+    compute_flips: Mapping[int, float] = field(default_factory=dict)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -133,42 +163,87 @@ class FaultPlan:
         self._validate_values()
 
     def _validate_values(self) -> None:
-        """Rank-count-independent validity: probabilities, times, windows."""
+        """Rank-count-independent validity: probabilities, times, windows.
+
+        Every message names the offending field and the key/index inside
+        it, so a rejected multi-hundred-event JSON schedule points
+        straight at the bad entry.
+        """
         for r, t in self.crashes.items():
             if t < 0:
-                raise SimMPIError(f"crash time {t} for rank {r} is negative")
-        for name, probs in (("link_drop", self.link_drop), ("link_duplicate", self.link_duplicate)):
+                raise SimMPIError(
+                    f"fault plan crashes[{r}]={t}: crash time is negative"
+                )
+        per_link = (
+            ("link_drop", self.link_drop),
+            ("link_duplicate", self.link_duplicate),
+            ("link_flip", self.link_flip),
+        )
+        for name, probs in per_link:
             for (s, d), p in probs.items():
                 if not 0.0 <= p <= 1.0:
                     raise SimMPIError(f"fault plan {name}[{s},{d}]={p} outside [0, 1]")
-        for name, p in (("default_drop", self.default_drop), ("default_duplicate", self.default_duplicate)):
+        defaults = (
+            ("default_drop", self.default_drop),
+            ("default_duplicate", self.default_duplicate),
+            ("default_flip", self.default_flip),
+        )
+        for name, p in defaults:
             if not 0.0 <= p <= 1.0:
                 raise SimMPIError(f"fault plan {name}={p} outside [0, 1]")
+        per_rank_prob = (
+            ("corrupt_forwarders", self.corrupt_forwarders),
+            ("compute_flips", self.compute_flips),
+        )
+        for name, probs in per_rank_prob:
+            for r, p in probs.items():
+                if not 0.0 <= p <= 1.0:
+                    raise SimMPIError(f"fault plan {name}[{r}]={p} outside [0, 1]")
         for r, f in self.stragglers.items():
             if f <= 0:
-                raise SimMPIError(f"straggler factor {f} for rank {r} must be positive")
-        for o in self.outages:
+                raise SimMPIError(
+                    f"fault plan stragglers[{r}]={f}: factor must be positive"
+                )
+        for i, o in enumerate(self.outages):
             if o.end_us < o.start_us:
-                raise SimMPIError(f"outage window [{o.start_us}, {o.end_us}) is reversed")
+                raise SimMPIError(
+                    f"fault plan outages[{i}] ({o.src}->{o.dst}): window "
+                    f"[{o.start_us}, {o.end_us}) is reversed"
+                )
 
     def validate(self, K: int) -> None:
         """Check every rank, probability and window against ``K`` ranks."""
         self._validate_values()
-        for r in self.crashes:
-            if not 0 <= r < K:
-                raise SimMPIError(f"fault plan crashes rank {r} outside [0, {K})")
-        for name, probs in (("link_drop", self.link_drop), ("link_duplicate", self.link_duplicate)):
+        per_rank = (
+            ("crashes", self.crashes),
+            ("stragglers", self.stragglers),
+            ("corrupt_forwarders", self.corrupt_forwarders),
+            ("compute_flips", self.compute_flips),
+        )
+        for name, ranks in per_rank:
+            for r in ranks:
+                if not 0 <= r < K:
+                    raise SimMPIError(
+                        f"fault plan {name}[{r}]: rank {r} outside [0, {K})"
+                    )
+        per_link = (
+            ("link_drop", self.link_drop),
+            ("link_duplicate", self.link_duplicate),
+            ("link_flip", self.link_flip),
+        )
+        for name, probs in per_link:
             for s, d in probs:
                 if not (0 <= s < K and 0 <= d < K):
                     raise SimMPIError(f"fault plan {name} link ({s}, {d}) outside [0, {K})")
-        for r in self.stragglers:
-            if not 0 <= r < K:
-                raise SimMPIError(f"fault plan straggler rank {r} outside [0, {K})")
-        for o in self.outages:
+        for i, o in enumerate(self.outages):
             if o.src != ANY_RANK and not 0 <= o.src < K:
-                raise SimMPIError(f"outage src {o.src} outside [0, {K})")
+                raise SimMPIError(
+                    f"fault plan outages[{i}]: src {o.src} outside [0, {K})"
+                )
             if o.dst != ANY_RANK and not 0 <= o.dst < K:
-                raise SimMPIError(f"outage dst {o.dst} outside [0, {K})")
+                raise SimMPIError(
+                    f"fault plan outages[{i}]: dst {o.dst} outside [0, {K})"
+                )
 
     def to_json(self) -> str:
         """Serialize to a canonical JSON string (sorted keys).
@@ -186,6 +261,12 @@ class FaultPlan:
             "default_duplicate": self.default_duplicate,
             "stragglers": {str(r): f for r, f in sorted(self.stragglers.items())},
             "outages": [[o.src, o.dst, o.start_us, o.end_us] for o in self.outages],
+            "link_flip": [[s, d, p] for (s, d), p in sorted(self.link_flip.items())],
+            "default_flip": self.default_flip,
+            "corrupt_forwarders": {
+                str(r): p for r, p in sorted(self.corrupt_forwarders.items())
+            },
+            "compute_flips": {str(r): p for r, p in sorted(self.compute_flips.items())},
             "seed": self.seed,
         }
         return json.dumps(doc, sort_keys=True)
@@ -209,6 +290,17 @@ class FaultPlan:
                 LinkOutage(int(s), int(d), float(a), float(b))
                 for s, d, a, b in doc.get("outages", [])
             ),
+            link_flip={
+                (int(s), int(d)): float(p) for s, d, p in doc.get("link_flip", [])
+            },
+            default_flip=float(doc.get("default_flip", 0.0)),
+            corrupt_forwarders={
+                int(r): float(p)
+                for r, p in doc.get("corrupt_forwarders", {}).items()
+            },
+            compute_flips={
+                int(r): float(p) for r, p in doc.get("compute_flips", {}).items()
+            },
             seed=int(doc.get("seed", 0)),
         )
 
@@ -223,6 +315,10 @@ class FaultPlan:
             and all(p == 0.0 for p in self.link_drop.values())
             and all(p == 0.0 for p in self.link_duplicate.values())
             and all(f == 1.0 for f in self.stragglers.values())
+            and self.default_flip == 0.0
+            and all(p == 0.0 for p in self.link_flip.values())
+            and all(p == 0.0 for p in self.corrupt_forwarders.values())
+            and all(p == 0.0 for p in self.compute_flips.values())
         )
 
     def drop_prob(self, src: int, dst: int) -> float:
@@ -232,6 +328,18 @@ class FaultPlan:
     def duplicate_prob(self, src: int, dst: int) -> float:
         """Duplication probability of the directed link ``src -> dst``."""
         return self.link_duplicate.get((src, dst), self.default_duplicate)
+
+    def flip_prob(self, src: int, dst: int) -> float:
+        """In-transit bit-flip probability of the link ``src -> dst``."""
+        return self.link_flip.get((src, dst), self.default_flip)
+
+    def forwarder_flip_prob(self, rank: int) -> float:
+        """Probability ``rank`` corrupts a submessage it relays."""
+        return self.corrupt_forwarders.get(rank, 0.0)
+
+    def compute_flip_prob(self, rank: int) -> float:
+        """Probability of one silent local-compute corruption at ``rank``."""
+        return self.compute_flips.get(rank, 0.0)
 
 
 class FaultState:
@@ -267,9 +375,11 @@ class FaultState:
     def outcome(self, src: int, dst: int, tag: int, words: int, t: float) -> str:
         """Fate of a message posted ``src -> dst`` at time ``t``.
 
-        Returns ``"deliver"``, ``"drop"`` or ``"duplicate"`` and logs
-        drop/duplicate events.  Probabilities of exactly zero consume
-        no randomness, keeping trivial plans byte-identical.
+        Returns ``"deliver"``, ``"drop"``, ``"duplicate"`` or ``"flip"``
+        and logs drop/duplicate events (a flip's event is logged by
+        :meth:`corrupt_payload`, which knows whether the payload had a
+        flippable leaf).  Probabilities of exactly zero consume no
+        randomness, keeping trivial plans byte-identical.
         """
         if dst in self.crashed:
             self.events.append(
@@ -290,4 +400,27 @@ class FaultState:
         if q > 0.0 and float(self.rng.random()) < q:
             self.events.append(FaultEvent("duplicate", t, src, dst, tag, words))
             return "duplicate"
+        f = self.plan.flip_prob(src, dst)
+        if f > 0.0 and float(self.rng.random()) < f:
+            return "flip"
         return "deliver"
+
+    def corrupt_payload(self, payload, src, dst, tag, words, t):
+        """Flip one bit in a *copy* of ``payload`` (engine "flip" fate).
+
+        The flip site comes from the shared engine RNG (consumed only
+        when a flip fires), so the corrupted value is as deterministic
+        as every other probabilistic fault.  Returns the corrupted copy
+        — or the original payload untouched when nothing in it is
+        flippable (no event is logged in that case).
+        """
+        from .integrity import flip_payload
+
+        site = int(self.rng.integers(0, 2**32))
+        corrupted, changed = flip_payload(payload, self.plan.seed, site)
+        if changed:
+            self.events.append(
+                FaultEvent("flip", t, src, dst, tag, words, reason="link")
+            )
+            return corrupted
+        return payload

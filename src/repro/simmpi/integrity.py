@@ -1,0 +1,175 @@
+"""Content checksums and deterministic bit-flip primitives.
+
+The silent-data-corruption (SDC) machinery is split in two halves:
+
+* **Injection** — :func:`corrupt_draw` and :func:`flip_array` are pure
+  functions of an identifying key (like
+  :func:`~repro.simmpi.reliable.retry_jitter`): no shared RNG state, so
+  whether a store-and-forward relay or a local SpMV kernel corrupts a
+  value cannot depend on event interleaving.  Two runs with the same
+  fault seed corrupt the same bits.
+* **Detection** — :func:`payload_checksum` folds a payload's *content*
+  (ndarray bytes, dtype and shape; scalars; nested containers) into one
+  CRC32 word.  The reliable transport stamps it on every DATA frame and
+  verifies on accept; fault-tolerant STFW stamps one per submessage at
+  the *origin* so a corrupt forwarder is caught at the next hop.
+
+Checksums ride inside the existing framing-words allowance, so adding
+them perturbs no virtual-time cost: fault-free runs stay byte-identical
+to pre-integrity runs.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "payload_checksum",
+    "corrupt_draw",
+    "flip_array",
+    "flip_payload",
+]
+
+
+def _crc(crc: int, data: bytes) -> int:
+    return zlib.crc32(data, crc)
+
+
+def _fold(crc: int, obj: Any) -> int:
+    """Fold one object's structure and content into a running CRC32."""
+    if obj is None:
+        return _crc(crc, b"N")
+    if isinstance(obj, np.ndarray):
+        crc = _crc(crc, b"A")
+        crc = _crc(crc, str(obj.dtype).encode())
+        crc = _crc(crc, repr(obj.shape).encode())
+        return _crc(crc, np.ascontiguousarray(obj).tobytes())
+    if isinstance(obj, (bool, np.bool_)):
+        return _crc(crc, b"T" if obj else b"F")
+    if isinstance(obj, (int, np.integer)):
+        return _crc(crc, b"I" + str(int(obj)).encode())
+    if isinstance(obj, (float, np.floating)):
+        return _crc(crc, b"D" + struct.pack("<d", float(obj)))
+    if isinstance(obj, str):
+        return _crc(crc, b"S" + obj.encode())
+    if isinstance(obj, bytes):
+        return _crc(crc, b"B" + obj)
+    if isinstance(obj, (tuple, list)):
+        crc = _crc(crc, b"L" + str(len(obj)).encode())
+        for item in obj:
+            crc = _fold(crc, item)
+        return crc
+    if isinstance(obj, dict):
+        crc = _crc(crc, b"M" + str(len(obj)).encode())
+        for key in sorted(obj, key=repr):
+            crc = _fold(crc, key)
+            crc = _fold(crc, obj[key])
+        return crc
+    # last resort: structural identity via repr (deterministic for the
+    # simple payload vocabulary the harness uses)
+    return _crc(crc, b"R" + repr(obj).encode())
+
+
+def payload_checksum(obj: Any) -> int:
+    """Structural CRC32 of a payload's content, in ``[0, 2**32)``.
+
+    Covers ndarray bytes/dtype/shape, scalars, strings, bytes and
+    nested tuples/lists/dicts.  Any single bit flip in an ndarray leaf
+    changes the checksum (CRC32 detects all 1-bit errors).
+    """
+    return _fold(0, obj)
+
+
+def corrupt_draw(seed: int, *key: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one corruption site.
+
+    A pure function of ``(seed, *key)`` — used to decide *whether* a
+    corrupt forwarder poisons a relayed submessage or a flaky ALU
+    corrupts a local SpMV product, without any shared RNG state.
+    """
+    ss = np.random.SeedSequence((int(seed), 0x51DC, *(int(k) for k in key)))
+    return float(ss.generate_state(1)[0]) / 2.0**32
+
+
+def flip_array(arr: np.ndarray, seed: int, *key: int) -> np.ndarray:
+    """Return a copy of ``arr`` with one deterministically-chosen bit
+    flipped (a pure function of ``(seed, *key)``).
+
+    The original array is never mutated.  Zero-size arrays come back
+    unchanged (still a copy).
+    """
+    out = np.array(arr, copy=True)
+    if out.size == 0:
+        return out
+    ss = np.random.SeedSequence((int(seed), 0xB17F, *(int(k) for k in key)))
+    words = ss.generate_state(2)
+    flat = out.reshape(-1)
+    idx = int(words[0]) % flat.size
+    view = flat.view(np.uint8).reshape(flat.size, -1)
+    bit = int(words[1]) % (view.shape[1] * 8)
+    view[idx, bit // 8] ^= np.uint8(1 << (bit % 8))
+    return out
+
+
+def _has_array(obj: Any) -> bool:
+    """True when ``obj`` contains a non-empty ndarray leaf."""
+    if isinstance(obj, np.ndarray):
+        return obj.size > 0
+    if isinstance(obj, (tuple, list)):
+        return any(_has_array(item) for item in obj)
+    return False
+
+
+def flip_payload(payload: Any, seed: int, *key: int) -> tuple[Any, bool]:
+    """Corrupt one ndarray/scalar leaf of ``payload``; pure in the key.
+
+    Returns ``(corrupted_copy, changed)``.  Containers are rebuilt so
+    the caller's object is never mutated; when no flippable leaf exists
+    the payload comes back unchanged with ``changed=False``.
+
+    Inside containers, ndarray leaves are corrupted in preference to
+    scalar ones: the scalars of a packed message are framing fields
+    (destination, origin, ttl), and the modelled fault is silent *data*
+    corruption — envelope words are assumed protected by the transport
+    the way real NICs protect headers.  Scalars are still flipped when
+    a payload carries no array data at all.
+    """
+    if isinstance(payload, np.ndarray):
+        if payload.size == 0:
+            return payload, False
+        return flip_array(payload, seed, *key), True
+    if isinstance(payload, (bool, np.bool_)):
+        return (not payload), True
+    if isinstance(payload, (int, np.integer)):
+        ss = np.random.SeedSequence((int(seed), 0xB17F, *(int(k) for k in key)))
+        bit = int(ss.generate_state(1)[0]) % 32
+        return int(payload) ^ (1 << bit), True
+    if isinstance(payload, (float, np.floating)):
+        bits = np.array([payload], dtype=np.float64)
+        return float(flip_array(bits, seed, *key)[0]), True
+    if isinstance(payload, str):
+        if not payload:
+            return payload, False
+        raw = bytearray(payload.encode("utf-8"))
+        ss = np.random.SeedSequence((int(seed), 0xB17F, *(int(k) for k in key)))
+        words = ss.generate_state(2)
+        idx = int(words[0]) % len(raw)
+        raw[idx] ^= 1 << (int(words[1]) % 8)
+        return raw.decode("latin-1"), True
+    if isinstance(payload, (tuple, list)):
+        order = sorted(
+            range(len(payload)),
+            key=lambda i: (not _has_array(payload[i]), i),
+        )
+        for i in order:
+            new, changed = flip_payload(payload[i], seed, *key, i)
+            if changed:
+                rebuilt = list(payload)
+                rebuilt[i] = new
+                return (tuple(rebuilt) if isinstance(payload, tuple) else rebuilt), True
+        return payload, False
+    return payload, False

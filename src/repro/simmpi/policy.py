@@ -25,6 +25,12 @@ by cost:
     The fault-tolerant exchange with *pre-suspected* peers: e-cube
     detours route around them from hop one instead of burning a full
     retry cycle per hop rediscovering the same dead forwarder.
+``quarantine``
+    A forwarder repeatedly *implicated* by per-hop checksum
+    mismatches is corrupting payloads it relays, not dropping them —
+    shrinking it away would discard a perfectly alive destination.
+    Instead e-cube detours route *around* it as an intermediate hop
+    while it keeps sending and receiving its own traffic.
 ``shrink``
     The suspicion hardened into agreement: ``Comm.shrink()`` over the
     survivors, recv-sets rediscovered (not trusted) via NBX, and the
@@ -41,6 +47,14 @@ faulty epochs the peer's circuit opens and the service pre-suspects it
 unconditionally; after ``cooldown`` epochs the circuit goes half-open
 and one clean probe epoch closes it again (a faulty probe re-opens it
 for another full cooldown).
+
+The quarantine rung reuses the same breaker as a second, independent
+instance keyed on *integrity* evidence (per-hop checksum
+implications) rather than delivery faults: ``quarantine_after``
+implications open the circuit (the peer is quarantined as a
+forwarder), a cooldown later the circuit goes half-open and one clean
+probe epoch lifts the quarantine — silent corruption that stops (a
+transient fault, a replaced board) should not exile a rank forever.
 """
 
 from __future__ import annotations
@@ -59,7 +73,14 @@ __all__ = [
 
 #: the escalation rungs, cheapest first; epoch reports are labelled
 #: with exactly one of these
-ESCALATION_LADDER = ("healthy", "retry", "reroute", "shrink", "degraded")
+ESCALATION_LADDER = (
+    "healthy",
+    "retry",
+    "reroute",
+    "quarantine",
+    "shrink",
+    "degraded",
+)
 
 #: circuit states
 _CLOSED = "closed"
@@ -77,8 +98,12 @@ class PolicyConfig:
     ``suspect_after`` consecutive faulty epochs promote a peer from
     transient (retry rung) to suspected (reroute rung);
     ``shrink_after`` consecutive faulty epochs harden the suspicion
-    into a shrink.  ``breaker_threshold``/``breaker_cooldown``
-    configure the flapping-link :class:`CircuitBreaker`.
+    into a shrink.  ``quarantine_after`` consecutive epochs in which a
+    peer is *implicated* by per-hop checksum evidence quarantine it as
+    a forwarder (quarantine rung).  ``breaker_threshold``/
+    ``breaker_cooldown`` configure the flapping-link
+    :class:`CircuitBreaker`; the quarantine breaker shares
+    ``breaker_cooldown``.
     """
 
     timeout_us: float = 150.0
@@ -88,6 +113,7 @@ class PolicyConfig:
     seed: int = 0
     suspect_after: int = 1
     shrink_after: int = 2
+    quarantine_after: int = 2
     breaker_threshold: int = 3
     breaker_cooldown: int = 2
 
@@ -109,12 +135,19 @@ class PolicyConfig:
                 "policy shrink_after must be >= suspect_after "
                 f"(got {self.shrink_after} < {self.suspect_after})"
             )
+        if self.quarantine_after < 1:
+            raise SimMPIError("policy quarantine_after must be >= 1")
         if self.breaker_threshold < 1:
             raise SimMPIError("policy breaker_threshold must be >= 1")
         if self.breaker_cooldown < 1:
             raise SimMPIError("policy breaker_cooldown must be >= 1")
 
-    def ft_knobs(self, *, suspected: Collection[int] = ()) -> dict:
+    def ft_knobs(
+        self,
+        *,
+        suspected: Collection[int] = (),
+        quarantined: Collection[int] = (),
+    ) -> dict:
         """Keyword arguments for a tolerant ``run_exchange`` call."""
         return {
             "timeout_us": self.timeout_us,
@@ -123,6 +156,7 @@ class PolicyConfig:
             "retry_jitter": self.jitter,
             "retry_seed": self.seed,
             "suspected": tuple(sorted(int(r) for r in suspected)),
+            "quarantined": tuple(sorted(int(r) for r in quarantined)),
         }
 
 
@@ -196,6 +230,10 @@ class CircuitBreaker:
         """``"closed"``, ``"open"`` or ``"half_open"``."""
         return self._state.get(int(peer), _CLOSED)
 
+    def streak(self, peer: int) -> int:
+        """Consecutive faulty epochs recorded for ``peer`` (closed only)."""
+        return self._streak.get(int(peer), 0)
+
     def open_peers(self) -> tuple[int, ...]:
         """Peers whose circuit is open (pre-suspected), ascending."""
         return tuple(sorted(p for p, s in self._state.items() if s == _OPEN))
@@ -216,17 +254,30 @@ class EscalationPolicy:
     """The decision layer of a self-healing persistent exchange.
 
     Tracks per-peer consecutive-fault streaks and the flapping-link
-    breaker, and answers the two questions the service asks each
+    breaker, and answers the three questions the service asks each
     epoch: *which peers should the next exchange pre-suspect?*
-    (:meth:`suspects`) and *which suspicions are now hard enough to
-    shrink on?* (:meth:`to_shrink`).  Feed each epoch's observations
-    with :meth:`note_epoch`; seal a shrink with :meth:`declare_dead`.
+    (:meth:`suspects`), *which forwarders must it route around?*
+    (:meth:`quarantined`) and *which suspicions are now hard enough
+    to shrink on?* (:meth:`to_shrink`).  Feed each epoch's
+    observations with :meth:`note_epoch`; seal a shrink with
+    :meth:`declare_dead`.
+
+    Integrity evidence lives in its own breaker: a peer implicated
+    ``quarantine_after`` consecutive epochs by per-hop checksum
+    mismatches is quarantined as a forwarder (still a valid source
+    and destination), and a cooldown later gets one probe epoch to
+    prove itself clean again.
     """
 
     def __init__(self, config: PolicyConfig | None = None):
         self.config = config if config is not None else PolicyConfig()
         self.breaker = CircuitBreaker(
             threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
+        #: integrity breaker — open circuit means quarantined forwarder
+        self.integrity = CircuitBreaker(
+            threshold=self.config.quarantine_after,
             cooldown=self.config.breaker_cooldown,
         )
         self._streak: dict[int, int] = {}
@@ -239,22 +290,39 @@ class EscalationPolicy:
         self,
         faulty_peers: Iterable[int] = (),
         clean_peers: Iterable[int] = (),
+        corrupt_peers: Iterable[int] = (),
     ) -> None:
         """Record one epoch: who misbehaved, who answered cleanly.
 
-        A peer in both collections counts as faulty (a partial epoch
-        is still a faulty epoch).  Dead peers are ignored.
+        A peer in both ``faulty_peers`` and ``clean_peers`` counts as
+        faulty (a partial epoch is still a faulty epoch).
+        ``corrupt_peers`` are forwarders implicated by per-hop
+        checksum evidence this epoch — integrity is tracked on its
+        own breaker, independent of delivery faults, and a peer not
+        implicated this epoch counts as an integrity-clean
+        observation.  Dead peers are ignored.
         """
         self.epochs += 1
+        # peers quarantined while this epoch ran forwarded nothing:
+        # "not implicated" is vacuous for them, not a clean probe —
+        # snapshot before tick() so the cooldown expiring now does not
+        # let this epoch's non-observation close the circuit early
+        unexercised = set(self.integrity.open_peers())
         self.breaker.tick()
+        self.integrity.tick()
         faulty = {int(p) for p in faulty_peers} - self.dead
         clean = {int(p) for p in clean_peers} - self.dead - faulty
+        corrupt = {int(p) for p in corrupt_peers} - self.dead
         for peer in sorted(faulty):
             self._streak[peer] = self._streak.get(peer, 0) + 1
             self.breaker.record(peer, True)
         for peer in sorted(clean):
             self._streak.pop(peer, None)
             self.breaker.record(peer, False)
+        for peer in sorted(corrupt):
+            self.integrity.record(peer, True)
+        for peer in sorted((faulty | clean) - corrupt - unexercised):
+            self.integrity.record(peer, False)
 
     def suspects(self) -> tuple[int, ...]:
         """Peers the next exchange should pre-suspect, ascending.
@@ -270,6 +338,39 @@ class EscalationPolicy:
         return tuple(
             sorted((streaked | set(self.breaker.open_peers())) - self.dead)
         )
+
+    def quarantined(self) -> tuple[int, ...]:
+        """Forwarders the next exchange must route around, ascending.
+
+        Peers whose integrity circuit is *open*.  A half-open circuit
+        is deliberately excluded: that epoch is the probe — the peer
+        forwards again, and either proves clean (quarantine lifts) or
+        is re-implicated (quarantine resumes for a full cooldown).
+        """
+        return tuple(
+            p for p in self.integrity.open_peers() if p not in self.dead
+        )
+
+    def to_quarantine(self) -> tuple[int, ...]:
+        """Alias of :meth:`quarantined`, named like :meth:`to_shrink`."""
+        return self.quarantined()
+
+    def corrupt_suspects(self) -> tuple[int, ...]:
+        """Peers with *any* live integrity evidence, ascending.
+
+        Quarantined peers, half-open probes and peers partway through
+        an implication streak alike — while this is non-empty the
+        service must not take the unchecksummed planned fast path,
+        because the next corruption would only be caught at the
+        endpoint after the fact.
+        """
+        br = self.integrity
+        peers = {
+            p
+            for p in set(br._streak) | set(br._state)
+            if br.streak(p) > 0 or br.state(p) != _CLOSED
+        }
+        return tuple(sorted(peers - self.dead))
 
     def to_shrink(self) -> tuple[int, ...]:
         """Peers whose streak hardened past ``shrink_after``, ascending."""
@@ -289,7 +390,11 @@ class EscalationPolicy:
             self.dead.add(peer)
             self._streak.pop(peer, None)
             self.breaker.forget(peer)
+            self.integrity.forget(peer)
 
     def ft_knobs(self) -> dict:
-        """Tolerant-exchange kwargs with the current suspicion set."""
-        return self.config.ft_knobs(suspected=self.suspects())
+        """Tolerant-exchange kwargs with the current suspicion and
+        quarantine sets."""
+        return self.config.ft_knobs(
+            suspected=self.suspects(), quarantined=self.quarantined()
+        )

@@ -13,9 +13,18 @@ with the classic end-host mechanisms:
   (:attr:`ReliableComm.dead`) and either fails fast
   (:meth:`try_send` → ``False``) or raises
   :class:`~repro.errors.FaultError` (:meth:`send`);
-* a receiver **suppresses duplicates** by remembering delivered
-  ``(source, seq)`` pairs, re-acking them so a lost ack cannot wedge
-  the sender.
+* a receiver **suppresses duplicates** with a per-source cumulative
+  watermark (every seq below it was delivered) plus a small set of
+  out-of-order seqs above it — bounded memory no matter how long the
+  exchange runs — re-acking duplicates so a lost ack cannot wedge the
+  sender;
+* every ``DATA`` frame carries a **content checksum**
+  (:func:`~repro.simmpi.integrity.payload_checksum`), verified on
+  accept: a silently corrupted frame is answered with a ``NACK`` that
+  triggers an immediate retransmission instead of a delivery, so
+  in-transit bit flips surface as latency, never as wrong data.  The
+  checksum rides inside the frame's ``header_words`` allowance and
+  adds no wire cost.
 
 All reliable traffic of one rank shares a single engine tag
 (:data:`WIRE_TAG`); the *logical* tag rides inside the frame.  While a
@@ -44,6 +53,7 @@ from typing import Any, Generator
 import numpy as np
 
 from ..errors import FaultError, SimMPIError
+from .integrity import payload_checksum
 from .message import TIMEOUT
 from .runtime import Comm
 
@@ -52,12 +62,13 @@ __all__ = ["ReliableComm", "ReliableStats", "WIRE_TAG", "ACK_WORDS", "retry_jitt
 #: the engine tag every reliable-layer frame travels on
 WIRE_TAG = 1 << 24
 
-#: charged size of an ``ACK`` frame in words
+#: charged size of an ``ACK`` (or ``NACK``) frame in words
 ACK_WORDS = 1
 
 #: frame kind markers (index 0 of every frame tuple)
 _DATA = 0
 _ACK = 1
+_NACK = 2
 
 
 def retry_jitter(seed: int, rank: int, dest: int, seq: int, attempt: int) -> float:
@@ -83,6 +94,11 @@ class ReliableStats:
     delivered: int = 0
     duplicates_suppressed: int = 0
     timeouts: int = 0
+    #: DATA frames rejected on accept because their content checksum
+    #: did not match (each one triggered a NACK)
+    corrupt_frames: int = 0
+    nacks_sent: int = 0
+    nacks_received: int = 0
     presumed_dead: list[int] = field(default_factory=list)
     #: ``(dest, seq, attempt, virtual_time_us)`` per retransmission, in
     #: the order they went out — the reproducibility witness: two runs
@@ -157,9 +173,14 @@ class ReliableComm:
         self.dead: set[int] = set()
         self.stats = ReliableStats()
         self._obs = tracer if (tracer is not None and tracer.enabled) else None
-        self._next_seq = 0
-        #: delivered (source -> seqs) for duplicate suppression
-        self._seen: dict[int, set[int]] = {}
+        #: next sequence number per destination — per-destination
+        #: counters give every receiver a gap-free per-source stream,
+        #: which is what lets the dedup watermark advance and prune
+        self._next_seq: dict[int, int] = {}
+        #: duplicate suppression per source: ``[watermark, over]`` where
+        #: every seq < watermark was delivered and ``over`` holds the
+        #: (few, reordering-window-bounded) delivered seqs above it
+        self._seen: dict[int, list] = {}
         #: DATA accepted while waiting for something else, kept sorted
         #: by per-source seq: (src, ltag, payload, seq).  A tagged recv
         #: may skip over earlier frames of other tags, so append order
@@ -170,6 +191,17 @@ class ReliableComm:
     def rank(self) -> int:
         """The underlying rank."""
         return self.comm.rank
+
+    def dedup_backlog(self, src: int) -> int:
+        """Out-of-order seqs currently remembered for ``src``.
+
+        The cumulative watermark compresses everything contiguously
+        delivered into a single integer; this is the size of what is
+        left — bounded by the reordering window, not the exchange
+        length.
+        """
+        state = self._seen.get(src)
+        return 0 if state is None else len(state[1])
 
     # ------------------------------------------------------------------
     # Sending
@@ -189,9 +221,9 @@ class ReliableComm:
             return False
         if words is None:
             words = len(payload)
-        seq = self._next_seq
-        self._next_seq += 1
-        frame = (_DATA, seq, tag, payload)
+        seq = self._next_seq.get(dest, 0)
+        self._next_seq[dest] = seq + 1
+        frame = (_DATA, seq, tag, payload, payload_checksum(payload))
         wire_words = int(words) + self.header_words
         obs = self._obs
         for attempt in range(self.max_retries + 1):
@@ -233,6 +265,16 @@ class ReliableComm:
                             obs.count("reliable.acked", 1, track=self.comm.rank)
                         return True
                     # an ack for an older (retransmitted) transfer: ignore
+                elif fr[0] == _NACK:
+                    if src == dest and fr[1] == seq:
+                        # the frame arrived corrupt: retransmit now
+                        # instead of burning the rest of the ack timeout
+                        self.stats.nacks_received += 1
+                        if obs is not None:
+                            obs.count(
+                                "integrity.nacks_received", 1, track=self.comm.rank
+                            )
+                        break
                 else:
                     self._accept_data(src, fr)
         self.dead.add(dest)
@@ -293,8 +335,8 @@ class ReliableComm:
                 if raw is TIMEOUT:
                     return TIMEOUT
             src, _, fr = raw
-            if fr[0] == _ACK:
-                continue  # ack of an already-satisfied retransmission
+            if fr[0] in (_ACK, _NACK):
+                continue  # control frame of an already-settled transfer
             self._accept_data(src, fr)
             got = self._pop_stash(tag)
             if got is not None:
@@ -305,24 +347,50 @@ class ReliableComm:
     # ------------------------------------------------------------------
 
     def _accept_data(self, src: int, frame: tuple) -> None:
-        """Ack a DATA frame and stash it unless it is a duplicate.
+        """Verify, ack and stash a DATA frame unless it is a duplicate.
 
-        The stash is kept sorted by sequence number *per source*: a
-        retransmitted frame can arrive after a younger frame from the
-        same sender, and tagged receives skip over non-matching
-        entries, so plain append order would let a later wildcard
-        receive hand back frames out of the sender's send order.
+        A frame whose content checksum does not match is answered with
+        a ``NACK`` (prompting an immediate retransmission) and never
+        delivered.  The stash is kept sorted by sequence number *per
+        source*: a retransmitted frame can arrive after a younger frame
+        from the same sender, and tagged receives skip over
+        non-matching entries, so plain append order would let a later
+        wildcard receive hand back frames out of the sender's send
+        order.
         """
-        _, seq, ltag, payload = frame
-        self.comm.send(src, (_ACK, seq), tag=WIRE_TAG, words=ACK_WORDS)
-        seen = self._seen.setdefault(src, set())
         obs = self._obs
-        if seq in seen:
+        if len(frame) != 5 or frame[0] != _DATA:
+            # an envelope corrupted in transit (e.g. the kind word of an
+            # ACK, or a DATA frame's framing fields): unattributable —
+            # there is no trustworthy seq to NACK — so drop it and let
+            # the sender's timeout drive the retransmission
+            self.stats.corrupt_frames += 1
+            if obs is not None:
+                obs.count("integrity.corrupt_frames", 1, track=self.comm.rank)
+            return
+        _, seq, ltag, payload, ck = frame
+        if payload_checksum(payload) != ck:
+            self.stats.corrupt_frames += 1
+            self.stats.nacks_sent += 1
+            if obs is not None:
+                obs.count("integrity.corrupt_frames", 1, track=self.comm.rank)
+                obs.count("integrity.nacks_sent", 1, track=self.comm.rank)
+            self.comm.send(src, (_NACK, seq), tag=WIRE_TAG, words=ACK_WORDS)
+            return
+        self.comm.send(src, (_ACK, seq), tag=WIRE_TAG, words=ACK_WORDS)
+        state = self._seen.setdefault(src, [0, set()])
+        watermark, over = state
+        if seq < watermark or seq in over:
             self.stats.duplicates_suppressed += 1
             if obs is not None:
                 obs.count("reliable.duplicates_suppressed", 1, track=self.comm.rank)
             return
-        seen.add(seq)
+        over.add(seq)
+        # contiguous prefix above the watermark collapses into it, so
+        # the set only ever holds the current reordering window
+        while state[0] in over:
+            over.discard(state[0])
+            state[0] += 1
         self.stats.delivered += 1
         if obs is not None:
             obs.count("reliable.delivered", 1, track=self.comm.rank)

@@ -527,6 +527,15 @@ class SimMPI:
                     )
                 return  # the sender paid the cost; the message is gone
             duplicate = fate == "duplicate"
+            if fate == "flip":
+                # the receiver gets a corrupted *copy*; the sender's
+                # object (and any retransmission of it) stays intact
+                payload = fs.corrupt_payload(payload, source, dest, tag, words, start)
+                if obs is not None:
+                    obs.instant(
+                        "fault.flip", start, track=source, cat="fault",
+                        dest=dest, tag=tag, words=words,
+                    )
         env = Envelope(
             source=source,
             dest=dest,

@@ -11,7 +11,13 @@ from .driver import (
     run_iterative_with_recovery,
     run_spmv_schemes,
 )
-from .local import LocalBlock, local_spmv, split_matrix
+from .local import (
+    LocalBlock,
+    abft_checksum,
+    checked_spmv,
+    local_spmv,
+    split_matrix,
+)
 from .persistent import EpochReport, PersistentExchangeService, PersistentSpMV
 from .pattern import nnz_per_part, spmv_needed_entries, spmv_pattern
 
@@ -22,6 +28,8 @@ __all__ = [
     "LocalBlock",
     "split_matrix",
     "local_spmv",
+    "abft_checksum",
+    "checked_spmv",
     "distributed_spmv",
     "DistributedSpMVResult",
     "run_spmv_schemes",

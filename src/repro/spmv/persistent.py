@@ -49,7 +49,7 @@ from ..simmpi.discovery import DiscoveryStats, nbx_discover
 from ..simmpi.faults import FaultPlan
 from ..simmpi.policy import EscalationPolicy, PolicyConfig
 from ..simmpi.runtime import run_spmd
-from .local import local_spmv, split_matrix
+from .local import checked_spmv, local_spmv, split_matrix
 from .pattern import spmv_needed_entries, spmv_pattern
 
 __all__ = ["EpochReport", "PersistentExchangeService", "PersistentSpMV"]
@@ -67,6 +67,17 @@ class EpochReport:
     degraded-mode explicit accounting; empty unless ``action`` is
     ``"degraded"``).  ``dead`` is the permanently-dead set *after* the
     epoch; ``crashed`` the engine crashes observed *during* it.
+
+    The integrity fields account for silent data corruption:
+    ``detected_corruptions`` counts deliveries this epoch whose
+    content failed a check (endpoint verification on the fast path,
+    per-hop checksums on the tolerant path); ``implicated`` names the
+    forwarders per-hop evidence pinned those corruptions on;
+    ``quarantined`` is the forwarder set the epoch's exchange routed
+    around; ``corrupt_pairs`` names the pairs whose *final* delivered
+    content was still wrong after all recovery — non-empty forces the
+    ``degraded`` rung and must stay empty for bit-identical
+    convergence.
     """
 
     epoch: int
@@ -79,6 +90,10 @@ class EpochReport:
     crashed: tuple[int, ...]
     suspects: tuple[int, ...]
     repaired: bool
+    detected_corruptions: int = 0
+    implicated: tuple[int, ...] = ()
+    quarantined: tuple[int, ...] = ()
+    corrupt_pairs: tuple[tuple[int, int], ...] = ()
     result: ExchangeResult | None = None
 
     @property
@@ -160,6 +175,10 @@ class PersistentExchangeService:
         #: epochs whose repair was validated byte-identical vs rebuild
         self.side_table_checks = 0
         self.degraded_epochs = 0
+        #: deliveries caught corrupt by an integrity check (pre-recovery)
+        self.detected_corruptions = 0
+        #: epochs whose exchange routed around a quarantined forwarder
+        self.quarantine_epochs = 0
         self._artifacts = artifacts
         self._base_digest: str | None = None
         self._chain: list[str] = []
@@ -289,6 +308,42 @@ class PersistentExchangeService:
     # Fault escalation
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _corrupt_delivered(result: ExchangeResult, pat: CommPattern):
+        """Pairs whose delivered content fails the self-describing check.
+
+        The service's synthetic payloads carry ``[src * K + dst] *
+        size`` (see :func:`~repro.core.stfw._default_payloads`), so
+        every delivery can be verified at the endpoint without any
+        side channel — the service-level analogue of an application
+        checksum over its own traffic.  This is the only integrity
+        check the unchecksummed planned fast path has, and the
+        ground-truth oracle for the checked paths.
+        """
+        K = pat.K
+        sizes = {
+            (int(s), int(t)): int(w)
+            for s, t, w in zip(pat.src, pat.dst, pat.size)
+        }
+        bad = set()
+        for dst, msgs in enumerate(result.delivered):
+            if not msgs:
+                # dead (crash-masked) ranks deliver nothing: their slot
+                # is None, and they have no countable pairs to check
+                continue
+            for src, payload in msgs:
+                src = int(src)
+                want = sizes.get((src, dst))
+                p = np.asarray(payload)
+                if (
+                    want is None
+                    or p.shape != (want,)
+                    or p.dtype != np.int64
+                    or not bool((p == src * K + dst).all())
+                ):
+                    bad.add((src, dst))
+        return tuple(sorted(bad))
+
     def _planned_blocked(self) -> bool:
         """True when a dead rank still participates in a planned stage.
 
@@ -348,6 +403,15 @@ class PersistentExchangeService:
         rediscovery over the survivors, crash-mask repair.  Countable
         pairs still missing after all that put the epoch in degraded
         mode with the missing pairs named in the report.
+
+        Integrity is verified end to end: every delivery is checked
+        against the service's self-describing payloads, a failed check
+        on the (unchecksummed) fast path escalates within the epoch to
+        the checked tolerant path, per-hop implication evidence feeds
+        the policy's quarantine rung — the next exchanges route around
+        the corrupt forwarder without shrinking it — and content still
+        wrong after all recovery degrades the epoch with the corrupt
+        pairs named.
         """
         self.epoch += 1
         repaired = False
@@ -356,12 +420,15 @@ class PersistentExchangeService:
         pat = self.pattern
         payloads = _default_payloads(pat)
         suspects = self.policy.suspects()
+        quarantined_now = self.policy.quarantined()
+        corrupt_watch = self.policy.corrupt_suspects()
         dead_before = tuple(sorted(self.policy.dead))
         fp = self._with_dead(fault_plan)
 
         action = "healthy"
+        detected = 0
         result: ExchangeResult | None = None
-        if not suspects and not self._planned_blocked():
+        if not suspects and not corrupt_watch and not self._planned_blocked():
             result = run_exchange(
                 pat,
                 self.vpt,
@@ -373,16 +440,28 @@ class PersistentExchangeService:
                 tracer=self.tracer,
             )
             new_crashes = set(int(r) for r in result.crashed) - set(dead_before)
-            if not result.completed or new_crashes:
-                result = None  # escalate within the epoch
+            bad = (
+                self._corrupt_delivered(result, pat)
+                if result.completed
+                else ()
+            )
+            if not result.completed or new_crashes or bad:
+                # escalate within the epoch: the fast path has no
+                # inline detection, so a failed endpoint check means
+                # re-running the epoch on the checked tolerant path
+                detected += len(bad)
+                result = None
         faulty: set[int] = set()
+        implicated_events: list[int] = []
         if result is None:
             pre = tuple(
                 sorted(
                     set(self.policy.breaker.open_peers()) | set(dead_before)
                 )
             )
-            knobs = self.policy.config.ft_knobs(suspected=pre)
+            knobs = self.policy.config.ft_knobs(
+                suspected=pre, quarantined=quarantined_now
+            )
             result = run_exchange(
                 pat,
                 self.vpt,
@@ -400,13 +479,23 @@ class PersistentExchangeService:
                 for rep in result.reports:
                     if rep is not None:
                         reported.update(rep.dead_peers)
+                        implicated_events.extend(rep.implicated)
             reported -= set(pre)
             faulty = crashed_now | reported
+            detected += len(implicated_events)
             action = "reroute" if (faulty or suspects or pre) else "retry"
+            if detected and action == "retry":
+                # corruption recovery is a detour + direct re-send,
+                # not a plain retransmission
+                action = "reroute"
+            if quarantined_now:
+                action = "quarantine"
+                self.quarantine_epochs += 1
 
         # observations drive the ladder for the *next* epochs
         clean = set(range(self.K)) - set(dead_before) - faulty
-        self.policy.note_epoch(faulty, clean)
+        implicated = tuple(sorted(set(implicated_events)))
+        self.policy.note_epoch(faulty, clean, corrupt_peers=implicated)
 
         if self.policy.to_shrink():
             self._shrink_replan(self.policy.to_shrink())
@@ -416,12 +505,18 @@ class PersistentExchangeService:
             sorted(set(int(r) for r in result.crashed) - set(dead_before))
         )
         uncountable = set(dead_before) | set(crashed_now) | self.policy.dead
+        corrupt_pairs = tuple(
+            (s, d)
+            for s, d in self._corrupt_delivered(result, pat)
+            if s not in uncountable and d not in uncountable
+        )
         expected = expected_pairs(pat, uncountable)
-        got = delivered_pairs(result.delivered)
+        got = delivered_pairs(result.delivered) - set(corrupt_pairs)
         missing = tuple(sorted(expected - got))
-        if missing:
+        if missing or corrupt_pairs:
             action = "degraded"
             self.degraded_epochs += 1
+        self.detected_corruptions += detected
         report = EpochReport(
             epoch=self.epoch,
             action=action,
@@ -433,12 +528,20 @@ class PersistentExchangeService:
             crashed=crashed_now,
             suspects=suspects,
             repaired=repaired,
+            detected_corruptions=detected,
+            implicated=implicated,
+            quarantined=quarantined_now,
+            corrupt_pairs=corrupt_pairs,
             result=result,
         )
         if self._obs is not None:
             self._obs.count("service.epochs", 1, action=action)
             if missing:
                 self._obs.count("service.missing_pairs", len(missing))
+            if detected:
+                self._obs.count("service.integrity_detected", detected)
+            if corrupt_pairs:
+                self._obs.count("service.corrupt_pairs", len(corrupt_pairs))
         return report
 
     def _shrink_replan(self, peers: tuple[int, ...]) -> None:
@@ -536,6 +639,12 @@ class PersistentSpMV:
         Optional machine model for virtual timing.
     verify:
         Check every :meth:`multiply` against the sequential product.
+    abft:
+        Run every local multiply through the ABFT checksum-vector
+        cross-check (:func:`~repro.spmv.local.checked_spmv`) even
+        when no compute faults are injected.  The checksum vectors
+        are amortized like the communication plan: computed lazily
+        once and reused across iterations.
     """
 
     def __init__(
@@ -546,6 +655,7 @@ class PersistentSpMV:
         vpt: VirtualProcessTopology | None = None,
         machine=None,
         verify: bool = True,
+        abft: bool = False,
     ):
         A = sp.csr_matrix(A)
         if A.shape[0] != A.shape[1]:
@@ -561,6 +671,10 @@ class PersistentSpMV:
         self.vpt = vpt
         self.machine = machine
         self.verify = verify
+        self.abft = bool(abft)
+        #: compute flips the ABFT check caught (and recovered locally)
+        self.abft_flips_caught = 0
+        self._abft_u: list[np.ndarray] | None = None
 
         # --- one-time setup (what the paper amortizes) -----------------
         self.pattern: CommPattern = spmv_pattern(A, partition)
@@ -583,8 +697,34 @@ class PersistentSpMV:
         """Number of processes."""
         return self.partition.K
 
-    def multiply(self, x: np.ndarray) -> tuple[np.ndarray, float]:
-        """One distributed SpMV iteration: returns ``(y, makespan_us)``."""
+    def _abft_checksums(self) -> list[np.ndarray]:
+        """Per-rank ABFT checksum vectors, computed once and reused."""
+        if self._abft_u is None:
+            self._abft_u = [
+                np.asarray(
+                    self.A[rows, :].sum(axis=0), dtype=np.float64
+                ).ravel()
+                for rows in self._rows
+            ]
+        return self._abft_u
+
+    def multiply(
+        self,
+        x: np.ndarray,
+        *,
+        fault_plan: FaultPlan | None = None,
+        iteration: int = 0,
+    ) -> tuple[np.ndarray, float]:
+        """One distributed SpMV iteration: returns ``(y, makespan_us)``.
+
+        ``fault_plan.compute_flips`` injects seed-deterministic silent
+        compute corruption into the flagged ranks' local multiplies
+        (keyed on ``(rank, iteration)``); any rank with a nonzero flip
+        probability — and every rank when the kernel was built with
+        ``abft=True`` — runs the ABFT-checked kernel, which catches
+        the flip against the checksum vector and recomputes locally.
+        Caught flips accumulate in :attr:`abft_flips_caught`.
+        """
         A = self.A
         n = A.shape[0]
         x = np.asarray(x, dtype=np.float64)
@@ -600,6 +740,15 @@ class PersistentSpMV:
         needed = self._needed
         vpt = self.vpt
         counts = self._counts
+        flips = {} if fault_plan is None else {
+            int(r): float(p) for r, p in fault_plan.compute_flips.items()
+        }
+        flip_seed = 0 if fault_plan is None else fault_plan.seed
+        abft = self.abft
+        checksums = (
+            self._abft_checksums() if (abft or flips) else None
+        )
+        caught = [0] * self.K
 
         def rank_fn(comm):
             x_full = np.zeros(n, dtype=np.float64)
@@ -617,12 +766,25 @@ class PersistentSpMV:
                 )
                 for src, payload in received:
                     x_full[needed[comm.rank][src]] = payload
+            p = flips.get(comm.rank, 0.0)
+            if abft or p > 0.0:
+                y_local, c = checked_spmv(
+                    block,
+                    x_full,
+                    checksum=checksums[comm.rank],
+                    flip_prob=p,
+                    flip_seed=flip_seed,
+                    iteration=iteration,
+                )
+                caught[comm.rank] = c
+                return y_local
             return local_spmv(block, x_full)
 
         run = run_spmd(self.K, rank_fn, machine=self.machine)
         y = np.zeros(n, dtype=np.float64)
         for p in range(self.K):
             y[self._rows[p]] = run.returns[p]
+        self.abft_flips_caught += sum(caught)
 
         if self.verify:
             y_ref = A @ x
@@ -630,14 +792,20 @@ class PersistentSpMV:
                 raise PlanError("persistent SpMV result mismatch")
         return y, run.makespan_us
 
-    def average_time_us(self, x: np.ndarray, iterations: int = 5) -> float:
+    def average_time_us(
+        self,
+        x: np.ndarray,
+        iterations: int = 5,
+        *,
+        fault_plan: FaultPlan | None = None,
+    ) -> float:
         """Mean virtual time of ``iterations`` full multiply calls."""
         if iterations < 1:
             raise PlanError("iterations must be >= 1")
         total = 0.0
         y = np.asarray(x, dtype=np.float64)
-        for _ in range(iterations):
-            y, t = self.multiply(y)
+        for i in range(iterations):
+            y, t = self.multiply(y, fault_plan=fault_plan, iteration=i)
             norm = np.linalg.norm(y)
             if norm > 0:
                 y = y / norm  # keep the iterate bounded (power-iteration style)

@@ -239,3 +239,100 @@ class TestExchangeResultShape:
         vpt = make_vpt(16, 2)
         with pytest.raises(PlanError, match="pattern K"):
             run_exchange(pattern, vpt, on_fault="tolerate")
+
+
+class TestCorruptForwarder:
+    """Tentpole: per-hop checksums catch a corrupt forwarder at the
+    next hop, implicate it, and ``quarantined`` routes around it."""
+
+    K = 32
+    SEED = 0
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        pattern = CommPattern.random(self.K, avg_degree=4, seed=self.SEED)
+        vpt = make_vpt(self.K, 2)
+        cf = busiest_forwarder(pattern, vpt)
+        plan = FaultPlan(corrupt_forwarders={cf: 1.0}, seed=13)
+        return pattern, vpt, cf, plan
+
+    def test_corruption_detected_and_implicated(self, scenario):
+        pattern, vpt, cf, plan = scenario
+        res = run_exchange(
+            pattern, vpt, on_fault="tolerate", machine=BGQ, fault_plan=plan, **FT
+        )
+        dropped = [p for r in res.reports if r for p in r.corrupt_dropped]
+        implicated = {i for r in res.reports if r for i in r.implicated}
+        assert dropped, "a p=1 corrupt forwarder must be caught"
+        assert cf in implicated
+        assert implicated == {cf}  # only the true poisoner is implicated
+
+    def test_payloads_still_delivered_clean(self, scenario):
+        """Dropped corrupt submessages are recovered from the origin,
+        so every pair is delivered and every payload is pristine."""
+        pattern, vpt, cf, plan = scenario
+        res = run_exchange(
+            pattern, vpt, on_fault="tolerate", machine=BGQ, fault_plan=plan, **FT
+        )
+        assert delivered_pairs(res.delivered) == all_pairs(pattern)
+        for dst, msgs in enumerate(res.delivered):
+            for src, payload in msgs:
+                assert list(payload) == [src * pattern.K + dst] * len(payload)
+
+    def test_quarantine_routes_around_the_forwarder(self, scenario):
+        """With the poisoner quarantined, no submessage transits it, so
+        even p=1 corruption produces zero corrupt drops."""
+        pattern, vpt, cf, plan = scenario
+        res = run_exchange(
+            pattern,
+            vpt,
+            on_fault="tolerate",
+            machine=BGQ,
+            fault_plan=plan,
+            quarantined=(cf,),
+            **FT,
+        )
+        assert all(not r.corrupt_dropped for r in res.reports if r)
+        assert delivered_pairs(res.delivered) == all_pairs(pattern)
+
+    def test_quarantined_rank_still_sends_and_receives(self, scenario):
+        """Quarantine removes a rank as a *forwarder* only: its own
+        pairs (as origin and as destination) are all still delivered."""
+        pattern, vpt, cf, plan = scenario
+        res = run_exchange(
+            pattern,
+            vpt,
+            on_fault="tolerate",
+            machine=BGQ,
+            fault_plan=plan,
+            quarantined=(cf,),
+            **FT,
+        )
+        own = {
+            (s, t)
+            for s, t in all_pairs(pattern)
+            if cf in (s, t)
+        }
+        assert own <= delivered_pairs(res.delivered)
+
+    def test_quarantine_knob_rejected_without_tolerate(self, scenario):
+        from repro.errors import PlanError
+
+        pattern, vpt, cf, plan = scenario
+        with pytest.raises(PlanError, match="quarantined"):
+            run_exchange(pattern, vpt, machine=BGQ, quarantined=(cf,))
+
+    def test_corruption_is_seed_deterministic(self, scenario):
+        pattern, vpt, cf, plan = scenario
+
+        def snapshot():
+            res = run_exchange(
+                pattern, vpt, on_fault="tolerate", machine=BGQ,
+                fault_plan=plan, **FT,
+            )
+            return (
+                res.makespan_us,
+                sorted(p for r in res.reports if r for p in r.corrupt_dropped),
+            )
+
+        assert snapshot() == snapshot()

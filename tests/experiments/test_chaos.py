@@ -83,6 +83,38 @@ class TestDeterminism:
         assert chaos.to_bench_doc(a) != chaos.to_bench_doc(b)
 
 
+class TestCorruptionSchedule:
+    @pytest.fixture(scope="class")
+    def corrupted(self):
+        return chaos.run(K=32, epochs=30, degree=3.0, seed=9, corruption=True)
+
+    def test_corruption_detected_and_converged(self, corrupted):
+        assert corrupted.corruption
+        assert corrupted.detected_corruptions > 0
+        assert corrupted.converged
+        assert corrupted.reference_identical
+        assert corrupted.full_rebuilds == 0
+
+    def test_corrupt_forwarder_quarantined(self, corrupted):
+        assert corrupted.quarantine_epochs >= 1
+        assert len(corrupted.quarantined_peers) >= 1
+
+    def test_bench_doc_carries_integrity_fields(self, corrupted):
+        doc = chaos.to_bench_doc(corrupted)
+        validate_bench_json(doc)
+        assert doc["corruption"] is True
+        assert doc["detected_corruptions"] == corrupted.detected_corruptions
+        assert doc["quarantined_peers"] == list(corrupted.quarantined_peers)
+
+    def test_corruption_off_schedule_unchanged(self, soak):
+        """The corruption knob must not perturb the corruption-off RNG
+        stream: a plain soak still records zero integrity events."""
+        assert not soak.corruption
+        assert soak.detected_corruptions == 0
+        assert soak.quarantine_epochs == 0
+        assert soak.quarantined_peers == ()
+
+
 class TestValidation:
     def test_too_few_epochs_rejected(self):
         with pytest.raises(ExperimentError, match="epochs"):

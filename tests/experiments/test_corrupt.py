@@ -1,0 +1,102 @@
+"""Tests for the silent-data-corruption sweep (``repro.experiments.corrupt``)."""
+
+import pytest
+
+from repro.bench import compare_bench, validate_bench_json
+from repro.errors import ExperimentError
+from repro.experiments import corrupt
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One small sweep exercising all three injection surfaces."""
+    return corrupt.run(K=16, degree=3.0, epochs=12, seed=11)
+
+
+class TestSweep:
+    def test_zero_undetected_and_converged(self, sweep):
+        assert sweep.undetected_total == 0
+        assert sweep.converged
+        assert sweep.payload_checks > 0
+
+    def test_every_surface_detected_something(self, sweep):
+        by_name = {ep.name.split("(")[0]: ep for ep in sweep.episodes}
+        assert set(by_name) == {"transient", "forwarder", "compute"}
+        for ep in by_name.values():
+            assert ep.stats.detected > 0, ep.name
+            assert ep.recovered, ep.name
+
+    def test_forwarder_quarantined(self, sweep):
+        assert len(sweep.quarantined) == 1
+        assert sweep.detection_latency >= 0
+        assert sweep.quarantine_latency >= sweep.detection_latency
+
+    def test_abft_caught_every_injection(self, sweep):
+        assert sweep.abft_injected > 0
+        assert sweep.abft_caught == sweep.abft_injected
+
+    def test_bench_doc_validates(self, sweep):
+        doc = corrupt.to_bench_doc(sweep)
+        validate_bench_json(doc)
+        assert doc["sweep"] == "corruption"
+        assert doc["undetected_total"] == 0
+        assert doc["converged"] is True
+        assert set(doc["episodes"]) == {ep.name for ep in sweep.episodes}
+
+    def test_format_result_reports_pass(self, sweep):
+        text = corrupt.format_result(sweep)
+        assert "0 undetected corruption(s) (PASS: must be 0)" in text
+        assert "converged: yes" in text
+        assert "abft:" in text
+
+
+class TestCompareGates:
+    """The ``--check`` gates are absolute: no tolerance excuses them."""
+
+    def test_clean_doc_passes_against_itself(self, sweep):
+        doc = corrupt.to_bench_doc(sweep)
+        assert compare_bench(doc, doc) == []
+
+    def test_undetected_corruption_is_a_regression(self, sweep):
+        base = corrupt.to_bench_doc(sweep)
+        cur = dict(base, undetected_total=1)
+        regs = compare_bench(cur, base)
+        assert any("undetected" in r for r in regs)
+
+    def test_abft_miss_is_a_regression(self, sweep):
+        base = corrupt.to_bench_doc(sweep)
+        cur = dict(base, abft_caught=base["abft_injected"] - 1)
+        regs = compare_bench(cur, base)
+        assert any("abft" in r for r in regs)
+
+    def test_lost_convergence_is_a_regression(self, sweep):
+        base = corrupt.to_bench_doc(sweep)
+        cur = dict(base, converged=False)
+        regs = compare_bench(cur, base)
+        assert any("converged" in r for r in regs)
+
+    def test_lost_quarantine_is_a_regression(self, sweep):
+        base = corrupt.to_bench_doc(sweep)
+        cur = dict(base, quarantined=[])
+        regs = compare_bench(cur, base)
+        assert any("quarantine" in r for r in regs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_doc(self, sweep):
+        again = corrupt.run(K=16, degree=3.0, epochs=12, seed=11)
+        assert corrupt.to_bench_doc(again) == corrupt.to_bench_doc(sweep)
+
+    def test_different_seed_differs(self, sweep):
+        other = corrupt.run(K=16, degree=3.0, epochs=12, seed=12)
+        assert corrupt.to_bench_doc(other) != corrupt.to_bench_doc(sweep)
+
+
+class TestValidation:
+    def test_too_few_epochs_rejected(self):
+        with pytest.raises(ExperimentError, match="epochs"):
+            corrupt.run(K=16, epochs=5)
+
+    def test_too_small_K_rejected(self):
+        with pytest.raises(ExperimentError, match="K >= 8"):
+            corrupt.run(K=4, epochs=12)

@@ -415,3 +415,160 @@ class TestFaultEventLog:
         (e,) = res.fault_events
         assert isinstance(e, FaultEvent)
         assert (e.rank, e.dest, e.tag, e.words) == (0, 1, 5, 17)
+
+
+class TestBitflipValidation:
+    """Satellite: every rejection names the offending field and key."""
+
+    def test_link_flip_bad_probability_names_link(self):
+        with pytest.raises(SimMPIError, match=r"link_flip\[0,1\]=1\.5"):
+            FaultPlan(link_flip={(0, 1): 1.5})
+
+    def test_default_flip_bad_probability(self):
+        with pytest.raises(SimMPIError, match=r"default_flip=-0\.1"):
+            FaultPlan(default_flip=-0.1)
+
+    def test_corrupt_forwarder_bad_probability_names_rank(self):
+        with pytest.raises(SimMPIError, match=r"corrupt_forwarders\[3\]=2"):
+            FaultPlan(corrupt_forwarders={3: 2.0})
+
+    def test_compute_flip_bad_probability_names_rank(self):
+        with pytest.raises(SimMPIError, match=r"compute_flips\[1\]=-1"):
+            FaultPlan(compute_flips={1: -1.0})
+
+    def test_corrupt_forwarder_rank_range_checked_at_validate(self):
+        plan = FaultPlan(corrupt_forwarders={9: 0.5})
+        with pytest.raises(SimMPIError, match=r"corrupt_forwarders\[9\].*outside \[0, 4\)"):
+            plan.validate(4)
+
+    def test_compute_flip_rank_range_checked_at_validate(self):
+        plan = FaultPlan(compute_flips={7: 0.5})
+        with pytest.raises(SimMPIError, match=r"compute_flips\[7\].*outside \[0, 4\)"):
+            plan.validate(4)
+
+    def test_link_flip_rank_range_checked_at_validate(self):
+        plan = FaultPlan(link_flip={(0, 6): 0.5})
+        with pytest.raises(SimMPIError, match=r"link_flip link \(0, 6\)"):
+            plan.validate(4)
+
+    def test_outage_rejection_names_event_index(self):
+        from repro.simmpi import LinkOutage
+
+        with pytest.raises(SimMPIError, match=r"outages\[1\]"):
+            FaultPlan(
+                outages=(
+                    LinkOutage(0, 1, 0.0, 1.0),
+                    LinkOutage(0, 1, 5.0, 2.0),
+                )
+            )
+
+
+class TestBitflipTriviality:
+    def test_zero_probability_flips_are_trivial(self):
+        assert FaultPlan(
+            link_flip={(0, 1): 0.0},
+            default_flip=0.0,
+            corrupt_forwarders={2: 0.0},
+            compute_flips={1: 0.0},
+        ).is_trivial
+
+    def test_nonzero_flips_are_not_trivial(self):
+        assert not FaultPlan(default_flip=0.1).is_trivial
+        assert not FaultPlan(link_flip={(0, 1): 0.1}).is_trivial
+        assert not FaultPlan(corrupt_forwarders={0: 0.1}).is_trivial
+        assert not FaultPlan(compute_flips={0: 0.1}).is_trivial
+
+    def test_trivial_flip_plan_byte_identical_to_no_plan(self):
+        """Acceptance: a bitflip plan with all-zero probabilities yields
+        a byte-identical RunResult to running with no plan at all."""
+
+        def worker(comm):
+            other = 1 - comm.rank
+            comm.send(other, comm.rank, words=4)
+            _, _, v = yield comm.recv(source=other)
+            ack = yield comm.allreduce(v, words=1)
+            return (v, ack)
+
+        bare = run_spmd(2, worker, machine=BGQ, trace=True)
+        trivial = run_spmd(
+            2,
+            worker,
+            machine=BGQ,
+            trace=True,
+            fault_plan=FaultPlan(
+                link_flip={(0, 1): 0.0},
+                default_flip=0.0,
+                corrupt_forwarders={0: 0.0},
+                compute_flips={1: 0.0},
+            ),
+        )
+        assert bare == trivial
+
+
+class TestBitflipRoundTrip:
+    def test_flip_fields_round_trip(self):
+        plan = FaultPlan(
+            link_flip={(0, 1): 0.25, (2, 0): 1.0},
+            default_flip=0.05,
+            corrupt_forwarders={3: 1.0, 1: 0.5},
+            compute_flips={0: 0.25},
+            seed=17,
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_flip_json_validates_eagerly(self):
+        with pytest.raises(SimMPIError, match=r"default_flip=2\.0"):
+            FaultPlan.from_json('{"default_flip": 2.0}')
+
+
+class TestInTransitFlips:
+    def test_certain_link_flip_corrupts_payload(self):
+        """A raw (non-reliable) send over a flipping link delivers a
+        payload that differs from the original in exactly one bit."""
+        import numpy as np
+
+        sent = np.arange(8, dtype=np.int64)
+
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, sent, words=8)
+                return None
+            _, _, payload = yield comm.recv(timeout_us=1000.0)
+            return np.asarray(payload)
+
+        plan = FaultPlan(link_flip={(0, 1): 1.0}, seed=3)
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        got = res.returns[1]
+        assert got.tobytes() != sent.tobytes()
+        xor = np.bitwise_xor(got, sent)
+        assert sum(int(x).bit_count() for x in xor) == 1
+
+    def test_flip_is_seed_deterministic(self):
+        import numpy as np
+
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, np.arange(8, dtype=np.int64), words=8)
+                return None
+            _, _, payload = yield comm.recv(timeout_us=1000.0)
+            return np.asarray(payload).tobytes()
+
+        plan = FaultPlan(default_flip=1.0, seed=9)
+        a = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        b = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        assert a.returns[1] == b.returns[1]
+
+    def test_flip_leaves_unconfigured_link_clean(self):
+        import numpy as np
+
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, np.arange(4, dtype=np.int64), words=4)
+                return None
+            _, _, payload = yield comm.recv(timeout_us=1000.0)
+            return np.asarray(payload)
+
+        plan = FaultPlan(link_flip={(1, 0): 1.0}, seed=3)  # other direction
+        res = run_spmd(2, worker, machine=BGQ, fault_plan=plan)
+        assert (res.returns[1] == np.arange(4)).all()

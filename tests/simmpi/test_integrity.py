@@ -1,0 +1,136 @@
+"""Unit tests for checksum and bit-flip primitives (``repro.simmpi.integrity``)."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.integrity import (
+    corrupt_draw,
+    flip_array,
+    flip_payload,
+    payload_checksum,
+)
+
+
+class TestPayloadChecksum:
+    def test_deterministic(self):
+        a = np.arange(10, dtype=np.int64)
+        assert payload_checksum(a) == payload_checksum(a.copy())
+
+    def test_range(self):
+        for obj in (None, 0, 1.5, "s", b"b", np.arange(3), [1, (2, "x")]):
+            ck = payload_checksum(obj)
+            assert 0 <= ck < 2**32
+
+    def test_single_bit_flip_changes_checksum(self):
+        a = np.arange(64, dtype=np.int64)
+        for key in range(20):
+            flipped = flip_array(a, 5, key)
+            assert payload_checksum(flipped) != payload_checksum(a)
+
+    def test_dtype_and_shape_matter(self):
+        a = np.zeros(4, dtype=np.int64)
+        assert payload_checksum(a) != payload_checksum(a.astype(np.float64))
+        assert payload_checksum(a) != payload_checksum(a.reshape(2, 2))
+
+    def test_structure_matters(self):
+        # same bytes in different containers must not collide trivially
+        assert payload_checksum((1, 2)) != payload_checksum([1, 2, 3][:2] + [None])
+        assert payload_checksum("12") != payload_checksum(12)
+        assert payload_checksum(True) != payload_checksum(1.0)
+
+    def test_nested_containers_covered(self):
+        inner = np.arange(5, dtype=np.float64)
+        payload = {"k": (1, inner), "other": "meta"}
+        tampered = {"k": (1, flip_array(inner, 3, 0)), "other": "meta"}
+        assert payload_checksum(payload) != payload_checksum(tampered)
+
+
+class TestCorruptDraw:
+    def test_pure_function_of_key(self):
+        assert corrupt_draw(7, 1, 2) == corrupt_draw(7, 1, 2)
+
+    def test_in_unit_interval(self):
+        draws = [corrupt_draw(3, i) for i in range(100)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_distinct_keys_decorrelated(self):
+        draws = {corrupt_draw(3, i) for i in range(50)}
+        assert len(draws) == 50
+
+    def test_seed_matters(self):
+        assert corrupt_draw(1, 0) != corrupt_draw(2, 0)
+
+
+class TestFlipArray:
+    def test_pure_and_nonmutating(self):
+        a = np.arange(16, dtype=np.int64)
+        before = a.copy()
+        f1 = flip_array(a, 9, 4)
+        f2 = flip_array(a, 9, 4)
+        assert (a == before).all()  # original untouched
+        assert (f1 == f2).all()  # same key, same flip
+
+    def test_exactly_one_bit_differs(self):
+        a = np.arange(16, dtype=np.int64)
+        f = flip_array(a, 9, 4)
+        xor = np.bitwise_xor(a, f)
+        bits = sum(int(x).bit_count() for x in xor)
+        assert bits == 1
+
+    def test_float_arrays_flip_too(self):
+        a = np.linspace(0.0, 1.0, 8)
+        f = flip_array(a, 2, 0)
+        assert f.tobytes() != a.tobytes()
+
+    def test_zero_size_unchanged(self):
+        a = np.zeros(0, dtype=np.int64)
+        f = flip_array(a, 1, 0)
+        assert f.size == 0 and f is not a
+
+
+class TestFlipPayload:
+    def test_array_leaf_preferred_over_protocol_scalars(self):
+        """In a packed message the envelope ints (dst, origin, ttl) are
+        assumed transport-protected; the *data* words get corrupted."""
+        data = np.arange(6, dtype=np.int64)
+        sub = (3, 1, data, 4, 0)  # scalars surround the array leaf
+        out, changed = flip_payload(sub, 11, 0)
+        assert changed
+        assert out[0] == 3 and out[1] == 1 and out[3] == 4 and out[4] == 0
+        assert np.asarray(out[2]).tobytes() != data.tobytes()
+
+    def test_scalar_fallback_when_no_array(self):
+        out, changed = flip_payload((7, "meta"), 11, 0)
+        assert changed
+        assert out != (7, "meta")
+
+    def test_original_container_not_mutated(self):
+        data = np.arange(4, dtype=np.int64)
+        sub = [1, data]
+        out, changed = flip_payload(sub, 5, 0)
+        assert changed
+        assert sub[0] == 1 and (sub[1] == np.arange(4)).all()
+        assert isinstance(out, list)
+
+    def test_tuple_stays_tuple(self):
+        out, changed = flip_payload((1, np.zeros(2)), 5, 0)
+        assert changed and isinstance(out, tuple)
+
+    def test_empty_payloads_unchanged(self):
+        for obj in ("", np.zeros(0), (), [], None):
+            out, changed = flip_payload(obj, 1, 0)
+            assert not changed
+
+    def test_pure_in_key(self):
+        data = np.arange(8, dtype=np.float64)
+        a, _ = flip_payload((1, data), 3, 0, 7)
+        b, _ = flip_payload((1, data), 3, 0, 7)
+        assert np.asarray(a[1]).tobytes() == np.asarray(b[1]).tobytes()
+
+    def test_checksum_catches_every_flip(self):
+        data = np.arange(32, dtype=np.int64)
+        payload = (0, 5, data, 2)
+        for key in range(25):
+            out, changed = flip_payload(payload, 13, key)
+            assert changed
+            assert payload_checksum(out) != payload_checksum(payload)

@@ -17,6 +17,7 @@ class TestConfig:
             "healthy",
             "retry",
             "reroute",
+            "quarantine",
             "shrink",
             "degraded",
         )
@@ -35,6 +36,7 @@ class TestConfig:
             {"seed": -1},
             {"suspect_after": 0},
             {"suspect_after": 3, "shrink_after": 2},
+            {"quarantine_after": 0},
             {"breaker_threshold": 0},
             {"breaker_cooldown": 0},
         ],
@@ -45,7 +47,7 @@ class TestConfig:
 
     def test_ft_knobs_shape(self):
         cfg = PolicyConfig(jitter=0.5, seed=7)
-        knobs = cfg.ft_knobs(suspected=(9, 3))
+        knobs = cfg.ft_knobs(suspected=(9, 3), quarantined=(5,))
         assert knobs == {
             "timeout_us": cfg.timeout_us,
             "max_retries": cfg.max_retries,
@@ -53,6 +55,7 @@ class TestConfig:
             "retry_jitter": 0.5,
             "retry_seed": 7,
             "suspected": (3, 9),
+            "quarantined": (5,),
         }
 
 
@@ -166,4 +169,85 @@ class TestEscalationPolicy:
         pol.note_epoch(faulty_peers=[2, 9])
         knobs = pol.ft_knobs()
         assert knobs["suspected"] == (2, 9)
+        assert knobs["quarantined"] == ()
         assert knobs["retry_seed"] == 11
+
+
+class TestQuarantine:
+    def cfg(self, **kw):
+        base = dict(
+            suspect_after=1,
+            shrink_after=2,
+            quarantine_after=2,
+            breaker_threshold=3,
+            breaker_cooldown=2,
+        )
+        base.update(kw)
+        return PolicyConfig(**base)
+
+    def test_repeated_implication_quarantines(self):
+        pol = EscalationPolicy(self.cfg())
+        pol.note_epoch(corrupt_peers=[5])
+        assert pol.quarantined() == ()
+        pol.note_epoch(corrupt_peers=[5])
+        assert pol.quarantined() == (5,)
+        assert pol.to_quarantine() == (5,)
+
+    def test_clean_epoch_resets_implication_streak(self):
+        pol = EscalationPolicy(self.cfg())
+        pol.note_epoch(corrupt_peers=[5])
+        # an epoch where 5 delivered cleanly and was not implicated
+        pol.note_epoch(clean_peers=[5])
+        pol.note_epoch(corrupt_peers=[5])
+        assert pol.quarantined() == ()  # never two implications in a row
+
+    def test_quarantine_is_not_suspicion(self):
+        pol = EscalationPolicy(self.cfg())
+        pol.note_epoch(corrupt_peers=[5])
+        pol.note_epoch(corrupt_peers=[5])
+        assert pol.quarantined() == (5,)
+        # a corrupt forwarder delivers its own traffic fine: no streak,
+        # no suspicion, no shrink — it must stay a valid destination
+        assert pol.suspects() == ()
+        assert pol.to_shrink() == ()
+
+    def test_quarantine_heals_after_clean_probe(self):
+        pol = EscalationPolicy(self.cfg(breaker_cooldown=1))
+        pol.note_epoch(corrupt_peers=[5])
+        pol.note_epoch(corrupt_peers=[5])
+        assert pol.quarantined() == (5,)
+        # cooldown elapses: circuit half-open, quarantine lifted for
+        # the probe epoch
+        pol.note_epoch()
+        assert pol.integrity.state(5) == "half_open"
+        assert pol.quarantined() == ()
+        # probe epoch passes clean (5 exercised, not implicated)
+        pol.note_epoch(clean_peers=[5])
+        assert pol.integrity.state(5) == "closed"
+        assert pol.quarantined() == ()
+
+    def test_reimplicated_probe_requarantines(self):
+        pol = EscalationPolicy(self.cfg(breaker_cooldown=1))
+        pol.note_epoch(corrupt_peers=[5])
+        pol.note_epoch(corrupt_peers=[5])
+        pol.note_epoch()  # cooldown -> half-open
+        pol.note_epoch(corrupt_peers=[5])  # probe fails
+        assert pol.quarantined() == (5,)
+
+    def test_dead_peer_never_quarantined(self):
+        pol = EscalationPolicy(self.cfg())
+        pol.note_epoch(corrupt_peers=[5])
+        pol.note_epoch(corrupt_peers=[5])
+        pol.declare_dead([5])
+        assert pol.quarantined() == ()
+        pol.note_epoch(corrupt_peers=[5])
+        pol.note_epoch(corrupt_peers=[5])
+        assert pol.quarantined() == ()
+
+    def test_ft_knobs_carry_quarantine(self):
+        pol = EscalationPolicy(self.cfg())
+        pol.note_epoch(corrupt_peers=[5], faulty_peers=[2])
+        pol.note_epoch(corrupt_peers=[5])
+        knobs = pol.ft_knobs()
+        assert knobs["quarantined"] == (5,)
+        assert 2 in knobs["suspected"]

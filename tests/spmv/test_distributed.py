@@ -98,3 +98,82 @@ class TestDistributedSpmvSTFW:
         A, x = make_case()
         with pytest.raises(PlanError):
             distributed_spmv(A, block_partition(128, 8), x, vpt=make_vpt(16, 2))
+
+
+class TestABFT:
+    """Tentpole: the checksum-vector cross-check catches injected
+    compute flips and recovers by local recomputation."""
+
+    def _blocks(self):
+        A, x = make_case()
+        p = block_partition(128, 4)
+        return A, x, split_matrix(A, p, x)
+
+    def test_checksum_vector_is_column_sum(self):
+        from repro.spmv import abft_checksum
+
+        A, x, blocks = self._blocks()
+        for b in blocks:
+            u = abft_checksum(b)
+            ref = np.asarray(
+                sp.csr_matrix(A)[b.rows, :].sum(axis=0), dtype=np.float64
+            ).ravel()
+            assert np.allclose(u, ref)
+
+    def test_clean_multiply_passes_unflagged(self):
+        from repro.spmv import checked_spmv
+
+        A, x, blocks = self._blocks()
+        y_ref = sp.csr_matrix(A) @ x
+        for b in blocks:
+            y, caught = checked_spmv(b, x)
+            assert caught == 0
+            assert np.allclose(y, y_ref[b.rows])
+
+    def test_injected_flip_caught_and_recovered(self):
+        from repro.spmv import checked_spmv
+
+        A, x, blocks = self._blocks()
+        y_ref = sp.csr_matrix(A) @ x
+        total = 0
+        for b in blocks:
+            y, caught = checked_spmv(
+                b, x, flip_prob=1.0, flip_seed=5, iteration=0
+            )
+            total += caught
+            # recovery: the returned product is the *clean* one
+            assert np.allclose(y, y_ref[b.rows])
+        assert total == len(blocks)  # p=1: every rank flipped, all caught
+
+    def test_injection_is_deterministic_in_the_key(self):
+        from repro.spmv import checked_spmv
+
+        A, x, blocks = self._blocks()
+        b = blocks[0]
+        y1, c1 = checked_spmv(b, x, flip_prob=0.5, flip_seed=7, iteration=3)
+        y2, c2 = checked_spmv(b, x, flip_prob=0.5, flip_seed=7, iteration=3)
+        assert c1 == c2 and np.allclose(y1, y2)
+
+    def test_persistent_spmv_abft_counter(self):
+        """End to end through PersistentSpMV.multiply: every injected
+        high-exponent flip is caught and the product stays correct."""
+        from repro.simmpi import FaultPlan
+        from repro.spmv import PersistentSpMV
+
+        A, x = make_case()
+        p = block_partition(128, 4)
+        spmv = PersistentSpMV(A, p, abft=True, verify=False)
+        plan = FaultPlan(compute_flips={r: 1.0 for r in range(4)}, seed=9)
+        y, _ = spmv.multiply(x, fault_plan=plan, iteration=0)
+        assert spmv.abft_flips_caught == 4
+        assert np.allclose(y, sp.csr_matrix(A) @ x)
+
+    def test_abft_off_without_flips_uses_plain_kernel(self):
+        from repro.spmv import PersistentSpMV
+
+        A, x = make_case()
+        p = block_partition(128, 4)
+        spmv = PersistentSpMV(A, p, verify=False)
+        y, _ = spmv.multiply(x)
+        assert spmv.abft_flips_caught == 0
+        assert np.allclose(y, sp.csr_matrix(A) @ x)

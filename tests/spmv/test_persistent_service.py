@@ -231,3 +231,120 @@ class TestDeltaMasking:
         svc = make_service()
         delta = PatternDelta.random(svc.pattern, 0.10, seed=1)
         assert svc._mask_delta(delta) is delta
+
+
+class TestCorruptionRung:
+    """Tentpole: persistent corruption escalates to quarantine, heals
+    through the integrity breaker's half-open probe, and undetected
+    corruption never reaches the caller."""
+
+    @pytest.fixture()
+    def corrupt_setup(self):
+        from repro.experiments.faults import busiest_forwarder
+
+        pattern = CommPattern.random(K, avg_degree=4, seed=3)
+        cfg = PolicyConfig(
+            suspect_after=1,
+            breaker_threshold=2,
+            breaker_cooldown=2,
+            quarantine_after=2,
+            seed=3,
+        )
+        svc = PersistentExchangeService(
+            pattern, make_vpt(K, 2), machine=BGQ, config=cfg
+        )
+        cf = busiest_forwarder(pattern, make_vpt(K, 2))
+        plan = FaultPlan(corrupt_forwarders={cf: 1.0}, seed=21)
+        return svc, cf, plan
+
+    def test_persistent_corruption_reaches_quarantine(self, corrupt_setup):
+        svc, cf, plan = corrupt_setup
+        actions = []
+        quarantined = set()
+        for _ in range(6):
+            r = svc.run_epoch(fault_plan=plan)
+            actions.append(r.action)
+            quarantined.update(r.quarantined)
+        assert "quarantine" in actions
+        assert quarantined == {cf}
+        assert svc.detected_corruptions > 0
+        assert svc.quarantine_epochs > 0
+        # quarantine is containment, not amputation: nothing is dead
+        assert not svc.dead
+
+    def test_quarantined_epochs_deliver_clean_payloads(self, corrupt_setup):
+        svc, cf, plan = corrupt_setup
+        last = None
+        for _ in range(6):
+            last = svc.run_epoch(fault_plan=plan)
+        assert last.action == "quarantine"
+        assert last.missing == () and last.corrupt_pairs == ()
+        for dst, msgs in enumerate(last.result.delivered):
+            for src, payload in msgs:
+                assert (np.asarray(payload) == src * K + dst).all()
+
+    def test_quarantine_lifts_after_clean_probe(self, corrupt_setup):
+        svc, cf, plan = corrupt_setup
+        for _ in range(5):
+            svc.run_epoch(fault_plan=plan)
+        assert svc.policy.quarantined() == (cf,)
+        # corruption stops: the half-open probe sees the forwarder
+        # clean and the quarantine lifts within the cooldown window
+        actions = [svc.run_epoch().action for _ in range(6)]
+        assert svc.policy.quarantined() == ()
+        assert actions[-1] == "healthy"
+
+    def test_detection_escalates_within_the_epoch(self, corrupt_setup):
+        """The first corrupt epoch starts on the healthy fast path;
+        endpoint verification catches the damage and the same epoch
+        re-runs tolerant — the caller never sees a corrupt payload."""
+        svc, cf, plan = corrupt_setup
+        r = svc.run_epoch(fault_plan=plan)
+        assert r.action != "healthy"
+        assert r.detected_corruptions > 0
+        assert r.missing == ()
+        for dst, msgs in enumerate(r.result.delivered):
+            for src, payload in msgs:
+                assert (np.asarray(payload) == src * K + dst).all()
+
+    def test_epoch_report_integrity_fields_default_clean(self):
+        svc = make_service()
+        r = svc.run_epoch()
+        assert r.detected_corruptions == 0
+        assert r.implicated == () and r.quarantined == ()
+        assert r.corrupt_pairs == ()
+        assert r.action == "healthy"
+
+    def test_endpoint_check_skips_dead_rank_slots(self):
+        """Regression: a crashed rank's ``delivered`` slot is ``None``
+        (not an empty list) — the endpoint integrity check must skip
+        it, not iterate it.  Hit in long soaks whenever a shrunk
+        service returns to the planned fast path."""
+        svc = make_service()
+        pat = svc.pattern
+        delivered = [[] for _ in range(K)]
+        victim = int(pat.dst[0])
+        delivered[victim] = None
+        for s, d, w in zip(pat.src, pat.dst, pat.size):
+            if int(d) != victim:
+                delivered[int(d)].append(
+                    (int(s), np.full(int(w), int(s) * K + int(d), np.int64))
+                )
+        result = type("R", (), {"delivered": delivered})()
+        assert svc._corrupt_delivered(result, pat) == ()
+
+    def test_post_shrink_endpoint_check_over_the_dead(self):
+        """End-to-end shape of the same regression: epochs after a
+        shrink carry a ``None`` slot for the dead rank through every
+        rung's endpoint verification without tripping it."""
+        svc = make_service()
+        hint = makespan_hint(svc)
+        victim = int(svc.pattern.src[0])
+        plan = FaultPlan(crashes={victim: 0.5 * hint})
+        svc.run_epoch(fault_plan=plan)
+        svc.run_epoch(fault_plan=plan)
+        assert svc.dead == frozenset({victim})
+        for _ in range(3):
+            r = svc.run_epoch()
+            assert r.corrupt_pairs == ()
+            assert r.missing == ()
