@@ -8,7 +8,9 @@ Examples::
     python -m repro run figure9 -j 2       # generic experiment runner
     python -m repro cache stats            # inspect the artifact cache
     python -m repro bench --quick          # performance smoke benchmark
+    python -m repro bench --sweep engine   # event-vs-sharded engine comparison
     python -m repro drift --cache          # plan-repair drift benchmark
+    python -m repro chaos --engine sharded --workers 4   # soak on the sharded backend
     python -m repro chaos --epochs 60      # self-healing service soak
     python -m repro corrupt --check BENCH_baseline.json  # SDC gates
     python -m repro instances              # list the Table 1 registry
@@ -19,6 +21,10 @@ synthetic matrices (communication-preserving, see DESIGN.md).
 ``-j/--jobs`` fans independent experiment cells over worker processes
 and ``--cache`` persists generated artifacts (matrices, partitions,
 patterns, plans) across runs; both leave results byte-identical.
+``--engine``/``--workers`` select the SimMPI backend of emulator-backed
+commands (``run faults|recover``, ``bench``, ``drift``, ``chaos``,
+``corrupt``); the sharded backend is bit-identical to the default
+event engine, so these flags also never change a result.
 """
 
 from __future__ import annotations
@@ -75,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name in EXPERIMENTS:
         p = sub.add_parser(name, help=f"regenerate the paper's {name}")
         _add_config_args(p)
+        _add_engine_args(p)
         p.add_argument(
             "--svg",
             metavar="DIR",
@@ -87,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", choices=tuple(EXPERIMENTS), help="which experiment to run"
     )
     _add_config_args(p)
+    _add_engine_args(p)
 
     p = sub.add_parser("report", help="run every experiment, write a markdown report")
     _add_config_args(p)
@@ -109,12 +117,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="run the small CI smoke sweep"
     )
     p.add_argument(
+        "--sweep",
+        choices=("cells", "engine"),
+        default="cells",
+        help="what to benchmark: the experiment-cell sweep (default) or the "
+        "engine comparison (every SimMPI backend on one STFW exchange)",
+    )
+    p.add_argument(
         "-j",
         "--jobs",
         type=int,
         default=4,
         help="worker processes of the warm pass (default 4)",
     )
+    _add_engine_args(p)
     p.add_argument(
         "-o",
         "--output",
@@ -177,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the end-to-end NBX-discovery service phase",
     )
+    _add_engine_args(p)
     p.add_argument(
         "-o",
         "--output",
@@ -237,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="add silent-data-corruption chaos: transient bit flips plus a "
         "persistent corrupt forwarder the policy must quarantine",
     )
+    _add_engine_args(p)
     p.add_argument(
         "-o",
         "--output",
@@ -267,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--epochs", type=int, default=None, help="epochs per episode (default 16)"
     )
     p.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    _add_engine_args(p)
     p.add_argument(
         "-o",
         "--output",
@@ -341,6 +360,62 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _positive_int(value: str) -> int:
+    """Argparse type for ``--workers``: a strictly positive integer."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid workers count {value!r}: not an integer"
+        ) from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(
+            f"invalid workers count {value!r}: must be >= 1"
+        )
+    return n
+
+
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    """The shared ``--engine``/``--workers`` backend-selection flags."""
+    from .simmpi.engine import engine_names
+
+    p.add_argument(
+        "--engine",
+        choices=engine_names(),
+        default=None,
+        help="SimMPI backend for emulator-backed runs (default event)",
+    )
+    p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shard worker processes (requires --engine sharded)",
+    )
+
+
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Validated ``engine=``/``workers=`` kwargs from the CLI flags.
+
+    Bad combinations fail here, before any experiment work starts, with
+    the offending value named (``--engine`` itself is validated by
+    argparse against the registered backend names).
+    """
+    kwargs: dict = {}
+    engine = getattr(args, "engine", None)
+    workers = getattr(args, "workers", None)
+    if engine is not None:
+        kwargs["engine"] = engine
+    if workers is not None:
+        if workers != 1 and (engine or "event") != "sharded":
+            raise SystemExit(
+                f"error: --workers {workers} requires --engine sharded "
+                f"(the {engine or 'event'} engine is single-process)"
+            )
+        kwargs["workers"] = workers
+    return kwargs
+
+
 def _artifact_cache(args: argparse.Namespace):
     """The CLI-selected :class:`ArtifactCache`, or ``None``."""
     flag = getattr(args, "cache", None)
@@ -357,9 +432,20 @@ def _run_experiment(
     """Run one experiment honoring ``-j``/``--cache``; returns (result, fmt)."""
     run_fn, fmt = EXPERIMENTS[name]
     jobs = getattr(args, "jobs", 1)
+    ekw = _engine_kwargs(args)
     if name in ("faults", "recover"):
-        result = run_fn(cfg, jobs=jobs)
+        # both validate engine= themselves, eagerly and by name (their
+        # fault models are event-engine-only)
+        result = run_fn(cfg, jobs=jobs, **ekw)
     else:
+        if ekw.get("engine", "event") != "event" or ekw.get("workers", 1) != 1:
+            raise SystemExit(
+                f"error: experiment {name!r} evaluates the analytic cost "
+                f"model and never starts the emulator, so --engine/--workers "
+                f"do not apply (emulator-backed commands: repro run "
+                f"faults|recover, repro bench, repro drift, repro chaos, "
+                f"repro corrupt)"
+            )
         from .experiments.harness import InstanceCache
 
         cache = InstanceCache(cfg, artifacts=_artifact_cache(args))
@@ -426,10 +512,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_baseline,
         merge_baseline,
         run_bench,
+        run_engine_bench,
         validate_bench_json,
     )
 
-    doc = run_bench(quick=args.quick, jobs=args.jobs)
+    if args.sweep == "engine":
+        if args.engine is not None:
+            raise SystemExit(
+                "error: --engine does not combine with --sweep engine (the "
+                "sweep compares every registered backend); use --workers to "
+                "size the sharded row"
+            )
+        doc = run_engine_bench(
+            quick=args.quick,
+            **({"workers": args.workers} if args.workers is not None else {}),
+        )
+    else:
+        doc = run_bench(quick=args.quick, jobs=args.jobs, **_engine_kwargs(args))
     problems = validate_bench_json(doc)
     if problems:  # pragma: no cover - guards bench.py itself
         print("invalid bench document: " + "; ".join(problems), file=sys.stderr)
@@ -479,6 +578,7 @@ def _cmd_drift(args: argparse.Namespace) -> int:
         validate=not args.no_validate,
         service=not args.no_service,
         jobs=args.jobs,
+        **_engine_kwargs(args),
         **kwargs,
     )
     print(drift.format_result(result))
@@ -530,6 +630,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         cfg,
         artifacts=_artifact_cache(args),
         validate=not args.no_validate,
+        **_engine_kwargs(args),
         **kwargs,
     )
     print(chaos.format_result(result))
@@ -571,7 +672,7 @@ def _cmd_corrupt(args: argparse.Namespace) -> int:
         from dataclasses import replace
 
         cfg = replace(cfg, seed=args.seed)
-    result = corrupt.run(cfg, **kwargs)
+    result = corrupt.run(cfg, **_engine_kwargs(args), **kwargs)
     print(corrupt.format_result(result))
 
     doc = corrupt.to_bench_doc(result)

@@ -1048,6 +1048,8 @@ def run_exchange(
     quiesce_us: float | None = None,
     end_wait_us: float | None = None,
     max_recovery_rounds: int = 2,
+    engine: str = "event",
+    workers: int | None = None,
     **engine_kwargs,
 ) -> ExchangeResult:
     """Execute one full exchange for ``pattern`` on the emulator.
@@ -1082,9 +1084,17 @@ def run_exchange(
     arms the application-layer store-and-forward corruption in both the
     plain and the tolerant STFW processes.
     ``tracer`` is an optional :class:`repro.obs.Tracer` receiving
-    engine events plus per-stage spans and ``stfw.*`` counters.  Extra
-    keyword arguments (``jitter``, ``rendezvous_threshold_words``, ...)
-    forward to the :class:`~repro.simmpi.runtime.SimMPI` engine.
+    engine events plus per-stage spans and ``stfw.*`` counters.
+
+    ``engine`` selects the simulation backend (``"event"`` or
+    ``"sharded"``; see :mod:`repro.simmpi.engine`) and ``workers`` the
+    sharded backend's process count; both forward to
+    :func:`~repro.simmpi.runtime.run_spmd`.  ``on_fault="partial"``
+    requires the event engine: the salvage path reads deliveries out
+    of engine-side sinks that live in the coordinator's address space,
+    which forked shard workers cannot fill.  Extra keyword arguments
+    (``jitter``, ``rendezvous_threshold_words``, ...) forward to the
+    :class:`~repro.simmpi.runtime.SimMPI` engine.
     """
     vpt, kind = _resolve_scheme(pattern, vpt, scheme, dims)
     if mode not in ("planned", "dynamic"):
@@ -1092,6 +1102,12 @@ def run_exchange(
     if on_fault not in ("raise", "partial", "tolerate"):
         raise PlanError(
             f"unknown on_fault {on_fault!r}; use 'raise', 'partial' or 'tolerate'"
+        )
+    if on_fault == "partial" and engine != "event":
+        raise PlanError(
+            f"on_fault='partial' requires engine='event' (got engine={engine!r}): "
+            "partial salvage reads per-rank sinks that forked shard workers "
+            "cannot fill"
         )
     ft_knobs = {
         "timeout_us": timeout_us,
@@ -1148,6 +1164,8 @@ def run_exchange(
             trace=trace,
             fault_plan=fault_plan,
             tracer=tracer,
+            engine=engine,
+            workers=workers,
             **engine_kwargs,
         )
         reports = _ft_reports(result)
@@ -1191,6 +1209,8 @@ def run_exchange(
             trace=trace,
             fault_plan=fault_plan,
             tracer=tracer,
+            engine=engine,
+            workers=workers,
             **engine_kwargs,
         )
         result.plan = plan
@@ -1208,6 +1228,8 @@ def run_exchange(
         mapping=mapping,
         trace=trace,
         fault_plan=fault_plan,
+        engine=engine,
+        workers=workers,
         tracer=tracer,
         **engine_kwargs,
     )

@@ -285,6 +285,8 @@ def run(
     validate: bool = True,
     artifacts=None,
     tracer=None,
+    engine: str = "event",
+    workers: int | None = None,
 ) -> ChaosResult:
     """Soak the self-healing service; return the degradation record.
 
@@ -337,10 +339,17 @@ def run(
         validate=validate,
         artifacts=artifacts,
         tracer=tracer,
+        engine=engine,
+        workers=workers,
     )
     # scale crash times off a fault-free probe of the initial pattern
     probe = run_exchange(
-        pattern, vpt, payloads=_default_payloads(pattern), machine=machine
+        pattern,
+        vpt,
+        payloads=_default_payloads(pattern),
+        machine=machine,
+        engine=engine,
+        workers=workers,
     )
     rng = np.random.default_rng(np.random.SeedSequence((seed, 0xC8A05)))
     forwarder = busiest_forwarder(pattern, vpt) if corruption else None
@@ -386,6 +395,8 @@ def run(
         vpt,
         payloads=_default_payloads(service.pattern),
         machine=machine,
+        engine=engine,
+        workers=workers,
     )
     dead = set(service.dead)
     reference_identical = all(

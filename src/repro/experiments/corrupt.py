@@ -146,6 +146,8 @@ def _exchange_episode(
     plan_for,
     *,
     require_quarantine: bool = False,
+    engine: str = "event",
+    workers: int | None = None,
 ) -> EpisodeResult:
     """Soak one service instance under ``plan_for(epoch)`` fault plans."""
     pattern = CommPattern.random(K, avg_degree=degree, seed=seed)
@@ -158,7 +160,13 @@ def _exchange_episode(
         seed=seed,
     )
     service = PersistentExchangeService(
-        pattern, vpt, machine=machine, config=policy, validate=False
+        pattern,
+        vpt,
+        machine=machine,
+        config=policy,
+        validate=False,
+        engine=engine,
+        workers=workers,
     )
     reports = []
     undetected = 0
@@ -189,7 +197,9 @@ def _exchange_episode(
     )
 
 
-def _compute_episode(seed: int) -> tuple[EpisodeResult, int, int]:
+def _compute_episode(
+    seed: int, *, engine: str = "event", workers: int | None = None
+) -> tuple[EpisodeResult, int, int]:
     """ABFT episode: seeded compute flips through a persistent SpMV.
 
     Returns ``(episode, injected, caught)``.  The injection sites are
@@ -202,7 +212,9 @@ def _compute_episode(seed: int) -> tuple[EpisodeResult, int, int]:
     n = 16 * K
     A = generate_matrix(n, 14 * n, 24, 1.0, seed=seed, values="random")
     part = block_partition(n, K)
-    spmv = PersistentSpMV(A, part, verify=False, abft=True)
+    spmv = PersistentSpMV(
+        A, part, verify=False, abft=True, engine=engine, workers=workers
+    )
     rng = np.random.default_rng(np.random.SeedSequence((seed, 0xC0F1)))
     x = rng.normal(size=n)
     flip_ranks = {r: _COMPUTE_FLIP_P for r in range(K)}
@@ -259,9 +271,26 @@ def run(
     dims: int = CORRUPT_DIMS,
     seed: int | None = None,
     machine: Machine = BGQ,
+    engine: str = "event",
+    workers: int | None = None,
 ) -> CorruptResult:
     """Run the three-episode corruption sweep; everything derives from
-    ``seed``, so two same-seed sweeps are identical."""
+    ``seed``, so two same-seed sweeps are identical.
+
+    ``engine`` must currently be ``"event"``: the transient episode
+    injects probabilistic in-transit flips (``default_flip``), which
+    the sharded backend rejects by design.  The parameter exists so
+    callers address every experiment driver uniformly and get the
+    refusal eagerly, by name."""
+    from ..simmpi.engine import resolve_engine
+
+    resolve_engine(engine)
+    if engine != "event":
+        raise ExperimentError(
+            f"the corruption sweep requires engine='event' (got {engine!r}): "
+            "its transient episode injects probabilistic in-transit flips "
+            "(default_flip), which engine='sharded' cannot reproduce"
+        )
     cfg = cfg if cfg is not None else default_config()
     seed = int(cfg.seed if seed is None else seed)
     if epochs < 10:
@@ -285,7 +314,16 @@ def run(
         return None
 
     transient = _exchange_episode(
-        "transient", K, degree, dims, epochs, seed, machine, transient_plan
+        "transient",
+        K,
+        degree,
+        dims,
+        epochs,
+        seed,
+        machine,
+        transient_plan,
+        engine=engine,
+        workers=workers,
     )
 
     # persistent corrupt forwarder: corrupt long enough to be implicated
@@ -312,9 +350,13 @@ def run(
         machine,
         forwarder_plan,
         require_quarantine=True,
+        engine=engine,
+        workers=workers,
     )
 
-    compute, abft_injected, abft_caught = _compute_episode(seed)
+    compute, abft_injected, abft_caught = _compute_episode(
+        seed, engine=engine, workers=workers
+    )
 
     episodes = [transient, forwarder, compute]
     return CorruptResult(

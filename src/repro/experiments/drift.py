@@ -201,6 +201,8 @@ def _run_service(
     machine: Machine,
     validate: bool,
     tracer=None,
+    engine: str = "event",
+    workers: int | None = None,
 ) -> ServiceSummary:
     """Drive one delta stream through the *persistent* exchange service.
 
@@ -218,7 +220,13 @@ def _run_service(
     pattern = CommPattern.random(K, avg_degree=4, seed=seed)
     vpt = make_vpt(K, 2)
     service = PersistentExchangeService(
-        pattern, vpt, machine=machine, validate=validate, tracer=tracer
+        pattern,
+        vpt,
+        machine=machine,
+        validate=validate,
+        tracer=tracer,
+        engine=engine,
+        workers=workers,
     )
     frames = rounds = matched = 0
     makespan = 0.0
@@ -237,31 +245,40 @@ def _run_service(
 
         # the ranks re-learn their recv-sets from send-sets alone
         pat = service.pattern
-        stats = [DiscoveryStats() for _ in range(K)]
 
         def worker(comm):
+            # stats ride the return value so the sharded engine's forked
+            # workers report them too (parent-side lists stay untouched)
+            st = DiscoveryStats()
             recvset = yield from nbx_discover(
-                comm, pat.sendset(comm.rank), tracer=tracer, stats=stats[comm.rank]
+                comm, pat.sendset(comm.rank), tracer=tracer, stats=st
             )
-            return recvset
+            return (recvset, st)
 
-        res = run_spmd(K, worker, machine=machine)
+        res = run_spmd(K, worker, machine=machine, engine=engine, workers=workers)
         src, dst, size = pat.src, pat.dst, pat.size
         for r in range(K):
             want = {
                 int(s): int(w) for s, w in zip(src[dst == r], size[dst == r])
             }
-            if res.returns[r] != want:
+            if res.returns[r][0] != want:
                 raise ExperimentError(
                     f"NBX discovery at epoch {epoch} gave rank {r} recv-set "
-                    f"{res.returns[r]!r}, expected {want!r}"
+                    f"{res.returns[r][0]!r}, expected {want!r}"
                 )
-        frames += sum(st.frames_received for st in stats)
-        rounds += max(st.rounds for st in stats)
+        frames += sum(st.frames_received for _, st in res.returns)
+        rounds += max(st.rounds for _, st in res.returns)
 
         # golden traces: the service's repair-maintained exchange must
         # equal an exchange driven by the from-scratch rebuild
-        ref_run = run_exchange(rebuilt.pattern, vpt, machine=machine, trace=True)
+        ref_run = run_exchange(
+            rebuilt.pattern,
+            vpt,
+            machine=machine,
+            trace=True,
+            engine=engine,
+            workers=workers,
+        )
         if report.result.run.trace == ref_run.run.trace:
             matched += 1
         elif validate:
@@ -300,6 +317,8 @@ def run(
     service_epochs: int = 3,
     tracer=None,
     jobs: int | None = 1,
+    engine: str = "event",
+    workers: int | None = None,
 ) -> DriftResult:
     """Run the drift sweep (and service); deterministic in ``cfg.seed``.
 
@@ -324,6 +343,8 @@ def run(
         summary = _run_service(
             K=service_K,
             seed=cfg.seed,
+            engine=engine,
+            workers=workers,
             epochs=service_epochs,
             machine=machine,
             validate=validate,

@@ -126,6 +126,8 @@ def run(
     drop_rates: tuple[float, ...] = DROP_RATES,
     tracer=None,
     jobs: int | None = 1,
+    engine: str = "event",
+    workers: int | None = None,
 ) -> FaultsResult:
     """Run the resilience sweep; deterministic in ``cfg.seed``.
 
@@ -133,7 +135,28 @@ def run(
     reliable-layer counters across every scenario's exchange.  ``jobs``
     fans the independent scenario exchanges over worker processes; the
     rows (and any traced counters) are identical to a serial run.
+
+    ``engine`` must currently be ``"event"``: the drop-rate scenarios
+    draw probabilistic link faults (``default_drop``), which the
+    sharded backend rejects by design.  The parameter exists so
+    callers address every experiment driver uniformly and get the
+    refusal eagerly, by name.
     """
+    from ..errors import ExperimentError
+    from ..simmpi.engine import resolve_engine
+
+    resolve_engine(engine)
+    if engine != "event":
+        raise ExperimentError(
+            f"the resilience sweep requires engine='event' (got {engine!r}): "
+            "its drop-rate scenarios draw probabilistic link faults "
+            "(default_drop), which engine='sharded' cannot reproduce"
+        )
+    if workers not in (None, 1):
+        raise ExperimentError(
+            f"workers={workers!r} requires engine='sharded'; the resilience "
+            "sweep runs the single-process event engine"
+        )
     cfg = cfg or default_config()
     pattern = CommPattern.random(K, avg_degree=4, seed=cfg.seed)
     vpt = make_vpt(K, 2)

@@ -109,6 +109,8 @@ def run(
     checkpoint_interval: int = CHECKPOINT_INTERVAL,
     tracer=None,
     jobs: int | None = 1,
+    engine: str = "event",
+    workers: int | None = None,
 ) -> RecoverResult:
     """Run the BL-vs-STFW recovery sweep; deterministic in ``cfg.seed``.
 
@@ -116,7 +118,28 @@ def run(
     and replay spans from every scenario's run.  ``jobs`` fans the
     independent scenario runs over worker processes; the rows are
     identical to a serial run.
+
+    ``engine`` must currently be ``"event"``: iterative recovery keeps
+    a coordinated checkpoint store the generators mutate mid-run,
+    which only the in-process event engine supports.  The parameter
+    exists so callers address every experiment driver uniformly and
+    get the refusal eagerly, by name.
     """
+    from ..errors import ExperimentError
+    from ..simmpi.engine import resolve_engine
+
+    resolve_engine(engine)
+    if engine != "event":
+        raise ExperimentError(
+            f"the recovery sweep requires engine='event' (got {engine!r}): "
+            "iterative recovery mutates a coordinated checkpoint store "
+            "mid-run, which the forked sharded workers cannot share"
+        )
+    if workers not in (None, 1):
+        raise ExperimentError(
+            f"workers={workers!r} requires engine='sharded'; the recovery "
+            "sweep runs the single-process event engine"
+        )
     cfg = cfg or default_config()
 
     def task(n_dims, crashes):

@@ -85,6 +85,17 @@ class Machine:
         """alpha / beta — how latency-bound the machine is."""
         return self.alpha_us / self.beta_us_per_word
 
+    def lookahead_us(self) -> float:
+        """Minimum virtual time any message needs to cross the network.
+
+        Every send costs at least ``alpha_us`` (hop, size, and jitter
+        terms only add to it), so a message sent at time *t* arrives no
+        earlier than ``t + lookahead_us()``.  Conservative parallel-DES
+        engines use this as the safe-window width: ranks at clock floor
+        *F* cannot influence each other before ``F + lookahead_us()``.
+        """
+        return self.alpha_us
+
     def with_params(self, **kwargs) -> "Machine":
         """Copy with selected cost parameters overridden."""
         return replace(self, **kwargs)

@@ -15,13 +15,17 @@ messages are queued:
   of the store-and-forward stage loop);
 * a global heap for ``recv(ANY_SOURCE, ANY_TAG)``.
 
-All heaps are keyed by ``(arrive_time, seq)``, which gives the engine
-its documented wildcard guarantee: a wildcard receive matches the
-waiting envelope with the **earliest virtual arrival time**, ties
-broken by engine posting order.  The wildcard heaps are created
-lazily, per flavor, on first use; an envelope may live in several
-indexes at once, so consuming it through one marks it ``consumed`` and
-the stale entries elsewhere are skipped lazily on their next pop.
+All heaps are keyed by ``(arrive_time, source, seq)`` — ``seq`` being
+the **sender-side** send sequence number — which gives the engine its
+documented wildcard guarantee: a wildcard receive matches the waiting
+envelope with the **earliest virtual arrival time**, ties broken by
+sender rank and then sender program order.  The key depends only on
+*what was sent*, never on the order the engine discovered it, so the
+serial and sharded backends match wildcards identically even at exact
+arrival-time ties.  The wildcard heaps are created lazily, per flavor,
+on first use; an envelope may live in several indexes at once, so
+consuming it through one marks it ``consumed`` and the stale entries
+elsewhere are skipped lazily on their next pop.
 """
 
 from __future__ import annotations
@@ -71,8 +75,12 @@ class Envelope:
     ``words`` is the charged size in 8-byte words (independent of the
     Python payload object, so tests can exercise the cost model with
     symbolic payloads).  ``send_time``/``arrive_time`` are virtual
-    microseconds on the sender's/receiver's clock.  ``consumed`` flips
-    when a receive matches the envelope; stale index entries check it.
+    microseconds on the sender's/receiver's clock.  ``seq`` is the
+    sender's send sequence number — unique per ``(source, dest)`` and
+    identical across engine backends, which makes the wildcard
+    tie-break key ``(arrive_time, source, seq)`` canonical.
+    ``consumed`` flips when a receive matches the envelope; stale index
+    entries check it.
     """
 
     source: int
@@ -104,9 +112,9 @@ class Mailbox:
         self._by_key: dict[tuple[int, int], deque[Envelope]] = {}
         #: lazily-activated wildcard indexes; a missing entry means no
         #: wildcard receive of that flavor has run yet
-        self._src_heaps: dict[int, list[tuple[float, int, Envelope]]] = {}
-        self._tag_heaps: dict[int, list[tuple[float, int, Envelope]]] = {}
-        self._any_heap: list[tuple[float, int, Envelope]] | None = None
+        self._src_heaps: dict[int, list[tuple[float, int, int, Envelope]]] = {}
+        self._tag_heaps: dict[int, list[tuple[float, int, int, Envelope]]] = {}
+        self._any_heap: list[tuple[float, int, int, Envelope]] | None = None
         #: True once any wildcard index is active — one flag check in
         #: post() instead of three container probes
         self._wild = False
@@ -123,7 +131,7 @@ class Mailbox:
             q = self._by_key[key] = deque()
         q.append(env)
         if self._wild:
-            entry = (env.arrive_time, env.seq, env)
+            entry = (env.arrive_time, env.source, env.seq, env)
             heap = self._src_heaps.get(env.source)
             if heap is not None:
                 heappush(heap, entry)
@@ -134,48 +142,80 @@ class Mailbox:
                 heappush(self._any_heap, entry)
         self._len += 1
 
-    def match(self, source: int, tag: int, before: float | None = None) -> Envelope | None:
+    def match(
+        self,
+        source: int,
+        tag: int,
+        before: float | None = None,
+        horizon: float | None = None,
+    ) -> Envelope | None:
         """Pop the envelope a ``recv(source, tag)`` should receive.
 
         Fully-specified receives are FIFO per (source, tag); wildcard
         receives take the earliest ``arrive_time`` among the matching
-        envelopes, ties broken by posting order.  Returns ``None`` when
-        nothing matches.
+        envelopes, ties broken by sender rank then sender program
+        order.  Returns ``None`` when nothing matches.
 
         ``before`` bounds the match by virtual arrival time: an
         envelope with ``arrive_time > before`` is *left in place* and
         ``None`` is returned, so a timed receive whose deadline has
         passed cannot consume a message that had not yet arrived — it
-        stays matchable by a later receive.  Candidates are
-        arrival-ordered in every index, so checking only the head is
-        exact.
+        stays matchable by a later receive.  ``horizon`` is the
+        *strict* variant used by conservative wildcard matching: an
+        envelope with ``arrive_time >= horizon`` is left in place,
+        because an envelope arriving exactly at the horizon may still
+        be preempted by a not-yet-seen message arriving at the same
+        instant.  Candidates are arrival-ordered in every index, so
+        checking only the head is exact.
         """
-        if source != ANY_SOURCE and tag != ANY_TAG:
-            env = self._pop_deque(self._by_key.get((source, tag)), before)
-        elif source == ANY_SOURCE and tag == ANY_TAG:
-            if self._any_heap is None:
-                self._any_heap = self._build_heap(lambda s, t: True)
-            env = self._pop_heap(self._any_heap, before)
-        elif source == ANY_SOURCE:
-            heap = self._tag_heaps.get(tag)
-            if heap is None:
-                heap = self._tag_heaps[tag] = self._build_heap(lambda s, t: t == tag)
-            env = self._pop_heap(heap, before)
-        else:
-            heap = self._src_heaps.get(source)
-            if heap is None:
-                heap = self._src_heaps[source] = self._build_heap(lambda s, t: s == source)
-            env = self._pop_heap(heap, before)
+        env = self._select(source, tag, before, horizon, pop=True)
         if env is not None:
             env.consumed = True
             self._len -= 1
         return env
 
-    def _build_heap(self, want) -> list[tuple[float, int, Envelope]]:
+    def peek_arrival(
+        self, source: int, tag: int, before: float | None = None
+    ) -> float | None:
+        """Arrival time of the envelope :meth:`match` would return.
+
+        Nothing is consumed.  Conservative engines use this to compute
+        a blocked rank's time floor: the earliest instant at which the
+        rank could possibly resume (and therefore send again).
+        """
+        env = self._select(source, tag, before, None, pop=False)
+        return None if env is None else env.arrive_time
+
+    def _select(
+        self,
+        source: int,
+        tag: int,
+        before: float | None,
+        horizon: float | None,
+        *,
+        pop: bool,
+    ) -> Envelope | None:
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            return self._scan_deque(self._by_key.get((source, tag)), before, horizon, pop)
+        if source == ANY_SOURCE and tag == ANY_TAG:
+            if self._any_heap is None:
+                self._any_heap = self._build_heap(lambda s, t: True)
+            return self._scan_heap(self._any_heap, before, horizon, pop)
+        if source == ANY_SOURCE:
+            heap = self._tag_heaps.get(tag)
+            if heap is None:
+                heap = self._tag_heaps[tag] = self._build_heap(lambda s, t: t == tag)
+            return self._scan_heap(heap, before, horizon, pop)
+        heap = self._src_heaps.get(source)
+        if heap is None:
+            heap = self._src_heaps[source] = self._build_heap(lambda s, t: s == source)
+        return self._scan_heap(heap, before, horizon, pop)
+
+    def _build_heap(self, want) -> list[tuple[float, int, int, Envelope]]:
         """Activate a wildcard index: backfill from the live deques."""
         self._wild = True
         heap = [
-            (env.arrive_time, env.seq, env)
+            (env.arrive_time, env.source, env.seq, env)
             for (s, t), q in self._by_key.items()
             if want(s, t)
             for env in q
@@ -206,7 +246,12 @@ class Mailbox:
         return dropped
 
     @staticmethod
-    def _pop_deque(q: deque[Envelope] | None, before: float | None = None) -> Envelope | None:
+    def _scan_deque(
+        q: deque[Envelope] | None,
+        before: float | None,
+        horizon: float | None,
+        pop: bool,
+    ) -> Envelope | None:
         while q:
             env = q[0]
             if env.consumed:
@@ -214,22 +259,31 @@ class Mailbox:
                 continue
             if before is not None and env.arrive_time > before:
                 return None
-            q.popleft()
+            if horizon is not None and env.arrive_time >= horizon:
+                return None
+            if pop:
+                q.popleft()
             return env
         return None
 
     @staticmethod
-    def _pop_heap(
-        heap: list[tuple[float, int, Envelope]] | None, before: float | None = None
+    def _scan_heap(
+        heap: list[tuple[float, int, int, Envelope]] | None,
+        before: float | None,
+        horizon: float | None,
+        pop: bool,
     ) -> Envelope | None:
         while heap:
-            env = heap[0][2]
+            env = heap[0][3]
             if env.consumed:
                 heappop(heap)
                 continue
             if before is not None and env.arrive_time > before:
                 return None
-            heappop(heap)
+            if horizon is not None and env.arrive_time >= horizon:
+                return None
+            if pop:
+                heappop(heap)
             return env
         return None
 

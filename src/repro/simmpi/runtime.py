@@ -114,7 +114,17 @@ from .collectives import (
 from .faults import FaultPlan, FaultState
 from .message import ANY_SOURCE, ANY_TAG, TIMEOUT, Envelope, Mailbox, RunResult, TraceRecord
 
-__all__ = ["Comm", "SimMPI", "run_spmd", "RECV_ALPHA_FRACTION"]
+__all__ = [
+    "Comm",
+    "SimMPI",
+    "run_spmd",
+    "RECV_ALPHA_FRACTION",
+    "collective_outcome",
+    "engine_lookahead",
+    "shrink_cost",
+    "trace_sort_key",
+    "fault_sort_key",
+]
 
 
 class _RankCrashed(BaseException):
@@ -130,6 +140,13 @@ class _RankCrashed(BaseException):
 #: fraction of alpha charged on the receive side of a match
 RECV_ALPHA_FRACTION = 0.4
 
+#: upper bound on the (src_node, dst_node) -> hops memo; long-lived
+#: services at K = 16K would otherwise grow it across epochs without
+#: bound (up to num_nodes**2 entries).  On overflow the memo is cleared
+#: wholesale — real patterns re-warm the few hundred hot pairs in one
+#: exchange round, so eviction policy does not matter.
+_HOPS_CACHE_MAX = 65536
+
 _RecvOp = RecvRequest
 _BarrierOp = BarrierOp
 _AllGatherOp = AllGatherOp
@@ -144,6 +161,119 @@ _COLLECTIVE_OPS = (
     BcastOp,
     ShrinkOp,
 )
+
+
+def trace_sort_key(rec: TraceRecord) -> tuple:
+    """Canonical ordering of delivered-message trace records.
+
+    The key covers every field, so any two traces holding the same
+    *multiset* of records sort to the same sequence — the property that
+    lets the sharded engine (which discovers deliveries in per-shard
+    order) produce byte-identical ``RunResult.trace`` lists.
+    """
+    return (rec.dest, rec.arrive_time, rec.source, rec.tag, rec.send_time, rec.words)
+
+
+def fault_sort_key(ev) -> tuple:
+    """Canonical ordering of :class:`~repro.simmpi.faults.FaultEvent`s."""
+    return (ev.time_us, ev.kind, ev.rank, ev.dest, ev.tag, ev.words, ev.reason)
+
+
+def _check_uniform(ops: dict, attr: str, name: str) -> None:
+    vals = {getattr(op, attr) for op in ops.values()}
+    if len(vals) > 1:
+        raise SimMPIError(
+            f"{name} called with mismatched {attr} across ranks: {sorted(map(str, vals))}"
+        )
+
+
+def collective_outcome(
+    kind: type, ops: dict[int, Any], waiting: list[int], alpha: float, beta: float
+) -> tuple[dict[int, Any], float]:
+    """Pure completion math of a uniform collective.
+
+    ``ops`` maps each participating rank to its blocked operation and
+    must iterate in ascending rank order (value folds and gather order
+    depend on it).  Returns ``(results, cost)``: the per-rank resume
+    values and the virtual-time cost added on top of the participants'
+    aligned clock.  Shared verbatim by the serial engine and the
+    sharded coordinator so both backends resolve collectives with
+    bit-identical values and times.
+    """
+    P = len(waiting)
+    lg = math.ceil(math.log2(max(P, 2)))
+
+    if kind is BarrierOp:
+        cost = alpha
+        results = {r: None for r in waiting}
+    elif kind is AllGatherOp:
+        total_words = sum(op.words for op in ops.values())
+        cost = lg * alpha + beta * total_words
+        values = [ops[r].value for r in waiting]
+        results = {r: list(values) for r in waiting}
+    elif kind is AllReduceOp:
+        _check_uniform(ops, "op", "allreduce")
+        words = max(op.words for op in ops.values())
+        cost = 2 * lg * (alpha + beta * words)
+        fn = REDUCTIONS[next(iter(ops.values())).op]
+        acc = None
+        for r in waiting:
+            acc = ops[r].value if acc is None else fn(acc, ops[r].value)
+        results = {r: acc for r in waiting}
+    elif kind is ReduceOp:
+        _check_uniform(ops, "op", "reduce")
+        _check_uniform(ops, "root", "reduce")
+        words = max(op.words for op in ops.values())
+        cost = lg * (alpha + beta * words)
+        fn = REDUCTIONS[next(iter(ops.values())).op]
+        root = next(iter(ops.values())).root
+        if root not in ops:
+            raise SimMPIError(f"reduce root {root} is not a live rank")
+        acc = None
+        for r in waiting:
+            acc = ops[r].value if acc is None else fn(acc, ops[r].value)
+        results = {r: (acc if r == root else None) for r in waiting}
+    elif kind is AllToAllOp:
+        words = max(op.words for op in ops.values())
+        cost = (P - 1) * (alpha + beta * words)
+        results = {r: [ops[q].values[r] for q in waiting] for r in waiting}
+    elif kind is BcastOp:
+        _check_uniform(ops, "root", "bcast")
+        root = next(iter(ops.values())).root
+        if root not in ops:
+            raise SimMPIError(f"bcast root {root} is not a live rank")
+        words = ops[root].words
+        cost = lg * (alpha + beta * words)
+        results = {r: ops[root].value for r in waiting}
+    else:  # pragma: no cover - defensive
+        raise SimMPIError(f"unknown collective {kind!r}")
+    return results, cost
+
+
+def shrink_cost(P: int, alpha: float) -> float:
+    """Virtual-time cost of the shrink agreement over ``P`` survivors:
+    one revoke round plus two tree sweeps."""
+    lg = math.ceil(math.log2(max(P, 2)))
+    return (1 + 2 * lg) * alpha
+
+
+def engine_lookahead(machine: Machine | None, fault_plan: FaultPlan | None) -> float:
+    """Conservative lookahead: a lower bound on any send's virtual cost.
+
+    The machine's minimum message latency (``Machine.lookahead_us()``),
+    scaled down by the fastest straggler factor when the fault plan has
+    one below 1.0 (a "straggler" < 1 *speeds a rank up*, so the bound
+    must shrink with it).  Jitter needs no correction — it only ever
+    multiplies costs by a factor >= 1.  Returns 0.0 for machine-less
+    (zero-cost) runs, where no positive bound exists and conservative
+    wildcard matching is disabled.
+    """
+    if machine is None:
+        return 0.0
+    la = machine.lookahead_us()
+    if fault_plan is not None and fault_plan.stragglers:
+        la *= min(1.0, min(fault_plan.stragglers.values()))
+    return la
 
 
 class Comm:
@@ -370,11 +500,15 @@ class _ProcState:
         "mailbox",
         "resume_value",
         "queued",
+        "send_seq",
     )
 
     def __init__(self, gen: Generator | None):
         self.gen = gen
         self.clock = 0.0
+        #: sender-side send counter; envelope seq numbers come from it so
+        #: the wildcard tie-break key is identical across engine backends
+        self.send_seq = 0
         self.blocked_on: Any = None
         self.finished = gen is None
         self.retval: Any = None
@@ -385,7 +519,24 @@ class _ProcState:
 
 
 class SimMPI:
-    """The engine: owns ranks, mailboxes, clocks and the cost model."""
+    """The engine: owns ranks, mailboxes, clocks and the cost model.
+
+    ``SimMPI`` is both the serial event-driven backend and the unified
+    construction surface for every backend: ``SimMPI(K,
+    engine="sharded", workers=4, ...)`` returns a
+    :class:`~repro.simmpi.sharded.ShardedSimMPI` instance (dispatch
+    happens in ``__new__`` via the :mod:`repro.simmpi.engine`
+    registry), so callers select a backend without importing it.  All
+    backends run the same process functions and return the same
+    :class:`~repro.simmpi.message.RunResult`.
+    """
+
+    def __new__(cls, *args, engine: str = "event", **kwargs):
+        if cls is SimMPI and engine != "event":
+            from .engine import resolve_engine
+
+            return object.__new__(resolve_engine(engine))
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -399,9 +550,28 @@ class SimMPI:
         rendezvous_threshold_words: int | None = None,
         fault_plan: FaultPlan | None = None,
         tracer=None,
+        engine: str = "event",
+        workers: int | None = None,
     ):
         if K < 1:
             raise SimMPIError(f"K={K} must be positive")
+        if engine != "event":
+            # unreachable through SimMPI(...) (``__new__`` dispatches to
+            # the backend class first); guards direct __init__ calls
+            from .engine import resolve_engine
+
+            resolve_engine(engine)  # raises for unknown names
+            raise SimMPIError(
+                f"SimMPI.__init__ only builds engine='event'; construct "
+                f"engine={engine!r} via SimMPI(K, engine={engine!r})"
+            )
+        if workers is not None and workers != 1:
+            raise SimMPIError(
+                f"workers={workers} requires engine='sharded'; "
+                "engine='event' is single-process"
+            )
+        self.engine_name = "event"
+        self.workers = 1
         if jitter < 0:
             raise SimMPIError("jitter must be non-negative")
         if rendezvous_threshold_words is not None and rendezvous_threshold_words < 1:
@@ -421,9 +591,20 @@ class SimMPI:
         #: per-run fault state; rebuilt by :meth:`run` so repeated runs
         #: on one engine are identically seeded
         self._faults: FaultState | None = None
+        #: conservative-matching state.  With a machine every send costs
+        #: at least ``_lookahead``, so a wildcard receive may only take
+        #: an envelope arriving strictly before ``_horizon`` — any
+        #: not-yet-sent rival must arrive at or after it.  This makes
+        #: wildcard delivery a pure function of virtual time (earliest
+        #: arrival wins) instead of an artifact of engine interleaving,
+        #: which is what lets the sharded backend reproduce serial runs
+        #: bit for bit.  Machine-less runs have no positive cost bound
+        #: and keep the eager match-on-post behavior.
+        self._lookahead = engine_lookahead(machine, fault_plan)
+        self._conservative = self._lookahead > 0.0
+        self._horizon = 0.0
         self._trace_enabled = trace
         self.trace: list[TraceRecord] = []
-        self._seq = 0
         #: injected observability tracer (see :mod:`repro.obs`); kept as
         #: None when absent or disabled so hot paths pay one identity
         #: check and nothing else
@@ -468,9 +649,12 @@ class SimMPI:
             return 0.0
         m = self.machine
         pair = (self._map_list[source], self._map_list[dest])
-        hops = self._hops_cache.get(pair)
+        cache = self._hops_cache
+        hops = cache.get(pair)
         if hops is None:
-            hops = self._hops_cache[pair] = self._topology.hops(*pair)
+            if len(cache) >= _HOPS_CACHE_MAX:
+                cache.clear()
+            hops = cache[pair] = self._topology.hops(*pair)
         cost = m.alpha_us + m.alpha_hop_us * hops + m.beta_us_per_word * words
         if (
             self.rendezvous_threshold_words is not None
@@ -544,9 +728,9 @@ class SimMPI:
             words=words,
             send_time=start,
             arrive_time=sender.clock,
-            seq=self._seq,
+            seq=sender.send_seq,
         )
-        self._seq += 1
+        sender.send_seq += 1
         dest_state = self._procs[dest]
         dest_state.mailbox.post(env)
         if duplicate:
@@ -558,9 +742,9 @@ class SimMPI:
                 words=words,
                 send_time=start,
                 arrive_time=env.arrive_time,
-                seq=self._seq,
+                seq=sender.send_seq,
             )
-            self._seq += 1
+            sender.send_seq += 1
             dest_state.mailbox.post(twin)
         if obs is not None:
             obs.count("engine.sends", 1, track=source)
@@ -613,13 +797,8 @@ class SimMPI:
     # Run loop
     # ------------------------------------------------------------------
 
-    def run(self, proc_factory: Callable[[Comm], Generator | Any]) -> RunResult:
-        """Run one process per rank until all finish.
-
-        ``proc_factory(comm)`` must return a generator (a function
-        using ``yield`` for blocking calls) or a plain value for ranks
-        that perform no blocking communication.
-        """
+    def _reset(self, proc_factory: Callable[[Comm], Generator | Any]) -> None:
+        """Rebuild per-run state and seed the ready deque in rank order."""
         self.trace = []
         self._procs = [_ProcState(None) for _ in range(self.K)]
         self._ready = ready = deque()
@@ -627,6 +806,7 @@ class SimMPI:
         self._coll_blocked = 0
         self._coll_kinds = {}
         self._acked_dead = set()
+        self._horizon = self._lookahead
         self._faults = (
             None if self.fault_plan is None else FaultState(self.fault_plan, self.K)
         )
@@ -643,33 +823,88 @@ class SimMPI:
                 state.retval = out
                 self._num_finished += 1
 
+    def _match_recv(self, state: _ProcState, op: _RecvOp) -> Envelope | None:
+        """Match a blocked receive against the rank's mailbox.
+
+        Under conservative matching (any run with a machine), wildcard
+        receives only take envelopes arriving strictly before the safe
+        horizon; a candidate at or past it stays held until the
+        quiescent horizon raise proves no earlier rival can appear.
+        Fully-specified receives need no gate — a channel's FIFO order
+        is arrival order regardless of discovery interleaving.
+        """
+        if self._conservative and (op.source == ANY_SOURCE or op.tag == ANY_TAG):
+            return state.mailbox.match(op.source, op.tag, op.deadline, self._horizon)
+        return state.mailbox.match(op.source, op.tag, op.deadline)
+
+    def _drain_ready(self) -> None:
+        """Drive ready ranks until nothing is runnable."""
+        ready = self._ready
+        while ready:
+            r = ready.popleft()
+            state = self._procs[r]
+            state.queued = False
+            if state.finished:
+                continue
+            op = state.blocked_on
+            if op is not None:
+                if not isinstance(op, _RecvOp):
+                    continue  # collectives resume via _complete_collective
+                env = self._match_recv(state, op)
+                if env is None:
+                    continue  # stale wake; stay blocked
+                state.blocked_on = None
+                state.resume_value = self._deliver(r, state, env)
+            self._drive(r, state)
+
+    def _finalize(self) -> RunResult:
+        """Assemble the canonical :class:`RunResult` of a finished run.
+
+        The trace and fault-event lists are sorted by their canonical
+        total orders (:func:`trace_sort_key` / :func:`fault_sort_key`)
+        so results compare byte-identical across backends that discover
+        the same events in different orders.
+        """
+        returns = [p.retval for p in self._procs]
+        clocks = [p.clock for p in self._procs]
+        fs = self._faults
+        trace = self.trace
+        trace.sort(key=trace_sort_key)
+        return RunResult(
+            returns=returns,
+            clocks=clocks,
+            makespan_us=max(clocks) if clocks else 0.0,
+            trace=trace,
+            crashed=[] if fs is None else sorted(fs.crashed),
+            fault_events=[] if fs is None else sorted(fs.events, key=fault_sort_key),
+        )
+
+    def run(self, proc_factory: Callable[[Comm], Generator | Any]) -> RunResult:
+        """Run one process per rank until all finish.
+
+        ``proc_factory(comm)`` must return a generator (a function
+        using ``yield`` for blocking calls) or a plain value for ranks
+        that perform no blocking communication.
+        """
+        self._reset(proc_factory)
         while True:
             # event loop: drive ready ranks until nothing is runnable
-            while ready:
-                r = ready.popleft()
-                state = self._procs[r]
-                state.queued = False
-                if state.finished:
-                    continue
-                op = state.blocked_on
-                if op is not None:
-                    if not isinstance(op, _RecvOp):
-                        continue  # collectives resume via _complete_collective
-                    env = state.mailbox.match(op.source, op.tag, op.deadline)
-                    if env is None:
-                        continue  # stale wake; stay blocked
-                    state.blocked_on = None
-                    state.resume_value = self._deliver(r, state, env)
-                self._drive(r, state)
+            self._drain_ready()
 
             if self._num_finished == self.K:
                 break
 
-            # ready deque drained: either every live rank sits in one
-            # uniform collective (counter check, O(1)), a virtual-time
-            # timer (recv timeout / scheduled crash) fires, or we
-            # deadlocked
+            # ready deque drained: raise the conservative horizon (which
+            # may release held wildcard envelopes), then either every
+            # live rank sits in one uniform collective (counter check,
+            # O(1)), a virtual-time timer (recv timeout / scheduled
+            # crash) fires, or we deadlocked.  The sharded coordinator
+            # arbitrates its quiescent windows in exactly this order —
+            # held envelopes land before any collective or timer
+            # resolves — which is what keeps the backends bit-identical.
             alive_count = self.K - self._num_finished
+            if self._conservative and self._raise_horizon_at_quiescence():
+                continue
             if self._coll_blocked == alive_count and len(self._coll_kinds) == 1:
                 kind = next(iter(self._coll_kinds))
                 if kind is ShrinkOp:
@@ -702,29 +937,76 @@ class SimMPI:
                 [r for r in range(self.K) if not self._procs[r].finished]
             )
 
-        returns = [p.retval for p in self._procs]
-        clocks = [p.clock for p in self._procs]
-        fs = self._faults
-        return RunResult(
-            returns=returns,
-            clocks=clocks,
-            makespan_us=max(clocks) if clocks else 0.0,
-            trace=self.trace,
-            crashed=[] if fs is None else sorted(fs.crashed),
-            fault_events=[] if fs is None else list(fs.events),
-        )
+        return self._finalize()
 
-    def _fire_next_timer(self, *, horizon: float | None = None) -> bool:
-        """Fire the earliest pending virtual-time event, if any.
+    def _raise_horizon_at_quiescence(self) -> bool:
+        """Advance the safe horizon once nothing is runnable.
 
-        Two event kinds exist: a scheduled **crash** of a live rank and
-        the **deadline** of a blocked ``recv(..., timeout_us=...)``.
-        Events fire in ``(time, kind, rank)`` order with crashes first
-        at equal times (a message to a rank dying at *t* must already
-        find it dead).  With ``horizon``, events strictly after it are
-        left pending (used by the shrink agreement, which must not pull
-        future crashes into the present).  Returns True iff an event
-        fired.
+        Every blocked receive yields a *floor* — the earliest virtual
+        time its rank could possibly resume (and so send again): the
+        earliest matchable arrival in its mailbox, capped by its
+        deadline.  Collective-blocked ranks contribute nothing (they
+        resume only through a completion, which raises the horizon
+        itself).  Any future send then arrives at or after
+        ``min_floor + lookahead``, so the horizon may rise to that
+        bound; if the raise releases a held wildcard candidate, the
+        blocked receivers are woken and the caller must re-drain before
+        arbitrating collectives or timers.  Returns True iff a held
+        envelope was released.
+        """
+        min_floor = math.inf
+        min_held = math.inf
+        for r in range(self.K):
+            state = self._procs[r]
+            if state.finished:
+                continue
+            op = state.blocked_on
+            if not isinstance(op, _RecvOp):
+                continue
+            floor = math.inf if op.deadline is None else op.deadline
+            cand = state.mailbox.peek_arrival(op.source, op.tag, op.deadline)
+            if cand is not None:
+                if cand < floor:
+                    floor = cand
+                if (
+                    (op.source == ANY_SOURCE or op.tag == ANY_TAG)
+                    and cand >= self._horizon
+                    and cand < min_held
+                ):
+                    min_held = cand
+            if floor < min_floor:
+                min_floor = floor
+        if min_floor == math.inf:
+            # nothing recv-blocked: the horizon must NOT jump to
+            # infinity — collective completion raises it finitely
+            return False
+        H2 = min_floor + self._lookahead
+        if H2 <= self._horizon:
+            return False
+        self._horizon = H2
+        if min_held >= H2:
+            return False
+        for r in range(self.K):
+            state = self._procs[r]
+            if state.finished:
+                continue
+            op = state.blocked_on
+            if isinstance(op, _RecvOp) and (
+                op.source == ANY_SOURCE or op.tag == ANY_TAG
+            ):
+                self._wake(r)
+        return True
+
+    def _peek_next_timer(self) -> tuple[float, int, int] | None:
+        """Earliest pending virtual-time event as ``(time, kind, rank)``.
+
+        Two event kinds exist: a scheduled **crash** of a live rank
+        (kind 0) and the **deadline** of a blocked
+        ``recv(..., timeout_us=...)`` (kind 1).  Crashes order before
+        deadlines at equal times (a message to a rank dying at *t* must
+        already find it dead); an overdue crash (clock already past it)
+        is reported at the rank's current clock.  Returns ``None`` when
+        no event is pending.
         """
         fs = self._faults
         best: tuple[float, int, int] | None = None
@@ -735,7 +1017,6 @@ class SimMPI:
             if fs is not None:
                 ct = fs.crash_time(r)
                 if ct is not None:
-                    # an overdue crash (clock already past it) fires now
                     key = (max(ct, state.clock), 0, r)
                     if best is None or key < best:
                         best = key
@@ -744,11 +1025,10 @@ class SimMPI:
                 key = (op.deadline, 1, r)
                 if best is None or key < best:
                     best = key
-        if best is None:
-            return False
-        t, kind, r = best
-        if horizon is not None and t > horizon:
-            return False
+        return best
+
+    def _fire_timer(self, t: float, kind: int, r: int) -> None:
+        """Apply one timer event from :meth:`_peek_next_timer`."""
         state = self._procs[r]
         if kind == 0:
             self._kill_rank(r, state, at=t)
@@ -759,6 +1039,21 @@ class SimMPI:
             if self._obs is not None:
                 self._obs.instant("engine.recv_timeout", state.clock, track=r, cat="timer")
             self._wake(r)
+
+    def _fire_next_timer(self, *, horizon: float | None = None) -> bool:
+        """Fire the earliest pending virtual-time event, if any.
+
+        With ``horizon``, events strictly after it are left pending
+        (used by the shrink agreement, which must not pull future
+        crashes into the present).  Returns True iff an event fired.
+        """
+        best = self._peek_next_timer()
+        if best is None:
+            return False
+        t, kind, r = best
+        if horizon is not None and t > horizon:
+            return False
+        self._fire_timer(t, kind, r)
         return True
 
     def _kill_rank(self, rank: int, state: _ProcState, *, at: float) -> None:
@@ -795,12 +1090,22 @@ class SimMPI:
         waiting = [r for r in range(self.K) if not self._procs[r].finished]
         fs = self._faults
         dead = () if fs is None else tuple(sorted(fs.crashed))
+        t = max(self._procs[r].clock for r in waiting) + shrink_cost(
+            len(waiting), 0.0 if self.machine is None else self.machine.alpha_us
+        )
+        self._apply_shrink(waiting, dead, t)
+
+    def _apply_shrink(
+        self, waiting: list[int], dead: tuple[int, ...], t: float, *, count: bool = True
+    ) -> None:
+        """Apply an agreed shrink to ``waiting``: purge, resume, align to ``t``.
+
+        Split from the agreement math so the sharded engine's workers
+        can apply a coordinator-computed outcome to their local ranks;
+        ``count=False`` suppresses the global ``engine.shrinks`` counter
+        there (the coordinator counts it once).
+        """
         self._acked_dead.update(dead)
-        m = self.machine
-        alpha = 0.0 if m is None else m.alpha_us
-        lg = math.ceil(math.log2(max(len(waiting), 2)))
-        cost = (1 + 2 * lg) * alpha
-        t = max(self._procs[r].clock for r in waiting) + cost
         obs = self._obs
         for r in waiting:
             p = self._procs[r]
@@ -811,66 +1116,46 @@ class SimMPI:
             p.mailbox.purge()
             p.resume_value = dead
             self._wake(r)
-        if obs is not None:
+        if count and obs is not None:
             obs.count("engine.shrinks", 1)
         self._coll_blocked = 0
         self._coll_kinds.clear()
+        # every participant resumes at t, so no future send arrives
+        # before t + lookahead; the sharded coordinator raises its
+        # global horizon the same way
+        if self._conservative and t + self._lookahead > self._horizon:
+            self._horizon = t + self._lookahead
 
     def _complete_collective(self, kind: type, waiting: list[int]) -> None:
         """Resolve a uniform collective all live ranks are blocked on."""
         ops = {r: self._procs[r].blocked_on for r in waiting}
-        P = len(waiting)
-        lg = math.ceil(math.log2(max(P, 2)))
         m = self.machine
-        alpha = 0.0 if m is None else m.alpha_us
-        beta = 0.0 if m is None else m.beta_us_per_word
-
-        if kind is BarrierOp:
-            cost = alpha
-            results = {r: None for r in waiting}
-        elif kind is AllGatherOp:
-            total_words = sum(op.words for op in ops.values())
-            cost = lg * alpha + beta * total_words
-            values = [ops[r].value for r in waiting]
-            results = {r: list(values) for r in waiting}
-        elif kind is AllReduceOp:
-            self._check_uniform(ops, "op", "allreduce")
-            words = max(op.words for op in ops.values())
-            cost = 2 * lg * (alpha + beta * words)
-            fn = REDUCTIONS[next(iter(ops.values())).op]
-            acc = None
-            for r in waiting:
-                acc = ops[r].value if acc is None else fn(acc, ops[r].value)
-            results = {r: acc for r in waiting}
-        elif kind is ReduceOp:
-            self._check_uniform(ops, "op", "reduce")
-            self._check_uniform(ops, "root", "reduce")
-            words = max(op.words for op in ops.values())
-            cost = lg * (alpha + beta * words)
-            fn = REDUCTIONS[next(iter(ops.values())).op]
-            root = next(iter(ops.values())).root
-            if root not in ops:
-                raise SimMPIError(f"reduce root {root} is not a live rank")
-            acc = None
-            for r in waiting:
-                acc = ops[r].value if acc is None else fn(acc, ops[r].value)
-            results = {r: (acc if r == root else None) for r in waiting}
-        elif kind is AllToAllOp:
-            words = max(op.words for op in ops.values())
-            cost = (P - 1) * (alpha + beta * words)
-            results = {r: [ops[q].values[r] for q in waiting] for r in waiting}
-        elif kind is BcastOp:
-            self._check_uniform(ops, "root", "bcast")
-            root = next(iter(ops.values())).root
-            if root not in ops:
-                raise SimMPIError(f"bcast root {root} is not a live rank")
-            words = ops[root].words
-            cost = lg * (alpha + beta * words)
-            results = {r: ops[root].value for r in waiting}
-        else:  # pragma: no cover - defensive
-            raise SimMPIError(f"unknown collective {kind!r}")
-
+        results, cost = collective_outcome(
+            kind,
+            ops,
+            waiting,
+            0.0 if m is None else m.alpha_us,
+            0.0 if m is None else m.beta_us_per_word,
+        )
         t = max(self._procs[r].clock for r in waiting) + cost
+        self._apply_collective(kind, waiting, results, t)
+
+    def _apply_collective(
+        self,
+        kind: type,
+        waiting: list[int],
+        results: dict[int, Any],
+        t: float,
+        *,
+        count: bool = True,
+    ) -> None:
+        """Resume ``waiting`` from a resolved collective at time ``t``.
+
+        Split from the completion math so the sharded engine's workers
+        can apply a coordinator-computed outcome to their local ranks;
+        ``count=False`` suppresses the global ``engine.collectives``
+        counter there (the coordinator counts it once).
+        """
         obs = self._obs
         cname = kind.__name__.removesuffix("Op").lower() if obs is not None else ""
         for r in waiting:
@@ -881,17 +1166,12 @@ class SimMPI:
             p.blocked_on = None
             p.resume_value = results[r]
             self._wake(r)
-        if obs is not None:
+        if count and obs is not None:
             obs.count("engine.collectives", 1, kind=cname)
         self._coll_blocked = 0
         self._coll_kinds.clear()
-
-    def _check_uniform(self, ops: dict, attr: str, name: str) -> None:
-        vals = {getattr(op, attr) for op in ops.values()}
-        if len(vals) > 1:
-            raise SimMPIError(
-                f"{name} called with mismatched {attr} across ranks: {sorted(map(str, vals))}"
-            )
+        if self._conservative and t + self._lookahead > self._horizon:
+            self._horizon = t + self._lookahead
 
     def _drive(self, rank: int, state: _ProcState) -> None:
         """Advance one rank until it blocks, finishes or crashes."""
@@ -920,7 +1200,7 @@ class SimMPI:
                 # mailbox for a later one and this receive times out
                 if op.timeout_us is not None:
                     op.deadline = state.clock + op.timeout_us
-                env = state.mailbox.match(op.source, op.tag, op.deadline)
+                env = self._match_recv(state, op)
                 if env is not None:
                     state.resume_value = self._deliver(rank, state, env)
                     continue
@@ -937,7 +1217,8 @@ class SimMPI:
                 "comm.recv()/comm.barrier()/comm.allgather() operations"
             )
 
-    def _raise_deadlock(self, alive: list[int]) -> None:
+    def _pending_ops(self, alive: list[int]) -> list[PendingOp]:
+        """Machine-readable dump of what each live rank is blocked on."""
         pending: list[PendingOp] = []
         for r in alive:
             p = self._procs[r]
@@ -962,6 +1243,10 @@ class SimMPI:
                         rank=r, kind=kind, mailbox=len(p.mailbox), detail=op.describe()
                     )
                 )
+        return pending
+
+    def _raise_deadlock(self, alive: list[int]) -> None:
+        pending = self._pending_ops(alive)
         fs = self._faults
         crashed = () if fs is None else tuple(sorted(fs.crashed))
         finished = self.K - len(alive)
@@ -990,6 +1275,8 @@ def run_spmd(
     rendezvous_threshold_words: int | None = None,
     fault_plan: FaultPlan | None = None,
     tracer=None,
+    engine: str = "event",
+    workers: int | None = None,
 ) -> RunResult:
     """Convenience wrapper: run ``fn(comm, *args)`` on every rank.
 
@@ -999,8 +1286,14 @@ def run_spmd(
     :class:`SimMPI` (straggler noise, the MPI protocol switch, and
     fault injection); ``tracer`` is an optional :class:`repro.obs.Tracer`
     receiving engine spans/counters in virtual time.
+
+    ``engine`` selects the simulation backend (``"event"`` — the
+    serial event-driven engine — or ``"sharded"``, the conservative
+    parallel engine; see :mod:`repro.simmpi.engine`); ``workers`` sets
+    the sharded engine's process count.  Every backend returns a
+    bit-identical :class:`~repro.simmpi.message.RunResult`.
     """
-    engine = SimMPI(
+    sim = SimMPI(
         K,
         machine=machine,
         mapping=None if mapping is None else np.asarray(mapping),
@@ -1010,5 +1303,7 @@ def run_spmd(
         rendezvous_threshold_words=rendezvous_threshold_words,
         fault_plan=fault_plan,
         tracer=tracer,
+        engine=engine,
+        workers=workers,
     )
-    return engine.run(lambda comm: fn(comm, *args))
+    return sim.run(lambda comm: fn(comm, *args))

@@ -19,6 +19,7 @@ inside payloads.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +34,36 @@ from ..partition.base import Partition
 from ..simmpi.runtime import run_spmd
 
 __all__ = ["columnparallel_pattern", "distributed_spmv_colparallel", "ColSpMVResult"]
+
+
+def distributed_spmv_colparallel(
+    A: sp.spmatrix,
+    partition: Partition,
+    x: np.ndarray,
+    *,
+    vpt: VirtualProcessTopology | None = None,
+    machine=None,
+    verify: bool = True,
+    engine: str = "event",
+    workers: int | None = None,
+) -> "ColSpMVResult":
+    """Deprecated alias of ``distributed_spmv(..., layout="column")``."""
+    warnings.warn(
+        "distributed_spmv_colparallel is deprecated; use "
+        "distributed_spmv(..., layout='column')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _colparallel_impl(
+        A,
+        partition,
+        x,
+        vpt=vpt,
+        machine=machine,
+        verify=verify,
+        engine=engine,
+        workers=workers,
+    )
 
 
 def _contribution_pairs(A: sp.csc_matrix, partition: Partition):
@@ -85,7 +116,7 @@ class ColSpMVResult:
     makespan_us: float
 
 
-def distributed_spmv_colparallel(
+def _colparallel_impl(
     A: sp.spmatrix,
     partition: Partition,
     x: np.ndarray,
@@ -93,12 +124,16 @@ def distributed_spmv_colparallel(
     vpt: VirtualProcessTopology | None = None,
     machine=None,
     verify: bool = True,
+    engine: str = "event",
+    workers: int | None = None,
 ) -> ColSpMVResult:
     """Run one column-parallel SpMV on the emulator (BL or STFW fold).
 
     Each rank computes its partial products, pre-reduces per output
     row, ships ``(rows, partials)`` to each row owner (directly or via
-    Algorithm 1), and the owners accumulate.
+    Algorithm 1), and the owners accumulate.  The public entry point is
+    :func:`repro.spmv.distributed.distributed_spmv` with
+    ``layout="column"``.
     """
     A = sp.csr_matrix(A)
     n = A.shape[0]
@@ -174,7 +209,9 @@ def distributed_spmv_colparallel(
         mine = partition.rows_of(p)
         return y_local[mine]
 
-    run = run_spmd(K, lambda comm: rank_fn(comm), machine=machine)
+    run = run_spmd(
+        K, lambda comm: rank_fn(comm), machine=machine, engine=engine, workers=workers
+    )
     y = np.zeros(n, dtype=np.float64)
     for p in range(K):
         y[partition.rows_of(p)] = run.returns[p]

@@ -86,14 +86,40 @@ def distributed_spmv(
     vpt: VirtualProcessTopology | None = None,
     machine=None,
     verify: bool = True,
-) -> DistributedSpMVResult:
+    layout: str = "row",
+    engine: str = "event",
+    workers: int | None = None,
+):
     """Run one distributed SpMV on the emulator.
 
     ``vpt=None`` selects the baseline (direct sends); otherwise the
     communication phase runs Algorithm 1 on the given topology.  With
     ``verify=True`` the assembled result is checked against the
     sequential product (raising on any mismatch).
+
+    ``layout`` selects the decomposition: ``"row"`` (the paper's
+    kernel; returns :class:`DistributedSpMVResult`) or ``"column"``
+    (the fold-phase dual; returns
+    :class:`~repro.spmv.columnparallel.ColSpMVResult` — the per-layout
+    result types are intentionally distinct, matching what each run
+    can report).  ``engine``/``workers`` select the simulation backend
+    (see :mod:`repro.simmpi.engine`).
     """
+    if layout == "column":
+        from .columnparallel import _colparallel_impl
+
+        return _colparallel_impl(
+            A,
+            partition,
+            x,
+            vpt=vpt,
+            machine=machine,
+            verify=verify,
+            engine=engine,
+            workers=workers,
+        )
+    if layout != "row":
+        raise PlanError(f"unknown layout {layout!r}; use 'row' or 'column'")
     A = sp.csr_matrix(A)
     n = A.shape[0]
     K = partition.K
@@ -130,7 +156,9 @@ def distributed_spmv(
             rc,
         )
 
-    run = run_spmd(K, lambda comm: factory(comm), machine=machine)
+    run = run_spmd(
+        K, lambda comm: factory(comm), machine=machine, engine=engine, workers=workers
+    )
 
     y = np.zeros(n, dtype=np.float64)
     for p in range(K):

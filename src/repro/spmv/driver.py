@@ -549,6 +549,8 @@ def run_iterative_with_recovery(
     max_retry_rounds: int = 2,
     x0: np.ndarray | None = None,
     tracer=None,
+    engine: str = "event",
+    workers: int | None = None,
 ) -> IterativeRecoveryResult:
     """Run an iterative SpMV that survives rank crashes by shrinking.
 
@@ -568,6 +570,15 @@ def run_iterative_with_recovery(
     and replay spans plus engine, reliable-layer and checkpoint-store
     counters for the run.
     """
+    from ..simmpi.engine import resolve_engine
+
+    resolve_engine(engine)
+    if engine != "event":
+        raise ExperimentError(
+            f"iterative recovery requires engine='event' (got {engine!r}): "
+            "its coordinated checkpoint store is shared coordinator-side "
+            "state that forked shard workers cannot see"
+        )
     A = sp.csr_matrix(A)
     n = A.shape[0]
     if iterations < 1:
@@ -616,6 +627,8 @@ def run_iterative_with_recovery(
             machine=machine,
             fault_plan=fault_plan,
             tracer=tracer,
+            engine=engine,
+            workers=workers,
         )
     except DeadlockError as exc:
         raise RecoveryError(

@@ -42,7 +42,7 @@ from ..core.stfw import (
     stfw_process,
 )
 from ..core.vpt import VirtualProcessTopology
-from ..errors import PlanError
+from ..errors import DeadlockError, PlanError
 from ..metrics.resilience import delivered_pairs, expected_pairs
 from ..partition.base import Partition
 from ..simmpi.discovery import DiscoveryStats, nbx_discover
@@ -153,12 +153,21 @@ class PersistentExchangeService:
         validate: bool = True,
         artifacts=None,
         tracer=None,
+        engine: str = "event",
+        workers: int | None = None,
     ):
         if vpt.K != pattern.K:
             raise PlanError(f"pattern K={pattern.K} != vpt K={vpt.K}")
         self.pattern = pattern
         self.vpt = vpt
         self.machine = machine
+        #: simulation backend every epoch's exchanges run on; resolved
+        #: eagerly so a bad name fails at construction, not mid-soak
+        from ..simmpi.engine import resolve_engine
+
+        resolve_engine(engine)
+        self.engine = engine
+        self.workers = workers
         self.validate = bool(validate)
         self.policy = EscalationPolicy(config)
         self.tracer = tracer
@@ -429,28 +438,38 @@ class PersistentExchangeService:
         detected = 0
         result: ExchangeResult | None = None
         if not suspects and not corrupt_watch and not self._planned_blocked():
-            result = run_exchange(
-                pat,
-                self.vpt,
-                payloads=payloads,
-                machine=self.machine,
-                fault_plan=fp,
-                on_fault="partial",
-                trace=trace,
-                tracer=self.tracer,
-            )
-            new_crashes = set(int(r) for r in result.crashed) - set(dead_before)
-            bad = (
-                self._corrupt_delivered(result, pat)
-                if result.completed
-                else ()
-            )
-            if not result.completed or new_crashes or bad:
-                # escalate within the epoch: the fast path has no
-                # inline detection, so a failed endpoint check means
-                # re-running the epoch on the checked tolerant path
-                detected += len(bad)
+            # the event engine salvages a fault hang as a partial
+            # result; the sharded engine cannot fill the salvage sinks
+            # (they live in the coordinator), so there a hang raises
+            # and escalation happens through the except arm instead
+            try:
+                result = run_exchange(
+                    pat,
+                    self.vpt,
+                    payloads=payloads,
+                    machine=self.machine,
+                    fault_plan=fp,
+                    on_fault="partial" if self.engine == "event" else "raise",
+                    trace=trace,
+                    tracer=self.tracer,
+                    engine=self.engine,
+                    workers=self.workers,
+                )
+            except DeadlockError:
                 result = None
+            if result is not None:
+                new_crashes = set(int(r) for r in result.crashed) - set(dead_before)
+                bad = (
+                    self._corrupt_delivered(result, pat)
+                    if result.completed
+                    else ()
+                )
+                if not result.completed or new_crashes or bad:
+                    # escalate within the epoch: the fast path has no
+                    # inline detection, so a failed endpoint check means
+                    # re-running the epoch on the checked tolerant path
+                    detected += len(bad)
+                    result = None
         faulty: set[int] = set()
         implicated_events: list[int] = []
         if result is None:
@@ -471,6 +490,8 @@ class PersistentExchangeService:
                 on_fault="tolerate",
                 trace=trace,
                 tracer=self.tracer,
+                engine=self.engine,
+                workers=self.workers,
                 **knobs,
             )
             crashed_now = set(int(r) for r in result.crashed) - set(dead_before)
@@ -560,19 +581,22 @@ class PersistentExchangeService:
             return
         all_dead = tuple(sorted(set(newly) | self.policy.dead))
         pat = self.pattern
-        stats = [DiscoveryStats() for _ in range(self.K)]
         tracer = self.tracer
 
         def worker(comm):
             agreed = yield comm.shrink()
+            # stats ride the worker's return value (not a parent-side
+            # list): with the sharded engine the generator runs in a
+            # forked process whose mutations the parent never sees
+            st = DiscoveryStats()
             recvset = yield from nbx_discover(
                 comm,
                 pat.sendset(comm.rank),
                 dead=set(agreed),
                 tracer=tracer,
-                stats=stats[comm.rank],
+                stats=st,
             )
-            return (agreed, recvset)
+            return (agreed, recvset, st)
 
         res = run_spmd(
             self.K,
@@ -580,13 +604,15 @@ class PersistentExchangeService:
             machine=self.machine,
             fault_plan=FaultPlan(crashes={r: 0.0 for r in all_dead}),
             tracer=tracer,
+            engine=self.engine,
+            workers=self.workers,
         )
         gone = set(all_dead)
         src, dst, size = pat.src, pat.dst, pat.size
         for r in range(self.K):
             if r in gone:
                 continue
-            agreed, recvset = res.returns[r]
+            agreed, recvset, _ = res.returns[r]
             if tuple(agreed) != all_dead:
                 raise PlanError(
                     f"shrink agreement at epoch {self.epoch} gave rank {r} "
@@ -619,7 +645,11 @@ class PersistentExchangeService:
             self._obs.count("service.shrink_replans", 1)
             self._obs.count(
                 "service.discovery_frames",
-                sum(st.frames_received for st in stats),
+                sum(
+                    ret[2].frames_received
+                    for ret in res.returns
+                    if ret is not None
+                ),
             )
 
 
@@ -656,6 +686,8 @@ class PersistentSpMV:
         machine=None,
         verify: bool = True,
         abft: bool = False,
+        engine: str = "event",
+        workers: int | None = None,
     ):
         A = sp.csr_matrix(A)
         if A.shape[0] != A.shape[1]:
@@ -670,6 +702,11 @@ class PersistentSpMV:
         self.partition = partition
         self.vpt = vpt
         self.machine = machine
+        from ..simmpi.engine import resolve_engine
+
+        resolve_engine(engine)
+        self.engine = engine
+        self.workers = workers
         self.verify = verify
         self.abft = bool(abft)
         #: compute flips the ABFT check caught (and recovered locally)
@@ -687,7 +724,12 @@ class PersistentSpMV:
         self.service: PersistentExchangeService | None = None
         if vpt is not None:
             self.service = PersistentExchangeService(
-                self.pattern, vpt, machine=machine, validate=False
+                self.pattern,
+                vpt,
+                machine=machine,
+                validate=False,
+                engine=engine,
+                workers=workers,
             )
             self.plan = self.service.plan
             self._counts = self.service.tables.recv_counts
@@ -748,7 +790,6 @@ class PersistentSpMV:
         checksums = (
             self._abft_checksums() if (abft or flips) else None
         )
-        caught = [0] * self.K
 
         def rank_fn(comm):
             x_full = np.zeros(n, dtype=np.float64)
@@ -768,6 +809,8 @@ class PersistentSpMV:
                     x_full[needed[comm.rank][src]] = payload
             p = flips.get(comm.rank, 0.0)
             if abft or p > 0.0:
+                # the caught count rides the return value: a parent-side
+                # list would stay zero under the sharded (forked) engine
                 y_local, c = checked_spmv(
                     block,
                     x_full,
@@ -776,15 +819,23 @@ class PersistentSpMV:
                     flip_seed=flip_seed,
                     iteration=iteration,
                 )
-                caught[comm.rank] = c
-                return y_local
-            return local_spmv(block, x_full)
+                return (y_local, c)
+            return (local_spmv(block, x_full), 0)
 
-        run = run_spmd(self.K, rank_fn, machine=self.machine)
+        run = run_spmd(
+            self.K,
+            rank_fn,
+            machine=self.machine,
+            engine=self.engine,
+            workers=self.workers,
+        )
         y = np.zeros(n, dtype=np.float64)
+        caught = 0
         for p in range(self.K):
-            y[self._rows[p]] = run.returns[p]
-        self.abft_flips_caught += sum(caught)
+            y_p, c_p = run.returns[p]
+            y[self._rows[p]] = y_p
+            caught += c_p
+        self.abft_flips_caught += caught
 
         if self.verify:
             y_ref = A @ x

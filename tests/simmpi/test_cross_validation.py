@@ -10,10 +10,12 @@ rewrite:
 
 The new engine must deliver exactly the same messages with exactly as
 many physical transfers.  Clocks are *not* required to be identical:
-the rewrite also fixed the seed's wildcard-matching fidelity bug
-(``ANY_SOURCE`` receives matched in engine posting order instead of
-earliest virtual arrival), which the seed paid for as spurious waiting
-— so every per-rank clock must come out **at most** the seed's.  The
+the rewrite (and the later conservative-matching change that made
+wildcard delivery a pure function of virtual time) fixed the seed's
+wildcard-matching fidelity bug (``ANY_SOURCE`` receives matched in
+engine posting order instead of earliest virtual arrival), which the
+seed paid for as spurious waiting — so every per-rank clock must come
+out **at most** the seed's.  The
 new engine's own clocks are pinned exactly (``NEW_CLOCKS_*``) so any
 future scheduler change that shifts virtual time fails loudly here.
 """
@@ -75,12 +77,12 @@ NEW_CLOCKS_PLANNED = [
     20.2224, 20.2928, 24.5632, 21.4928, 20.2576, 22.0224, 22.0576, 20.752,
 ]
 NEW_CLOCKS_DYNAMIC = [
-    45.1392, 44.3984, 45.5984, 44.3984, 43.8336, 48.7392, 45.5632, 48.6688,
+    45.104, 44.3984, 45.5984, 44.3984, 43.8336, 48.7392, 45.5632, 48.6688,
     45.6336, 45.704, 49.9744, 46.904, 45.6688, 47.4336, 47.4688, 46.1632,
 ]
 NEW_CLOCKS_DIRECT = [
-    13.4816, 14.6112, 19.4464, 19.4464, 12.8112, 24.3872, 16.4112, 21.9168,
-    18.8816, 20.6816, 21.9168, 20.7872, 15.8464, 18.8816, 20.6816, 11.0112,
+    13.4816, 14.6112, 19.4464, 19.4464, 12.8112, 24.3872, 16.4112, 19.4464,
+    18.8816, 20.6816, 19.552, 20.7872, 14.0464, 18.8816, 20.6816, 11.0112,
 ]
 # fmt: on
 

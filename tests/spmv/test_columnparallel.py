@@ -9,11 +9,11 @@ from repro.errors import PlanError
 from repro.matrices import generate_matrix
 from repro.network import BGQ
 from repro.partition import Partition, block_partition, rcm_partition
-from repro.spmv import (
-    columnparallel_pattern,
-    distributed_spmv_colparallel,
-    spmv_pattern,
-)
+from repro.spmv import columnparallel_pattern, distributed_spmv, spmv_pattern
+
+
+def distributed_spmv_col(A, part, x, **kw):
+    return distributed_spmv(A, part, x, layout="column", **kw)
 
 
 @pytest.fixture(scope="module")
@@ -64,39 +64,37 @@ class TestPattern:
 class TestDistributed:
     def test_bl_matches_sequential(self, case):
         A, part, x = case
-        res = distributed_spmv_colparallel(A, part, x)
+        res = distributed_spmv_col(A, part, x)
         assert np.allclose(res.y, sp.csr_matrix(A) @ x)
 
     @pytest.mark.parametrize("n", [2, 4])
     def test_stfw_matches_sequential(self, case, n):
         A, part, x = case
-        res = distributed_spmv_colparallel(A, part, x, vpt=make_vpt(16, n))
+        res = distributed_spmv_col(A, part, x, vpt=make_vpt(16, n))
         assert np.allclose(res.y, sp.csr_matrix(A) @ x)
 
     def test_row_and_column_parallel_agree(self, case):
-        from repro.spmv import distributed_spmv
-
         A, part, x = case
         yr = distributed_spmv(A, part, x).y
-        yc = distributed_spmv_colparallel(A, part, x).y
+        yc = distributed_spmv_col(A, part, x).y
         assert np.allclose(yr, yc)
 
     def test_timed(self, case):
         A, part, x = case
-        res = distributed_spmv_colparallel(A, part, x, vpt=make_vpt(16, 2), machine=BGQ)
+        res = distributed_spmv_col(A, part, x, vpt=make_vpt(16, 2), machine=BGQ)
         assert res.makespan_us > 0
 
     def test_bad_x(self, case):
         A, part, _ = case
         with pytest.raises(PlanError):
-            distributed_spmv_colparallel(A, part, np.zeros(5))
+            distributed_spmv_col(A, part, np.zeros(5))
 
     def test_vpt_mismatch(self, case):
         A, part, x = case
         with pytest.raises(PlanError):
-            distributed_spmv_colparallel(A, part, x, vpt=make_vpt(32, 2))
+            distributed_spmv_col(A, part, x, vpt=make_vpt(32, 2))
 
     def test_partition_mismatch(self, case):
         A, _, x = case
         with pytest.raises(PlanError):
-            distributed_spmv_colparallel(A, block_partition(100, 4), x)
+            distributed_spmv_col(A, block_partition(100, 4), x)
