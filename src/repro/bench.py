@@ -53,6 +53,7 @@ __all__ = [
     "run_engine_bench",
     "validate_bench_json",
     "compare_bench",
+    "bench_check_notes",
     "merge_baseline",
     "load_baseline",
     "format_result",
@@ -104,8 +105,9 @@ _ENGINE_K = 256
 _ENGINE_DEGREE = 8
 
 #: process counts of the engine-comparison sweep: the acceptance-scale
-#: run and the CI smoke size ``--quick`` shrinks it to
-_ENGINE_SWEEP_K = 16384
+#: run (large enough to amortize the batch engine's per-stage setup)
+#: and the CI smoke size ``--quick`` shrinks it to
+_ENGINE_SWEEP_K = 65536
 _ENGINE_SWEEP_QUICK_K = 1024
 
 #: shard count of the engine-comparison sweep's sharded row
@@ -219,13 +221,18 @@ def run_engine_bench(
     """Compare every registered engine on one acceptance-scale exchange.
 
     Runs the same planned 2-D STFW exchange once per registered engine
-    backend (``workers`` shards for the sharded backend) and reports
-    per-backend events/sec plus the sharded-over-event ``speedup``.
-    The document records ``cpus`` — the host's core count — because the
-    speedup is a property of the machine as much as of the code: a
-    baseline recorded on a single-core host documents pure sharding
-    overhead (speedup < 1), and :func:`compare_bench` only gates the
-    parallel metrics against a baseline from a same-core-count host.
+    backend (``workers`` shards for the sharded backend; the other
+    backends are single-process) and reports per-backend events/sec
+    plus the sharded-over-event ``speedup`` and the batch-over-event
+    ``batch_speedup``.  The document records ``cpus`` — the host's core
+    count — because the sharded speedup is a property of the machine as
+    much as of the code: a baseline recorded on a single-core host
+    documents pure sharding overhead (speedup < 1), and
+    :func:`compare_bench` only gates the parallel metrics against a
+    baseline from a same-core-count host.  The batch metrics are
+    instead a property of the problem *size* (the vectorized sweeps
+    amortize per-stage setup over K), so they only gate against a
+    baseline recorded at the same ``K``.
     """
     from .core.pattern import CommPattern
     from .simmpi import engine_names
@@ -241,6 +248,7 @@ def run_engine_bench(
         )
     event_rate = rows.get("event", {}).get("events_per_sec", 0.0)
     sharded_rate = rows.get("sharded", {}).get("events_per_sec", 0.0)
+    batch_rate = rows.get("batch", {}).get("events_per_sec", 0.0)
     return {
         "schema": ENGINE_SCHEMA,
         "version": __version__,
@@ -253,6 +261,7 @@ def run_engine_bench(
         "cpus": os.cpu_count() or 1,
         "rows": rows,
         "speedup": sharded_rate / event_rate if event_rate > 0 else 0.0,
+        "batch_speedup": batch_rate / event_rate if event_rate > 0 else 0.0,
     }
 
 
@@ -457,6 +466,7 @@ def _validate_engine_json(doc: dict[str, Any]) -> list[str]:
         ("cpus", int),
         ("rows", dict),
         ("speedup", (int, float)),
+        ("batch_speedup", (int, float)),
     ):
         if key not in doc:
             problems.append(f"missing key {key!r}")
@@ -465,7 +475,7 @@ def _validate_engine_json(doc: dict[str, Any]) -> list[str]:
     if doc.get("sweep") != "engine":
         problems.append(f"sweep is {doc.get('sweep')!r}, expected 'engine'")
     if isinstance(doc.get("rows"), dict):
-        for backend in ("event", "sharded"):
+        for backend in ("batch", "event", "sharded"):
             row = doc["rows"].get(backend)
             if not isinstance(row, dict):
                 problems.append(f"rows[{backend!r}] missing or not an object")
@@ -616,10 +626,18 @@ def compare_bench(
         # the serial event rate gates everywhere; the sharded rate and
         # the speedup are properties of the host's core count as much
         # as of the code, so they only gate against a baseline recorded
-        # on a same-core-count host
+        # on a same-core-count host; the batch metrics are a property
+        # of the problem size (vectorized sweeps amortize per-stage
+        # setup over K), so they only gate against a same-K baseline.
+        # Skipped gates are reported by :func:`bench_check_notes`.
         pairs = [("event events/s", "event")]
+        ratio_pairs = []
         if current.get("cpus") == baseline.get("cpus"):
             pairs.append(("sharded events/s", "sharded"))
+            ratio_pairs.append(("speedup", "speedup", "sharded over event"))
+        if current.get("K") == baseline.get("K"):
+            pairs.append(("batch events/s", "batch"))
+            ratio_pairs.append(("batch_speedup", "batch_speedup", "batch over event"))
         for label, backend in pairs:
             cur = float(current.get("rows", {}).get(backend, {}).get("events_per_sec", 0.0))
             base = float(baseline.get("rows", {}).get(backend, {}).get("events_per_sec", 0.0))
@@ -629,14 +647,15 @@ def compare_bench(
                     f"{label}: {cur:.0f} is {100.0 * (1.0 - cur / base):.0f}% "
                     f"below baseline {base:.0f} (tolerance {100.0 * tolerance:.0f}%)"
                 )
-        if current.get("cpus") == baseline.get("cpus"):
-            cur = float(current.get("speedup", 0.0))
-            base = float(baseline.get("speedup", 0.0))
+        for label, key, desc in ratio_pairs:
+            cur = float(current.get(key, 0.0))
+            base = float(baseline.get(key, 0.0))
             floor = base * (1.0 - tolerance)
             if cur < floor:
                 regressions.append(
-                    f"speedup: {cur:.2f}x is {100.0 * (1.0 - cur / base):.0f}% "
-                    f"below baseline {base:.2f}x (tolerance {100.0 * tolerance:.0f}%)"
+                    f"{label}: {cur:.2f}x ({desc}) is "
+                    f"{100.0 * (1.0 - cur / base):.0f}% below baseline "
+                    f"{base:.2f}x (tolerance {100.0 * tolerance:.0f}%)"
                 )
         return regressions
     for key in _COMPARE_KEYS:
@@ -648,6 +667,42 @@ def compare_bench(
                 f"baseline {base:.2f} (tolerance {100.0 * tolerance:.0f}%)"
             )
     return regressions
+
+
+def bench_check_notes(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+) -> list[str]:
+    """Warnings about gates :func:`compare_bench` silently skipped.
+
+    A skipped gate is not a pass: when the host's core count differs
+    from the baseline's, the sharded metrics are incomparable and go
+    unchecked; when the sweep's ``K`` differs, the batch metrics do.
+    ``repro bench --check`` prints these so a skipped gate is visible
+    in the CI log instead of looking like a clean bill of health.
+    """
+    notes: list[str] = []
+    if current.get("schema") != ENGINE_SCHEMA:
+        return notes
+    if current.get("sweep") != baseline.get("sweep"):
+        return notes
+    cur_cpus, base_cpus = current.get("cpus"), baseline.get("cpus")
+    if cur_cpus != base_cpus:
+        notes.append(
+            f"sharded events/s and speedup NOT checked: host has "
+            f"{cur_cpus} core(s) but the baseline was recorded on "
+            f"{base_cpus} — re-record the baseline on this host to "
+            f"gate the parallel metrics"
+        )
+    cur_k, base_k = current.get("K"), baseline.get("K")
+    if cur_k != base_k:
+        notes.append(
+            f"batch events/s and batch_speedup NOT checked: this run "
+            f"used K={cur_k} but the baseline was recorded at "
+            f"K={base_k} — batch throughput scales with K, so the "
+            f"rates are incomparable"
+        )
+    return notes
 
 
 def merge_baseline(path: str, doc: dict[str, Any]) -> dict[str, Any]:
@@ -702,11 +757,22 @@ def format_result(doc: dict[str, Any]) -> str:
             f"workers={doc['workers']}, cpus={doc['cpus']}",
         ]
         for backend, row in sorted(doc["rows"].items()):
+            on_cores = (
+                f" on {doc['cpus']} core(s)" if backend == "sharded" else ""
+            )
             lines.append(
                 f"  {backend:<8}: {row['events_per_sec']:.0f} events/s "
-                f"({row['events']} events in {row['elapsed_s']:.2f}s)"
+                f"({row['events']} events in {row['elapsed_s']:.2f}s{on_cores})"
             )
-        lines.append(f"  speedup : {doc['speedup']:.2f}x (sharded over event)")
+        lines.append(
+            f"  speedup : {doc['speedup']:.2f}x (sharded over event, "
+            f"{doc['cpus']} core(s))"
+        )
+        if "batch_speedup" in doc:
+            lines.append(
+                f"  batch   : {doc['batch_speedup']:.2f}x over event "
+                f"(K={doc['K']})"
+            )
         if doc["cpus"] < doc["workers"]:
             lines.append(
                 f"  note    : {doc['workers']} shard workers on {doc['cpus']} "

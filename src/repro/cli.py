@@ -507,6 +507,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench`` — run, report, persist and optionally gate."""
     from .bench import (
+        bench_check_notes,
         compare_bench,
         format_result,
         load_baseline,
@@ -546,6 +547,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"cannot load baseline: {exc}", file=sys.stderr)
             return 1
         regressions = compare_bench(doc, baseline)
+        for note in bench_check_notes(doc, baseline):
+            print(f"WARNING {note}", file=sys.stderr)
         if regressions:
             for line in regressions:
                 print(f"REGRESSION {line}", file=sys.stderr)

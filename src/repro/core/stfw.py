@@ -74,7 +74,7 @@ from ..simmpi.faults import FaultPlan
 from ..simmpi.integrity import corrupt_draw, flip_payload, payload_checksum
 from ..simmpi.message import TIMEOUT, RunResult
 from ..simmpi.reliable import ReliableComm
-from ..simmpi.runtime import Comm, run_spmd
+from ..simmpi.runtime import Comm, SimMPI, run_spmd
 from .pattern import CommPattern, PatternDelta
 from .plan import CommPlan, build_plan
 from .vpt import VirtualProcessTopology
@@ -1106,9 +1106,30 @@ def run_exchange(
     if on_fault == "partial" and engine != "event":
         raise PlanError(
             f"on_fault='partial' requires engine='event' (got engine={engine!r}): "
-            "partial salvage reads per-rank sinks that forked shard workers "
-            "cannot fill"
+            "partial salvage reads per-rank sinks that only the in-process "
+            "event engine fills as it goes"
         )
+    planned_only = False
+    if engine not in ("event", "sharded"):
+        from ..simmpi.engine import resolve_engine
+
+        planned_only = bool(getattr(resolve_engine(engine), "planned_only", False))
+    if planned_only:
+        # the batch engine executes the static schedule as whole-stage
+        # sweeps; everything decided message by message is refused by
+        # name before any work happens
+        if mode == "dynamic" and kind == "stfw":
+            raise PlanError(
+                f"mode='dynamic' is refused by engine={engine!r}: NBX-style "
+                "count discovery decides receive counts message by message; "
+                "use mode='planned' or engine='event'/'sharded'"
+            )
+        if on_fault == "tolerate":
+            raise PlanError(
+                f"on_fault='tolerate' is refused by engine={engine!r}: the "
+                "fault-tolerant protocol's timeouts, retries and detours are "
+                "per-event control flow; use engine='event' or 'sharded'"
+            )
     ft_knobs = {
         "timeout_us": timeout_us,
         "max_retries": max_retries,
@@ -1176,6 +1197,25 @@ def run_exchange(
             crashed=tuple(result.crashed),
             reports=reports,
         )
+
+    if planned_only:
+        sim = SimMPI(
+            pattern.K,
+            machine=machine,
+            mapping=mapping,
+            trace=trace,
+            fault_plan=fault_plan,
+            tracer=tracer,
+            engine=engine,
+            workers=workers,
+            **engine_kwargs,
+        )
+        if kind == "stfw":
+            batch_plan = build_plan(pattern, vpt, header_words=header_words)
+            run = sim.run_planned_stfw(vpt, batch_plan, payloads)
+            return ExchangeResult(delivered=run.returns, run=run, plan=batch_plan)
+        run = sim.run_planned_direct(payloads, pattern.recv_counts())
+        return ExchangeResult(delivered=run.returns, run=run, plan=None)
 
     if kind == "stfw":
         plan: CommPlan | None = None

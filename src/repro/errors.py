@@ -17,6 +17,7 @@ __all__ = [
     "RoutingError",
     "PlanError",
     "SimMPIError",
+    "EngineConfigError",
     "DeadlockError",
     "FaultError",
     "RecoveryError",
@@ -49,6 +50,17 @@ class PlanError(ReproError):
 
 class SimMPIError(ReproError):
     """Generic failure inside the simulated MPI runtime."""
+
+
+class EngineConfigError(SimMPIError, ValueError):
+    """Invalid engine configuration caught eagerly at the API layer.
+
+    Raised before any simulation work happens — e.g. ``workers=`` passed
+    to a single-process backend (``event``/``batch``).  Derives from
+    both :class:`SimMPIError` (so existing ``except SimMPIError``
+    handlers keep working) and :class:`ValueError` (the conventional
+    class for a bad argument value, matching the CLI's eager check).
+    """
 
 
 @dataclass(frozen=True)

@@ -303,6 +303,15 @@ def run(
     checked against the bit-identical reference, so any corruption the
     integrity machinery fails to detect raises immediately.
     """
+    from ..simmpi.engine import resolve_engine
+
+    if getattr(resolve_engine(engine), "planned_only", False):
+        raise ExperimentError(
+            f"the chaos soak requires a fault-capable engine (got {engine!r}): "
+            "its episodes inject crashes, stragglers and drops that change "
+            "the message schedule mid-exchange, which a planned-only backend "
+            "refuses; use engine='event' or engine='sharded'"
+        )
     cfg = cfg if cfg is not None else default_config()
     seed = int(cfg.seed if seed is None else seed)
     if epochs < 10:

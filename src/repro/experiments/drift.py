@@ -330,6 +330,16 @@ def run(
     reuse.  ``validate=False`` skips the byte-identity cross-checks
     (timing-only runs).
     """
+    from ..simmpi.engine import resolve_engine
+
+    if service and getattr(resolve_engine(engine), "planned_only", False):
+        raise ExperimentError(
+            f"the drift service phase requires a dynamic-capable engine "
+            f"(got {engine!r}): NBX rediscovery is a per-message counter "
+            "protocol a planned-only backend refuses; pass service=False "
+            "(CLI: --no-service) to time plan repair only, or use "
+            "engine='event' or engine='sharded'"
+        )
     cfg = cfg or default_config()
     cache_root = None if artifacts is None else artifacts.root
     tasks = [

@@ -96,6 +96,34 @@ class Machine:
         """
         return self.alpha_us
 
+    def cost_many(
+        self,
+        src_nodes,
+        dst_nodes,
+        words,
+        *,
+        topology: Topology,
+        rendezvous_threshold_words: int | None = None,
+    ):
+        """Batched send cost for message arrays (see ``send_cost_many``).
+
+        One vectorized evaluation of the engine's per-send cost for
+        ``src_nodes[i] -> dst_nodes[i]`` carrying ``words[i]`` 8-byte
+        words — the same hop-cost semantics the scalar engine memoizes,
+        bit-identical per element.  ``topology`` must be the instance
+        the caller sized for its rank count (``self.topology(K)``).
+        """
+        from .timing import send_cost_many
+
+        return send_cost_many(
+            self,
+            topology,
+            src_nodes,
+            dst_nodes,
+            words,
+            rendezvous_threshold_words=rendezvous_threshold_words,
+        )
+
     def with_params(self, **kwargs) -> "Machine":
         """Copy with selected cost parameters overridden."""
         return replace(self, **kwargs)

@@ -34,7 +34,66 @@ from ..errors import NetworkModelError
 from .machines import Machine
 from .mapping import block_mapping, validate_mapping
 
-__all__ = ["StageTiming", "CommTiming", "time_plan", "spmv_compute_time"]
+__all__ = [
+    "StageTiming",
+    "CommTiming",
+    "time_plan",
+    "spmv_compute_time",
+    "send_cost_many",
+    "recv_cost_many",
+]
+
+
+def send_cost_many(
+    machine: Machine,
+    topology,
+    src_nodes: np.ndarray,
+    dst_nodes: np.ndarray,
+    words: np.ndarray,
+    *,
+    rendezvous_threshold_words: int | None = None,
+) -> np.ndarray:
+    """Vectorized per-message send cost, bit-identical to the engine.
+
+    Evaluates the event engine's scalar per-send cost
+    (``alpha + alpha_hop * hops + beta * words``, plus one extra alpha
+    for messages at or past the rendezvous threshold) for whole message
+    arrays at once.  The expression tree — term order, association and
+    the separate rendezvous addition — matches the scalar path exactly,
+    and ``hops_array`` returns the same integer hop counts the scalar
+    ``hops`` memo caches, so each element is the identical sequence of
+    IEEE-754 operations and the results agree bit for bit.  This is the
+    cost kernel of the ``batch`` engine's whole-stage sweeps.
+
+    ``src_nodes``/``dst_nodes`` are *node* ids (ranks already passed
+    through the rank-to-node mapping); ``words`` is integer-valued.
+    """
+    hops = topology.hops_array(src_nodes, dst_nodes)
+    cost = machine.alpha_us + machine.alpha_hop_us * hops + machine.beta_us_per_word * words
+    if rendezvous_threshold_words is not None:
+        cost = np.asarray(cost, dtype=np.float64)
+        cost[np.asarray(words) >= rendezvous_threshold_words] += machine.alpha_us
+    return np.asarray(cost, dtype=np.float64)
+
+
+def recv_cost_many(
+    machine: Machine,
+    words: np.ndarray,
+    *,
+    alpha_fraction: float,
+) -> np.ndarray:
+    """Vectorized per-message receive cost, bit-identical to the engine.
+
+    The engine charges ``alpha_fraction * alpha + beta * words`` per
+    delivery (``alpha_fraction`` is
+    :data:`repro.simmpi.runtime.RECV_ALPHA_FRACTION`, passed in to keep
+    :mod:`repro.network` free of engine imports).  Same expression
+    shape as the scalar path, hence bitwise-equal per element.
+    """
+    return np.asarray(
+        alpha_fraction * machine.alpha_us + machine.beta_us_per_word * words,
+        dtype=np.float64,
+    )
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ..errors import ObsError
 
@@ -114,10 +114,16 @@ class NullTracer:
     def add_span(self, name, t0_us, t1_us, *, track=0, cat="", **args) -> None:
         """No-op."""
 
+    def add_span_batch(self, name, t0s, t1s, tracks, frozen_args, *, cat="") -> None:
+        """No-op."""
+
     def instant(self, name, ts_us, *, track=0, cat="", **args) -> None:
         """No-op."""
 
     def count(self, name, value=1, *, track=None, ts_us=None, **labels) -> None:
+        """No-op."""
+
+    def count_batch(self, name, tracks, values) -> None:
         """No-op."""
 
     @contextmanager
@@ -183,6 +189,32 @@ class Tracer:
         self.spans.append(
             SpanRecord(name, float(t0_us), float(t1_us), track, cat, _freeze_args(args))
         )
+
+    def add_span_batch(
+        self,
+        name: str,
+        t0s: Sequence[float],
+        t1s: Sequence[float],
+        tracks: Sequence[int | str],
+        frozen_args: Sequence[tuple[tuple[str, Any], ...]],
+        *,
+        cat: str = "",
+    ) -> None:
+        """Append many spans sharing one name/cat in a single call.
+
+        Bulk form of :meth:`add_span` for vectorized emitters (the batch
+        engine emits one span per rank per stage).  Each element of
+        ``frozen_args`` must already be in :func:`_freeze_args` form —
+        a tuple of ``(key, value)`` items sorted by key — so the
+        resulting records compare equal to per-call emission.
+        """
+        spans = self.spans
+        for t0, t1, tr, fa in zip(t0s, t1s, tracks, frozen_args):
+            if t1 < t0:
+                raise ObsError(
+                    f"span {name!r}: t1_us={t1} precedes t0_us={t0}"
+                )
+            spans.append(SpanRecord(name, float(t0), float(t1), tr, cat, fa))
 
     @contextmanager
     def span(
@@ -251,6 +283,25 @@ class Tracer:
             self.samples.append(
                 CounterSample(name, float(ts_us), total, 0 if track is None else track)
             )
+
+    def count_batch(
+        self,
+        name: str,
+        tracks: Sequence[int | str],
+        values: Sequence[float],
+    ) -> None:
+        """Add ``values[i]`` to the unlabelled ``(name, tracks[i])``
+        accumulator for every ``i``.
+
+        Bulk form of :meth:`count` for per-track counters without labels
+        or timeline samples (the engine's aggregated ``engine.*`` and
+        ``stfw.*_words`` totals); final accumulator values are identical
+        to per-call emission.
+        """
+        counters = self._counters
+        for tr, v in zip(tracks, values):
+            key = (name, tr, ())
+            counters[key] = counters.get(key, 0.0) + v
 
     def value(self, name: str, *, track: int | str | None = None, **labels: Any) -> float:
         """Current value of one accumulator (0.0 if never incremented)."""

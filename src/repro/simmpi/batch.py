@@ -1,0 +1,642 @@
+"""Fully-vectorized NumPy batch engine for *planned* exchanges.
+
+:class:`BatchSimMPI` (``engine="batch"``) is the third registry backend
+(:mod:`repro.simmpi.engine`).  It targets exactly the regime the paper
+times — planned, fault-free STFW/BL exchanges, where the whole message
+schedule is known statically — and executes each stage as dense NumPy
+array sweeps instead of per-message Python events:
+
+* per-stage send/recv message arrays come straight from the
+  :class:`~repro.core.plan.CommPlan`'s coalesced stage arrays (BL is a
+  single implicit stage built from the payload dicts);
+* arrival times come from the vectorized machine cost model
+  (:func:`repro.network.timing.send_cost_many` /
+  :func:`~repro.network.timing.recv_cost_many` — the same hop-cost
+  semantics the scalar engine memoizes, bit-identical per element);
+* per-rank clocks advance by grouped segment sweeps: the ``j``-th send
+  of every rank in one vector op (``t += cost``), the ``j``-th delivery
+  of every rank as one Lindley fold (``t = max(t, arrive) + recv_cost``).
+
+**Bit-identity contract.**  For every supported scenario the engine
+reproduces the event engine's ``RunResult`` (returns, clocks, makespan,
+canonical trace), obs counters and chrome-trace bytes *exactly* — not
+approximately.  Three facts make that possible:
+
+1. With a machine present, both built-in engines run the conservative
+   wildcard gate, which makes per-``(rank, tag)`` wildcard delivery a
+   pure function of virtual time: envelopes are matched in
+   ``(arrive_time, source, seq)`` order.  That order is computable in
+   closed form (one ``np.lexsort``), so the batch engine never needs to
+   discover it event by event.  Machine-less runs keep the event
+   engine's eager match-on-post behavior — an artifact of engine
+   interleaving that cannot be batch-scheduled — so they are refused.
+2. The per-element vector cost expressions use the same IEEE-754
+   operation sequence as the scalar cost model (same term order, same
+   association, integer hop counts from ``hops_array`` equal to the
+   scalar ``hops`` memo), so every send/recv cost agrees bit for bit.
+3. Bundle membership and message sizes are order-independent (pure
+   e-cube routing structure, equal to the plan's stage arrays), which
+   breaks the timing/routing circularity: timing is swept first from
+   the plan arrays, then one ordered routing pass replays deliveries in
+   the computed order to assemble the exact per-rank delivery lists.
+
+**Eager refusals.**  Everything the engine cannot do bit-identically is
+refused by name at construction or entry — wildcard/timeout receives
+and shrinks (any :meth:`run` with an arbitrary process function),
+dynamic NBX-style count discovery, fault plans, jitter, machine-less
+runs — never silently mis-simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import EngineConfigError, PlanError, SimMPIError
+from ..network.machines import Machine
+from ..network.timing import recv_cost_many, send_cost_many
+from .message import RunResult, TraceRecord
+from .runtime import RECV_ALPHA_FRACTION, SimMPI, trace_sort_key
+
+__all__ = ["BatchSimMPI"]
+
+
+def _edges_from_payloads(
+    payloads: Sequence[Mapping[int, Any]], K: int
+) -> tuple[list[int], list[int], list[Any], np.ndarray]:
+    """Flatten per-rank payload dicts into edge arrays, dict order kept.
+
+    The flat order — ranks ascending, and within a rank the dict's
+    insertion order — is exactly the order the event engine's process
+    functions iterate ``send_data.items()``, which is what makes the
+    per-sender send sequence (and hence every ``seq`` tie-break)
+    reproducible.
+    """
+    esrc: list[int] = []
+    edst: list[int] = []
+    epay: list[Any] = []
+    if len(payloads) != K:
+        raise SimMPIError(
+            f"engine='batch' got {len(payloads)} payload dicts for K={K} ranks"
+        )
+    for r, send_data in enumerate(payloads):
+        for dst, payload in send_data.items():
+            esrc.append(r)
+            edst.append(int(dst))
+            epay.append(payload)
+    sizes = np.empty(len(epay), dtype=np.int64)
+    for i, payload in enumerate(epay):
+        try:
+            sizes[i] = len(payload)
+        except TypeError as exc:
+            raise PlanError("payloads must be sized (len()-able) objects") from exc
+    return esrc, edst, epay, sizes
+
+
+class BatchSimMPI(SimMPI):
+    """Vectorized planned-exchange backend (``engine="batch"``).
+
+    Construct via ``SimMPI(K, engine="batch", machine=...)`` (the
+    registry dispatch) and drive it through
+    :func:`repro.core.stfw.run_exchange` or the SpMV drivers with
+    ``engine="batch"`` — arbitrary process functions are refused (see
+    :meth:`run`).  Accepts the shared constructor keyword surface and
+    rejects, by name, every option it cannot honor bit-identically.
+    """
+
+    #: planned-exchange-only backend: dispatch sites (``run_exchange``,
+    #: the SpMV drivers) route through the vectorized executors instead
+    #: of spawning per-rank process functions
+    planned_only = True
+
+    def __init__(
+        self,
+        K: int,
+        *,
+        machine: Machine | None = None,
+        mapping: np.ndarray | None = None,
+        trace: bool = False,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+        rendezvous_threshold_words: int | None = None,
+        fault_plan=None,
+        tracer=None,
+        engine: str = "batch",
+        workers: int | None = None,
+    ):
+        if engine != "batch":
+            raise SimMPIError(
+                f"BatchSimMPI only implements engine='batch', got engine={engine!r}; "
+                "use SimMPI(K, engine=...) for backend dispatch"
+            )
+        if machine is None:
+            raise SimMPIError(
+                "engine='batch' requires a machine: without one the event engine "
+                "matches wildcard receives eagerly (an interleaving artifact a "
+                "batch schedule cannot reproduce); use engine='event' for "
+                "machine-less functional runs"
+            )
+        if jitter != 0.0:
+            raise SimMPIError(
+                f"jitter={jitter!r} is refused by engine='batch': per-message "
+                "random slowdowns are drawn in engine event order, which a "
+                "whole-stage sweep does not have; use engine='event'"
+            )
+        if fault_plan is not None:
+            raise SimMPIError(
+                "fault_plan is refused by engine='batch': crashes, drops, "
+                "duplicates, flips, stragglers and outages are decided per "
+                "event and change the message schedule mid-run; use "
+                "engine='event' (or engine='sharded' for deterministic plans)"
+            )
+        if workers is not None and workers != 1:
+            raise EngineConfigError(
+                f"workers={workers} requires engine='sharded'; "
+                "engine='batch' is single-process"
+            )
+        super().__init__(
+            K,
+            machine=machine,
+            mapping=mapping,
+            trace=trace,
+            jitter_seed=jitter_seed,
+            rendezvous_threshold_words=rendezvous_threshold_words,
+            tracer=tracer,
+        )
+        if self._lookahead <= 0.0:
+            raise SimMPIError(
+                "engine='batch' requires a machine with positive minimum "
+                f"latency, got lookahead {self._lookahead!r} us from "
+                f"{machine.name!r}: zero lookahead disables the conservative "
+                "wildcard gate that makes delivery order a pure function of "
+                "virtual time; use engine='event'"
+            )
+        self.engine_name = "batch"
+        self.workers = 1
+
+    # ------------------------------------------------------------------
+    # Arbitrary SPMD programs: refused by name
+    # ------------------------------------------------------------------
+
+    def run(self, proc_factory: Callable[..., Any]) -> RunResult:
+        """Refuse arbitrary process functions, naming what cannot batch.
+
+        A general SPMD program decides wildcard receives, timeouts,
+        shrinks and NBX-style dynamic discovery message by message —
+        control flow the whole-stage sweep cannot replay.  Planned
+        exchanges go through ``run_exchange(..., engine='batch')`` (or
+        the SpMV drivers); everything else needs ``engine='event'`` or
+        ``engine='sharded'``.
+        """
+        raise SimMPIError(
+            "engine='batch' cannot run arbitrary process functions: wildcard "
+            "receives, timeouts, shrink and NBX discovery are decided message "
+            "by message and cannot be batch-scheduled; use "
+            "run_exchange(..., engine='batch') for planned exchanges, or "
+            "engine='event'/'sharded'"
+        )
+
+    # ------------------------------------------------------------------
+    # Shared sweep machinery
+    # ------------------------------------------------------------------
+
+    def _sweep_sends(
+        self,
+        clocks: np.ndarray,
+        base_seq: np.ndarray,
+        snd: np.ndarray,
+        rcv: np.ndarray,
+        words: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Advance sender clocks for one stage; return start/arrive/seq.
+
+        ``snd`` must be sorted ascending with each sender's messages in
+        its program send order (true for plan stage arrays and for the
+        rank-major payload-dict flattening).  The ``j``-th send of every
+        rank is one vector op, so the per-element float sequence
+        ``start = clock; clock += cost`` matches the scalar engine.
+        """
+        K = self.K
+        nm = snd.size
+        map_arr = self._mapping
+        cost = send_cost_many(
+            self.machine,
+            self._topology,
+            map_arr[snd],
+            map_arr[rcv],
+            words,
+            rendezvous_threshold_words=self.rendezvous_threshold_words,
+        )
+        cnt_s = np.bincount(snd, minlength=K)
+        off_s = np.cumsum(cnt_s) - cnt_s
+        pos = np.arange(nm, dtype=np.int64) - off_s[snd]
+        start = np.empty(nm, dtype=np.float64)
+        arrive = np.empty(nm, dtype=np.float64)
+        porder = np.argsort(pos, kind="stable")
+        bounds = np.searchsorted(pos[porder], np.arange(int(pos.max()) + 2))
+        for j in range(len(bounds) - 1):
+            idx = porder[bounds[j] : bounds[j + 1]]
+            senders = snd[idx]
+            before = clocks[senders]
+            after = before + cost[idx]
+            clocks[senders] = after
+            start[idx] = before
+            arrive[idx] = after
+        seq = base_seq[snd] + pos
+        base_seq += cnt_s
+        return start, arrive, seq, cnt_s
+
+    def _sweep_recvs(
+        self,
+        clocks: np.ndarray,
+        snd: np.ndarray,
+        rcv: np.ndarray,
+        words: np.ndarray,
+        arrive: np.ndarray,
+        seq: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fold one stage's deliveries into receiver clocks.
+
+        Returns the message indices in global delivery order (receivers
+        ascending, then the conservative gate's canonical
+        ``(arrive_time, source, seq)`` match order) plus per-rank
+        receive counts.  The ``j``-th delivery of every rank is one
+        Lindley fold ``clock = max(clock, arrive) + recv_cost`` — the
+        scalar engine's ``_deliver`` elementwise.
+        """
+        K = self.K
+        nm = snd.size
+        rc = recv_cost_many(self.machine, words, alpha_fraction=RECV_ALPHA_FRACTION)
+        dord = np.lexsort((seq, snd, arrive, rcv))
+        cnt_r = np.bincount(rcv, minlength=K)
+        off_r = np.cumsum(cnt_r) - cnt_r
+        posr = np.arange(nm, dtype=np.int64) - off_r[rcv[dord]]
+        rorder = np.argsort(posr, kind="stable")
+        bounds = np.searchsorted(posr[rorder], np.arange(int(posr.max()) + 2))
+        for j in range(len(bounds) - 1):
+            sel = rorder[bounds[j] : bounds[j + 1]]
+            m = dord[sel]
+            receivers = rcv[m]
+            clocks[receivers] = np.maximum(clocks[receivers], arrive[m]) + rc[m]
+        return dord, cnt_r
+
+    def _emit_engine_counters(
+        self,
+        sends: np.ndarray,
+        sent_words: np.ndarray,
+        recvs: np.ndarray,
+        recv_words: np.ndarray,
+    ) -> None:
+        """Emit the aggregated ``engine.*`` counters.
+
+        The event engine counts one increment per send/delivery; the
+        totals per track are identical, and counters are compared by
+        final value, so one aggregated emission per rank is exact.
+        """
+        obs = self._obs
+        if obs is None:
+            return
+        r_s = np.nonzero(sends)[0].tolist()
+        obs.count_batch("engine.sends", r_s, sends[r_s].tolist())
+        obs.count_batch(
+            "engine.sent_words", r_s, sent_words[r_s].astype(np.int64).tolist()
+        )
+        r_r = np.nonzero(recvs)[0].tolist()
+        obs.count_batch("engine.recvs", r_r, recvs[r_r].tolist())
+        obs.count_batch(
+            "engine.recv_words", r_r, recv_words[r_r].astype(np.int64).tolist()
+        )
+
+    def _finalize_run(
+        self,
+        returns: list[Any],
+        clocks: np.ndarray,
+        trace_parts: list[tuple[np.ndarray, np.ndarray, int, np.ndarray, np.ndarray, np.ndarray]],
+    ) -> RunResult:
+        """Assemble the canonical ``RunResult`` (event-engine shape)."""
+        trace: list[TraceRecord] = []
+        for snd, rcv, tag, words, start, arrive in trace_parts:
+            snd_l = snd.tolist()
+            rcv_l = rcv.tolist()
+            words_l = words.tolist()
+            start_l = start.tolist()
+            arrive_l = arrive.tolist()
+            for i in range(len(snd_l)):
+                trace.append(
+                    TraceRecord(
+                        source=snd_l[i],
+                        dest=rcv_l[i],
+                        tag=tag,
+                        words=words_l[i],
+                        send_time=start_l[i],
+                        arrive_time=arrive_l[i],
+                    )
+                )
+        trace.sort(key=trace_sort_key)
+        self.trace = trace
+        clocks_list = clocks.tolist()
+        return RunResult(
+            returns=returns,
+            clocks=clocks_list,
+            makespan_us=max(clocks_list) if clocks_list else 0.0,
+            trace=trace,
+            crashed=[],
+            fault_events=[],
+        )
+
+    # ------------------------------------------------------------------
+    # Planned STFW exchange
+    # ------------------------------------------------------------------
+
+    def run_planned_stfw(
+        self,
+        vpt,
+        plan,
+        payloads: Sequence[Mapping[int, Any]],
+    ) -> RunResult:
+        """Execute a planned STFW exchange as whole-stage sweeps.
+
+        ``plan`` must be the :func:`~repro.core.plan.build_plan` output
+        for ``(plan.pattern, vpt)`` with the desired ``header_words``;
+        ``payloads[r]`` is rank ``r``'s ``{destination: payload}`` dict
+        (insertion order = the rank's send order, as in
+        ``stfw_process``).  Returns the bit-identical ``RunResult`` of
+        the event engine; ``returns[r]`` is rank ``r``'s delivered
+        ``(origin, payload)`` list.
+        """
+        K = self.K
+        if vpt.K != K:
+            raise SimMPIError(f"vpt K={vpt.K} does not match engine K={K}")
+        n = vpt.n
+        esrc_l, edst_l, epay, esize = _edges_from_payloads(payloads, K)
+        E = len(epay)
+        esrc = np.asarray(esrc_l, dtype=np.int64)
+        edst = np.asarray(edst_l, dtype=np.int64)
+
+        # payload dicts must agree with the planned pattern — on any
+        # mismatch the event engine would stall mid-exchange, so refuse
+        # up front instead of mis-simulating
+        pat = plan.pattern
+        ekey = esrc * K + edst
+        pkey = pat.src.astype(np.int64) * K + pat.dst
+        eorder = np.argsort(ekey, kind="stable")
+        porder = np.argsort(pkey, kind="stable")
+        if not (
+            np.array_equal(ekey[eorder], pkey[porder])
+            and np.array_equal(esize[eorder], pat.size[porder].astype(np.int64))
+        ):
+            raise SimMPIError(
+                "engine='batch': payload dicts disagree with the planned "
+                "pattern (missing/extra destinations or wrong payload sizes); "
+                "the event engine would deadlock here — fix the payloads or "
+                "rebuild the plan"
+            )
+
+        # e-cube hop decomposition: per edge, the ascending list of
+        # differing dimensions and the holder rank before each hop
+        w_arr = np.asarray(vpt.weights[:n], dtype=np.int64)
+        dsz = np.asarray(vpt.dim_sizes, dtype=np.int64)
+        if E:
+            sdig = (esrc[None, :] // w_arr[:, None]) % dsz[:, None]
+            ddig = (edst[None, :] // w_arr[:, None]) % dsz[:, None]
+            diff = sdig != ddig
+            nmov = diff.sum(axis=0)
+            if (nmov == 0).any():
+                bad = int(esrc[np.nonzero(nmov == 0)[0][0]])
+                raise PlanError(f"rank {bad} has a self message in its SendSet")
+            e_idx, m_dims = np.nonzero(diff.T)
+            moff = np.zeros(E + 1, dtype=np.int64)
+            moff[1:] = np.cumsum(nmov)
+            delta_flat = (ddig[m_dims, e_idx] - sdig[m_dims, e_idx]) * w_arr[m_dims]
+            incl = np.cumsum(delta_flat)
+            excl = incl - delta_flat
+            hop_sender = esrc[e_idx] + (excl - np.repeat(excl[moff[:-1]], nmov))
+            hop_recv = hop_sender + delta_flat
+            hop_stage = m_dims
+            sorder = np.argsort(hop_stage, kind="stable")
+            sbounds = np.searchsorted(hop_stage[sorder], np.arange(n + 1))
+        else:
+            nmov = np.zeros(0, dtype=np.int64)
+            e_idx = m_dims = hop_sender = hop_recv = np.zeros(0, dtype=np.int64)
+            moff = np.zeros(1, dtype=np.int64)
+            sorder = np.zeros(0, dtype=np.int64)
+            sbounds = np.zeros(n + 1, dtype=np.int64)
+
+        obs = self._obs
+        trace_on = self._trace_enabled
+        clocks = np.zeros(K, dtype=np.float64)
+        base_seq = np.zeros(K, dtype=np.int64)
+        trace_parts: list = []
+        total_sends = np.zeros(K, dtype=np.int64)
+        total_sent_words = np.zeros(K, dtype=np.float64)
+        total_recvs = np.zeros(K, dtype=np.int64)
+        total_recv_words = np.zeros(K, dtype=np.float64)
+        origin_words = np.zeros(K, dtype=np.float64)
+        forwarded_words = np.zeros(K, dtype=np.float64)
+
+        # routing state for the ordered replay, fully vectorized.  Each
+        # (edge, hop) carries an *arrival key*: the global position at
+        # which the edge entered the forward buffer feeding that hop.
+        # Setup-phase first hops use the edge index (payload dicts are
+        # enumerated in rank/dict order before any stage runs); keys
+        # assigned during the stages start at E and grow monotonically,
+        # so sorting a stage's hops by (message delivery position,
+        # arrival key) reproduces the event engine's bundle order
+        # exactly — setup entries first in dict order, then forwarded
+        # arrivals in delivery order — without a per-message Python walk.
+        nhops = e_idx.shape[0]
+        hop_key = np.empty(nhops, dtype=np.int64)
+        last_hop = np.zeros(nhops, dtype=bool)
+        if E:
+            hop_key[moff[:-1]] = np.arange(E, dtype=np.int64)
+            last_hop[moff[1:] - 1] = True
+        next_key = E
+        del_rank_parts: list[np.ndarray] = []
+        del_edge_parts: list[np.ndarray] = []
+
+        for d in range(n):
+            st = plan.stages[d]
+            nm = st.num_messages
+            t0_clocks = clocks.copy() if obs is not None else None
+            if nm == 0:
+                if obs is not None:
+                    cl = clocks.tolist()
+                    obs.add_span_batch(
+                        f"stfw.stage{d}", cl, cl, range(K),
+                        [(("expected", 0), ("stage", d))] * K, cat="stage",
+                    )
+                continue
+            snd = st.sender.astype(np.int64, copy=False)
+            rcv = st.receiver.astype(np.int64, copy=False)
+            words = st.total_words.astype(np.int64, copy=False)
+
+            start, arrive, seq, cnt_s = self._sweep_sends(
+                clocks, base_seq, snd, rcv, words
+            )
+            dord, cnt_r = self._sweep_recvs(clocks, snd, rcv, words, arrive, seq)
+
+            hsel = sorder[sbounds[d] : sbounds[d + 1]]
+            if trace_on:
+                trace_parts.append((snd, rcv, d, words, start, arrive))
+            if obs is not None:
+                total_sends += cnt_s
+                total_sent_words += np.bincount(snd, weights=words, minlength=K)
+                total_recvs += cnt_r
+                total_recv_words += np.bincount(rcv, weights=words, minlength=K)
+                obs.count("stfw.stage_messages", int(nm), stage=d)
+                obs.count("stfw.stage_words", int(words.sum()), stage=d)
+                h_snd = hop_sender[hsel]
+                h_sz = esize[e_idx[hsel]]
+                omask = h_snd == esrc[e_idx[hsel]]
+                origin_words += np.bincount(
+                    h_snd[omask], weights=h_sz[omask], minlength=K
+                )
+                forwarded_words += np.bincount(
+                    h_snd[~omask], weights=h_sz[~omask], minlength=K
+                )
+
+            # ordered routing replay: each hop belongs to the bundled
+            # message (hop_sender -> hop_recv); sorting the stage's hops
+            # by (delivery position of that message, arrival key) is
+            # exactly "for each delivered message in delivery order, its
+            # bundle in buffer order".  Final hops land in the per-rank
+            # delivery lists; the rest hand their edge the next arrival
+            # key, which seeds the bundle order of the next stage.
+            mkey = snd * K + rcv
+            mord = np.argsort(mkey, kind="stable")
+            hkey = hop_sender[hsel] * K + hop_recv[hsel]
+            ins = np.searchsorted(mkey, hkey, sorter=mord)
+            if hkey.size:
+                m_of_hop = mord[np.minimum(ins, nm - 1)]
+                if ((ins >= nm) | (mkey[m_of_hop] != hkey)).any():
+                    raise SimMPIError(
+                        f"engine='batch' internal error: stage {d} routes "
+                        "a hop with no matching planned message"
+                    )
+            else:
+                m_of_hop = ins
+            pos = np.empty(nm, dtype=np.int64)
+            pos[dord] = np.arange(nm, dtype=np.int64)
+            order = np.lexsort((hop_key[hsel], pos[m_of_hop]))
+            hs = hsel[order]
+            fin = last_hop[hs]
+            hop_key[hs[~fin] + 1] = next_key + np.nonzero(~fin)[0]
+            next_key += hs.shape[0]
+            del_rank_parts.append(hop_recv[hs[fin]])
+            del_edge_parts.append(e_idx[hs[fin]])
+
+            if obs is not None:
+                frozen = [
+                    (("expected", c), ("stage", d)) for c in cnt_r.tolist()
+                ]
+                obs.add_span_batch(
+                    f"stfw.stage{d}", t0_clocks.tolist(), clocks.tolist(),
+                    range(K), frozen, cat="stage",
+                )
+
+        # per-rank delivery lists: arrival keys grow monotonically across
+        # stages, so concatenating the per-stage final hops (already in
+        # delivery order) and grouping stably by receiver reproduces each
+        # rank's exact append order
+        if del_edge_parts:
+            dr = np.concatenate(del_rank_parts)
+            de = np.concatenate(del_edge_parts)
+            gord = np.argsort(dr, kind="stable")
+            gb = np.searchsorted(dr[gord], np.arange(K + 1)).tolist()
+            de_l = de[gord].tolist()
+            delivered: list[list[tuple[int, Any]]] = [
+                [(esrc_l[e], epay[e]) for e in de_l[gb[q] : gb[q + 1]]]
+                for q in range(K)
+            ]
+        else:
+            delivered = [[] for _ in range(K)]
+
+        if obs is not None:
+            r_o = np.nonzero(origin_words)[0]
+            obs.count_batch(
+                "stfw.origin_words",
+                r_o.tolist(),
+                origin_words[r_o].astype(np.int64).tolist(),
+            )
+            r_f = np.nonzero(forwarded_words)[0]
+            obs.count_batch(
+                "stfw.forwarded_words",
+                r_f.tolist(),
+                forwarded_words[r_f].astype(np.int64).tolist(),
+            )
+        self._emit_engine_counters(
+            total_sends, total_sent_words, total_recvs, total_recv_words
+        )
+        return self._finalize_run(delivered, clocks, trace_parts)
+
+    # ------------------------------------------------------------------
+    # Planned direct (BL) exchange
+    # ------------------------------------------------------------------
+
+    def run_planned_direct(
+        self,
+        payloads: Sequence[Mapping[int, Any]],
+        expected_counts: np.ndarray,
+    ) -> RunResult:
+        """Execute the direct baseline as one vectorized sweep.
+
+        ``expected_counts[r]`` is the receive count rank ``r`` would be
+        given in ``direct_process`` (from the pattern, or the driver's
+        own accounting); it must agree with the payload dicts — a
+        mismatch would stall the event engine, so it is refused by name.
+        """
+        K = self.K
+        esrc_l, edst_l, epay, esize = _edges_from_payloads(payloads, K)
+        snd = np.asarray(esrc_l, dtype=np.int64)
+        rcv = np.asarray(edst_l, dtype=np.int64)
+        expected = np.asarray(expected_counts, dtype=np.int64)
+        if expected.shape != (K,):
+            raise SimMPIError(
+                f"engine='batch': expected_counts must have shape ({K},), "
+                f"got {expected.shape}"
+            )
+        actual = np.bincount(rcv, minlength=K)
+        if not np.array_equal(actual, expected):
+            bad = int(np.nonzero(actual != expected)[0][0])
+            raise SimMPIError(
+                "engine='batch': direct-exchange receive counts disagree with "
+                f"the payload dicts (rank {bad} expects {int(expected[bad])} "
+                f"messages but the dicts send it {int(actual[bad])}); the "
+                "event engine would deadlock here"
+            )
+
+        obs = self._obs
+        clocks = np.zeros(K, dtype=np.float64)
+        base_seq = np.zeros(K, dtype=np.int64)
+        delivered: list[list[tuple[int, Any]]] = [[] for _ in range(K)]
+        trace_parts: list = []
+        nm = snd.size
+        if nm:
+            start, arrive, seq, cnt_s = self._sweep_sends(
+                clocks, base_seq, snd, rcv, esize
+            )
+            dord, cnt_r = self._sweep_recvs(clocks, snd, rcv, esize, arrive, seq)
+            if self._trace_enabled:
+                trace_parts.append((snd, rcv, 0, esize, start, arrive))
+            rcv_l = rcv.tolist()
+            for m in dord.tolist():
+                delivered[rcv_l[m]].append((esrc_l[m], epay[m]))
+            if obs is not None:
+                obs.count("direct.messages", int(nm))
+                obs.count("direct.words", int(esize.sum()))
+                self._emit_engine_counters(
+                    cnt_s,
+                    np.bincount(snd, weights=esize, minlength=K),
+                    cnt_r,
+                    np.bincount(rcv, weights=esize, minlength=K),
+                )
+        if obs is not None:
+            t1_l = clocks.tolist()
+            exp_l = expected.tolist()
+            for r in range(K):
+                obs.add_span(
+                    "direct.exchange", 0.0, t1_l[r],
+                    track=r, cat="stage", expected=exp_l[r],
+                )
+        return self._finalize_run(delivered, clocks, trace_parts)

@@ -1,9 +1,11 @@
 """Engine selection: the backend protocol and the engine registry.
 
 Every simulation backend — the serial event-driven engine
-(:class:`~repro.simmpi.runtime.SimMPI` itself) and the conservative
+(:class:`~repro.simmpi.runtime.SimMPI` itself), the conservative
 parallel sharded engine (:class:`~repro.simmpi.sharded.ShardedSimMPI`)
-— is selected by name through one surface::
+and the vectorized planned-exchange engine
+(:class:`~repro.simmpi.batch.BatchSimMPI`) — is selected by name
+through one surface::
 
     sim = SimMPI(K, engine="sharded", workers=4, machine=BGQ)
     res = run_spmd(K, fn, machine=BGQ, engine="sharded", workers=4)
@@ -48,16 +50,21 @@ class Engine(Protocol):
         ...
 
 
-#: built-in backend names, in documentation order
-_BUILTIN = ("event", "sharded")
+#: built-in backend names
+_BUILTIN = ("batch", "event", "sharded")
 
 #: extension backends registered at runtime
 _EXTRA: dict[str, type] = {}
 
 
 def engine_names() -> tuple[str, ...]:
-    """Every known backend name (built-ins first)."""
-    return _BUILTIN + tuple(sorted(_EXTRA))
+    """Every known backend name, sorted.
+
+    The order is deterministic (plain lexicographic sort over built-ins
+    and extensions together) so CLI ``choices=``, error messages and
+    the bench sweep's row order never depend on registration order.
+    """
+    return tuple(sorted(_BUILTIN + tuple(_EXTRA)))
 
 
 def register_engine(name: str, cls: type) -> None:
@@ -65,7 +72,9 @@ def register_engine(name: str, cls: type) -> None:
 
     ``cls`` must subclass :class:`~repro.simmpi.runtime.SimMPI` so the
     ``SimMPI(K, engine=name, ...)`` construction path can instantiate
-    it with the shared keyword surface.
+    it with the shared keyword surface.  Registering a name twice is an
+    error unless it re-registers the identical class (idempotent), so a
+    typo cannot silently shadow someone else's backend.
     """
     from .runtime import SimMPI
 
@@ -74,6 +83,12 @@ def register_engine(name: str, cls: type) -> None:
     if not (isinstance(cls, type) and issubclass(cls, SimMPI)):
         raise SimMPIError(
             f"engine class for {name!r} must subclass SimMPI, got {cls!r}"
+        )
+    prior = _EXTRA.get(name)
+    if prior is not None and prior is not cls:
+        raise SimMPIError(
+            f"engine {name!r} is already registered to {prior.__name__}; "
+            f"pick another name or unregister it first"
         )
     _EXTRA[name] = cls
 
@@ -95,6 +110,10 @@ def resolve_engine(name: str) -> type:
         from .sharded import ShardedSimMPI
 
         return ShardedSimMPI
+    if name == "batch":
+        from .batch import BatchSimMPI
+
+        return BatchSimMPI
     cls = _EXTRA.get(name)
     if cls is not None:
         return cls

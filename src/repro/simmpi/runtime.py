@@ -96,7 +96,13 @@ from typing import Any, Callable, Generator, Sequence
 
 import numpy as np
 
-from ..errors import DeadlockError, PendingOp, SimMPIError, format_pending
+from ..errors import (
+    DeadlockError,
+    EngineConfigError,
+    PendingOp,
+    SimMPIError,
+    format_pending,
+)
 from ..network.machines import Machine
 from ..network.mapping import block_mapping, validate_mapping
 from .collectives import (
@@ -566,7 +572,7 @@ class SimMPI:
                 f"engine={engine!r} via SimMPI(K, engine={engine!r})"
             )
         if workers is not None and workers != 1:
-            raise SimMPIError(
+            raise EngineConfigError(
                 f"workers={workers} requires engine='sharded'; "
                 "engine='event' is single-process"
             )

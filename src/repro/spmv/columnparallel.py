@@ -185,6 +185,40 @@ def _colparallel_impl(
         plan = build_plan(send_pattern, vpt)
         counts = recv_counts_from_plan(plan)
 
+    planned_only = False
+    if engine not in ("event", "sharded"):
+        from ..simmpi.engine import resolve_engine
+
+        planned_only = bool(getattr(resolve_engine(engine), "planned_only", False))
+    if planned_only:
+        # vectorized fold: run the exchange through the batch executors,
+        # then replay each rank's accumulation in the engine's exact
+        # delivery order (the += fold is float-order-sensitive)
+        from ..simmpi.runtime import SimMPI
+
+        sim = SimMPI(K, machine=machine, engine=engine, workers=workers)
+        sized_payloads = [
+            {q: _SizedPair(send_rows[p][q], send_vals[p][q]) for q in send_rows[p]}
+            for p in range(K)
+        ]
+        if vpt is None:
+            dsts = [q for p in range(K) for q in send_rows[p]]
+            expected = np.bincount(
+                np.asarray(dsts, dtype=np.int64), minlength=K
+            ) if dsts else np.zeros(K, dtype=np.int64)
+            run = sim.run_planned_direct(sized_payloads, expected)
+        else:
+            run = sim.run_planned_stfw(vpt, plan, sized_payloads)
+        rank_returns = []
+        for p in range(K):
+            y_local = partials[p].copy()
+            for _, pair in run.returns[p]:
+                y_local[pair.rows] += pair.vals
+            rank_returns.append(y_local[partition.rows_of(p)])
+        return _assemble_col_result(
+            A, partition, x, n, K, pattern, rank_returns, run, verify
+        )
+
     def rank_fn(comm):
         p = comm.rank
         y_local = partials[p].copy()
@@ -212,9 +246,18 @@ def _colparallel_impl(
     run = run_spmd(
         K, lambda comm: rank_fn(comm), machine=machine, engine=engine, workers=workers
     )
+    return _assemble_col_result(
+        A, partition, x, n, K, pattern, run.returns, run, verify
+    )
+
+
+def _assemble_col_result(
+    A, partition, x, n, K, pattern, rank_returns, run, verify
+) -> ColSpMVResult:
+    """Gather per-rank fold results into the global y and verify."""
     y = np.zeros(n, dtype=np.float64)
     for p in range(K):
-        y[partition.rows_of(p)] = run.returns[p]
+        y[partition.rows_of(p)] = rank_returns[p]
 
     if verify:
         y_ref = A @ x

@@ -140,29 +140,71 @@ def distributed_spmv(
             send_plans[p][q] = (idx, x_arr[idx].copy())
 
     counts = None
+    plan = None
     if vpt is not None:
         plan = build_plan(pattern, vpt)
         counts = recv_counts_from_plan(plan)
 
-    def factory(comm):
-        rc = None if counts is None else counts[:, comm.rank]
-        return _spmv_rank(
-            comm,
-            blocks[comm.rank],
-            n,
-            send_plans[comm.rank],
-            needed[comm.rank],
-            vpt,
-            rc,
-        )
+    planned_only = False
+    if engine not in ("event", "sharded"):
+        from ..simmpi.engine import resolve_engine
 
-    run = run_spmd(
-        K, lambda comm: factory(comm), machine=machine, engine=engine, workers=workers
-    )
+        planned_only = bool(getattr(resolve_engine(engine), "planned_only", False))
+    if planned_only:
+        # batch path: run the exchange as whole-stage sweeps, then do
+        # each rank's x assembly and local multiply outside the engine
+        # (x_full[idx] = payload writes disjoint slots, order-free)
+        from ..simmpi.runtime import SimMPI
+
+        sim = SimMPI(K, machine=machine, engine=engine, workers=workers)
+        payloads = [
+            {dst: values for dst, (idx, values) in send_plans[p].items()}
+            for p in range(K)
+        ]
+        if vpt is None:
+            expected = np.array([len(needed[q]) for q in range(K)], dtype=np.int64)
+            run = sim.run_planned_direct(payloads, expected)
+        else:
+            run = sim.run_planned_stfw(vpt, plan, payloads)
+        rank_returns = []
+        for p in range(K):
+            x_full = np.zeros(n, dtype=np.float64)
+            x_full[blocks[p].rows] = blocks[p].x_own
+            for src, payload in run.returns[p]:
+                idx = needed[p][src]
+                if len(payload) != idx.size:
+                    raise PlanError(
+                        f"rank {p} got {len(payload)} values from {src}, "
+                        f"expected {idx.size}"
+                    )
+                x_full[idx] = payload
+            rank_returns.append(local_spmv(blocks[p], x_full))
+    else:
+
+        def factory(comm):
+            rc = None if counts is None else counts[:, comm.rank]
+            return _spmv_rank(
+                comm,
+                blocks[comm.rank],
+                n,
+                send_plans[comm.rank],
+                needed[comm.rank],
+                vpt,
+                rc,
+            )
+
+        run = run_spmd(
+            K,
+            lambda comm: factory(comm),
+            machine=machine,
+            engine=engine,
+            workers=workers,
+        )
+        rank_returns = run.returns
 
     y = np.zeros(n, dtype=np.float64)
     for p in range(K):
-        y[blocks[p].rows] = run.returns[p]
+        y[blocks[p].rows] = rank_returns[p]
 
     if verify:
         y_ref = A @ x_arr

@@ -93,11 +93,15 @@ CASES = {
 }
 
 
-def run_case(label):
+def run_case(label, engine="event"):
     p = fixed_pattern()
     if label == "direct":
-        return run_exchange(p, scheme="direct", machine=BGQ, trace=True)
-    return run_exchange(p, make_vpt(16, 2), machine=BGQ, mode=label, trace=True)
+        return run_exchange(
+            p, scheme="direct", machine=BGQ, trace=True, engine=engine
+        )
+    return run_exchange(
+        p, make_vpt(16, 2), machine=BGQ, mode=label, trace=True, engine=engine
+    )
 
 
 class TestEngineCrossValidation:
@@ -130,3 +134,27 @@ class TestEngineCrossValidation:
         assert normalize(run_case("planned").delivered) == normalize(
             run_case("dynamic").delivered
         )
+
+
+class TestBatchEngineCrossValidation:
+    """The batch engine lands on the same golden pins as the event engine.
+
+    Only the planned and direct labels run here — dynamic discovery is
+    refused by the batch engine by design.
+    """
+
+    @pytest.mark.parametrize("label", ["planned", "direct"])
+    def test_delivered_sets_match_seed(self, label):
+        res = run_case(label, engine="batch")
+        assert normalize(res.delivered) == SEED_DELIVERED
+
+    @pytest.mark.parametrize("label", ["planned", "direct"])
+    def test_trace_length_matches_seed(self, label):
+        res = run_case(label, engine="batch")
+        assert len(res.run.trace) == SEED_TRACE_LEN[label]
+
+    @pytest.mark.parametrize("label", ["planned", "direct"])
+    def test_clocks_pinned_exactly(self, label):
+        _, new = CASES[label]
+        res = run_case(label, engine="batch")
+        assert res.run.clocks == pytest.approx(new, rel=1e-12, abs=1e-9)
